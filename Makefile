@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples docs csv clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	for e in quickstart io_offload openmp_phase persistent_restart \
+	         python_dynlink space_sharing bringup_session; do \
+	  echo "== $$e"; dune exec examples/$$e.exe; done
+
+docs:
+	dune build @doc
+
+csv:
+	dune exec bin/export_data.exe -- --out results
+
+clean:
+	dune clean
