@@ -1,0 +1,1 @@
+bin/bgp_run.ml: Arg Bg_apps Bg_engine Bg_fwk Bg_msg Bg_rt Cmd Cmdliner Cnk Format Image Job Machine Printf Sysreq Term

@@ -1,0 +1,1 @@
+bin/bgp_run.mli:

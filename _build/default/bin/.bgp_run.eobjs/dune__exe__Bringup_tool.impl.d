@@ -1,0 +1,1 @@
+bin/bringup_tool.ml: Arg Bg_bringup Bg_rt Cmd Cmdliner Cnk Coro Format Image Job List Printf Term

@@ -1,0 +1,1 @@
+bin/bringup_tool.mli:

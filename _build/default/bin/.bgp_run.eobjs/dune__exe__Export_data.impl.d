@@ -1,0 +1,1 @@
+bin/export_data.ml: Arg Array Bg_apps Bg_engine Bg_msg Bg_noise Cmd Cmdliner Cnk Filename Image Job List Printf String Term Unix

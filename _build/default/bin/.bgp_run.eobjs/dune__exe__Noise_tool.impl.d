@@ -1,0 +1,1 @@
+bin/noise_tool.ml: Arg Bg_apps Bg_engine Bg_noise Cmd Cmdliner Cnk Format Image Job List Printf Term

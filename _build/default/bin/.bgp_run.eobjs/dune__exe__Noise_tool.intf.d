@@ -1,0 +1,1 @@
+bin/noise_tool.mli:

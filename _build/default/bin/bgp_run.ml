@@ -1,0 +1,184 @@
+(* bgp_run — submit a job to a simulated Blue Gene/P machine.
+
+   Plays the role of the control system's job launcher: pick a kernel
+   (cnk or fwk), a node mode (smp/dual/vn), a machine size and a built-in
+   workload, run it, and report. Examples:
+
+     dune exec bin/bgp_run.exe -- --workload fwq
+     dune exec bin/bgp_run.exe -- --kernel fwk --workload fwq
+     dune exec bin/bgp_run.exe -- --workload umt --mode vn
+     dune exec bin/bgp_run.exe -- --workload amg --threads 4 *)
+
+open Cmdliner
+
+type workload = Fwq | Umt | Amg | Hello | Halo | Cg
+
+let workload_conv =
+  let parse = function
+    | "fwq" -> Ok Fwq
+    | "umt" -> Ok Umt
+    | "amg" -> Ok Amg
+    | "hello" -> Ok Hello
+    | "halo" -> Ok Halo
+    | "cg" -> Ok Cg
+    | s -> Error (`Msg (Printf.sprintf "unknown workload %S (fwq|umt|amg|hello|halo|cg)" s))
+  in
+  let print ppf w =
+    Format.pp_print_string ppf
+      (match w with
+      | Fwq -> "fwq"
+      | Umt -> "umt"
+      | Amg -> "amg"
+      | Hello -> "hello"
+      | Halo -> "halo"
+      | Cg -> "cg")
+  in
+  Arg.conv (parse, print)
+
+let mode_conv =
+  let parse = function
+    | "smp" -> Ok Job.Smp
+    | "dual" -> Ok Job.Dual
+    | "vn" -> Ok Job.Vn
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S (smp|dual|vn)" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with Job.Smp -> "smp" | Job.Dual -> "dual" | Job.Vn -> "vn")
+  in
+  Arg.conv (parse, print)
+
+let run kernel workload mode nodes threads samples seed =
+  let dims = (nodes, 1, 1) in
+  let report_cycles label sim =
+    Printf.printf "%s finished at simulated cycle %d (%.2f ms)\n" label
+      (Bg_engine.Sim.now sim)
+      (Bg_engine.Cycles.to_us (Bg_engine.Sim.now sim) /. 1000.0)
+  in
+  match kernel with
+  | "cnk" -> (
+    let cluster = Cnk.Cluster.create ~seed ~dims () in
+    Cnk.Cluster.boot_all cluster;
+    match workload with
+    | Hello ->
+      let image =
+        Image.executable ~name:"hello" (fun () ->
+            let u = Bg_rt.Libc.uname () in
+            Printf.printf "hello from %s %s rank %d\n" u.Sysreq.sysname u.Sysreq.release
+              (Bg_rt.Libc.rank ()))
+      in
+      Cnk.Cluster.run_job cluster (Job.create ~mode ~name:"hello" image);
+      report_cycles "hello" (Cnk.Cluster.sim cluster);
+      `Ok ()
+    | Fwq ->
+      let entry, collect = Bg_apps.Fwq.program ~samples ~threads:4 () in
+      Cnk.Cluster.run_job cluster
+        (Job.create ~mode ~name:"fwq" (Image.executable ~name:"fwq" entry));
+      let r = collect () in
+      Printf.printf "FWQ on CNK: max spread %.5f%%\n" (Bg_apps.Fwq.max_spread_percent r);
+      report_cycles "fwq" (Cnk.Cluster.sim cluster);
+      `Ok ()
+    | Umt ->
+      let lib = Bg_apps.Umt_proxy.install (Cnk.Cluster.fs cluster) in
+      let entry, collect = Bg_apps.Umt_proxy.program ~lib_path:lib ~timesteps:5 ~threads () in
+      Cnk.Cluster.run_job cluster
+        (Job.create ~mode ~name:"umt" (Image.executable ~name:"umt" entry));
+      let r = collect () in
+      Printf.printf "UMT: %d timesteps, checksum %d, wrote %s\n"
+        r.Bg_apps.Umt_proxy.timesteps_run r.Bg_apps.Umt_proxy.sweep_checksum
+        r.Bg_apps.Umt_proxy.output_file;
+      report_cycles "umt" (Cnk.Cluster.sim cluster);
+      `Ok ()
+    | Amg ->
+      let entry, collect = Bg_apps.Amg_proxy.program ~grid:32 ~sweeps:5 ~threads () in
+      Cnk.Cluster.run_job cluster
+        (Job.create ~mode ~name:"amg" (Image.executable ~name:"amg" entry));
+      let r = collect () in
+      Printf.printf "AMG: %d sweeps, residual %.0f, %d cycles\n" r.Bg_apps.Amg_proxy.sweeps
+        r.Bg_apps.Amg_proxy.residual r.Bg_apps.Amg_proxy.wall_cycles;
+      report_cycles "amg" (Cnk.Cluster.sim cluster);
+      `Ok ()
+    | Halo ->
+      let fabric = Bg_msg.Dcmf.make_fabric (Cnk.Cluster.machine cluster) in
+      for r = 0 to nodes - 1 do
+        ignore (Bg_msg.Dcmf.attach fabric ~rank:r)
+      done;
+      let entry, collect =
+        Bg_apps.Halo.program ~fabric ~cells_per_rank:64 ~iterations:40
+          ~compute_cycles_per_cell:2_000 ()
+      in
+      Cnk.Cluster.run_job cluster
+        (Job.create ~mode ~name:"halo" (Image.executable ~name:"halo" entry));
+      let r = collect () in
+      Printf.printf "halo: %d iterations, checksum %d, %d cycles\n"
+        r.Bg_apps.Halo.iterations r.Bg_apps.Halo.checksum r.Bg_apps.Halo.wall_cycles;
+      report_cycles "halo" (Cnk.Cluster.sim cluster);
+      `Ok ()
+    | Cg ->
+      let fabric = Bg_msg.Dcmf.make_fabric (Cnk.Cluster.machine cluster) in
+      for r = 0 to nodes - 1 do
+        ignore (Bg_msg.Dcmf.attach fabric ~rank:r)
+      done;
+      let coll = Bg_msg.Mpi.Coll.create fabric ~participants:nodes in
+      let entry, collect =
+        Bg_apps.Cg_solver.program ~fabric ~coll ~cells_per_rank:32 ~iterations:40 ()
+      in
+      Cnk.Cluster.run_job cluster
+        (Job.create ~mode ~name:"cg" (Image.executable ~name:"cg" entry));
+      let r = collect () in
+      Printf.printf "cg: residual %.3e -> %.3e in %d iterations, %d cycles\n"
+        r.Bg_apps.Cg_solver.initial_residual r.Bg_apps.Cg_solver.final_residual
+        r.Bg_apps.Cg_solver.iterations_run r.Bg_apps.Cg_solver.wall_cycles;
+      report_cycles "cg" (Cnk.Cluster.sim cluster);
+      `Ok ())
+  | "fwk" -> (
+    let machine = Machine.create ~seed ~dims:(1, 1, 1) () in
+    let node = Bg_fwk.Node.create machine ~rank:0 ~stripped:true () in
+    let finish entry after =
+      Bg_fwk.Node.boot node ~on_ready:(fun () ->
+          match Bg_fwk.Node.launch node (Job.create ~mode ~name:"job" (Image.executable ~name:"job" entry)) with
+          | Ok () -> ()
+          | Error e -> failwith e);
+      ignore (Bg_engine.Sim.run machine.Machine.sim);
+      after ();
+      report_cycles "job" machine.Machine.sim;
+      `Ok ()
+    in
+    match workload with
+    | Hello ->
+      finish
+        (fun () ->
+          let u = Bg_rt.Libc.uname () in
+          Printf.printf "hello from %s %s\n" u.Sysreq.sysname u.Sysreq.release)
+        (fun () -> ())
+    | Fwq ->
+      let entry, collect = Bg_apps.Fwq.program ~samples ~threads:4 () in
+      finish entry (fun () ->
+          Printf.printf "FWQ on FWK: max spread %.3f%%\n"
+            (Bg_apps.Fwq.max_spread_percent (collect ())))
+    | Amg ->
+      let entry, collect = Bg_apps.Amg_proxy.program ~grid:32 ~sweeps:5 ~threads () in
+      finish entry (fun () ->
+          let r = collect () in
+          Printf.printf "AMG: residual %.0f, %d cycles\n" r.Bg_apps.Amg_proxy.residual
+            r.Bg_apps.Amg_proxy.wall_cycles)
+    | Umt | Halo | Cg ->
+      `Error (false, "this workload needs the CNK messaging/dynlink setup; use --kernel cnk"))
+  | k -> `Error (false, Printf.sprintf "unknown kernel %S (cnk|fwk)" k)
+
+let cmd =
+  let kernel =
+    Arg.(value & opt string "cnk" & info [ "kernel"; "k" ] ~doc:"Kernel: cnk or fwk.")
+  in
+  let workload =
+    Arg.(value & opt workload_conv Hello & info [ "workload"; "w" ] ~doc:"Workload to run.")
+  in
+  let mode = Arg.(value & opt mode_conv Job.Smp & info [ "mode"; "m" ] ~doc:"Node mode.") in
+  let nodes = Arg.(value & opt int 1 & info [ "nodes"; "n" ] ~doc:"Compute nodes.") in
+  let threads = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~doc:"OpenMP threads.") in
+  let samples = Arg.(value & opt int 2000 & info [ "samples" ] ~doc:"FWQ samples.") in
+  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Simulation seed.") in
+  let term = Term.(ret (const run $ kernel $ workload $ mode $ nodes $ threads $ samples $ seed)) in
+  Cmd.v (Cmd.info "bgp_run" ~doc:"Run a job on a simulated Blue Gene/P machine") term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,94 @@
+(* bringup_tool — the chip-bringup toolbox of paper SSIII from the command
+   line: reproducibility checks, waveform capture, the timing-bug hunt and
+   VHDL boot economics.
+
+     dune exec bin/bringup_tool.exe -- check
+     dune exec bin/bringup_tool.exe -- waveform --from 150000 --count 6
+     dune exec bin/bringup_tool.exe -- hunt --chips 4
+     dune exec bin/bringup_tool.exe -- boot-time --hz 10 *)
+
+open Cmdliner
+module Bringup = Bg_bringup
+
+let standard_run ?(seed = 1L) () =
+  let cluster = Cnk.Cluster.create ~dims:(2, 1, 1) ~seed () in
+  Cnk.Cluster.boot_all cluster;
+  let image =
+    Image.executable ~name:"target" (fun () ->
+        for _ = 1 to 200 do
+          Coro.consume 3_000;
+          ignore (Bg_rt.Libc.gettid ())
+        done)
+  in
+  Cnk.Cluster.launch_all cluster ~ranks:[ 0 ] (Job.create ~name:"t" image);
+  cluster
+
+let check cycle =
+  let ok = Bringup.Waveform.reproducible ~run:(standard_run ~seed:1L) ~rank:0 ~cycle in
+  Printf.printf "scan@%d across two runs: %s\n" cycle
+    (if ok then "IDENTICAL (cycle-reproducible)" else "DIVERGED");
+  if ok then 0 else 1
+
+let waveform from count stride =
+  let wf =
+    Bringup.Waveform.assemble ~run:(standard_run ~seed:1L) ~rank:0 ~from_cycle:from
+      ~cycles:count ~stride ()
+  in
+  List.iter (fun s -> Format.printf "%a@." Bringup.Scan.pp s) wf.Bringup.Waveform.samples;
+  Printf.printf "(%d destructive scans = %d full machine runs)\n" count count;
+  0
+
+let hunt chips runs =
+  let bug = Bringup.Timing_bug.default_bug in
+  Printf.printf "hunting a borderline timing bug across %d chips (%d reruns each)...\n"
+    chips runs;
+  let findings = Bringup.Timing_bug.hunt bug ~ranks:chips ~samples:8 ~runs_per_rank:runs ~seed:77L in
+  if findings = [] then print_endline "no divergence observed"
+  else
+    List.iter
+      (fun f ->
+        Printf.printf "chip %d diverges from its golden waveform at cycle %d\n"
+          f.Bringup.Timing_bug.rank f.Bringup.Timing_bug.diverged_at)
+      findings;
+  0
+
+let vcd from count stride out =
+  let wf =
+    Bringup.Waveform.assemble ~run:(standard_run ~seed:1L) ~rank:0 ~from_cycle:from
+      ~cycles:count ~stride ()
+  in
+  let oc = open_out out in
+  output_string oc (Bringup.Vcd.to_string wf);
+  close_out oc;
+  Printf.printf "wrote %s (%d samples; open with any VCD viewer)\n" out count;
+  0
+
+let boot_time hz =
+  Format.printf "%a" Bringup.Vhdl_sim.pp (Bringup.Vhdl_sim.comparison ~hz ());
+  0
+
+let cycle_arg = Arg.(value & opt int 200_000 & info [ "cycle" ] ~doc:"Scan cycle.")
+let from_arg = Arg.(value & opt int 150_000 & info [ "from" ] ~doc:"First sampled cycle.")
+let count_arg = Arg.(value & opt int 5 & info [ "count" ] ~doc:"Number of samples.")
+let stride_arg = Arg.(value & opt int 1000 & info [ "stride" ] ~doc:"Cycles between samples.")
+let chips_arg = Arg.(value & opt int 4 & info [ "chips" ] ~doc:"Chips to hunt across.")
+let runs_arg = Arg.(value & opt int 4 & info [ "runs" ] ~doc:"Reruns per chip.")
+let hz_arg = Arg.(value & opt float 10.0 & info [ "hz" ] ~doc:"VHDL simulator speed.")
+let out_arg = Arg.(value & opt string "waveform.vcd" & info [ "out"; "o" ] ~doc:"Output file.")
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "check" ~doc:"Verify cycle reproducibility")
+      Term.(const check $ cycle_arg);
+    Cmd.v (Cmd.info "waveform" ~doc:"Assemble a waveform from destructive scans")
+      Term.(const waveform $ from_arg $ count_arg $ stride_arg);
+    Cmd.v (Cmd.info "hunt" ~doc:"Hunt the borderline timing bug")
+      Term.(const hunt $ chips_arg $ runs_arg);
+    Cmd.v (Cmd.info "boot-time" ~doc:"Kernel boot wall-time at VHDL speed")
+      Term.(const boot_time $ hz_arg);
+    Cmd.v (Cmd.info "vcd" ~doc:"Export a waveform as VCD")
+      Term.(const vcd $ from_arg $ count_arg $ stride_arg $ out_arg);
+  ]
+
+let () =
+  exit (Cmd.eval' (Cmd.group (Cmd.info "bringup_tool" ~doc:"Chip bringup toolbox") cmds))

@@ -1,0 +1,82 @@
+(* noise_tool — FWQ and noise-at-scale measurements from the command line.
+
+     dune exec bin/noise_tool.exe -- fwq --kernel cnk
+     dune exec bin/noise_tool.exe -- fwq --kernel fwk --samples 5000
+     dune exec bin/noise_tool.exe -- inject --period 500000 --duration 25000
+     dune exec bin/noise_tool.exe -- scale --nodes 65536 *)
+
+open Cmdliner
+module Noise = Bg_noise
+
+let fwq kernel samples =
+  let report =
+    match kernel with
+    | "cnk" -> Noise.Fwq_harness.run_on_cnk ~samples ()
+    | "fwk" -> Noise.Fwq_harness.run_on_fwk ~samples ()
+    | _ -> failwith "kernel must be cnk or fwk"
+  in
+  Format.printf "%a" Noise.Fwq_harness.pp report;
+  0
+
+let inject period duration samples =
+  let cluster = Cnk.Cluster.create ~dims:(1, 1, 1) () in
+  Cnk.Cluster.boot_all cluster;
+  let profile =
+    { Noise.Injection.period_cycles = period; duration_cycles = duration; jitter = 0.3 }
+  in
+  Format.printf "injecting %a into CNK@." Noise.Injection.pp_profile profile;
+  Noise.Injection.attach (Cnk.Cluster.node cluster 0) ~profile ~seed:5L
+    ~until:(Bg_engine.Sim.now (Cnk.Cluster.sim cluster) + 30_000_000_000);
+  let entry, collect = Bg_apps.Fwq.program ~samples ~threads:4 () in
+  Cnk.Cluster.run_job cluster
+    (Job.create ~name:"fwq" (Image.executable ~name:"fwq" entry));
+  Printf.printf "FWQ max spread with injection: %.4f%%\n"
+    (Bg_apps.Fwq.max_spread_percent (collect ()));
+  0
+
+let characterize kernel samples =
+  let report =
+    match kernel with
+    | "cnk" -> Noise.Fwq_harness.run_on_cnk ~samples ()
+    | "fwk" -> Noise.Fwq_harness.run_on_fwk ~samples ()
+    | _ -> failwith "kernel must be cnk or fwk"
+  in
+  List.iter
+    (fun t ->
+      let s = Noise.Analysis.characterize t.Noise.Fwq_harness.samples in
+      Format.printf "core %d: %a" t.Noise.Fwq_harness.thread Noise.Analysis.pp s;
+      List.iter
+        (fun (lo, hi, c) -> Printf.printf "    %6d..%6d cycles: %d events\n" lo hi c)
+        (Noise.Analysis.classify s ~bins:6))
+    report.Noise.Fwq_harness.threads;
+  0
+
+let scale nodes iterations =
+  Printf.printf "allreduce slowdown at %d nodes (x%d iterations):\n" nodes iterations;
+  List.iter
+    (fun (label, profile) ->
+      Printf.printf "  %-14s %.4f\n" label
+        (Noise.Scaling.allreduce_slowdown ~nodes ~iterations ~work_cycles:850_000
+           ~profile ~seed:11L))
+    [ ("quiet (CNK)", Noise.Scaling.Quiet); ("linux daemons", Noise.Scaling.Linux_daemons) ];
+  0
+
+let kernel_arg = Arg.(value & opt string "cnk" & info [ "kernel"; "k" ] ~doc:"cnk or fwk.")
+let samples_arg = Arg.(value & opt int 12_000 & info [ "samples" ] ~doc:"FWQ samples.")
+let period_arg = Arg.(value & opt int 500_000 & info [ "period" ] ~doc:"Injection period (cycles).")
+let duration_arg = Arg.(value & opt int 25_000 & info [ "duration" ] ~doc:"Injection duration (cycles).")
+let nodes_arg = Arg.(value & opt int 4096 & info [ "nodes" ] ~doc:"Node count.")
+let iters_arg = Arg.(value & opt int 300 & info [ "iterations" ] ~doc:"Iterations.")
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "fwq" ~doc:"Run the FWQ benchmark") Term.(const fwq $ kernel_arg $ samples_arg);
+    Cmd.v (Cmd.info "inject" ~doc:"Inject noise into CNK and measure FWQ")
+      Term.(const inject $ period_arg $ duration_arg $ samples_arg);
+    Cmd.v (Cmd.info "scale" ~doc:"Noise magnification at scale")
+      Term.(const scale $ nodes_arg $ iters_arg);
+    Cmd.v (Cmd.info "characterize" ~doc:"Infer the noise signature from FWQ data")
+      Term.(const characterize $ kernel_arg $ samples_arg);
+  ]
+
+let () = exit (Cmd.eval' (Cmd.group (Cmd.info "noise_tool" ~doc:"Noise measurement toolbox") cmds))

@@ -1,0 +1,1 @@
+examples/bringup_session.ml: Bg_bringup Bg_hw Cnk Coro Image Int64 Job List Machine Printf String

@@ -1,0 +1,1 @@
+examples/bringup_session.mli:

@@ -1,0 +1,1 @@
+examples/io_offload.ml: Bg_cio Bg_rt Bytes Char Cnk Errno Image Job List Printf Result Sysreq

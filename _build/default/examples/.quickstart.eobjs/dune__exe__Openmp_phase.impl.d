@@ -1,0 +1,1 @@
+examples/openmp_phase.ml: Array Bg_engine Bg_msg Bg_rt Bytes Char Cnk Coro Image Job Printf

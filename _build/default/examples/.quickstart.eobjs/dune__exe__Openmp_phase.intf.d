@@ -1,0 +1,1 @@
+examples/openmp_phase.mli:

@@ -1,0 +1,1 @@
+examples/persistent_restart.ml: Bg_hw Bg_rt Cnk Image Job List Printf String

@@ -1,0 +1,1 @@
+examples/python_dynlink.ml: Bg_apps Bg_cio Bg_engine Bytes Cnk Image Job Printf Result Sysreq

@@ -1,0 +1,1 @@
+examples/python_dynlink.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bg_apps Bg_cio Bg_engine Bg_rt Bytes Cnk Coro Image Job Printf Result Sysreq

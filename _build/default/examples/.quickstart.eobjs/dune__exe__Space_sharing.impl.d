@@ -1,0 +1,1 @@
+examples/space_sharing.ml: Bg_cio Bg_control Bg_engine Bg_rt Cnk Coro Image Job List Printf Result String Sysreq

@@ -1,0 +1,42 @@
+(* Quickstart: boot a one-node CNK machine, run a program that computes,
+   talks to the kernel, and writes a file through the function-shipped I/O
+   path. Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A 1x1x1 machine: one compute node, one I/O node behind it. *)
+  let cluster = Cnk.Cluster.create ~dims:(1, 1, 1) () in
+  Cnk.Cluster.boot_all cluster;
+  Printf.printf "booted 1 node in %d cycles (%.1f us simulated)\n"
+    (Bg_engine.Sim.now (Cnk.Cluster.sim cluster))
+    (Bg_engine.Cycles.to_us (Bg_engine.Sim.now (Cnk.Cluster.sim cluster)));
+
+  (* The program: ordinary user code built from the libc veneers. It runs
+     as a simulated thread on the simulated kernel. *)
+  let program () =
+    let u = Bg_rt.Libc.uname () in
+    let t0 = Coro.rdtsc () in
+    (* compute: one FWQ quantum of DAXPY *)
+    Bg_apps.Daxpy.run ~elements:256 ~reps:256;
+    let elapsed = Coro.rdtsc () - t0 in
+    (* report through the function-shipped filesystem *)
+    let fd =
+      Bg_rt.Libc.openf ~flags:{ Sysreq.o_rdwr with Sysreq.creat = true } "hello.txt"
+    in
+    let line =
+      Printf.sprintf "hello from %s %s on node %s: daxpy took %d cycles\n"
+        u.Sysreq.sysname u.Sysreq.release u.Sysreq.nodename elapsed
+    in
+    ignore (Bg_rt.Libc.write_string fd line);
+    Bg_rt.Libc.close fd
+  in
+  let image = Image.executable ~name:"quickstart" program in
+  Cnk.Cluster.run_job cluster (Job.create ~name:"quickstart" image);
+
+  (* Host side: pull the file back off the I/O node's filesystem. *)
+  let fs = Cnk.Cluster.fs cluster in
+  let inode = Result.get_ok (Bg_cio.Fs.resolve fs ~cwd:"/" "/hello.txt") in
+  let contents = Result.get_ok (Bg_cio.Fs.read fs inode ~offset:0 ~len:4096) in
+  print_string (Bytes.to_string contents);
+  Printf.printf "job finished at cycle %d; CNK handled %d syscalls, 0 TLB misses\n"
+    (Bg_engine.Sim.now (Cnk.Cluster.sim cluster))
+    (Cnk.Node.syscall_count (Cnk.Cluster.node cluster 0))

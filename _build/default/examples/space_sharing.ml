@@ -1,0 +1,48 @@
+(* Space-sharing through the control system: the service node carves the
+   torus into partitions and schedules a queue of jobs onto them — two
+   small jobs run side by side while a full-machine job waits, and a
+   backfilled job slips into an idle corner.
+   Run with: dune exec examples/space_sharing.exe *)
+
+module Ctl = Bg_control
+
+let () =
+  (* an eight-node machine, all booted under CNK *)
+  let cluster = Cnk.Cluster.create ~dims:(4, 2, 1) () in
+  Cnk.Cluster.boot_all cluster;
+  let sched = Ctl.Scheduler.create ~backfill:true cluster in
+
+  let job name cycles =
+    Job.create ~name
+      (Image.executable ~name (fun () ->
+           Coro.consume cycles;
+           let fd =
+             Bg_rt.Libc.openf ~flags:{ Sysreq.o_rdwr with Sysreq.creat = true }
+               (Printf.sprintf "%s.rank%d" name (Bg_rt.Libc.rank ()))
+           in
+           ignore (Bg_rt.Libc.write_string fd "done");
+           Bg_rt.Libc.close fd))
+  in
+  let a = Ctl.Scheduler.submit sched ~shape:(2, 1, 1) (job "chem" 3_000_000) in
+  let b = Ctl.Scheduler.submit sched ~shape:(2, 1, 1) (job "cfd" 1_500_000) in
+  let c = Ctl.Scheduler.submit sched ~shape:(4, 2, 1) (job "hero-run" 2_000_000) in
+  let d = Ctl.Scheduler.submit sched ~shape:(2, 1, 1) (job "quick-test" 200_000) in
+  Printf.printf "submitted 4 jobs to a 4x2x1 machine (backfill on)\n";
+  Ctl.Scheduler.drain sched;
+
+  List.iter
+    (fun (jid, name) ->
+      match Ctl.Scheduler.state sched jid with
+      | Ctl.Scheduler.Completed at ->
+        Printf.printf "  %-10s completed at %8.2f ms\n" name (Bg_engine.Cycles.to_us at /. 1000.0)
+      | _ -> Printf.printf "  %-10s (not finished?)\n" name)
+    [ (a, "chem"); (b, "cfd"); (c, "hero-run"); (d, "quick-test") ];
+  Printf.printf "completion order: %s\n"
+    (String.concat " -> "
+       (List.map
+          (fun j ->
+            List.assoc j [ (a, "chem"); (b, "cfd"); (c, "hero-run"); (d, "quick-test") ])
+          (Ctl.Scheduler.completed_order sched)));
+  (* every rank of every job left its marker on the shared filesystem *)
+  let files = Result.get_ok (Bg_cio.Fs.readdir (Cnk.Cluster.fs cluster) ~cwd:"/" "/") in
+  Printf.printf "%d per-rank output files on the shared filesystem\n" (List.length files)

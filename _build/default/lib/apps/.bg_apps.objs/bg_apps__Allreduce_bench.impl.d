@@ -1,0 +1,1 @@
+lib/apps/allreduce_bench.ml: Bg_engine Bg_msg Bg_rt Coro Cycles Stats

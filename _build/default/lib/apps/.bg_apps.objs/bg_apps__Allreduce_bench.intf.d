@@ -1,0 +1,1 @@
+lib/apps/allreduce_bench.mli: Bg_engine Bg_msg

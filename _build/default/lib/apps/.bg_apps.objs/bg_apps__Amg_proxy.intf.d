@@ -1,0 +1,1 @@
+lib/apps/amg_proxy.mli:

@@ -1,0 +1,1 @@
+lib/apps/cg_solver.ml: Array Bg_msg Bg_rt Bytes Coro Float Int64

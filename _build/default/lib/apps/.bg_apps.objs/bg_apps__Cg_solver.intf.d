@@ -1,0 +1,1 @@
+lib/apps/cg_solver.mli: Bg_msg

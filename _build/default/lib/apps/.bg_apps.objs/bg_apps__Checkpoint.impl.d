@@ -1,0 +1,1 @@
+lib/apps/checkpoint.ml: Bg_rt Bytes Coro Errno List Sysreq

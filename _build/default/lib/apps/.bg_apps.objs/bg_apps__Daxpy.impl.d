@@ -1,0 +1,1 @@
+lib/apps/daxpy.ml: Bytes Coro Float Int64

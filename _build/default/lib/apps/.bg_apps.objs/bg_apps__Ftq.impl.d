@@ -1,0 +1,1 @@
+lib/apps/ftq.ml: Array Coro

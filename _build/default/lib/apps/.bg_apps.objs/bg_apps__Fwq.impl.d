@@ -1,0 +1,1 @@
+lib/apps/fwq.ml: Array Bg_engine Bg_rt Coro Daxpy Float List

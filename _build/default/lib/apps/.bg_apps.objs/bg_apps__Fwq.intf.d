@@ -1,0 +1,1 @@
+lib/apps/fwq.mli: Bg_engine

@@ -1,0 +1,1 @@
+lib/apps/halo.ml: Array Bg_msg Bg_rt Bytes Coro Int64

@@ -1,0 +1,1 @@
+lib/apps/halo.mli: Bg_msg

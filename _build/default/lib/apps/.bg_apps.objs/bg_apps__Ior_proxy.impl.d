@@ -1,0 +1,1 @@
+lib/apps/ior_proxy.ml: Bg_engine Bg_rt Bytes Char Coro Errno Printf Sysreq

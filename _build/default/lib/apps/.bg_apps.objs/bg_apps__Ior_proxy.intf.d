@@ -1,0 +1,1 @@
+lib/apps/ior_proxy.mli: Bg_kabi

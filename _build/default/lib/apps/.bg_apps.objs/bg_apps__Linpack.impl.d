@@ -1,0 +1,1 @@
+lib/apps/linpack.ml: Bg_msg Bg_rt Coro

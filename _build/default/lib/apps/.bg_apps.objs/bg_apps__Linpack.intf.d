@@ -1,0 +1,1 @@
+lib/apps/linpack.mli: Bg_engine Bg_msg

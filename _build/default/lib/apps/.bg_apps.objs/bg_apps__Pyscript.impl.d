@@ -1,0 +1,1 @@
+lib/apps/pyscript.ml: Bg_cio Bg_rt Buffer Bytes Coro Errno Hashtbl List Printf String Sysreq

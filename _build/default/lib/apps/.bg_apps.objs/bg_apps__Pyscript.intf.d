@@ -1,0 +1,1 @@
+lib/apps/pyscript.mli: Bg_cio

@@ -1,0 +1,1 @@
+lib/apps/stencil.ml: Bg_engine Bg_hw Bg_msg Coro Cycles List Machine

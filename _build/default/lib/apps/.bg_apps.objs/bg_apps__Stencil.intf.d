@@ -1,0 +1,1 @@
+lib/apps/stencil.mli: Bg_kabi Bg_msg

@@ -1,0 +1,1 @@
+lib/apps/umt_proxy.ml: Bg_rt Coro Image List Printf Sysreq

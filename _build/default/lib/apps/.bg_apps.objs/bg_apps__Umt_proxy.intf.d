@@ -1,0 +1,1 @@
+lib/apps/umt_proxy.mli: Bg_cio

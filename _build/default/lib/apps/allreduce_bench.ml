@@ -1,0 +1,18 @@
+open Bg_engine
+
+let program ~fabric ~coll ~iterations ?(per_iteration_work = 2000) () =
+  let stats = Stats.Online.create () in
+  let entry () =
+    let rank = Bg_rt.Libc.rank () in
+    let ctx = Bg_msg.Dcmf.attach fabric ~rank in
+    let mpi = Bg_msg.Mpi.create ctx in
+    for i = 1 to iterations do
+      Coro.consume per_iteration_work;
+      let t0 = Coro.rdtsc () in
+      let sum = Bg_msg.Mpi.Coll.allreduce_sum coll mpi (float_of_int (rank + i)) in
+      ignore sum;
+      let t1 = Coro.rdtsc () in
+      if rank = 0 then Stats.Online.add stats (Cycles.to_us (t1 - t0))
+    done
+  in
+  (entry, fun () -> stats)

@@ -1,0 +1,17 @@
+(** mpiBench_Allreduce from the Phloem suite (paper §V.D).
+
+    Every rank iterates a double-sum allreduce; the per-iteration wall
+    time is accumulated into streaming statistics at rank 0. On CNK the
+    standard deviation is effectively zero; any kernel noise at any rank
+    stretches iterations, which is what the Linux baseline shows. *)
+
+val program :
+  fabric:Bg_msg.Dcmf.fabric ->
+  coll:Bg_msg.Mpi.Coll.coll ->
+  iterations:int ->
+  ?per_iteration_work:int ->
+  unit ->
+  (unit -> unit) * (unit -> Bg_engine.Stats.Online.t)
+(** Job entry + collector of rank-0 per-iteration microsecond samples.
+    [per_iteration_work] (cycles, default 2000) models the compute between
+    allreduces. *)

@@ -1,0 +1,34 @@
+type report = { sweeps : int; residual : float; wall_cycles : int }
+
+let program ~grid ~sweeps ~threads () =
+  let out = ref { sweeps = 0; residual = 0.0; wall_cycles = 0 } in
+  let entry () =
+    let t0 = Coro.rdtsc () in
+    (* the grid lives in simulated memory: one float per cell *)
+    let cells = grid * grid in
+    let base = Bg_rt.Malloc.malloc (8 * cells) in
+    (* init: u[i] = i mod 17 *)
+    for i = 0 to cells - 1 do
+      Bg_rt.Libc.poke (base + (8 * i)) (i mod 17)
+    done;
+    let residual_acc = Bg_rt.Malloc.malloc 8 in
+    for _sweep = 1 to sweeps do
+      Bg_rt.Libc.poke residual_acc 0;
+      Bg_rt.Openmp.parallel_for ~num_threads:threads ~lo:0 ~hi:grid
+        (fun ~thread_num:_ row ->
+          (* relaxation cost per row + a representative memory touch *)
+          Coro.consume (grid * 12);
+          let idx = row * grid in
+          let v = Bg_rt.Libc.peek (base + (8 * idx)) in
+          Bg_rt.Libc.poke (base + (8 * idx)) ((v + 1) / 2);
+          ignore (Coro.fetch_add ~addr:residual_acc v))
+    done;
+    let t1 = Coro.rdtsc () in
+    out :=
+      {
+        sweeps;
+        residual = float_of_int (Bg_rt.Libc.peek residual_acc);
+        wall_cycles = t1 - t0;
+      }
+  in
+  (entry, fun () -> !out)

@@ -1,0 +1,13 @@
+(** AMG/IRS-style OpenMP workload (paper §V.B).
+
+    The threaded benchmarks the paper lists (AMG, IRS, SPhot) share a
+    shape: repeated relaxation sweeps over a grid, fork-join threaded,
+    with a reduction per sweep. The proxy runs that shape unmodified on
+    either kernel and reports a residual so tests can check the
+    computation (not just the timing) survived threading. *)
+
+type report = { sweeps : int; residual : float; wall_cycles : int }
+
+val program :
+  grid:int -> sweeps:int -> threads:int -> unit ->
+  (unit -> unit) * (unit -> report)

@@ -1,0 +1,32 @@
+(** Distributed conjugate-gradient proxy — the solver shape behind several
+    of the paper's "known to scale" codes (NEK, QBOX, HYPO4D run exactly
+    this pattern: halo exchange + dot-product allreduces every iteration).
+
+    Solves the 1-D periodic Poisson-like system [A x = b] with
+    [A = tridiag(-1, 2+eps, -1)] distributed by strips. Every CG iteration
+    needs one halo exchange (for [A p]) and two allreduce dot products —
+    so kernel noise hits it twice per iteration, which is why this family
+    of codes cares about quiet kernels.
+
+    The math is real: tests check the residual actually drops and the
+    answer is rank-count-invariant. *)
+
+type report = {
+  iterations_run : int;
+  initial_residual : float;
+  final_residual : float;     (** ||b - Ax|| at exit *)
+  solution_checksum : float;  (** rank 0's strip, rounded-sum checksum *)
+  wall_cycles : int;
+}
+
+val program :
+  fabric:Bg_msg.Dcmf.fabric ->
+  coll:Bg_msg.Mpi.Coll.coll ->
+  cells_per_rank:int ->
+  iterations:int ->
+  unit ->
+  (unit -> unit) * (unit -> report)
+
+val reference_final_residual :
+  ranks:int -> cells_per_rank:int -> iterations:int -> float
+(** The same computation on the host, for validation. *)

@@ -1,0 +1,55 @@
+let chunk = 16 * 1024 (* ship in 16 KiB pieces, as a real library would *)
+
+let path name = "/ckpt/" ^ name
+
+let ensure_dir () =
+  match Bg_rt.Libc.mkdir "/ckpt" with
+  | () -> ()
+  | exception Sysreq.Syscall_error Errno.EEXIST -> ()
+
+let save ~name ~regions =
+  ensure_dir ();
+  let fd =
+    Bg_rt.Libc.openf ~flags:{ Sysreq.o_rdwr with Sysreq.creat = true; trunc = true }
+      (path name)
+  in
+  let total = ref 0 in
+  List.iter
+    (fun (addr, len) ->
+      let off = ref 0 in
+      while !off < len do
+        let n = min chunk (len - !off) in
+        let data = Coro.load ~addr:(addr + !off) ~len:n in
+        total := !total + Bg_rt.Libc.write fd data;
+        off := !off + n
+      done)
+    regions;
+  Bg_rt.Libc.close fd;
+  !total
+
+let exists ~name =
+  match Bg_rt.Libc.stat (path name) with
+  | _ -> true
+  | exception Sysreq.Syscall_error Errno.ENOENT -> false
+
+let restore ~name ~regions =
+  match Bg_rt.Libc.openf ~flags:Sysreq.o_rdonly (path name) with
+  | exception Sysreq.Syscall_error Errno.ENOENT -> false
+  | fd ->
+    List.iter
+      (fun (addr, len) ->
+        let off = ref 0 in
+        while !off < len do
+          let n = min chunk (len - !off) in
+          let data = Bg_rt.Libc.read fd ~len:n in
+          if Bytes.length data > 0 then Coro.store ~addr:(addr + !off) data;
+          off := !off + n
+        done)
+      regions;
+    Bg_rt.Libc.close fd;
+    true
+
+let remove ~name =
+  match Bg_rt.Libc.unlink (path name) with
+  | () -> ()
+  | exception Sysreq.Syscall_error Errno.ENOENT -> ()

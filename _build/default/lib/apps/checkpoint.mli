@@ -1,0 +1,22 @@
+(** Application-level checkpoint/restart through the function-shipped
+    filesystem.
+
+    The foil for §V.B's L1-parity recovery story: without in-place
+    recovery, surviving transient faults means periodically writing state
+    to the (offloaded) filesystem and, on failure, restoring and
+    recomputing everything since the last checkpoint — "heavy I/O-bound
+    checkpoint/restart cycles". These are real shipped writes: each save
+    pays marshal + collective network + CIOD service for every byte. *)
+
+val save : name:string -> regions:(int * int) list -> int
+(** Write each (vaddr, len) range of the calling process's memory to
+    /ckpt/<name>, returning the bytes written. Creates /ckpt as needed;
+    an existing checkpoint of the same name is replaced. *)
+
+val restore : name:string -> regions:(int * int) list -> bool
+(** Read the checkpoint back into memory (ranges must match the save).
+    Returns false if no checkpoint of that name exists. *)
+
+val exists : name:string -> bool
+val remove : name:string -> unit
+(** Idempotent. *)

@@ -1,0 +1,25 @@
+let quantum_cycles = 658_958
+
+(* The canonical FWQ configuration is exact; other shapes scale linearly
+   in element-iterations (the kernel is L1-resident, so cost is flops). *)
+let cycles ~elements ~reps =
+  if elements = 256 && reps = 256 then quantum_cycles
+  else
+    let per_elem_iter = float_of_int quantum_cycles /. float_of_int (256 * 256) in
+    int_of_float (Float.round (per_elem_iter *. float_of_int (elements * reps)))
+
+let run ~elements ~reps = Coro.consume (cycles ~elements ~reps)
+
+let run_with_memory ~base ~elements ~reps =
+  (* one observable sweep: y[i] := a*x[i] + y[i] *)
+  for i = 0 to elements - 1 do
+    let x = Coro.load ~addr:(base + (8 * i)) ~len:8 in
+    let y_addr = base + (8 * elements) + (8 * i) in
+    let y = Coro.load ~addr:y_addr ~len:8 in
+    let xv = Int64.to_float (Bytes.get_int64_le x 0) in
+    let yv = Int64.to_float (Bytes.get_int64_le y 0) in
+    let r = Bytes.create 8 in
+    Bytes.set_int64_le r 0 (Int64.of_float ((2.0 *. xv) +. yv));
+    Coro.store ~addr:y_addr r
+  done;
+  if reps > 1 then run ~elements ~reps:(reps - 1)

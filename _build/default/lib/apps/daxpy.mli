@@ -1,0 +1,21 @@
+(** DAXPY work quanta — the FWQ workload kernel (paper §V.A).
+
+    The paper's FWQ configuration: a 256-element DAXPY (fits in L1),
+    repeated 256 times, consuming 658,958 cycles per sample on a BG/P
+    core. We reproduce the cost model and, optionally, real memory
+    traffic so cache-bank experiments have addresses to look at. *)
+
+val quantum_cycles : int
+(** 658,958 — the paper's measured minimum per FWQ sample. *)
+
+val cycles : elements:int -> reps:int -> int
+(** Cost of [reps] sweeps of an [elements]-long DAXPY, calibrated so the
+    paper's 256x256 configuration costs {!quantum_cycles}. *)
+
+val run : elements:int -> reps:int -> unit
+(** Consume the computed cycles inside the calling coroutine. *)
+
+val run_with_memory : base:int -> elements:int -> reps:int -> unit
+(** Same, but the first sweep issues real loads/stores over the vectors at
+    [base] (8 bytes per element for x and y), so the access pattern is
+    observable by the cache model. *)

@@ -1,0 +1,23 @@
+type result = { window_cycles : int; counts : int array }
+
+let program ?(windows = 500) ?(window_cycles = 850_000) ?(unit_cycles = 2_000) () =
+  let counts = Array.make windows 0 in
+  let entry () =
+    for w = 0 to windows - 1 do
+      let deadline = Coro.rdtsc () + window_cycles in
+      let n = ref 0 in
+      while Coro.rdtsc () < deadline do
+        Coro.consume unit_cycles;
+        incr n
+      done;
+      counts.(w) <- !n
+    done
+  in
+  (entry, fun () -> { window_cycles; counts = Array.copy counts })
+
+let min_count r = Array.fold_left min max_int r.counts
+let max_count r = Array.fold_left max 0 r.counts
+
+let spread_percent r =
+  let mn = float_of_int (min_count r) and mx = float_of_int (max_count r) in
+  if mx = 0.0 then 0.0 else (mx -. mn) /. mx *. 100.0

@@ -1,0 +1,22 @@
+(** FTQ — Fixed Time Quanta, the companion of FWQ in the LLNL noise suite
+    (paper §V.A cites the FTQ/FWQ benchmark document).
+
+    Where FWQ times a fixed amount of work, FTQ counts how much work fits
+    in a fixed time window: per window, spin on a small work unit until
+    the deadline passes and record the iteration count. A noiseless
+    kernel yields a flat count; every interference event shows up as a
+    dent in the affected window. *)
+
+type result = { window_cycles : int; counts : int array }
+
+val program :
+  ?windows:int -> ?window_cycles:int -> ?unit_cycles:int -> unit ->
+  (unit -> unit) * (unit -> result)
+(** Defaults: 500 windows of 850,000 cycles (1 ms), 2,000-cycle work
+    units. Single-threaded (FTQ is per-core; run one per core if needed). *)
+
+val spread_percent : result -> float
+(** (max - min) / max * 100 over the per-window counts. *)
+
+val min_count : result -> int
+val max_count : result -> int

@@ -1,0 +1,34 @@
+type result = { thread_samples : (int * int array) list }
+
+let program ?(samples = 12_000) ?(work_cycles = Daxpy.quantum_cycles) ~threads () =
+  if threads < 1 then invalid_arg "Fwq.program";
+  let data = Array.init threads (fun _ -> Array.make samples 0) in
+  let stream idx () =
+    let out = data.(idx) in
+    for i = 0 to samples - 1 do
+      let t0 = Coro.rdtsc () in
+      Coro.consume work_cycles;
+      let t1 = Coro.rdtsc () in
+      out.(i) <- t1 - t0
+    done
+  in
+  let entry () =
+    let workers = List.init (threads - 1) (fun i -> Bg_rt.Pthread.create (stream (i + 1))) in
+    stream 0 ();
+    List.iter Bg_rt.Pthread.join workers
+  in
+  let collect () =
+    { thread_samples = List.init threads (fun i -> (i, Array.copy data.(i))) }
+  in
+  (entry, collect)
+
+let per_thread_summary r =
+  List.map
+    (fun (core, samples) ->
+      (core, Bg_engine.Stats.summarize (Array.map float_of_int samples)))
+    r.thread_samples
+
+let max_spread_percent r =
+  List.fold_left
+    (fun acc (_, s) -> Float.max acc (Bg_engine.Stats.spread_percent s))
+    0.0 (per_thread_summary r)

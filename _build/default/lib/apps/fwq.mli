@@ -1,0 +1,25 @@
+(** The FWQ (Fixed Work Quanta) noise benchmark (paper §V.A, Figs 5–7).
+
+    One thread per core runs [samples] iterations of a fixed work quantum
+    (the 256×256 DAXPY) and timestamps each; any excess over the minimum
+    is OS noise. The same program image runs on CNK and on the FWK — the
+    kernels, not the benchmark, produce the contrast. *)
+
+type result = {
+  thread_samples : (int * int array) list;
+      (** (core hint = spawn index, per-sample cycles) *)
+}
+
+val program :
+  ?samples:int -> ?work_cycles:int -> threads:int -> unit ->
+  (unit -> unit) * (unit -> result)
+(** [program ~threads ()] returns the job entry closure and a collector to
+    call after the job completes. Defaults: 12,000 samples (as the paper),
+    the canonical quantum. The entry spawns [threads - 1] pthreads and
+    runs the last stream itself. *)
+
+val per_thread_summary : result -> (int * Bg_engine.Stats.summary) list
+(** Spawn-index-tagged summaries of the sample distributions. *)
+
+val max_spread_percent : result -> float
+(** The paper's headline FWQ number: worst (max-min)/min across threads. *)

@@ -1,0 +1,82 @@
+type report = { iterations : int; checksum : int; wall_cycles : int }
+
+(* The stencil: cell <- (left + 2*cell + right) / 4, integer arithmetic so
+   checksums are exact. Global domain is the concatenation of strips with
+   periodic boundaries (a ring, matching the torus x-ring). *)
+
+let step_strip ~left_ghost ~right_ghost strip =
+  let n = Array.length strip in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let left = if i = 0 then left_ghost else strip.(i - 1) in
+    let right = if i = n - 1 then right_ghost else strip.(i + 1) in
+    out.(i) <- (left + (2 * strip.(i)) + right) / 4
+  done;
+  out
+
+let init_strip ~rank ~cells_per_rank =
+  Array.init cells_per_rank (fun i -> ((rank * cells_per_rank) + i) * 7 mod 101)
+
+let checksum strip = Array.fold_left (fun acc v -> ((acc * 31) + v) mod 1_000_003) 0 strip
+
+let encode_cell v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  b
+
+let decode_cell b = Int64.to_int (Bytes.get_int64_le b 0)
+
+let program ~fabric ~cells_per_rank ~iterations ~compute_cycles_per_cell () =
+  let out = ref { iterations = 0; checksum = 0; wall_cycles = 0 } in
+  let entry () =
+    let rank = Bg_rt.Libc.rank () in
+    let ctx = Bg_msg.Dcmf.attach fabric ~rank in
+    let mpi = Bg_msg.Mpi.create ctx in
+    let n = Bg_msg.Mpi.size mpi in
+    let left = (rank - 1 + n) mod n and right = (rank + 1) mod n in
+    let strip = ref (init_strip ~rank ~cells_per_rank) in
+    let t0 = Coro.rdtsc () in
+    for it = 1 to iterations do
+      let tag_lr = 2 * it and tag_rl = (2 * it) + 1 in
+      (* my rightmost cell travels right; my leftmost travels left *)
+      let from_left =
+        if n = 1 then (!strip).(cells_per_rank - 1)
+        else
+          decode_cell
+            (Bg_msg.Mpi.sendrecv mpi ~dst:right ~send_tag:tag_lr
+               (encode_cell (!strip).(cells_per_rank - 1))
+               ~src:left ~recv_tag:tag_lr)
+      in
+      let from_right =
+        if n = 1 then (!strip).(0)
+        else
+          decode_cell
+            (Bg_msg.Mpi.sendrecv mpi ~dst:left ~send_tag:tag_rl
+               (encode_cell (!strip).(0))
+               ~src:right ~recv_tag:tag_rl)
+      in
+      Coro.consume (cells_per_rank * compute_cycles_per_cell);
+      strip := step_strip ~left_ghost:from_left ~right_ghost:from_right !strip
+    done;
+    let t1 = Coro.rdtsc () in
+    if rank = 0 then
+      out := { iterations; checksum = checksum !strip; wall_cycles = t1 - t0 }
+  in
+  (entry, fun () -> !out)
+
+let reference_checksum ~ranks ~cells_per_rank ~iterations =
+  let strips = Array.init ranks (fun rank -> init_strip ~rank ~cells_per_rank) in
+  let cur = ref strips in
+  for _ = 1 to iterations do
+    let prev = !cur in
+    cur :=
+      Array.mapi
+        (fun r strip ->
+          let left_rank = (r - 1 + ranks) mod ranks in
+          let right_rank = (r + 1) mod ranks in
+          let left_ghost = prev.(left_rank).(cells_per_rank - 1) in
+          let right_ghost = prev.(right_rank).(0) in
+          step_strip ~left_ghost ~right_ghost strip)
+        prev
+  done;
+  checksum !cur.(0)

@@ -1,0 +1,25 @@
+(** 1-D domain-decomposed halo exchange — the communication shape of the
+    paper's "known to scale" application list (MILC, DNS3D, PLB, ...).
+
+    Each rank owns a strip of cells; every iteration it exchanges boundary
+    cells with both ring neighbors using non-blocking MPI, relaxes its
+    interior, and (optionally) joins a residual allreduce. The computation
+    is real: the final checksum must be independent of the number of
+    ranks, which pins down the halo plumbing. *)
+
+type report = {
+  iterations : int;
+  checksum : int;     (** rank 0's strip checksum after the run *)
+  wall_cycles : int;  (** rank 0 wall time *)
+}
+
+val program :
+  fabric:Bg_msg.Dcmf.fabric ->
+  cells_per_rank:int ->
+  iterations:int ->
+  compute_cycles_per_cell:int ->
+  unit ->
+  (unit -> unit) * (unit -> report)
+
+val reference_checksum : ranks:int -> cells_per_rank:int -> iterations:int -> int
+(** The same computation run on the host, for validation. *)

@@ -1,0 +1,49 @@
+type report = {
+  ranks : int;
+  bytes_per_rank : int;
+  aggregate_mbps : float;
+  wall_cycles : int;
+}
+
+(* host-side aggregation across ranks *)
+type phase = { mutable first : int; mutable last : int; mutable ranks_done : int }
+
+let program ~bytes_per_rank ~block_bytes () =
+  let phase = { first = max_int; last = 0; ranks_done = 0 } in
+  let entry () =
+    let rank = Bg_rt.Libc.rank () in
+    (match Bg_rt.Libc.mkdir "/ior" with
+    | () -> ()
+    | exception Sysreq.Syscall_error Errno.EEXIST -> ());
+    let fd =
+      Bg_rt.Libc.openf
+        ~flags:{ Sysreq.o_rdwr with Sysreq.creat = true; trunc = true }
+        (Printf.sprintf "/ior/rank-%d.dat" rank)
+    in
+    let t0 = Coro.rdtsc () in
+    let block = Bytes.make block_bytes (Char.chr (65 + (rank mod 26))) in
+    let written = ref 0 in
+    while !written < bytes_per_rank do
+      written := !written + Bg_rt.Libc.write fd block
+    done;
+    Bg_rt.Libc.fsync fd;
+    Bg_rt.Libc.close fd;
+    let t1 = Coro.rdtsc () in
+    phase.first <- min phase.first t0;
+    phase.last <- max phase.last t1;
+    phase.ranks_done <- phase.ranks_done + 1
+  in
+  let collect ~collect_from () =
+    ignore collect_from;
+    let ranks = phase.ranks_done in
+    let wall = max 1 (phase.last - phase.first) in
+    {
+      ranks;
+      bytes_per_rank;
+      aggregate_mbps =
+        float_of_int (ranks * bytes_per_rank)
+        /. Bg_engine.Cycles.to_seconds wall /. 1e6;
+      wall_cycles = wall;
+    }
+  in
+  (entry, collect)

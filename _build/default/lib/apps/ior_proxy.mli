@@ -1,0 +1,22 @@
+(** IOR-style aggregate file-I/O throughput benchmark.
+
+    The standard HPC I/O measurement: every rank streams a fixed volume
+    to its own file through the (function-shipped) filesystem; the score
+    is aggregate MB/s from first write to last ack. On this machine the
+    interesting structure is the offload path: compute nodes share their
+    I/O node's CIOD workers and uplink, so aggregate throughput saturates
+    with the pset — the quantitative face of §IV.A/§VII.A. *)
+
+type report = {
+  ranks : int;
+  bytes_per_rank : int;
+  aggregate_mbps : float;
+  wall_cycles : int;
+}
+
+val program :
+  bytes_per_rank:int -> block_bytes:int -> unit ->
+  (unit -> unit) * (collect_from:Bg_kabi.Machine.t -> unit -> report)
+(** Every rank writes [bytes_per_rank] in [block_bytes] chunks to
+    /ior/rank-N.dat. The collector computes aggregate bandwidth from the
+    simulated span of the I/O phase. *)

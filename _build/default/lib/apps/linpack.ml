@@ -1,0 +1,16 @@
+let program ~fabric ~coll ~panels ~panel_cycles () =
+  let total = ref 0 in
+  let entry () =
+    let rank = Bg_rt.Libc.rank () in
+    let ctx = Bg_msg.Dcmf.attach fabric ~rank in
+    let mpi = Bg_msg.Mpi.create ctx in
+    let t0 = Coro.rdtsc () in
+    for panel = 1 to panels do
+      (* trailing-update DGEMM block, then the pivot exchange *)
+      Coro.consume panel_cycles;
+      ignore (Bg_msg.Mpi.Coll.allreduce_sum coll mpi (float_of_int (panel + rank)))
+    done;
+    let t1 = Coro.rdtsc () in
+    if rank = 0 then total := t1 - t0
+  in
+  (entry, fun () -> !total)

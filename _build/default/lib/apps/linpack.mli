@@ -1,0 +1,17 @@
+(** LINPACK proxy for the §V.D performance-stability experiment.
+
+    The paper ran 36 rack-scale LINPACK runs and saw a 2.11-second spread
+    over ~4.5 hours (0.01%). The proxy keeps the structure that makes
+    LINPACK noise-sensitive: a sequence of panel factorizations, each a
+    fixed block of compute followed by a pivot allreduce that synchronizes
+    all ranks (so one straggler delays everyone). Absolute duration is
+    scaled down; the spread {e ratio} is the reproduction target. *)
+
+val program :
+  fabric:Bg_msg.Dcmf.fabric ->
+  coll:Bg_msg.Mpi.Coll.coll ->
+  panels:int ->
+  panel_cycles:int ->
+  unit ->
+  (unit -> unit) * (unit -> Bg_engine.Cycles.t)
+(** Entry + collector of rank-0 total runtime in cycles. *)

@@ -1,0 +1,131 @@
+type result = {
+  variables : (string * int) list;
+  output : string;
+  statements_executed : int;
+}
+
+exception Script_error of int * string
+
+let interpreter_overhead = 150 (* cycles per executed statement *)
+
+type stmt =
+  | Load of string * string
+  | Set of string * int
+  | Add of string * int
+  | Call of string * string * string * string  (* lib, sym, arg var, dst var *)
+  | Loop of int * stmt list
+  | Write of string * string
+  | Print of string
+
+(* --- parsing ---------------------------------------------------------- *)
+
+let tokenize line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let parse_int lineno s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> raise (Script_error (lineno, Printf.sprintf "expected an integer, got %S" s))
+
+(* Parse lines into a statement list; [stop_at_end] distinguishes the top
+   level from a loop body. Returns (stmts, remaining lines). *)
+let rec parse_block lines ~in_loop =
+  match lines with
+  | [] ->
+    if in_loop then raise (Script_error (0, "unterminated loop"));
+    ([], [])
+  | (lineno, line) :: rest -> (
+    match tokenize line with
+    | [] | "#" :: _ -> parse_block rest ~in_loop
+    | [ "end" ] ->
+      if in_loop then ([], rest)
+      else raise (Script_error (lineno, "'end' without a loop"))
+    | [ "load"; name; path ] -> cons (Load (name, path)) rest ~in_loop
+    | [ "set"; var; n ] -> cons (Set (var, parse_int lineno n)) rest ~in_loop
+    | [ "add"; var; n ] -> cons (Add (var, parse_int lineno n)) rest ~in_loop
+    | [ "call"; lib; sym; arg; "->"; dst ] -> cons (Call (lib, sym, arg, dst)) rest ~in_loop
+    | [ "loop"; n ] ->
+      let body, rest' = parse_block rest ~in_loop:true in
+      let stmts, rest'' = parse_block rest' ~in_loop in
+      (Loop (parse_int lineno n, body) :: stmts, rest'')
+    | [ "write"; path; var ] -> cons (Write (path, var)) rest ~in_loop
+    | [ "print"; var ] -> cons (Print var) rest ~in_loop
+    | tok :: _ -> raise (Script_error (lineno, Printf.sprintf "unknown statement %S" tok)))
+
+and cons stmt rest ~in_loop =
+  let stmts, rest' = parse_block rest ~in_loop in
+  (stmt :: stmts, rest')
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let numbered = List.mapi (fun i l -> (i + 1, String.trim l)) lines in
+  let stmts, leftover = parse_block numbered ~in_loop:false in
+  assert (leftover = []);
+  stmts
+
+(* --- execution --------------------------------------------------------- *)
+
+type env = {
+  vars : (string, int) Hashtbl.t;
+  libs : (string, Bg_rt.Ld_so.handle) Hashtbl.t;
+  buf : Buffer.t;
+  mutable executed : int;
+}
+
+let lookup_var env var =
+  match Hashtbl.find_opt env.vars var with
+  | Some v -> v
+  | None -> raise (Script_error (0, Printf.sprintf "undefined variable %S" var))
+
+let rec exec env stmts = List.iter (exec_one env) stmts
+
+and exec_one env stmt =
+  Coro.consume interpreter_overhead;
+  env.executed <- env.executed + 1;
+  match stmt with
+  | Load (name, path) -> Hashtbl.replace env.libs name (Bg_rt.Ld_so.dlopen path)
+  | Set (var, n) -> Hashtbl.replace env.vars var n
+  | Add (var, n) -> Hashtbl.replace env.vars var (lookup_var env var + n)
+  | Call (lib, sym, arg, dst) -> (
+    match Hashtbl.find_opt env.libs lib with
+    | None -> raise (Script_error (0, Printf.sprintf "library %S not loaded" lib))
+    | Some h -> (
+      match Bg_rt.Ld_so.dlsym h sym (lookup_var env arg) with
+      | v -> Hashtbl.replace env.vars dst v
+      | exception Not_found ->
+        raise (Script_error (0, Printf.sprintf "no symbol %S in %S" sym lib))))
+  | Loop (n, body) ->
+    for _ = 1 to n do
+      exec env body
+    done
+  | Write (path, var) ->
+    let fd =
+      Bg_rt.Libc.openf ~flags:{ Sysreq.o_rdwr with Sysreq.creat = true; trunc = true } path
+    in
+    ignore (Bg_rt.Libc.write_string fd (Printf.sprintf "%s=%d\n" var (lookup_var env var)));
+    Bg_rt.Libc.close fd
+  | Print var -> Buffer.add_string env.buf (Printf.sprintf "%s=%d\n" var (lookup_var env var))
+
+let install_script fs ~path text =
+  match Bg_cio.Fs.open_file fs ~cwd:"/" path ~flags:Sysreq.o_create_trunc ~mode:0o644 with
+  | Error e -> invalid_arg (Errno.to_string e)
+  | Ok inode -> (
+    match Bg_cio.Fs.write fs inode ~offset:0 (Bytes.of_string text) with
+    | Ok _ -> ()
+    | Error e -> invalid_arg (Errno.to_string e))
+
+let run ~path =
+  (* fetch the script through the filesystem, like any interpreter *)
+  let fd = Bg_rt.Libc.openf ~flags:Sysreq.o_rdonly path in
+  let size = (Bg_rt.Libc.fstat fd).Sysreq.st_size in
+  let text = Bytes.to_string (Bg_rt.Libc.pread fd ~len:size ~offset:0) in
+  Bg_rt.Libc.close fd;
+  let stmts = parse text in
+  let env =
+    { vars = Hashtbl.create 16; libs = Hashtbl.create 4; buf = Buffer.create 64; executed = 0 }
+  in
+  exec env stmts;
+  let variables =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.vars [] |> List.sort compare
+  in
+  { variables; output = Buffer.contents env.buf; statements_executed = env.executed }

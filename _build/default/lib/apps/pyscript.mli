@@ -1,0 +1,36 @@
+(** A miniature script interpreter — the "UMT is driven by a Python
+    script, which uses dynamic linking" scenario (paper §V.B) end to end.
+
+    The interpreter itself is ordinary user code on the simulated kernel:
+    it reads the script file through the (function-shipped) filesystem,
+    dlopens extension libraries on demand, calls their symbols, and writes
+    result files — exactly the kernel-facing behaviour that made Python
+    support a CNK requirement.
+
+    The language, one statement per line ([#] comments):
+    {v
+    load NAME /lib/foo.so        dlopen a library, bind it to NAME
+    set VAR N                    integer assignment
+    add VAR N                    VAR <- VAR + N
+    call NAME SYM VAR -> VAR2    VAR2 <- NAME.SYM(VAR)
+    loop N ... end               repeat the block N times (nestable)
+    write PATH VAR               write "VAR=value\n" to a file
+    print VAR                    append "VAR=value\n" to the output
+    v} *)
+
+type result = {
+  variables : (string * int) list;  (** final bindings, sorted by name *)
+  output : string;                  (** accumulated [print] text *)
+  statements_executed : int;
+}
+
+exception Script_error of int * string
+(** (line number, message): parse errors and runtime errors (unknown
+    variable, library, or symbol). *)
+
+val install_script : Bg_cio.Fs.t -> path:string -> string -> unit
+(** Host-side: stage the script text on the I/O-node filesystem. *)
+
+val run : path:string -> result
+(** User code: fetch, parse and execute the script. Each statement charges
+    interpreter overhead, so scripted work has honest timing. *)

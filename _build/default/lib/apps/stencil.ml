@@ -1,0 +1,41 @@
+open Bg_engine
+
+let neighbors_of machine ~rank =
+  let torus = machine.Machine.torus in
+  let x, y, z = Bg_hw.Torus.coord_of_rank torus rank in
+  let dx, dy, dz = Bg_hw.Torus.dims torus in
+  let wrap v d = ((v mod d) + d) mod d in
+  [
+    (wrap (x + 1) dx, y, z);
+    (wrap (x - 1) dx, y, z);
+    (x, wrap (y + 1) dy, z);
+    (x, wrap (y - 1) dy, z);
+    (x, y, wrap (z + 1) dz);
+    (x, y, wrap (z - 1) dz);
+  ]
+  |> List.map (Bg_hw.Torus.rank_of_coord torus)
+  |> List.filter (fun r -> r <> rank)
+  |> List.sort_uniq compare
+
+let exchange_program ~fabric ~rank ~bytes ~contiguous =
+  let mbps = ref 0.0 in
+  let entry () =
+    let ctx = Bg_msg.Dcmf.attach fabric ~rank in
+    let machine = Bg_msg.Dcmf.machine fabric in
+    let neighbors = neighbors_of machine ~rank in
+    let t0 = Coro.rdtsc () in
+    let handles =
+      List.map
+        (fun dst -> Bg_msg.Dcmf.put_large ctx ~dst ~tag:77 ~bytes ~contiguous)
+        neighbors
+    in
+    List.iter Bg_msg.Dcmf.wait handles;
+    let finish =
+      List.fold_left
+        (fun acc h -> max acc (Bg_msg.Dcmf.completion_cycle h))
+        0 handles
+    in
+    let moved = List.length neighbors * bytes in
+    mbps := float_of_int moved /. Cycles.to_seconds (finish - t0) /. 1e6
+  in
+  (entry, fun () -> !mbps)

@@ -1,0 +1,17 @@
+(** Near-neighbor exchange — the Fig 8 workload.
+
+    Each iteration, the measuring rank streams a message of the given
+    size to each of its six torus neighbors using the rendezvous bulk
+    path, and reports the aggregate bandwidth. Run it across a sweep of
+    sizes to regenerate the figure's series. *)
+
+val neighbors_of : Bg_kabi.Machine.t -> rank:int -> int list
+(** The six distinct torus neighbors (fewer on degenerate dimensions). *)
+
+val exchange_program :
+  fabric:Bg_msg.Dcmf.fabric ->
+  rank:int ->
+  bytes:int ->
+  contiguous:bool ->
+  (unit -> unit) * (unit -> float)
+(** Entry for the measuring rank + collector of aggregate MB/s. *)

@@ -1,0 +1,44 @@
+type report = { timesteps_run : int; sweep_checksum : int; output_file : string }
+
+(* The "extension library": each symbol models one physics kernel with a
+   distinctive cost and a checkable result. *)
+let physics_library =
+  Image.library ~name:"umt_physics" ~text_bytes:(3 * 1024 * 1024)
+    [
+      { Image.symbol_name = "snswp3d"; fn = (fun angle -> Coro.consume 40_000; (angle * 7) + 1) };
+      { Image.symbol_name = "scatter"; fn = (fun x -> Coro.consume 15_000; x * 2) };
+    ]
+
+let install fs = Bg_rt.Ld_so.install_library fs physics_library
+
+let program ~lib_path ~timesteps ~threads () =
+  let report = ref { timesteps_run = 0; sweep_checksum = 0; output_file = "" } in
+  let entry () =
+    (* the "Python interpreter" starts up and dlopens the extension *)
+    Coro.consume 500_000;
+    let h = Bg_rt.Ld_so.dlopen lib_path in
+    let checksum = Bg_rt.Malloc.malloc 8 in
+    Bg_rt.Libc.poke checksum 0;
+    for _step = 1 to timesteps do
+      (* OpenMP sweep over angles *)
+      Bg_rt.Openmp.parallel_for ~num_threads:threads ~lo:0 ~hi:8
+        (fun ~thread_num:_ angle ->
+          let v = Bg_rt.Ld_so.dlsym h "snswp3d" angle in
+          let v = Bg_rt.Ld_so.dlsym h "scatter" v in
+          ignore (Coro.fetch_add ~addr:checksum v))
+    done;
+    Bg_rt.Ld_so.dlclose h;
+    (* write the results file through the function-shipped path *)
+    let out = "umt_results.txt" in
+    let fd = Bg_rt.Libc.openf ~flags:{ Sysreq.o_rdwr with Sysreq.creat = true } out in
+    let sum = Bg_rt.Libc.peek checksum in
+    ignore (Bg_rt.Libc.write_string fd (Printf.sprintf "checksum=%d\n" sum));
+    Bg_rt.Libc.close fd;
+    report := { timesteps_run = timesteps; sweep_checksum = sum; output_file = out }
+  in
+  (entry, fun () -> !report)
+
+(* Reference checksum for validation: same arithmetic, no simulation. *)
+let _expected_checksum ~timesteps =
+  let per_step = List.init 8 (fun a -> ((a * 7) + 1) * 2) |> List.fold_left ( + ) 0 in
+  timesteps * per_step

@@ -1,0 +1,23 @@
+(** UMT-style workload: a Python-driven transport sweep (paper §V.B).
+
+    UMT is the paper's showcase of "functionality": an unmodified
+    benchmark driven by a Python script, which dlopens extension
+    libraries and runs OpenMP-threaded sweeps. The proxy keeps that
+    exact kernel-facing shape: a driver that dlopens the physics library
+    through the function-shipped filesystem, calls its symbols per
+    timestep, fans sweeps out over OpenMP threads, and writes a results
+    file at the end. *)
+
+type report = {
+  timesteps_run : int;
+  sweep_checksum : int;
+  output_file : string;
+}
+
+val install : Bg_cio.Fs.t -> string
+(** Install the "libumt_physics.so" extension library on the I/O-node
+    filesystem; returns its path. *)
+
+val program :
+  lib_path:string -> timesteps:int -> threads:int -> unit ->
+  (unit -> unit) * (unit -> report)

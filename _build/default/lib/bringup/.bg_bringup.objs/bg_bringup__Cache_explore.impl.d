@@ -1,0 +1,1 @@
+lib/bringup/cache_explore.ml: Bg_hw Bg_rt Cnk Format Image Job List Printf

@@ -1,0 +1,1 @@
+lib/bringup/cache_explore.mli: Bg_hw Format

@@ -1,0 +1,1 @@
+lib/bringup/multichip.ml: Array Bg_engine Bg_hw Cnk Machine Sim

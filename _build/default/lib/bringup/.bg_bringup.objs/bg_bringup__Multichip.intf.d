@@ -1,0 +1,1 @@
+lib/bringup/multichip.mli: Bg_engine Cnk

@@ -1,0 +1,1 @@
+lib/bringup/scan.ml: Bg_engine Bg_hw Cnk Cycles Fnv Format Sim Trace

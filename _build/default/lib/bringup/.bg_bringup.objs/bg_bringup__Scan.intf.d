@@ -1,0 +1,1 @@
+lib/bringup/scan.mli: Bg_engine Cnk Format

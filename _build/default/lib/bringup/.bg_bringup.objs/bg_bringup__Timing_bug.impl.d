@@ -1,0 +1,1 @@
+lib/bringup/timing_bug.ml: Bg_engine Bg_hw Cnk Coro Cycles Image Int64 Job List Rng Sim Waveform

@@ -1,0 +1,1 @@
+lib/bringup/timing_bug.mli: Bg_engine Bg_hw Cnk

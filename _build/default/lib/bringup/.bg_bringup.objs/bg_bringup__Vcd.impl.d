@@ -1,0 +1,1 @@
+lib/bringup/vcd.ml: Buffer Int64 List Printf Scan Waveform

@@ -1,0 +1,1 @@
+lib/bringup/vcd.mli: Waveform

@@ -1,0 +1,1 @@
+lib/bringup/vhdl_sim.ml: Bg_fwk Cnk Format List Printf

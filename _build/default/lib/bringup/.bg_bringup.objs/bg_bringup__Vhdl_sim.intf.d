@@ -1,0 +1,1 @@
+lib/bringup/vhdl_sim.mli: Format

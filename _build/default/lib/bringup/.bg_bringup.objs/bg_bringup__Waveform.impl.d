@@ -1,0 +1,1 @@
+lib/bringup/waveform.ml: List Scan

@@ -1,0 +1,1 @@
+lib/bringup/waveform.mli: Bg_engine Cnk Scan

@@ -1,0 +1,51 @@
+type result = { mapping_name : string; imbalance : float; accesses : int }
+
+let name_of_mapping = function
+  | Bg_hw.Cache.Modulo_line -> "modulo-line"
+  | Bg_hw.Cache.Xor_fold -> "xor-fold"
+  | Bg_hw.Cache.Fixed b -> Printf.sprintf "fixed-bank-%d" b
+
+(* A strided vector sweep: with stride = banks * line the modulo mapping
+   sends every access to one bank; xor-fold spreads them. *)
+let kernel ~stride_bytes ~elements () =
+  let base = Bg_rt.Malloc.malloc (stride_bytes * (elements + 1)) in
+  for rep = 1 to 4 do
+    ignore rep;
+    for i = 0 to elements - 1 do
+      Bg_rt.Libc.poke (base + (i * stride_bytes)) i
+    done
+  done
+
+let sweep ?(stride_bytes = 1024) ?(elements = 256) ?(seed = 1L) ~mappings () =
+  List.map
+    (fun mapping ->
+      let cluster = Cnk.Cluster.create ~dims:(1, 1, 1) ~seed () in
+      Cnk.Cluster.boot_all cluster;
+      let chip = Cnk.Node.chip (Cnk.Cluster.node cluster 0) in
+      ignore (Bg_hw.Chip.set_l2_mapping chip mapping);
+      let image =
+        Image.executable ~name:"cache-sweep" (kernel ~stride_bytes ~elements)
+      in
+      Cnk.Cluster.run_job cluster (Job.create ~name:"cs" image);
+      let l2 = Bg_hw.Chip.l2 chip in
+      let accesses =
+        let total = ref 0 in
+        for b = 0 to Bg_hw.Cache.banks l2 - 1 do
+          total := !total + Bg_hw.Cache.access_count l2 ~bank:b
+        done;
+        !total
+      in
+      {
+        mapping_name = name_of_mapping mapping;
+        imbalance = Bg_hw.Cache.imbalance l2;
+        accesses;
+      })
+    mappings
+
+let pp ppf results =
+  Format.fprintf ppf "L2 bank mapping sweep (imbalance: 1.0 = even):@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-14s imbalance %5.2f over %d accesses@." r.mapping_name
+        r.imbalance r.accesses)
+    results

@@ -1,0 +1,28 @@
+(** L2 cache-bank mapping exploration (paper §III).
+
+    "CNK enabled application kernels to be run with varied mappings of
+    code and data memory traffic to the L2 cache banks, allowing
+    measurement of cache effects, and optimizing the memory system
+    hierarchy to minimize conflicts." This module is that experiment: run
+    a memory-sweeping application kernel under each candidate bank
+    mapping and report the bank-load imbalance (1.0 = even; higher = more
+    conflicts). It is also the §III "artificially created conflicts"
+    tool: the [Fixed] mapping funnels everything into one bank. *)
+
+type result = {
+  mapping_name : string;
+  imbalance : float;    (** max bank load / mean bank load *)
+  accesses : int;
+}
+
+val sweep :
+  ?stride_bytes:int -> ?elements:int -> ?seed:int64 ->
+  mappings:Bg_hw.Cache.mapping list -> unit -> result list
+(** Run the strided DAXPY kernel once per candidate mapping (fresh machine
+    each time — these are separate bringup runs) and collect bank
+    statistics. Default stride 1024 B (a pathological power-of-two stride),
+    256 elements. *)
+
+val name_of_mapping : Bg_hw.Cache.mapping -> string
+
+val pp : Format.formatter -> result list -> unit

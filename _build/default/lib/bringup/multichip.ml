@@ -1,0 +1,32 @@
+open Bg_engine
+
+let coordinated_restart cluster ~reproducible ~on_aligned =
+  let machine = Cnk.Cluster.machine cluster in
+  let nodes = Cnk.Cluster.nodes cluster in
+  Array.iter
+    (fun node ->
+      Cnk.Node.prepare_and_reset node ~reproducible ~on_ready:(fun () ->
+          (* the barrier network survived the reboot in a consistent state *)
+          Bg_hw.Barrier_net.arrive machine.Machine.barrier ~rank:(Cnk.Node.rank node)
+            ~on_release:(fun ~release_cycle ->
+              if Cnk.Node.rank node = 0 then on_aligned ~release_cycle)))
+    nodes
+
+let aligned_packet_cycle ?(seed = 1L) ~src ~dst ~work_before_send () =
+  let cluster = Cnk.Cluster.create ~dims:(2, 1, 1) ~seed () in
+  Cnk.Cluster.boot_all cluster;
+  let machine = Cnk.Cluster.machine cluster in
+  let sim = Cnk.Cluster.sim cluster in
+  let relative = ref None in
+  coordinated_restart cluster ~reproducible:true ~on_aligned:(fun ~release_cycle ->
+      (* chip [src] computes, then injects one packet to [dst] *)
+      ignore
+        (Sim.schedule_at sim (release_cycle + work_before_send) (fun () ->
+             Bg_hw.Torus.transfer machine.Machine.torus ~src ~dst ~bytes:64
+               ~on_arrival:(fun ~arrival_cycle ->
+                 relative := Some (arrival_cycle - release_cycle))
+               ())));
+  ignore (Sim.run sim);
+  match !relative with
+  | Some c -> c
+  | None -> failwith "Multichip.aligned_packet_cycle: packet never arrived"

@@ -1,0 +1,21 @@
+(** Multichip reproducible debugging (paper §III).
+
+    The Clock-Stop hardware spans only one chip, so cross-chip bugs need
+    the reboot protocol extension the paper describes: the Global Barrier
+    network stays active and configured across reboots, every chip resets
+    and restarts, and all chips leave the barrier on the same cycle — so
+    a packet injected by one chip lands on exactly the same cycle relative
+    to the other chip on every run. *)
+
+val coordinated_restart :
+  Cnk.Cluster.t -> reproducible:bool -> on_aligned:(release_cycle:Bg_engine.Cycles.t -> unit) -> unit
+(** Reset and restart every node; each arrives at the global barrier when
+    its kernel is back up; [on_aligned] fires at the common release cycle
+    (schedule the workload from there). *)
+
+val aligned_packet_cycle :
+  ?seed:int64 -> src:int -> dst:int -> work_before_send:int -> unit -> Bg_engine.Cycles.t
+(** Build a 2-chip machine, perform a coordinated reproducible restart,
+    then have [src] compute and inject one packet to [dst]; returns the
+    packet's arrival cycle {e relative to the barrier release}. Two calls
+    with the same seed must agree exactly — the §III property. *)

@@ -1,0 +1,28 @@
+(** Destructive logic scans (paper §III).
+
+    A scan dumps a chip's internal state for the waveform display — and
+    destroys the chip state doing it, so a run can be scanned exactly
+    once. The methodology the paper describes follows: re-run the exact
+    same (cycle-reproducible) workload many times, scanning one cycle
+    later each time, and assemble the per-cycle snapshots into a waveform.
+
+    A scan captures: the chip's architectural digest, the kernel's scan
+    state, and the machine trace digest up to the stop cycle. *)
+
+type snapshot = {
+  cycle : Bg_engine.Cycles.t;
+  chip_state : Bg_engine.Fnv.t;
+  kernel_state : Bg_engine.Fnv.t;
+  trace_digest : Bg_engine.Fnv.t;
+}
+
+val equal : snapshot -> snapshot -> bool
+val pp : Format.formatter -> snapshot -> unit
+
+val capture_at :
+  run:(unit -> Cnk.Cluster.t) -> rank:int -> cycle:Bg_engine.Cycles.t -> snapshot
+(** Build a fresh machine with [run] (which sets up and {e starts} the
+    workload without draining the sim), arm the clock-stop on [rank]'s
+    chip at [cycle], run until it fires, and scan. The simulation is
+    abandoned afterwards — the destructive part. Raises [Failure] if the
+    workload finishes before the stop cycle. *)

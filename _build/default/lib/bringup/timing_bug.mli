@@ -1,0 +1,45 @@
+(** The borderline timing bug of paper §III.
+
+    "A borderline timing bug whose manifestation was dependent both on
+    manufacturing variability and on local temperature variations or
+    electrical noise during execution. The bug did not occur on every
+    chip, nor on every run on a chip that had the potential to exhibit
+    the problem."
+
+    The model: chips whose manufacturing skew exceeds a threshold are
+    {e susceptible}; on a susceptible chip each run flips a coin (from a
+    temperature/noise stream outside the reproducible state) and, when it
+    fires, a torus-arbiter glitch perturbs the architectural trace at a
+    skew-determined cycle. The hunt procedure is the paper's: gather
+    waveforms on reproducible runs across chips and find where a chip
+    diverges from its own golden run. *)
+
+type bug = {
+  skew_threshold : float;   (** manufacturing skew above this = susceptible *)
+  flake_probability : float; (** chance a susceptible chip glitches in a run *)
+  glitch_cycle : int;        (** base cycle at which the glitch lands *)
+}
+
+val default_bug : bug
+
+val susceptible : bug -> Bg_hw.Chip.t -> bool
+
+val arm : bug -> Cnk.Cluster.t -> rank:int -> temperature_seed:int64 -> unit
+(** Install the bug on one node for this run: if susceptible and the
+    temperature coin fires, a glitch event corrupts the trace at
+    [glitch_cycle] (+ a small skew-dependent offset). *)
+
+type finding = { rank : int; diverged_at : Bg_engine.Cycles.t }
+
+val hunt :
+  bug ->
+  ranks:int ->
+  samples:int ->
+  runs_per_rank:int ->
+  seed:int64 ->
+  finding list
+(** The debugging campaign: for every chip, assemble a golden waveform
+    (cold temperature stream) and compare against waveforms from [runs_per_rank]
+    noisy reruns; report every chip caught diverging and the first
+    divergent sampled cycle. Susceptible chips are caught with probability
+    [1 - (1-p)^runs]; healthy chips never diverge. *)

@@ -1,0 +1,86 @@
+let bin64 v =
+  let b = Buffer.create 64 in
+  for i = 63 downto 0 do
+    Buffer.add_char b
+      (if Int64.logand (Int64.shift_right_logical v i) 1L = 1L then '1' else '0')
+  done;
+  Buffer.contents b
+
+type signal = { id : string; name : string; width : int }
+
+let header ~module_name signals =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "$date simulated $end\n";
+  Buffer.add_string b "$version cnk-repro bringup waveform $end\n";
+  Buffer.add_string b "$timescale 1 ns $end\n";
+  Buffer.add_string b (Printf.sprintf "$scope module %s $end\n" module_name);
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "$var wire %d %s %s $end\n" s.width s.id s.name))
+    signals;
+  Buffer.add_string b "$upscope $end\n$enddefinitions $end\n";
+  Buffer.contents b
+
+let dump_sample b ~cycle changes =
+  Buffer.add_string b (Printf.sprintf "#%d\n" cycle);
+  List.iter
+    (fun (s, value) ->
+      if s.width = 1 then Buffer.add_string b (Printf.sprintf "%s%s\n" value s.id)
+      else Buffer.add_string b (Printf.sprintf "b%s %s\n" value s.id))
+    changes
+
+let to_string ?(module_name = "chip") (wf : Waveform.t) =
+  if wf.Waveform.samples = [] then invalid_arg "Vcd.to_string: empty waveform";
+  let chip = { id = "!"; name = "chip_state"; width = 64 } in
+  let kernel = { id = "\""; name = "kernel_state"; width = 64 } in
+  let trace = { id = "#"; name = "trace_digest"; width = 64 } in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (header ~module_name [ chip; kernel; trace ]);
+  List.iter
+    (fun (s : Scan.snapshot) ->
+      dump_sample b ~cycle:s.Scan.cycle
+        [
+          (chip, bin64 s.Scan.chip_state);
+          (kernel, bin64 s.Scan.kernel_state);
+          (trace, bin64 s.Scan.trace_digest);
+        ])
+    wf.Waveform.samples;
+  Buffer.contents b
+
+let diff_to_string ~golden ~suspect =
+  if List.length golden.Waveform.samples <> List.length suspect.Waveform.samples then
+    invalid_arg "Vcd.diff_to_string: waveforms of different lengths";
+  let mk prefix c =
+    {
+      id = prefix ^ c;
+      name =
+        (match c with
+        | "!" -> prefix ^ "chip_state"
+        | "\"" -> prefix ^ "kernel_state"
+        | _ -> prefix ^ "trace_digest");
+      width = 64;
+    }
+  in
+  let g_chip = mk "g" "!" and g_kern = mk "g" "\"" and g_trace = mk "g" "#" in
+  let s_chip = mk "s" "!" and s_kern = mk "s" "\"" and s_trace = mk "s" "#" in
+  let diverged = { id = "d"; name = "diverged"; width = 1 } in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (header ~module_name:"compare" [ g_chip; g_kern; g_trace; s_chip; s_kern; s_trace; diverged ]);
+  List.iter2
+    (fun (g : Scan.snapshot) (s : Scan.snapshot) ->
+      if g.Scan.cycle <> s.Scan.cycle then
+        invalid_arg "Vcd.diff_to_string: mismatched sample cycles";
+      dump_sample b ~cycle:g.Scan.cycle
+        [
+          (g_chip, bin64 g.Scan.chip_state);
+          (g_kern, bin64 g.Scan.kernel_state);
+          (g_trace, bin64 g.Scan.trace_digest);
+          (s_chip, bin64 s.Scan.chip_state);
+          (s_kern, bin64 s.Scan.kernel_state);
+          (s_trace, bin64 s.Scan.trace_digest);
+          (diverged, if Scan.equal g s then "0" else "1");
+        ])
+    golden.Waveform.samples suspect.Waveform.samples;
+  Buffer.contents b

@@ -1,0 +1,16 @@
+(** VCD (Value Change Dump) export of assembled waveforms.
+
+    The paper's §III scans were "assembled into a logic waveform display";
+    this writes the assembled {!Waveform.t} in the standard VCD format so
+    any wave viewer (GTKWave etc.) can display the three 64-bit signals —
+    chip architectural state, kernel state, and the trace digest — over
+    the sampled cycles. Divergences between two runs show up as the exact
+    sample where the signals split. *)
+
+val to_string : ?module_name:string -> Waveform.t -> string
+(** Render a complete VCD document. Raises [Invalid_argument] on an empty
+    waveform. *)
+
+val diff_to_string : golden:Waveform.t -> suspect:Waveform.t -> string
+(** Both waveforms side by side (golden_* and suspect_* signals) plus a
+    1-bit [diverged] marker wire — the §III debugging view. *)

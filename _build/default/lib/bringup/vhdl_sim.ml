@@ -1,0 +1,30 @@
+let default_hz = 10.0
+
+let wall_seconds ~cycles ~hz = float_of_int cycles /. hz
+
+let human ~seconds =
+  if seconds < 120.0 then Printf.sprintf "%.0f seconds" seconds
+  else if seconds < 2.0 *. 3600.0 then Printf.sprintf "%.0f minutes" (seconds /. 60.0)
+  else if seconds < 2.0 *. 86400.0 then Printf.sprintf "%.1f hours" (seconds /. 3600.0)
+  else if seconds < 2.0 *. 604800.0 then Printf.sprintf "%.1f days" (seconds /. 86400.0)
+  else Printf.sprintf "%.1f weeks" (seconds /. 604800.0)
+
+type row = { kernel : string; boot_cycles : int; wall : float; rendered : string }
+
+let row ~hz kernel boot_cycles =
+  let wall = wall_seconds ~cycles:boot_cycles ~hz in
+  { kernel; boot_cycles; wall; rendered = human ~seconds:wall }
+
+let comparison ?(hz = default_hz) () =
+  [
+    row ~hz "CNK" Cnk.Node.boot_cycles;
+    row ~hz "Linux (stripped)" Bg_fwk.Node.boot_cycles_stripped;
+    row ~hz "Linux (full)" Bg_fwk.Node.boot_cycles_full;
+  ]
+
+let pp ppf rows =
+  Format.fprintf ppf "boot at 10 Hz VHDL-simulator speed:@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-18s %9d cycles  -> %s@." r.kernel r.boot_cycles r.rendered)
+    rows

@@ -1,0 +1,22 @@
+(** Boot-time economics on the VHDL cycle-accurate simulator (paper §III).
+
+    "During chip design the VHDL cycle-accurate simulator runs at 10 Hz.
+    In such an environment, CNK boots in a couple of hours, while Linux
+    takes weeks. Even stripped down, Linux takes days to boot." This
+    module converts the kernels' boot-cycle budgets into wall time at a
+    given simulator speed and renders the comparison. *)
+
+val default_hz : float
+(** 10 Hz. *)
+
+val wall_seconds : cycles:int -> hz:float -> float
+
+val human : seconds:float -> string
+(** "2.0 hours", "3.0 days", "2.9 weeks", ... *)
+
+type row = { kernel : string; boot_cycles : int; wall : float; rendered : string }
+
+val comparison : ?hz:float -> unit -> row list
+(** CNK vs stripped Linux vs full Linux at the given simulator speed. *)
+
+val pp : Format.formatter -> row list -> unit

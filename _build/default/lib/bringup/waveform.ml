@@ -1,0 +1,27 @@
+type t = { samples : Scan.snapshot list }
+
+let assemble ~run ~rank ~from_cycle ~cycles ?(stride = 1) () =
+  let samples =
+    List.init cycles (fun i ->
+        Scan.capture_at ~run ~rank ~cycle:(from_cycle + (i * stride)))
+  in
+  { samples }
+
+let length t = List.length t.samples
+
+let reproducible ~run ~rank ~cycle =
+  let a = Scan.capture_at ~run ~rank ~cycle in
+  let b = Scan.capture_at ~run ~rank ~cycle in
+  Scan.equal a b
+
+let divergence a b =
+  let rec go = function
+    | [], [] -> None
+    | sa :: ra, sb :: rb ->
+      if sa.Scan.cycle <> sb.Scan.cycle then
+        invalid_arg "Waveform.divergence: mismatched sample cycles"
+      else if not (Scan.equal sa sb) then Some sa.Scan.cycle
+      else go (ra, rb)
+    | _ -> invalid_arg "Waveform.divergence: different lengths"
+  in
+  go (a.samples, b.samples)

@@ -1,0 +1,32 @@
+(** Waveform assembly from successive destructive scans (paper §III).
+
+    "The scans are assembled into a logic waveform display that spans
+    hundreds or thousands of cycles": run the reproducible workload once
+    per sample cycle, scanning one cycle later each run, and line the
+    snapshots up. {!divergence} compares two waveforms (e.g. a healthy
+    chip vs one with a timing bug) and reports the first cycle at which
+    their state differs — the debugging step that localized the paper's
+    borderline timing bug. *)
+
+type t = { samples : Scan.snapshot list (** ascending by cycle *) }
+
+val assemble :
+  run:(unit -> Cnk.Cluster.t) ->
+  rank:int ->
+  from_cycle:Bg_engine.Cycles.t ->
+  cycles:int ->
+  ?stride:int ->
+  unit ->
+  t
+(** [cycles] samples starting at [from_cycle], one fresh (destroyed) run
+    per sample. [stride] defaults to 1 — the scan-one-cycle-later loop. *)
+
+val length : t -> int
+
+val reproducible : run:(unit -> Cnk.Cluster.t) -> rank:int -> cycle:int -> bool
+(** Scan the same cycle on two independent runs: equal snapshots? This is
+    the cycle-reproducibility check itself. *)
+
+val divergence : t -> t -> Bg_engine.Cycles.t option
+(** First sampled cycle where the two waveforms disagree, if any. Raises
+    [Invalid_argument] if sampled at different cycles. *)

@@ -1,0 +1,1 @@
+lib/capability/matrix.ml: Format List String

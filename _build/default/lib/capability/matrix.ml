@@ -1,0 +1,86 @@
+type ease = Easy | Medium | Hard | Range of ease * ease | Not_available
+
+type capability = {
+  description : string;
+  use_cnk : ease;
+  use_linux : ease;
+  impl_cnk : ease option;
+  impl_linux : ease option;
+  witness : string;
+  note : string;
+}
+
+let cap ?(impl_cnk = None) ?(impl_linux = None) ?(note = "") description use_cnk
+    use_linux witness =
+  { description; use_cnk; use_linux; impl_cnk; impl_linux; witness; note }
+
+(* Paper Table II rows, in order; Table III entries attached to the rows
+   they extend. *)
+let table2 =
+  [
+    cap "Large page use" Easy Medium "Cnk.Mapping"
+      ~note:"static map uses 1M-1G pages with no app effort";
+    cap "Using multiple large page sizes" Easy Medium "Cnk.Mapping"
+      ~note:"tiling mixes page sizes automatically";
+    cap "Large physically contiguous memory" Easy (Range (Easy, Hard))
+      "Bg_fwk.Buddy"
+      ~impl_linux:(Some Medium)
+      ~note:"easy to request on Linux; granting depends on fragmentation";
+    cap "No TLB misses" Easy Not_available "Cnk.Node"
+      ~impl_linux:(Some Hard)
+      ~note:"CNK asserts zero evictions; FWK counts refills";
+    cap "Full memory protection" Not_available Easy "Bg_fwk.Node"
+      ~impl_cnk:(Some Medium)
+      ~note:"CNK skips text/ro enforcement for dynamic objects";
+    cap "General dynamic linking" Not_available Easy "Bg_rt.Ld_so"
+      ~impl_cnk:(Some Medium)
+      ~note:"CNK loads whole libraries, no demand paging";
+    cap "Full mmap support" Not_available Easy "Cnk.Node"
+      ~impl_cnk:(Some Hard)
+      ~note:"file mmap is copy-in read-only on CNK";
+    cap "Predictable scheduling" Easy Medium "Cnk.Node"
+      ~note:"non-preemptive fixed affinity vs tuned RT policies";
+    cap "Over commit of threads" (Range (Easy, Not_available)) Medium "Bg_fwk.Node"
+      ~note:"CNK: up to threads/core limit only; Linux timeshares";
+    cap "Performance reproducible" Easy (Range (Medium, Hard)) "Bg_noise.Fwq_harness"
+      ~note:"FWQ spread <0.006% vs >5%";
+    cap "Cycle reproducible execution" Easy Not_available "Bg_bringup.Waveform"
+      ~impl_linux:(Some Medium)
+      ~note:"identical trace digests across runs";
+  ]
+
+let table3 =
+  List.filter (fun c -> c.impl_cnk <> None || c.impl_linux <> None) table2
+
+let find description =
+  List.find_opt (fun c -> c.description = description) table2
+
+let rec ease_to_string = function
+  | Easy -> "easy"
+  | Medium -> "medium"
+  | Hard -> "hard"
+  | Range (a, b) -> ease_to_string a ^ " - " ^ ease_to_string b
+  | Not_available -> "not avail"
+
+let pp_row ppf (a, b, c) = Format.fprintf ppf "| %-36s | %-16s | %-13s |@." a b c
+
+let pp_table2 ppf () =
+  pp_row ppf ("Description", "CNK", "Linux");
+  pp_row ppf (String.make 36 '-', String.make 16 '-', String.make 13 '-');
+  List.iter
+    (fun r ->
+      pp_row ppf (r.description, ease_to_string r.use_cnk, ease_to_string r.use_linux))
+    table2
+
+let pp_table3 ppf () =
+  pp_row ppf ("Description", "CNK", "Linux");
+  pp_row ppf (String.make 36 '-', String.make 16 '-', String.make 13 '-');
+  List.iter
+    (fun r ->
+      let fmt side use =
+        match side with
+        | Some e -> ease_to_string e
+        | None -> (match use with Not_available -> "?" | _ -> "avail")
+      in
+      pp_row ppf (r.description, fmt r.impl_cnk r.use_cnk, fmt r.impl_linux r.use_linux))
+    table3

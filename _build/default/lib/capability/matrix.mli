@@ -1,0 +1,31 @@
+(** The capability/ease model behind paper Tables II and III.
+
+    Table II rates how hard it is to {e use} a capability on each kernel;
+    Table III rates how hard it would be to {e implement} the missing
+    ones. The data model keeps, for every capability, the rating and the
+    mechanism it rests on, so the tables are generated (and unit-tested)
+    rather than transcribed. Where this repository implements the
+    mechanism, [witness] names the module that demonstrates it. *)
+
+type ease = Easy | Medium | Hard | Range of ease * ease | Not_available
+
+type capability = {
+  description : string;
+  use_cnk : ease;          (** Table II, CNK column *)
+  use_linux : ease;        (** Table II, Linux column *)
+  impl_cnk : ease option;  (** Table III (only for rows not available) *)
+  impl_linux : ease option;
+  witness : string;        (** module in this repo demonstrating the row *)
+  note : string;
+}
+
+val table2 : capability list
+(** Every row of Table II, in the paper's order. *)
+
+val table3 : capability list
+(** The Table III subset. *)
+
+val find : string -> capability option
+val ease_to_string : ease -> string
+val pp_table2 : Format.formatter -> unit -> unit
+val pp_table3 : Format.formatter -> unit -> unit

@@ -1,0 +1,1 @@
+lib/cio/ciod.mli: Fs Machine

@@ -1,0 +1,1 @@
+lib/cio/fs.ml: Bytes Errno Hashtbl List String Sysreq

@@ -1,0 +1,1 @@
+lib/cio/fs.mli: Errno Sysreq

@@ -1,0 +1,1 @@
+lib/cio/ioproxy.ml: Bytes Errno Fs Hashtbl Sysreq

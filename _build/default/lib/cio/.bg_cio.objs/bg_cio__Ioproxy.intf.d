@@ -1,0 +1,1 @@
+lib/cio/ioproxy.mli: Fs Sysreq

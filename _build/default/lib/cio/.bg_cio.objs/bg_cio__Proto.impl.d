@@ -1,0 +1,1 @@
+lib/cio/proto.ml: Buffer Bytes Errno Int64 List Printf String Sysreq

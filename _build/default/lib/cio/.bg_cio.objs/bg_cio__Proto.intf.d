@@ -1,0 +1,1 @@
+lib/cio/proto.mli: Sysreq

@@ -1,0 +1,93 @@
+open Bg_engine
+
+type t = {
+  machine : Machine.t;
+  fs : Fs.t;
+  io_node : int;
+  proxies : (int * int, Ioproxy.t) Hashtbl.t;  (* (rank, pid) -> proxy *)
+  deliver : (int, bytes -> unit) Hashtbl.t;    (* rank -> reply delivery *)
+  worker_busy : Cycles.t array;                 (* 4 I/O-node cores *)
+  mutable served : int;
+}
+
+(* Linux-side service cost: syscall entry + VFS + wakeup of the proxy. *)
+let base_service_cycles = 3400 (* ~4 us *)
+let per_byte_cycles = 0.25
+
+let create machine ?fs ~io_node () =
+  let fs = match fs with Some f -> f | None -> Fs.create () in
+  {
+    machine;
+    fs;
+    io_node;
+    proxies = Hashtbl.create 64;
+    deliver = Hashtbl.create 64;
+    worker_busy = Array.make 4 0;
+    served = 0;
+  }
+
+let fs t = t.fs
+let io_node t = t.io_node
+
+let register_node t ~rank ~deliver = Hashtbl.replace t.deliver rank deliver
+
+let proxy t ~rank ~pid =
+  match Hashtbl.find_opt t.proxies (rank, pid) with
+  | Some p -> p
+  | None ->
+    let p = Ioproxy.create t.fs ~rank ~pid in
+    Hashtbl.add t.proxies (rank, pid) p;
+    p
+
+let job_start t ~rank ~pids = List.iter (fun pid -> ignore (proxy t ~rank ~pid)) pids
+
+let job_end t ~rank =
+  let doomed =
+    Hashtbl.fold (fun (r, p) _ acc -> if r = rank then (r, p) :: acc else acc) t.proxies []
+  in
+  List.iter
+    (fun key ->
+      Ioproxy.close_all (Hashtbl.find t.proxies key);
+      Hashtbl.remove t.proxies key)
+    doomed
+
+let request_cost req =
+  let data_bytes =
+    match req with
+    | Sysreq.Write { data; _ } | Sysreq.Pwrite { data; _ } -> Bytes.length data
+    | Sysreq.Read { len; _ } | Sysreq.Pread { len; _ } -> len
+    | _ -> 0
+  in
+  base_service_cycles + int_of_float (per_byte_cycles *. float_of_int data_bytes)
+
+let pick_worker t now =
+  (* Earliest-free I/O-node core; index breaks ties deterministically. *)
+  let best = ref 0 in
+  for i = 1 to Array.length t.worker_busy - 1 do
+    if t.worker_busy.(i) < t.worker_busy.(!best) then best := i
+  done;
+  let start = max now t.worker_busy.(!best) in
+  (!best, start)
+
+let submit t data =
+  let sim = t.machine.Machine.sim in
+  let hdr, req = Proto.decode_request data in
+  let p = proxy t ~rank:hdr.Proto.rank ~pid:hdr.Proto.pid in
+  let worker, start = pick_worker t (Sim.now sim) in
+  let finish = start + request_cost req in
+  t.worker_busy.(worker) <- finish;
+  ignore
+    (Sim.schedule_at sim finish (fun () ->
+         t.served <- t.served + 1;
+         Sim.emit sim ~label:"ciod.served" ~value:(Int64.of_int hdr.Proto.rank);
+         let reply = Ioproxy.handle p req in
+         let reply_bytes = Proto.encode_reply hdr reply in
+         Bg_hw.Collective_net.to_compute_node t.machine.Machine.collective
+           ~cn:hdr.Proto.rank ~bytes:(Bytes.length reply_bytes)
+           ~on_arrival:(fun ~arrival_cycle:_ ->
+             match Hashtbl.find_opt t.deliver hdr.Proto.rank with
+             | Some deliver -> deliver reply_bytes
+             | None -> ())))
+
+let requests_served t = t.served
+let proxy_count t = Hashtbl.length t.proxies

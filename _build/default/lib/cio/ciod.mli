@@ -1,0 +1,39 @@
+(** CIOD — the Control and I/O Daemon running on each (Linux) I/O node.
+
+    Receives function-shipped messages from the collective network,
+    routes each to the ioproxy mirroring the originating compute-node
+    process, executes it against the filesystem, and ships the marshaled
+    reply back down the tree (paper Fig 2).
+
+    The I/O node has four cores; request service occupies one of four
+    worker slots, so bursts from many compute nodes queue — the
+    aggregation that turns 64 compute nodes into one filesystem client. *)
+
+type t
+
+val create : Machine.t -> ?fs:Fs.t -> io_node:int -> unit -> t
+(** [fs] lets several I/O nodes share one filesystem (a "network mount");
+    by default each CIOD gets a private one. *)
+
+val fs : t -> Fs.t
+val io_node : t -> int
+
+val register_node : t -> rank:int -> deliver:(bytes -> unit) -> unit
+(** The compute-node kernel registers how replies reach it: [deliver] is
+    invoked when the reply message arrives back at node [rank]. *)
+
+val job_start : t -> rank:int -> pids:int list -> unit
+(** Create the ioproxies for a job's processes on [rank]. *)
+
+val job_end : t -> rank:int -> unit
+(** Tear down rank's proxies, closing their descriptors. *)
+
+val submit : t -> bytes -> unit
+(** A marshaled request has arrived at the I/O node (the uplink transit is
+    charged by the caller). Decodes, queues on a worker, executes, and
+    ships the reply. Unknown (rank, pid) gets an implicit proxy, so
+    single-shot tools work without [job_start]. *)
+
+val requests_served : t -> int
+
+val proxy_count : t -> int

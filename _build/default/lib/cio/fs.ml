@@ -1,0 +1,244 @@
+type file = { mutable data : bytes; mutable len : int; mutable perm : int }
+type dir = { entries : (string, int) Hashtbl.t; mutable dperm : int }
+
+type node_data = File of file | Dir of dir
+
+type inode = int
+
+type t = { nodes : (int, node_data) Hashtbl.t; mutable next : int }
+
+let root : inode = 0
+
+let create () =
+  let t = { nodes = Hashtbl.create 64; next = 1 } in
+  Hashtbl.add t.nodes root (Dir { entries = Hashtbl.create 8; dperm = 0o755 });
+  t
+
+let node t i = Hashtbl.find t.nodes i
+
+let alloc t data =
+  let i = t.next in
+  t.next <- i + 1;
+  Hashtbl.add t.nodes i data;
+  i
+
+(* --- path handling ------------------------------------------------- *)
+
+(* Split a path into components, handling cwd-relative paths, '.', '..'
+   and repeated slashes. The result is the component list from the root. *)
+let components ~cwd path =
+  if String.length path > 4096 then Error Errno.ENAMETOOLONG
+  else begin
+    let full = if String.length path > 0 && path.[0] = '/' then path else cwd ^ "/" ^ path in
+    let parts = String.split_on_char '/' full in
+    let rec norm acc = function
+      | [] -> Ok (List.rev acc)
+      | ("" | ".") :: rest -> norm acc rest
+      | ".." :: rest -> (
+        match acc with
+        | [] -> norm [] rest (* /.. is / *)
+        | _ :: up -> norm up rest)
+      | c :: rest -> norm (c :: acc) rest
+    in
+    norm [] parts
+  end
+
+let child t dir_inode name =
+  match node t dir_inode with
+  | Dir d -> (
+    match Hashtbl.find_opt d.entries name with
+    | Some i -> Ok i
+    | None -> Error Errno.ENOENT)
+  | File _ -> Error Errno.ENOTDIR
+
+let rec walk t cur = function
+  | [] -> Ok cur
+  | c :: rest -> (
+    match child t cur c with Ok i -> walk t i rest | Error e -> Error e)
+
+let resolve t ~cwd path =
+  match components ~cwd path with
+  | Error e -> Error e
+  | Ok comps -> walk t root comps
+
+let lookup_parent t ~cwd path =
+  match components ~cwd path with
+  | Error e -> Error e
+  | Ok [] -> Error Errno.EEXIST (* the root itself *)
+  | Ok comps -> (
+    let rec split_last acc = function
+      | [ last ] -> (List.rev acc, last)
+      | x :: rest -> split_last (x :: acc) rest
+      | [] -> assert false
+    in
+    let dirs, name = split_last [] comps in
+    match walk t root dirs with
+    | Error e -> Error e
+    | Ok parent -> (
+      match node t parent with
+      | Dir _ -> Ok (parent, name)
+      | File _ -> Error Errno.ENOTDIR))
+
+(* --- files --------------------------------------------------------- *)
+
+let is_dir t i = match node t i with Dir _ -> true | File _ -> false
+let kind t i = if is_dir t i then Sysreq.Directory else Sysreq.Regular
+
+let size t i = match node t i with File f -> f.len | Dir d -> Hashtbl.length d.entries
+
+let stat t i =
+  match node t i with
+  | File f -> { Sysreq.st_size = f.len; st_kind = Sysreq.Regular; st_perm = f.perm }
+  | Dir d ->
+    { Sysreq.st_size = Hashtbl.length d.entries; st_kind = Sysreq.Directory; st_perm = d.dperm }
+
+let open_file t ~cwd path ~flags ~mode =
+  match resolve t ~cwd path with
+  | Ok i -> (
+    if flags.Sysreq.excl && flags.Sysreq.creat then Error Errno.EEXIST
+    else
+      match node t i with
+      | Dir _ -> if flags.Sysreq.wr then Error Errno.EISDIR else Ok i
+      | File f ->
+        if flags.Sysreq.trunc then begin
+          f.data <- Bytes.empty;
+          f.len <- 0
+        end;
+        Ok i)
+  | Error Errno.ENOENT when flags.Sysreq.creat -> (
+    match lookup_parent t ~cwd path with
+    | Error e -> Error e
+    | Ok (parent, name) -> (
+      match node t parent with
+      | File _ -> Error Errno.ENOTDIR
+      | Dir d ->
+        let i = alloc t (File { data = Bytes.empty; len = 0; perm = mode }) in
+        Hashtbl.replace d.entries name i;
+        Ok i))
+  | Error e -> Error e
+
+let with_file t i f =
+  match node t i with File file -> f file | Dir _ -> Error Errno.EISDIR
+
+let read t i ~offset ~len =
+  if offset < 0 || len < 0 then Error Errno.EINVAL
+  else
+    with_file t i (fun f ->
+        if offset >= f.len then Ok Bytes.empty
+        else begin
+          let n = min len (f.len - offset) in
+          Ok (Bytes.sub f.data offset n)
+        end)
+
+let ensure_capacity f n =
+  if Bytes.length f > n then f
+  else begin
+    let bigger = Bytes.make (max n (max 64 (2 * Bytes.length f))) '\000' in
+    Bytes.blit f 0 bigger 0 (Bytes.length f);
+    bigger
+  end
+
+let write t i ~offset data =
+  if offset < 0 then Error Errno.EINVAL
+  else
+    with_file t i (fun f ->
+        let n = Bytes.length data in
+        let new_len = max f.len (offset + n) in
+        f.data <- ensure_capacity f.data new_len;
+        Bytes.blit data 0 f.data offset n;
+        f.len <- new_len;
+        Ok n)
+
+let truncate t i ~len =
+  if len < 0 then Error Errno.EINVAL
+  else
+    with_file t i (fun f ->
+        if len <= f.len then f.len <- len
+        else begin
+          f.data <- ensure_capacity f.data len;
+          (* bytes beyond old len are already zero in fresh buffers; clear
+             explicitly in case of shrink-then-grow reuse *)
+          Bytes.fill f.data f.len (len - f.len) '\000';
+          f.len <- len
+        end;
+        Ok ())
+
+(* --- directories --------------------------------------------------- *)
+
+let mkdir t ~cwd path ~mode =
+  match lookup_parent t ~cwd path with
+  | Error e -> Error e
+  | Ok (parent, name) -> (
+    match node t parent with
+    | File _ -> Error Errno.ENOTDIR
+    | Dir d ->
+      if Hashtbl.mem d.entries name then Error Errno.EEXIST
+      else begin
+        let i = alloc t (Dir { entries = Hashtbl.create 8; dperm = mode }) in
+        Hashtbl.replace d.entries name i;
+        Ok ()
+      end)
+
+let remove_entry t ~cwd path ~want_dir =
+  match lookup_parent t ~cwd path with
+  | Error e -> Error e
+  | Ok (parent, name) -> (
+    match node t parent with
+    | File _ -> Error Errno.ENOTDIR
+    | Dir d -> (
+      match Hashtbl.find_opt d.entries name with
+      | None -> Error Errno.ENOENT
+      | Some i -> (
+        match (node t i, want_dir) with
+        | File _, true -> Error Errno.ENOTDIR
+        | Dir _, false -> Error Errno.EISDIR
+        | Dir sub, true when Hashtbl.length sub.entries > 0 -> Error Errno.ENOTEMPTY
+        | node_data, _ ->
+          (* POSIX: unlink removes the directory entry; a regular file's
+             inode lives on while open descriptors reference it. We keep
+             file inodes (the sim never reclaims them) and drop only
+             directory inodes, which cannot be held open here. *)
+          Hashtbl.remove d.entries name;
+          (match node_data with
+          | Dir _ -> Hashtbl.remove t.nodes i
+          | File _ -> ());
+          Ok ())))
+
+let unlink t ~cwd path = remove_entry t ~cwd path ~want_dir:false
+let rmdir t ~cwd path = remove_entry t ~cwd path ~want_dir:true
+
+let readdir t ~cwd path =
+  match resolve t ~cwd path with
+  | Error e -> Error e
+  | Ok i -> (
+    match node t i with
+    | File _ -> Error Errno.ENOTDIR
+    | Dir d ->
+      let names = Hashtbl.fold (fun k _ acc -> k :: acc) d.entries [] in
+      Ok (List.sort compare names))
+
+let rename t ~cwd ~src ~dst =
+  match (lookup_parent t ~cwd src, lookup_parent t ~cwd dst) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (sp, sname), Ok (dp, dname) -> (
+    match (node t sp, node t dp) with
+    | Dir sd, Dir dd -> (
+      match Hashtbl.find_opt sd.entries sname with
+      | None -> Error Errno.ENOENT
+      | Some i -> (
+        match Hashtbl.find_opt dd.entries dname with
+        | Some existing when is_dir t existing -> Error Errno.EISDIR
+        | _ ->
+          Hashtbl.remove sd.entries sname;
+          Hashtbl.replace dd.entries dname i;
+          Ok ()))
+    | _ -> Error Errno.ENOTDIR)
+
+let canonicalize t ~cwd path =
+  match components ~cwd path with
+  | Error e -> Error e
+  | Ok comps -> (
+    match walk t root comps with
+    | Error e -> Error e
+    | Ok i ->
+      if is_dir t i then Ok ("/" ^ String.concat "/" comps) else Error Errno.ENOTDIR)

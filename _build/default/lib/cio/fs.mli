@@ -1,0 +1,61 @@
+(** In-memory POSIX-style filesystem, the backing store behind the I/O
+    nodes.
+
+    This plays the role of the NFS/GPFS/PVFS/Lustre mounts of paper §IV.A:
+    CNK never implements a filesystem; the ioproxies perform ordinary
+    operations against a Linux-side filesystem, and this module is that
+    Linux side. Semantics follow POSIX where the paper depends on them
+    (errno values, directory emptiness on rmdir, ESPIPE-free regular-file
+    seeks, permission bits recorded, rename replacing files).
+
+    All operations are inode-based; path walking resolves '.', '..' and
+    redundant slashes relative to a caller-supplied cwd, because the cwd
+    lives in the ioproxy whose state mirrors the compute-node process. *)
+
+type t
+type inode
+
+val create : unit -> t
+(** A filesystem with an empty root directory. *)
+
+val resolve : t -> cwd:string -> string -> (inode, Errno.t) result
+(** Walk a path to its inode. *)
+
+val lookup_parent : t -> cwd:string -> string -> (inode * string, Errno.t) result
+(** Resolve all but the last component; returns the parent directory inode
+    and the final name. Fails with [ENOENT]/[ENOTDIR] as POSIX does. *)
+
+val open_file :
+  t -> cwd:string -> string -> flags:Sysreq.open_flags -> mode:int ->
+  (inode, Errno.t) result
+(** Open (and possibly create/truncate) a regular file. Opening a
+    directory for writing fails with [EISDIR]. *)
+
+val read : t -> inode -> offset:int -> len:int -> (bytes, Errno.t) result
+(** Short reads at EOF return fewer bytes; reads at/after EOF return 0. *)
+
+val write : t -> inode -> offset:int -> bytes -> (int, Errno.t) result
+(** Extends the file as needed (holes fill with zeros). *)
+
+val truncate : t -> inode -> len:int -> (unit, Errno.t) result
+val size : t -> inode -> int
+val stat : t -> inode -> Sysreq.stat
+val kind : t -> inode -> Sysreq.file_kind
+val is_dir : t -> inode -> bool
+
+val mkdir : t -> cwd:string -> string -> mode:int -> (unit, Errno.t) result
+val unlink : t -> cwd:string -> string -> (unit, Errno.t) result
+(** Removes a regular file; [EISDIR] on directories. *)
+
+val rmdir : t -> cwd:string -> string -> (unit, Errno.t) result
+(** [ENOTEMPTY] unless the directory is empty. *)
+
+val readdir : t -> cwd:string -> string -> (string list, Errno.t) result
+(** Entry names, sorted, without '.'/'..'. *)
+
+val rename : t -> cwd:string -> src:string -> dst:string -> (unit, Errno.t) result
+(** Replaces an existing regular-file destination, as POSIX rename does. *)
+
+val canonicalize : t -> cwd:string -> string -> (string, Errno.t) result
+(** Absolute canonical path if the target exists and is a directory —
+    used by chdir/getcwd. *)

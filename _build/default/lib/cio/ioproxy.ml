@@ -1,0 +1,136 @@
+type open_file = {
+  inode : Fs.inode;
+  flags : Sysreq.open_flags;
+  mutable offset : int;
+}
+
+type t = {
+  fs : Fs.t;
+  rank : int;
+  pid : int;
+  mutable cwd : string;
+  fds : (int, open_file) Hashtbl.t;
+  mutable next_fd : int;
+}
+
+let fd_limit = 1024
+
+let create fs ~rank ~pid =
+  { fs; rank; pid; cwd = "/"; fds = Hashtbl.create 16; next_fd = 3 }
+
+let rank t = t.rank
+let pid t = t.pid
+let cwd t = t.cwd
+let open_fds t = Hashtbl.length t.fds
+
+let ok_int i = Sysreq.R_int i
+let err e = Sysreq.R_err e
+
+let of_result f = function Ok v -> f v | Error e -> err e
+
+let with_fd t fd f =
+  match Hashtbl.find_opt t.fds fd with Some o -> f o | None -> err Errno.EBADF
+
+let do_open t path flags mode =
+  if Hashtbl.length t.fds >= fd_limit then err Errno.EMFILE
+  else
+    of_result
+      (fun inode ->
+        let fd = t.next_fd in
+        t.next_fd <- fd + 1;
+        let offset = if flags.Sysreq.append then Fs.size t.fs inode else 0 in
+        Hashtbl.replace t.fds fd { inode; flags; offset };
+        ok_int fd)
+      (Fs.open_file t.fs ~cwd:t.cwd path ~flags ~mode)
+
+let do_read t fd len =
+  with_fd t fd (fun o ->
+      if not o.flags.Sysreq.rd then err Errno.EBADF
+      else
+        of_result
+          (fun data ->
+            o.offset <- o.offset + Bytes.length data;
+            Sysreq.R_bytes data)
+          (Fs.read t.fs o.inode ~offset:o.offset ~len))
+
+let do_write t fd data =
+  with_fd t fd (fun o ->
+      if not o.flags.Sysreq.wr then err Errno.EBADF
+      else begin
+        let offset = if o.flags.Sysreq.append then Fs.size t.fs o.inode else o.offset in
+        of_result
+          (fun n ->
+            o.offset <- offset + n;
+            ok_int n)
+          (Fs.write t.fs o.inode ~offset data)
+      end)
+
+let do_lseek t fd offset whence =
+  with_fd t fd (fun o ->
+      let base =
+        match whence with
+        | Sysreq.Seek_set -> 0
+        | Sysreq.Seek_cur -> o.offset
+        | Sysreq.Seek_end -> Fs.size t.fs o.inode
+      in
+      let target = base + offset in
+      if target < 0 then err Errno.EINVAL
+      else begin
+        o.offset <- target;
+        ok_int target
+      end)
+
+let handle t req =
+  match req with
+  | Sysreq.Open { path; flags; mode } -> do_open t path flags mode
+  | Sysreq.Close fd ->
+    with_fd t fd (fun _ ->
+        Hashtbl.remove t.fds fd;
+        Sysreq.R_unit)
+  | Sysreq.Read { fd; len } -> do_read t fd len
+  | Sysreq.Write { fd; data } -> do_write t fd data
+  | Sysreq.Pread { fd; len; offset } ->
+    with_fd t fd (fun o ->
+        if not o.flags.Sysreq.rd then err Errno.EBADF
+        else of_result (fun d -> Sysreq.R_bytes d) (Fs.read t.fs o.inode ~offset ~len))
+  | Sysreq.Pwrite { fd; data; offset } ->
+    with_fd t fd (fun o ->
+        if not o.flags.Sysreq.wr then err Errno.EBADF
+        else of_result ok_int (Fs.write t.fs o.inode ~offset data))
+  | Sysreq.Lseek { fd; offset; whence } -> do_lseek t fd offset whence
+  | Sysreq.Fstat fd -> with_fd t fd (fun o -> Sysreq.R_stat (Fs.stat t.fs o.inode))
+  | Sysreq.Stat path ->
+    of_result (fun i -> Sysreq.R_stat (Fs.stat t.fs i)) (Fs.resolve t.fs ~cwd:t.cwd path)
+  | Sysreq.Ftruncate { fd; length } ->
+    with_fd t fd (fun o ->
+        if not o.flags.Sysreq.wr then err Errno.EBADF
+        else of_result (fun () -> Sysreq.R_unit) (Fs.truncate t.fs o.inode ~len:length))
+  | Sysreq.Unlink path ->
+    of_result (fun () -> Sysreq.R_unit) (Fs.unlink t.fs ~cwd:t.cwd path)
+  | Sysreq.Mkdir { path; mode } ->
+    of_result (fun () -> Sysreq.R_unit) (Fs.mkdir t.fs ~cwd:t.cwd path ~mode)
+  | Sysreq.Rmdir path -> of_result (fun () -> Sysreq.R_unit) (Fs.rmdir t.fs ~cwd:t.cwd path)
+  | Sysreq.Readdir path ->
+    of_result (fun names -> Sysreq.R_names names) (Fs.readdir t.fs ~cwd:t.cwd path)
+  | Sysreq.Chdir path ->
+    of_result
+      (fun canonical ->
+        t.cwd <- canonical;
+        Sysreq.R_unit)
+      (Fs.canonicalize t.fs ~cwd:t.cwd path)
+  | Sysreq.Getcwd -> Sysreq.R_string t.cwd
+  | Sysreq.Rename { src; dst } ->
+    of_result (fun () -> Sysreq.R_unit) (Fs.rename t.fs ~cwd:t.cwd ~src ~dst)
+  | Sysreq.Dup fd ->
+    with_fd t fd (fun o ->
+        if Hashtbl.length t.fds >= fd_limit then err Errno.EMFILE
+        else begin
+          let nfd = t.next_fd in
+          t.next_fd <- nfd + 1;
+          Hashtbl.replace t.fds nfd { inode = o.inode; flags = o.flags; offset = o.offset };
+          ok_int nfd
+        end)
+  | Sysreq.Fsync fd -> with_fd t fd (fun _ -> Sysreq.R_unit)
+  | _ -> err Errno.ENOSYS
+
+let close_all t = Hashtbl.reset t.fds

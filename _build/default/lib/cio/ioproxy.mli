@@ -1,0 +1,26 @@
+(** One I/O proxy process: the Linux-side mirror of one compute-node
+    process (paper §IV.A).
+
+    The proxy owns all filesystem state on behalf of its compute-node
+    process — file descriptor table, per-descriptor offsets and flags, and
+    the current working directory — so CNK itself keeps essentially
+    nothing. Each app thread maps to a dedicated proxy thread; here that
+    means requests tagged with distinct tids are accounted separately but
+    share the process-wide fd table, as POSIX threads do. *)
+
+type t
+
+val create : Fs.t -> rank:int -> pid:int -> t
+
+val rank : t -> int
+val pid : t -> int
+val cwd : t -> string
+val open_fds : t -> int
+
+val handle : t -> Sysreq.request -> Sysreq.reply
+(** Execute one function-shipped request against the filesystem, producing
+    exactly the reply Linux would (result codes included). Requests that
+    are not file I/O return [R_err ENOSYS]. *)
+
+val close_all : t -> unit
+(** Job teardown: drop every descriptor. *)

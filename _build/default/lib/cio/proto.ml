@@ -1,0 +1,293 @@
+type header = { rank : int; pid : int; tid : int }
+
+(* --- primitive encoders -------------------------------------------- *)
+
+let put_u8 b v = Buffer.add_uint8 b (v land 0xff)
+
+let put_int b v =
+  let x = Bytes.create 8 in
+  Bytes.set_int64_le x 0 (Int64.of_int v);
+  Buffer.add_bytes b x
+
+let put_str b s =
+  put_int b (String.length s);
+  Buffer.add_string b s
+
+let put_bytes b d =
+  put_int b (Bytes.length d);
+  Buffer.add_bytes b d
+
+type cursor = { data : bytes; mutable pos : int }
+
+let get_u8 c =
+  let v = Bytes.get_uint8 c.data c.pos in
+  c.pos <- c.pos + 1;
+  v
+
+let get_int c =
+  let v = Int64.to_int (Bytes.get_int64_le c.data c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_str c =
+  let n = get_int c in
+  let s = Bytes.sub_string c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_bytes c =
+  let n = get_int c in
+  let s = Bytes.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let put_header b { rank; pid; tid } =
+  put_int b rank;
+  put_int b pid;
+  put_int b tid
+
+let get_header c =
+  let rank = get_int c in
+  let pid = get_int c in
+  let tid = get_int c in
+  { rank; pid; tid }
+
+(* --- request encoding ----------------------------------------------- *)
+
+let flags_byte (f : Sysreq.open_flags) =
+  (if f.Sysreq.rd then 1 else 0)
+  lor (if f.Sysreq.wr then 2 else 0)
+  lor (if f.Sysreq.creat then 4 else 0)
+  lor (if f.Sysreq.trunc then 8 else 0)
+  lor (if f.Sysreq.append then 16 else 0)
+  lor if f.Sysreq.excl then 32 else 0
+
+let byte_flags v =
+  {
+    Sysreq.rd = v land 1 <> 0;
+    wr = v land 2 <> 0;
+    creat = v land 4 <> 0;
+    trunc = v land 8 <> 0;
+    append = v land 16 <> 0;
+    excl = v land 32 <> 0;
+  }
+
+let whence_byte = function Sysreq.Seek_set -> 0 | Sysreq.Seek_cur -> 1 | Sysreq.Seek_end -> 2
+
+let byte_whence = function
+  | 0 -> Sysreq.Seek_set
+  | 1 -> Sysreq.Seek_cur
+  | 2 -> Sysreq.Seek_end
+  | n -> failwith (Printf.sprintf "Proto: bad whence %d" n)
+
+let encode_request hdr req =
+  if not (Sysreq.is_file_io req) then
+    invalid_arg
+      (Printf.sprintf "Proto.encode_request: %s is not function-shipped"
+         (Sysreq.request_name req));
+  let b = Buffer.create 64 in
+  put_header b hdr;
+  (match req with
+  | Sysreq.Open { path; flags; mode } ->
+    put_u8 b 1;
+    put_str b path;
+    put_u8 b (flags_byte flags);
+    put_int b mode
+  | Sysreq.Close fd ->
+    put_u8 b 2;
+    put_int b fd
+  | Sysreq.Read { fd; len } ->
+    put_u8 b 3;
+    put_int b fd;
+    put_int b len
+  | Sysreq.Write { fd; data } ->
+    put_u8 b 4;
+    put_int b fd;
+    put_bytes b data
+  | Sysreq.Pread { fd; len; offset } ->
+    put_u8 b 5;
+    put_int b fd;
+    put_int b len;
+    put_int b offset
+  | Sysreq.Pwrite { fd; data; offset } ->
+    put_u8 b 6;
+    put_int b fd;
+    put_bytes b data;
+    put_int b offset
+  | Sysreq.Lseek { fd; offset; whence } ->
+    put_u8 b 7;
+    put_int b fd;
+    put_int b offset;
+    put_u8 b (whence_byte whence)
+  | Sysreq.Fstat fd ->
+    put_u8 b 8;
+    put_int b fd
+  | Sysreq.Stat path ->
+    put_u8 b 9;
+    put_str b path
+  | Sysreq.Ftruncate { fd; length } ->
+    put_u8 b 10;
+    put_int b fd;
+    put_int b length
+  | Sysreq.Unlink path ->
+    put_u8 b 11;
+    put_str b path
+  | Sysreq.Mkdir { path; mode } ->
+    put_u8 b 12;
+    put_str b path;
+    put_int b mode
+  | Sysreq.Rmdir path ->
+    put_u8 b 13;
+    put_str b path
+  | Sysreq.Readdir path ->
+    put_u8 b 14;
+    put_str b path
+  | Sysreq.Chdir path ->
+    put_u8 b 15;
+    put_str b path
+  | Sysreq.Getcwd -> put_u8 b 16
+  | Sysreq.Rename { src; dst } ->
+    put_u8 b 17;
+    put_str b src;
+    put_str b dst
+  | Sysreq.Dup fd ->
+    put_u8 b 18;
+    put_int b fd
+  | Sysreq.Fsync fd ->
+    put_u8 b 19;
+    put_int b fd
+  | _ -> assert false);
+  Buffer.to_bytes b
+
+let decode_request data =
+  let c = { data; pos = 0 } in
+  let hdr = get_header c in
+  let req =
+    match get_u8 c with
+    | 1 ->
+      let path = get_str c in
+      let flags = byte_flags (get_u8 c) in
+      let mode = get_int c in
+      Sysreq.Open { path; flags; mode }
+    | 2 -> Sysreq.Close (get_int c)
+    | 3 ->
+      let fd = get_int c in
+      let len = get_int c in
+      Sysreq.Read { fd; len }
+    | 4 ->
+      let fd = get_int c in
+      let data = get_bytes c in
+      Sysreq.Write { fd; data }
+    | 5 ->
+      let fd = get_int c in
+      let len = get_int c in
+      let offset = get_int c in
+      Sysreq.Pread { fd; len; offset }
+    | 6 ->
+      let fd = get_int c in
+      let data = get_bytes c in
+      let offset = get_int c in
+      Sysreq.Pwrite { fd; data; offset }
+    | 7 ->
+      let fd = get_int c in
+      let offset = get_int c in
+      let whence = byte_whence (get_u8 c) in
+      Sysreq.Lseek { fd; offset; whence }
+    | 8 -> Sysreq.Fstat (get_int c)
+    | 9 -> Sysreq.Stat (get_str c)
+    | 10 ->
+      let fd = get_int c in
+      let length = get_int c in
+      Sysreq.Ftruncate { fd; length }
+    | 11 -> Sysreq.Unlink (get_str c)
+    | 12 ->
+      let path = get_str c in
+      let mode = get_int c in
+      Sysreq.Mkdir { path; mode }
+    | 13 -> Sysreq.Rmdir (get_str c)
+    | 14 -> Sysreq.Readdir (get_str c)
+    | 15 -> Sysreq.Chdir (get_str c)
+    | 16 -> Sysreq.Getcwd
+    | 17 ->
+      let src = get_str c in
+      let dst = get_str c in
+      Sysreq.Rename { src; dst }
+    | 18 -> Sysreq.Dup (get_int c)
+    | 19 -> Sysreq.Fsync (get_int c)
+    | n -> failwith (Printf.sprintf "Proto: bad request tag %d" n)
+  in
+  (hdr, req)
+
+(* --- reply encoding -------------------------------------------------- *)
+
+let kind_byte = function Sysreq.Regular -> 0 | Sysreq.Directory -> 1
+
+let byte_kind = function
+  | 0 -> Sysreq.Regular
+  | 1 -> Sysreq.Directory
+  | n -> failwith (Printf.sprintf "Proto: bad kind %d" n)
+
+let encode_reply hdr reply =
+  let b = Buffer.create 64 in
+  put_header b hdr;
+  (match reply with
+  | Sysreq.R_unit -> put_u8 b 1
+  | Sysreq.R_int i ->
+    put_u8 b 2;
+    put_int b i
+  | Sysreq.R_bytes d ->
+    put_u8 b 3;
+    put_bytes b d
+  | Sysreq.R_stat s ->
+    put_u8 b 4;
+    put_int b s.Sysreq.st_size;
+    put_u8 b (kind_byte s.Sysreq.st_kind);
+    put_int b s.Sysreq.st_perm
+  | Sysreq.R_names names ->
+    put_u8 b 5;
+    put_int b (List.length names);
+    List.iter (put_str b) names
+  | Sysreq.R_string s ->
+    put_u8 b 6;
+    put_str b s
+  | Sysreq.R_err e ->
+    put_u8 b 7;
+    put_int b (Errno.code e)
+  | Sysreq.R_map _ | Sysreq.R_uname _ | Sysreq.R_personality _ ->
+    invalid_arg "Proto.encode_reply: reply kind never crosses the wire");
+  Buffer.to_bytes b
+
+let errno_of_code code =
+  let all =
+    [
+      Errno.EPERM; Errno.ENOENT; Errno.ESRCH; Errno.EINTR; Errno.EIO; Errno.EBADF;
+      Errno.EAGAIN; Errno.ENOMEM; Errno.EACCES; Errno.EFAULT; Errno.EEXIST;
+      Errno.ENOTDIR; Errno.EISDIR; Errno.EINVAL; Errno.EMFILE; Errno.ENOSPC;
+      Errno.ESPIPE; Errno.EROFS; Errno.ENOSYS; Errno.ENOTEMPTY; Errno.ENAMETOOLONG;
+    ]
+  in
+  match List.find_opt (fun e -> Errno.code e = code) all with
+  | Some e -> e
+  | None -> failwith (Printf.sprintf "Proto: unknown errno %d" code)
+
+let decode_reply data =
+  let c = { data; pos = 0 } in
+  let hdr = get_header c in
+  let reply =
+    match get_u8 c with
+    | 1 -> Sysreq.R_unit
+    | 2 -> Sysreq.R_int (get_int c)
+    | 3 -> Sysreq.R_bytes (get_bytes c)
+    | 4 ->
+      let st_size = get_int c in
+      let st_kind = byte_kind (get_u8 c) in
+      let st_perm = get_int c in
+      Sysreq.R_stat { Sysreq.st_size; st_kind; st_perm }
+    | 5 ->
+      let n = get_int c in
+      Sysreq.R_names (List.init n (fun _ -> get_str c))
+    | 6 -> Sysreq.R_string (get_str c)
+    | 7 -> Sysreq.R_err (errno_of_code (get_int c))
+    | n -> failwith (Printf.sprintf "Proto: bad reply tag %d" n)
+  in
+  (hdr, reply)

@@ -1,0 +1,22 @@
+(** The CNK ⇔ CIOD function-ship wire protocol (paper Fig 2).
+
+    Requests and replies are marshaled to real byte strings: the collective
+    network is charged for exactly these bytes, and the CIOD side
+    demarshals before executing — so tests can assert that what crosses
+    the wire is sufficient to reconstruct the call, as on the real
+    machine. Only the file-I/O subset of the ABI is shippable;
+    {!encode_request} rejects anything else.
+
+    Framing: every message starts with a header carrying the originating
+    (rank, pid, tid) so CIOD can route to the matching ioproxy thread. *)
+
+type header = { rank : int; pid : int; tid : int }
+
+val encode_request : header -> Sysreq.request -> bytes
+(** Raises [Invalid_argument] if {!Sysreq.is_file_io} is false. *)
+
+val decode_request : bytes -> header * Sysreq.request
+(** Raises [Failure] on a malformed message. *)
+
+val encode_reply : header -> Sysreq.reply -> bytes
+val decode_reply : bytes -> header * Sysreq.reply

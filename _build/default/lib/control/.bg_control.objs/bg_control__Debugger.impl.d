@@ -1,0 +1,1 @@
+lib/control/debugger.ml: Bytes Cnk Format Int64 List Sysreq

@@ -1,0 +1,1 @@
+lib/control/debugger.mli: Cnk Format Sysreq

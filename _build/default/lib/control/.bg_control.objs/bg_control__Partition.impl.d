@@ -1,0 +1,1 @@
+lib/control/partition.ml: Array Fun List

@@ -1,0 +1,1 @@
+lib/control/ras.ml: Bg_engine Format List Machine

@@ -1,0 +1,1 @@
+lib/control/ras.mli: Bg_engine Format Machine

@@ -1,0 +1,1 @@
+lib/control/scheduler.mli: Bg_engine Cnk Job

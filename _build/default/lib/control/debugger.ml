@@ -1,0 +1,44 @@
+type t = { cluster : Cnk.Cluster.t; rank : int }
+
+let attach cluster ~rank = { cluster; rank }
+let rank t = t.rank
+let node t = Cnk.Cluster.node t.cluster t.rank
+
+let read_memory t ~pid ~addr ~len = Cnk.Node.read_virtual (node t) ~pid ~addr ~len
+
+let read_word t ~pid ~addr =
+  Int64.to_int (Bytes.get_int64_le (read_memory t ~pid ~addr ~len:8) 0)
+
+let chase t ~pid ~head ~next_offset ~max =
+  let rec go addr n acc =
+    if addr = 0 || n >= max then List.rev acc
+    else go (read_word t ~pid ~addr:(addr + next_offset)) (n + 1) (addr :: acc)
+  in
+  go head 0 []
+
+type snapshot = {
+  live_threads : int;
+  syscalls : int;
+  ipis : int;
+  faults : (int * string) list;
+  regions : Sysreq.region list;
+}
+
+let inspect t ~pid =
+  let n = node t in
+  {
+    live_threads = Cnk.Node.live_threads n;
+    syscalls = Cnk.Node.syscall_count n;
+    ipis = Cnk.Node.ipi_count n;
+    faults = Cnk.Node.faults n;
+    regions =
+      (match Cnk.Node.process_map n ~pid with
+      | Some pm -> pm.Cnk.Mapping.regions
+      | None -> []);
+  }
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf "threads: %d live, %d syscalls, %d IPIs@." s.live_threads s.syscalls
+    s.ipis;
+  List.iter (fun (tid, r) -> Format.fprintf ppf "fault tid %d: %s@." tid r) s.faults;
+  List.iter (fun r -> Format.fprintf ppf "  %a@." Sysreq.pp_region r) s.regions

@@ -1,0 +1,39 @@
+(** Front-end debug access to compute nodes.
+
+    On Blue Gene the debugger's back end lived beside CIOD: the front end
+    asked the I/O node, which reached into the compute node's memory via
+    the kernel's debug interface. This facade is that path for tools in
+    this repository: read a process's memory through its static map,
+    chase pointers, dump the fault and thread state an operator would ask
+    for first. Read-only by design. *)
+
+type t
+
+val attach : Cnk.Cluster.t -> rank:int -> t
+
+val rank : t -> int
+
+val read_memory : t -> pid:int -> addr:int -> len:int -> bytes
+(** Raises [Invalid_argument] for unmapped ranges — the debugger sees the
+    same static map the process does. *)
+
+val read_word : t -> pid:int -> addr:int -> int
+
+val chase : t -> pid:int -> head:int -> next_offset:int -> max:int -> int list
+(** Follow a linked structure: read the word at [head], then the word at
+    [ptr + next_offset], ... until a null pointer or [max] nodes. Returns
+    the node addresses visited — the "walk the persistent list from the
+    outside" debugging move. *)
+
+type snapshot = {
+  live_threads : int;
+  syscalls : int;
+  ipis : int;
+  faults : (int * string) list;
+  regions : Sysreq.region list;
+}
+
+val inspect : t -> pid:int -> snapshot
+(** The first screen of a debug session. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,77 @@
+type allocation = {
+  id : int;
+  base : int * int * int;
+  shape : int * int * int;
+  ranks : int list;
+}
+
+type t = {
+  dims : int * int * int;
+  occupied : bool array;  (* indexed by rank *)
+  mutable live : allocation list;
+  mutable next_id : int;
+}
+
+let create ~dims =
+  let x, y, z = dims in
+  if x <= 0 || y <= 0 || z <= 0 then invalid_arg "Partition.create";
+  { dims; occupied = Array.make (x * y * z) false; live = []; next_id = 1 }
+
+let rank_of t (cx, cy, cz) =
+  let x, y, _ = t.dims in
+  cx + (cy * x) + (cz * x * y)
+
+let box_ranks t (bx, by, bz) (sx, sy, sz) =
+  List.concat_map
+    (fun dz ->
+      List.concat_map
+        (fun dy -> List.init sx (fun dx -> rank_of t (bx + dx, by + dy, bz + dz)))
+        (List.init sy Fun.id))
+    (List.init sz Fun.id)
+  |> List.sort compare
+
+let allocate t ~shape =
+  let x, y, z = t.dims in
+  let sx, sy, sz = shape in
+  if sx <= 0 || sy <= 0 || sz <= 0 then Error "bad shape"
+  else if sx > x || sy > y || sz > z then Error "shape exceeds the machine"
+  else begin
+    (* first fit over base coordinates, z-major like rank order *)
+    let found = ref None in
+    (try
+       for bz = 0 to z - sz do
+         for by = 0 to y - sy do
+           for bx = 0 to x - sx do
+             if !found = None then begin
+               let ranks = box_ranks t (bx, by, bz) shape in
+               if List.for_all (fun r -> not t.occupied.(r)) ranks then begin
+                 found := Some ((bx, by, bz), ranks);
+                 raise Exit
+               end
+             end
+           done
+         done
+       done
+     with Exit -> ());
+    match !found with
+    | None -> Error "no free partition of that shape"
+    | Some (base, ranks) ->
+      List.iter (fun r -> t.occupied.(r) <- true) ranks;
+      let a = { id = t.next_id; base; shape; ranks } in
+      t.next_id <- t.next_id + 1;
+      t.live <- a :: t.live;
+      Ok a
+  end
+
+let release t id =
+  match List.find_opt (fun a -> a.id = id) t.live with
+  | None -> invalid_arg "Partition.release: unknown id"
+  | Some a ->
+    List.iter (fun r -> t.occupied.(r) <- false) a.ranks;
+    t.live <- List.filter (fun x -> x.id <> id) t.live
+
+let free_nodes t =
+  Array.fold_left (fun acc o -> if o then acc else acc + 1) 0 t.occupied
+
+let allocated t = List.rev t.live
+let total_nodes t = Array.length t.occupied

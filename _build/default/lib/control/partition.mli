@@ -1,0 +1,30 @@
+(** Torus partition allocation — the service-node side of job launch.
+
+    Blue Gene machines are space-shared: the control system carves the
+    torus into electrically-isolated rectangular blocks and gives each job
+    one. This allocator keeps a 3D occupancy map and places axis-aligned
+    boxes first-fit in rank order; isolation means a partition's ranks
+    never overlap another's (asserted by tests). *)
+
+type allocation = {
+  id : int;
+  base : int * int * int;
+  shape : int * int * int;
+  ranks : int list;  (** torus ranks of the member nodes, ascending *)
+}
+
+type t
+
+val create : dims:int * int * int -> t
+
+val allocate : t -> shape:int * int * int -> (allocation, string) result
+(** First-fit placement of an axis-aligned box ([shape] must fit within
+    the machine dims; no wraparound). Fails when no box of that shape is
+    free. *)
+
+val release : t -> int -> unit
+(** Free an allocation by id; unknown ids raise [Invalid_argument]. *)
+
+val free_nodes : t -> int
+val allocated : t -> allocation list
+val total_nodes : t -> int

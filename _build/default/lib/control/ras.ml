@@ -1,0 +1,34 @@
+type event = {
+  cycle : Bg_engine.Cycles.t;
+  rank : int;
+  severity : Machine.ras_severity;
+  message : string;
+}
+
+type t = { machine : Machine.t; mutable log : event list (* newest first *) }
+
+let attach machine =
+  let t = { machine; log = [] } in
+  Machine.on_ras machine (fun ~rank ~severity ~message ->
+      t.log <-
+        { cycle = Bg_engine.Sim.now machine.Machine.sim; rank; severity; message }
+        :: t.log);
+  t
+
+let events t = List.rev t.log
+
+let count t ?severity () =
+  match severity with
+  | None -> List.length t.log
+  | Some s -> List.length (List.filter (fun e -> e.severity = s) t.log)
+
+let by_rank t ~rank = List.filter (fun e -> e.rank = rank) (events t)
+let errors t = List.filter (fun e -> e.severity = Machine.Ras_error) (events t)
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "[%10d] R%02d %-5s %s@." e.cycle e.rank
+        (Machine.ras_severity_to_string e.severity)
+        e.message)
+    (events t)

@@ -1,0 +1,28 @@
+(** The service node's RAS (Reliability/Availability/Serviceability) log.
+
+    Collects every event the kernels publish on the machine's RAS stream
+    — guard-page kills, L1 parity errors, crashes — with the cycle and
+    rank attached, and answers the queries an operator would run: events
+    by severity, by rank, the error count that would page someone. This
+    is the machinery behind the paper's "diagnosing problems across
+    100,000s of nodes". *)
+
+type event = {
+  cycle : Bg_engine.Cycles.t;
+  rank : int;
+  severity : Machine.ras_severity;
+  message : string;
+}
+
+type t
+
+val attach : Machine.t -> t
+(** Subscribe a fresh collector to the machine's RAS stream. *)
+
+val events : t -> event list
+(** Oldest first. *)
+
+val count : t -> ?severity:Machine.ras_severity -> unit -> int
+val by_rank : t -> rank:int -> event list
+val errors : t -> event list
+val pp : Format.formatter -> t -> unit

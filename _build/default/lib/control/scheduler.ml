@@ -1,0 +1,131 @@
+open Bg_engine
+
+type job_id = int
+
+type job_state = Queued | Running of int list | Completed of Cycles.t
+
+type pending = {
+  jid : job_id;
+  shape : int * int * int;
+  job : Job.t;
+  walltime : int option;
+}
+
+type t = {
+  cluster : Cnk.Cluster.t;
+  partition : Partition.t;
+  backfill : bool;
+  mutable queue : pending list;  (* FIFO, head first *)
+  states : (job_id, job_state) Hashtbl.t;
+  mutable next_id : int;
+  mutable done_order : job_id list;
+  mutable outstanding : int;
+}
+
+let create ?(backfill = false) cluster =
+  let machine = Cnk.Cluster.machine cluster in
+  let dims = Bg_hw.Torus.dims machine.Machine.torus in
+  {
+    cluster;
+    partition = Partition.create ~dims;
+    backfill;
+    queue = [];
+    states = Hashtbl.create 16;
+    next_id = 1;
+    done_order = [];
+    outstanding = 0;
+  }
+
+let submit t ?walltime_cycles ~shape job =
+  let x, y, z = Bg_hw.Torus.dims (Cnk.Cluster.machine t.cluster).Machine.torus in
+  let sx, sy, sz = shape in
+  if sx > x || sy > y || sz > z then failwith "Scheduler.submit: job can never fit";
+  let jid = t.next_id in
+  t.next_id <- jid + 1;
+  t.queue <- t.queue @ [ { jid; shape; job; walltime = walltime_cycles } ];
+  Hashtbl.replace t.states jid Queued;
+  t.outstanding <- t.outstanding + 1;
+  jid
+
+(* Try to start queued jobs; FIFO unless backfill is on, in which case
+   later jobs may start past a blocked head. *)
+let rec try_start t =
+  match t.queue with
+  | [] -> ()
+  | head :: rest -> (
+    match Partition.allocate t.partition ~shape:head.shape with
+    | Ok alloc ->
+      t.queue <- rest;
+      start t head alloc;
+      try_start t
+    | Error _ ->
+      if t.backfill then begin
+        (* find the first later job that fits *)
+        let rec pick acc = function
+          | [] -> ()
+          | p :: more -> (
+            match Partition.allocate t.partition ~shape:p.shape with
+            | Ok alloc ->
+              t.queue <- head :: List.rev_append acc more;
+              start t p alloc;
+              try_start t
+            | Error _ -> pick (p :: acc) more)
+        in
+        pick [] rest
+      end)
+
+and start t pending alloc =
+  Hashtbl.replace t.states pending.jid (Running alloc.Partition.ranks);
+  let remaining = ref (List.length alloc.Partition.ranks) in
+  List.iter
+    (fun rank ->
+      let node = Cnk.Cluster.node t.cluster rank in
+      Cnk.Node.on_job_complete node (fun () ->
+          decr remaining;
+          if !remaining = 0 then begin
+            Partition.release t.partition alloc.Partition.id;
+            Hashtbl.replace t.states pending.jid
+              (Completed (Sim.now (Cnk.Cluster.sim t.cluster)));
+            t.done_order <- pending.jid :: t.done_order;
+            t.outstanding <- t.outstanding - 1;
+            try_start t
+          end))
+    alloc.Partition.ranks;
+  List.iter
+    (fun rank ->
+      match Cnk.Node.launch (Cnk.Cluster.node t.cluster rank) pending.job with
+      | Ok () -> ()
+      | Error e -> failwith (Printf.sprintf "launch on rank %d: %s" rank e))
+    alloc.Partition.ranks;
+  match pending.walltime with
+  | None -> ()
+  | Some limit ->
+    let sim = Cnk.Cluster.sim t.cluster in
+    ignore
+      (Bg_engine.Sim.schedule_in sim limit (fun () ->
+           match Hashtbl.find_opt t.states pending.jid with
+           | Some (Running _) ->
+             List.iter
+               (fun rank -> Cnk.Node.kill_job (Cnk.Cluster.node t.cluster rank))
+               alloc.Partition.ranks
+           | _ -> ()))
+
+let drain t =
+  try_start t;
+  let sim = Cnk.Cluster.sim t.cluster in
+  let rec pump () =
+    if t.outstanding > 0 then
+      if Sim.step sim then pump ()
+      else
+        failwith
+          (Printf.sprintf "Scheduler.drain: %d job(s) stuck with an empty event queue"
+             t.outstanding)
+  in
+  pump ()
+
+let state t jid =
+  match Hashtbl.find_opt t.states jid with
+  | Some s -> s
+  | None -> invalid_arg "Scheduler.state: unknown job"
+
+let completed_order t = List.rev t.done_order

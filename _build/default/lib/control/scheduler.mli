@@ -1,0 +1,36 @@
+(** The control-system job scheduler.
+
+    Space-shares a booted {!Cnk.Cluster} among queued jobs: each job asks
+    for a partition shape; the scheduler allocates it (FIFO, with optional
+    backfill of smaller jobs past a blocked head), launches the job on the
+    partition's ranks, and releases the partition when every member node
+    reports completion. Because everything runs in one deterministic
+    simulation, schedules are reproducible. *)
+
+type job_id = int
+
+type job_state =
+  | Queued
+  | Running of int list  (** the partition's ranks *)
+  | Completed of Bg_engine.Cycles.t  (** completion cycle *)
+
+type t
+
+val create : ?backfill:bool -> Cnk.Cluster.t -> t
+(** [backfill] (default false): allow a later job to start ahead of a
+    blocked head-of-line job when space permits. *)
+
+val submit :
+  t -> ?walltime_cycles:int -> shape:int * int * int -> Job.t -> job_id
+(** Enqueue; jobs start when {!drain} runs the machine. A job still
+    running [walltime_cycles] after launch is killed on every node of its
+    partition (threads exit 137) and reported Completed. *)
+
+val drain : t -> unit
+(** Start whatever fits, then run the simulation, starting queued jobs as
+    partitions free up, until every submitted job completes. Raises
+    [Failure] if a job can never fit the machine. *)
+
+val state : t -> job_id -> job_state
+val completed_order : t -> job_id list
+(** Ids in completion order. *)

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Bg_cio Bg_engine Fun List Machine Node Printf Sim

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Bg_cio Bg_engine Bg_hw Job Machine Mapping Node

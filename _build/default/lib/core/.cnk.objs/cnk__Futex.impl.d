@@ -1,0 +1,1 @@
+lib/core/futex.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/futex.mli:

@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Array Bg_hw Format List Page_size Printf Sysreq Tlb

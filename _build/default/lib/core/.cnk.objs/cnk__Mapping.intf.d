@@ -1,0 +1,1 @@
+lib/core/mapping.mli: Bg_hw Format Sysreq

@@ -1,0 +1,1 @@
+lib/core/mmap_tracker.ml: Errno List

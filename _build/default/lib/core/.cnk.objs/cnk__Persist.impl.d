@@ -1,0 +1,1 @@
+lib/core/persist.ml: Errno Hashtbl List

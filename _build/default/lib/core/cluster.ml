@@ -1,0 +1,73 @@
+open Bg_engine
+
+type t = {
+  machine : Machine.t;
+  nodes : Node.t array;
+  ciods : Bg_cio.Ciod.t array;  (* indexed by io node *)
+  fs : Bg_cio.Fs.t;
+  nodes_per_io_node : int;
+}
+
+let create ?params ?seed ?mapping_config ?nodes_per_io_node ~dims () =
+  let machine = Machine.create ?params ?seed ?nodes_per_io_node ~dims () in
+  let n = Machine.nodes machine in
+  let nodes_per_io_node =
+    match nodes_per_io_node with Some k -> k | None -> if n <= 64 then n else 64
+  in
+  let io_nodes = (n + nodes_per_io_node - 1) / nodes_per_io_node in
+  let fs = Bg_cio.Fs.create () in
+  let ciods =
+    Array.init io_nodes (fun io_node -> Bg_cio.Ciod.create machine ~fs ~io_node ())
+  in
+  let nodes =
+    Array.init n (fun rank ->
+        Node.create ?mapping_config machine ~rank ~ciod:ciods.(rank / nodes_per_io_node) ())
+  in
+  { machine; nodes; ciods; fs; nodes_per_io_node }
+
+let machine t = t.machine
+let sim t = t.machine.Machine.sim
+let nodes t = t.nodes
+let node t i = t.nodes.(i)
+let fs t = t.fs
+let ciod_for t ~rank = t.ciods.(rank / t.nodes_per_io_node)
+
+let boot_all t =
+  let remaining = ref (Array.length t.nodes) in
+  Array.iter (fun n -> Node.boot n ~on_ready:(fun () -> decr remaining)) t.nodes;
+  let rec pump () =
+    if !remaining > 0 then
+      if Sim.step (sim t) then pump ()
+      else failwith "Cluster.boot_all: simulation drained before boot finished"
+  in
+  pump ()
+
+let launch_all t ?ranks job =
+  let ranks =
+    match ranks with Some r -> r | None -> List.init (Array.length t.nodes) Fun.id
+  in
+  List.iter
+    (fun rank ->
+      match Node.launch t.nodes.(rank) job with
+      | Ok () -> ()
+      | Error e -> failwith (Printf.sprintf "launch on rank %d failed: %s" rank e))
+    ranks
+
+let run_until_quiet t = ignore (Sim.run (sim t))
+
+let run_job t ?ranks job =
+  let ranks =
+    match ranks with Some r -> r | None -> List.init (Array.length t.nodes) Fun.id
+  in
+  let remaining = ref (List.length ranks) in
+  List.iter (fun rank -> Node.on_job_complete t.nodes.(rank) (fun () -> decr remaining)) ranks;
+  launch_all t ~ranks job;
+  let rec pump () =
+    if !remaining > 0 then
+      if Sim.step (sim t) then pump ()
+      else
+        failwith
+          (Printf.sprintf "Cluster.run_job: sim drained with %d node(s) unfinished"
+             !remaining)
+  in
+  pump ()

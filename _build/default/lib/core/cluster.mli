@@ -1,0 +1,43 @@
+(** Convenience harness: a whole CNK machine ready to run jobs.
+
+    Builds the simulated installation (chips + networks), one CIOD per
+    I/O node (sharing one filesystem, like a common GPFS mount), and one
+    CNK per compute node; boots everything. This is what bin/, examples/
+    and bench/ use to go from "I have a program closure" to "it ran on N
+    nodes". *)
+
+type t
+
+val create :
+  ?params:Bg_hw.Params.t ->
+  ?seed:int64 ->
+  ?mapping_config:Mapping.config ->
+  ?nodes_per_io_node:int ->
+  dims:int * int * int ->
+  unit ->
+  t
+(** Create and cold-boot every node (boot completes once the sim runs). *)
+
+val machine : t -> Machine.t
+val sim : t -> Bg_engine.Sim.t
+val nodes : t -> Node.t array
+val node : t -> int -> Node.t
+val fs : t -> Bg_cio.Fs.t
+(** The shared filesystem behind all I/O nodes. *)
+
+val ciod_for : t -> rank:int -> Bg_cio.Ciod.t
+
+val boot_all : t -> unit
+(** Run the simulation until every node reports booted. *)
+
+val run_job : t -> ?ranks:int list -> Job.t -> unit
+(** Launch the job on the given ranks (default: all), then run the
+    simulation until every launched node's job completes. Raises
+    [Failure] on launch errors or if the sim drains before completion. *)
+
+val launch_all : t -> ?ranks:int list -> Job.t -> unit
+(** Launch without running — for harnesses that co-schedule other events.
+    Track completion with {!Node.on_job_complete}. *)
+
+val run_until_quiet : t -> unit
+(** Drain the event queue. *)

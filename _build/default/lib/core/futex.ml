@@ -1,0 +1,48 @@
+type t = { queues : (int * int, int list ref) Hashtbl.t }
+(* (pid, addr) -> waiting tids, oldest first *)
+
+let create () = { queues = Hashtbl.create 32 }
+
+let queue t key =
+  match Hashtbl.find_opt t.queues key with
+  | Some q -> q
+  | None ->
+    let q = ref [] in
+    Hashtbl.add t.queues key q;
+    q
+
+let enqueue t ~pid ~addr ~tid =
+  let q = queue t (pid, addr) in
+  q := !q @ [ tid ]
+
+let wake t ~pid ~addr ~count =
+  match Hashtbl.find_opt t.queues (pid, addr) with
+  | None -> []
+  | Some q ->
+    let rec take n = function
+      | [] -> ([], [])
+      | rest when n = 0 -> ([], rest)
+      | x :: rest ->
+        let woken, left = take (n - 1) rest in
+        (x :: woken, left)
+    in
+    let woken, left = take count !q in
+    q := left;
+    if left = [] then Hashtbl.remove t.queues (pid, addr);
+    woken
+
+let remove t ~tid =
+  let found = ref false in
+  Hashtbl.iter
+    (fun _ q ->
+      if List.mem tid !q then begin
+        found := true;
+        q := List.filter (fun x -> x <> tid) !q
+      end)
+    t.queues;
+  !found
+
+let waiting t ~pid ~addr =
+  match Hashtbl.find_opt t.queues (pid, addr) with Some q -> List.length !q | None -> 0
+
+let total_waiting t = Hashtbl.fold (fun _ q acc -> acc + List.length !q) t.queues 0

@@ -1,0 +1,23 @@
+(** Futex wait queues (paper §IV.B.1).
+
+    NPTL's mutexes, condition variables and joins all reduce to
+    futex_wait/futex_wake; this is the full kernel-side implementation CNK
+    needed. Queues are FIFO per (pid, address); the value check against
+    user memory is done by the syscall layer, which owns memory access. *)
+
+type t
+
+val create : unit -> t
+
+val enqueue : t -> pid:int -> addr:int -> tid:int -> unit
+(** Block [tid] on the futex word. *)
+
+val wake : t -> pid:int -> addr:int -> count:int -> int list
+(** Dequeue up to [count] waiters, FIFO; returns their tids. *)
+
+val remove : t -> tid:int -> bool
+(** Pull a thread out of whatever queue it is in (signal interruption,
+    thread kill). Returns whether it was queued. *)
+
+val waiting : t -> pid:int -> addr:int -> int
+val total_waiting : t -> int

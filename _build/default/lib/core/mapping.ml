@@ -1,0 +1,251 @@
+open Bg_hw
+
+type config = {
+  dram_bytes : int;
+  kernel_bytes : int;
+  nprocs : int;
+  text_bytes : int;
+  data_bytes : int;
+  shared_bytes : int;
+  persist_bytes : int;
+  tlb_budget : int;
+  main_stack_bytes : int;
+}
+
+let mb = 1024 * 1024
+
+let default_config =
+  {
+    dram_bytes = 2048 * mb;
+    kernel_bytes = 16 * mb;
+    nprocs = 1;
+    text_bytes = 2 * mb;
+    data_bytes = 2 * mb;
+    shared_bytes = 16 * mb;
+    persist_bytes = 64 * mb;
+    tlb_budget = 60;
+    main_stack_bytes = 4 * mb;
+  }
+
+let text_va = 0
+let shared_va = 0xC000_0000
+let persist_va = 0xA000_0000
+
+type process_map = {
+  proc_index : int;
+  regions : Sysreq.region list;
+  heap_base : int;
+  heap_stack_bytes : int;
+}
+
+type t = {
+  config : config;
+  procs : process_map array;
+  persist_base_pa : int;
+  waste_bytes : int;
+  entries_per_core : int;
+  min_page : Page_size.t;
+}
+
+(* Decompose [bytes] (rounded up to the floor page) into the largest pages
+   whose alignment both cursors satisfy. *)
+let tile ~va ~pa ~bytes ~floor =
+  if not (Page_size.aligned floor va && Page_size.aligned floor pa) then
+    invalid_arg "Mapping.tile: base not aligned to floor page";
+  let allowed =
+    List.filter (fun p -> Page_size.bytes p >= Page_size.bytes floor) Page_size.large_descending
+  in
+  let total = Page_size.align_up floor bytes in
+  let rec go va pa remaining acc =
+    if remaining = 0 then List.rev acc
+    else begin
+      let page =
+        match
+          List.find_opt
+            (fun p ->
+              Page_size.bytes p <= remaining
+              && Page_size.aligned p va && Page_size.aligned p pa)
+            allowed
+        with
+        | Some p -> p
+        | None -> floor
+      in
+      let b = Page_size.bytes page in
+      go (va + b) (pa + b) (remaining - b) ((page, va, pa) :: acc)
+    end
+  in
+  go va pa total []
+
+let region_of_tiles kind writable tiles =
+  List.map
+    (fun (page, va, pa) ->
+      { Sysreq.kind; vaddr = va; paddr = pa; bytes = Page_size.bytes page; page; writable })
+    tiles
+
+(* Largest hardware page not exceeding [bytes]; the alignment class worth
+   harmonizing for a region of that size. *)
+let harmonize_target bytes =
+  match List.find_opt (fun p -> Page_size.bytes p <= bytes) Page_size.large_descending with
+  | Some p -> p
+  | None -> Page_size.P1m
+
+(* One partitioning attempt at a given floor page size. *)
+let attempt config floor =
+  let fb = Page_size.bytes floor in
+  let align_up v = Page_size.align_up floor v in
+  (* CNK itself and the persistent pool live at the top of DRAM, so process
+     0's text lands at physical 0 and enjoys identity-like alignment. *)
+  let persist_pool = Page_size.align_up Page_size.P1m config.persist_bytes in
+  let persist_base_pa = config.dram_bytes - persist_pool in
+  let kernel_base_pa = persist_base_pa - align_up config.kernel_bytes in
+  let text_tiled = align_up config.text_bytes in
+  let data_tiled = align_up config.data_bytes in
+  let shared_tiled = align_up config.shared_bytes in
+  let data_va = Page_size.align_up floor (text_va + config.text_bytes) in
+  let data_end_va = data_va + data_tiled in
+  let pa_cursor = ref 0 in
+  let waste = ref 0 in
+  let take bytes =
+    let base = !pa_cursor in
+    pa_cursor := base + bytes;
+    base
+  in
+  (* Fixed allocations first: per-process text and data, then shared. *)
+  let fixed =
+    Array.init config.nprocs (fun proc_index ->
+        let text_pa = take text_tiled in
+        let data_pa = take data_tiled in
+        waste := !waste + (text_tiled - config.text_bytes) + (data_tiled - config.data_bytes);
+        (proc_index, text_pa, data_pa))
+  in
+  let shared_tiles =
+    if config.shared_bytes = 0 then []
+    else begin
+      (* shared_va's alignment class is fixed, so harmonize the physical
+         base: advance to pa = shared_va (mod H). *)
+      let h = Page_size.bytes (harmonize_target shared_tiled) in
+      let gap = (((shared_va - !pa_cursor) mod h) + h) mod h in
+      waste := !waste + gap + (shared_tiled - config.shared_bytes);
+      pa_cursor := !pa_cursor + gap;
+      let shared_pa = take shared_tiled in
+      tile ~va:shared_va ~pa:shared_pa ~bytes:config.shared_bytes ~floor
+    end
+  in
+  (* Heaps get everything that remains, divided evenly (paper §VII.B). *)
+  let remaining = kernel_base_pa - !pa_cursor in
+  let heap_bytes = remaining / config.nprocs / fb * fb in
+  if heap_bytes < config.main_stack_bytes + fb then
+    Error
+      (Printf.sprintf "no room for heap/stack: %d bytes left per process at %s pages"
+         heap_bytes (Page_size.to_string floor))
+  else begin
+    let h = Page_size.bytes (harmonize_target heap_bytes) in
+    let make_proc (proc_index, text_pa, data_pa) =
+      let heap_pa = take heap_bytes in
+      (* The heap's virtual base is free to move up, so harmonize it to the
+         physical cursor's alignment class — costs address space, not RAM. *)
+      let heap_va = data_end_va + ((((heap_pa - data_end_va) mod h) + h) mod h) in
+      if heap_va + heap_bytes > persist_va then
+        Error "heap/stack range collides with the persistent-memory window"
+      else begin
+        let text_tiles = tile ~va:text_va ~pa:text_pa ~bytes:config.text_bytes ~floor in
+        let data_tiles = tile ~va:data_va ~pa:data_pa ~bytes:config.data_bytes ~floor in
+        let heap_tiles = tile ~va:heap_va ~pa:heap_pa ~bytes:heap_bytes ~floor in
+        let regions =
+          region_of_tiles Sysreq.Text false text_tiles
+          @ region_of_tiles Sysreq.Data true data_tiles
+          @ region_of_tiles Sysreq.Heap_stack true heap_tiles
+          @ region_of_tiles Sysreq.Shared true shared_tiles
+        in
+        Ok { proc_index; regions; heap_base = heap_va; heap_stack_bytes = heap_bytes }
+      end
+    in
+    let rec build acc = function
+      | [] -> Ok (List.rev acc)
+      | f :: rest -> (
+        match make_proc f with Ok p -> build (p :: acc) rest | Error e -> Error e)
+    in
+    match build [] (Array.to_list fixed) with
+    | Error e -> Error e
+    | Ok procs ->
+      let procs = Array.of_list procs in
+      if !pa_cursor > kernel_base_pa then
+        Error
+          (Printf.sprintf "over-committed physical memory by %d bytes at %s pages"
+             (!pa_cursor - kernel_base_pa) (Page_size.to_string floor))
+      else begin
+        let entries_per_core =
+          Array.fold_left (fun acc p -> max acc (List.length p.regions)) 0 procs
+        in
+        Ok
+          {
+            config;
+            procs;
+            persist_base_pa;
+            waste_bytes = !waste;
+            entries_per_core;
+            min_page = floor;
+          }
+      end
+  end
+
+let compute config =
+  if config.nprocs <> 1 && config.nprocs <> 2 && config.nprocs <> 4 then
+    Error "nprocs must be 1, 2 or 4"
+  else if config.text_bytes <= 0 || config.data_bytes < 0 then Error "bad section sizes"
+  else begin
+    (* Escalate the minimum page size until the map fits the TLB budget. *)
+    let rec try_floors last_err = function
+      | [] -> Error last_err
+      | floor :: rest -> (
+        match attempt config floor with
+        | Error e -> try_floors e rest
+        | Ok t ->
+          if t.entries_per_core <= config.tlb_budget then Ok t
+          else
+            try_floors
+              (Printf.sprintf "%d entries exceed the %d-entry budget even at %s pages"
+                 t.entries_per_core config.tlb_budget (Page_size.to_string floor))
+              rest)
+    in
+    try_floors "unreachable" [ Page_size.P1m; Page_size.P16m; Page_size.P256m; Page_size.P1g ]
+  end
+
+let region_for pm vaddr =
+  List.find_opt
+    (fun r -> vaddr >= r.Sysreq.vaddr && vaddr < r.Sysreq.vaddr + r.Sysreq.bytes)
+    pm.regions
+
+let tlb_entries pm =
+  List.map
+    (fun (r : Sysreq.region) ->
+      let perm =
+        match r.Sysreq.kind with
+        | Sysreq.Text -> Tlb.perm_rx
+        | Sysreq.Data | Sysreq.Heap_stack | Sysreq.Shared | Sysreq.Persist -> Tlb.perm_rwx
+      in
+      { Tlb.vaddr = r.Sysreq.vaddr; paddr = r.Sysreq.paddr; size = r.Sysreq.page; perm })
+    pm.regions
+
+let pp ppf t =
+  Format.fprintf ppf "static map: %d proc(s), min page %a, %d TLB entries/core, %d KB waste@."
+    (Array.length t.procs) Page_size.pp t.min_page t.entries_per_core (t.waste_bytes / 1024);
+  Array.iter
+    (fun p ->
+      Format.fprintf ppf "  process %d:@." p.proc_index;
+      List.iter
+        (fun (r : Sysreq.region) ->
+          let kind =
+            match r.Sysreq.kind with
+            | Sysreq.Text -> "text"
+            | Sysreq.Data -> "data"
+            | Sysreq.Heap_stack -> "heap/stack"
+            | Sysreq.Shared -> "shared"
+            | Sysreq.Persist -> "persist"
+          in
+          Format.fprintf ppf "    %-10s va 0x%08x -> pa 0x%08x  %4d MB (%a page)@." kind
+            r.Sysreq.vaddr r.Sysreq.paddr
+            (r.Sysreq.bytes / mb)
+            Page_size.pp r.Sysreq.page)
+        p.regions)
+    t.procs

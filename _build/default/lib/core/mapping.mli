@@ -1,0 +1,72 @@
+(** CNK's static memory partitioning (paper §IV.C, Fig 3).
+
+    At job launch the ELF section sizes, the number of processes per node
+    and the shared-memory size feed a partitioning algorithm that tiles
+    virtual and physical memory with the hardware page sizes (1 MB, 16 MB,
+    256 MB, 1 GB), respecting alignment constraints. The resulting map is
+    static for the life of the process: no page faults, no translation
+    misses, and user space may query it and drive DMA against physical
+    addresses directly.
+
+    The algorithm greedily tiles each region with the largest usable page;
+    if the per-core TLB budget would be exceeded it escalates to a larger
+    minimum page size, trading wasted physical memory for entries — the
+    trade-off §VII.B concedes ("the memory subsystem may waste physical
+    memory as large pages are tiled together"). *)
+
+type config = {
+  dram_bytes : int;
+  kernel_bytes : int;   (** physical memory reserved for CNK itself *)
+  nprocs : int;         (** 1, 2 or 4 *)
+  text_bytes : int;
+  data_bytes : int;
+  shared_bytes : int;
+  persist_bytes : int;  (** reserved pool for persistent memory (§IV.D) *)
+  tlb_budget : int;     (** per-core entry budget the map must fit in *)
+  main_stack_bytes : int;
+}
+
+val default_config : config
+(** BG/P-like: 2 GiB DRAM, 16 MB kernel, SMP mode, 16 MB shared, 64 MB
+    persist pool, 60-entry budget (4 slots kept free), 4 MB main stack. *)
+
+(** Fixed virtual bases, identical in every process. *)
+val text_va : int
+val shared_va : int
+val persist_va : int
+
+type process_map = {
+  proc_index : int;
+  regions : Sysreq.region list;  (** text, data, heap/stack, shared *)
+  heap_base : int;               (** start of the brk/mmap/stack range *)
+  heap_stack_bytes : int;
+}
+
+type t = {
+  config : config;
+  procs : process_map array;
+  persist_base_pa : int;
+  waste_bytes : int;          (** physical bytes lost to page rounding *)
+  entries_per_core : int;     (** TLB entries a core must hold *)
+  min_page : Bg_hw.Page_size.t;  (** smallest page size the tiling used *)
+}
+
+val compute : config -> (t, string) result
+(** Runs the partitioning algorithm. Fails (with a human-readable reason)
+    if the job cannot fit: too little memory, or no page-size escalation
+    satisfies the TLB budget. *)
+
+val region_for : process_map -> int -> Sysreq.region option
+(** The static region covering a virtual address, if any. *)
+
+val tlb_entries : process_map -> Bg_hw.Tlb.entry list
+(** The hardware TLB entries realizing a process's map. *)
+
+val tile : va:int -> pa:int -> bytes:int -> floor:Bg_hw.Page_size.t ->
+  (Bg_hw.Page_size.t * int * int) list
+(** Exposed for tests: decompose a region into (page, va, pa) tiles using
+    pages no smaller than [floor]. [va] and [pa] must be [floor]-aligned;
+    the tiling covers at least [bytes] (rounding up to the floor page). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the layout in the style of the paper's Fig 3. *)

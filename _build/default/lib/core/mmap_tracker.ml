@@ -1,0 +1,119 @@
+let grain = 1024 * 1024 (* carve mmaps at 1 MB granularity *)
+
+type t = {
+  base : int;
+  limit : int;           (* exclusive top of the whole range *)
+  stack_lo : int;        (* main stack occupies [stack_lo, limit) *)
+  mutable break_ : int;
+  (* allocated mmap ranges, disjoint, sorted by address *)
+  mutable mapped : (int * int) list;  (* (addr, len) *)
+  mutable last_mprotect : (int * int) option;
+}
+
+let create ~base ~bytes ~main_stack_bytes =
+  if bytes <= main_stack_bytes then invalid_arg "Mmap_tracker.create";
+  let limit = base + bytes in
+  {
+    base;
+    limit;
+    stack_lo = limit - main_stack_bytes;
+    break_ = base;
+    mapped = [];
+    last_mprotect = None;
+  }
+
+let heap_end t = t.break_
+
+let lowest_obstacle t =
+  match t.mapped with (addr, _) :: _ -> min addr t.stack_lo | [] -> t.stack_lo
+
+let brk t = function
+  | None -> Ok t.break_
+  | Some addr ->
+    if addr < t.base then Error Errno.EINVAL
+    else if addr > lowest_obstacle t then Error Errno.ENOMEM
+    else begin
+      t.break_ <- addr;
+      Ok addr
+    end
+
+let round_up v = (v + grain - 1) / grain * grain
+
+(* Free gaps between the break and the stack, excluding mapped ranges,
+   highest first. *)
+let gaps t =
+  let ceiling = t.stack_lo in
+  let floor = round_up t.break_ in
+  let rec walk cursor acc = function
+    | [] -> if cursor < ceiling then (cursor, ceiling - cursor) :: acc else acc
+    | (addr, len) :: rest ->
+      let acc = if cursor < addr then (cursor, addr - cursor) :: acc else acc in
+      walk (max cursor (addr + len)) acc rest
+  in
+  (* mapped is sorted ascending; result accumulates so the head is the
+     highest gap. *)
+  walk floor [] t.mapped
+
+let insert_sorted t addr len =
+  let rec go = function
+    | [] -> [ (addr, len) ]
+    | (a, l) :: rest when a < addr -> (a, l) :: go rest
+    | rest -> (addr, len) :: rest
+  in
+  t.mapped <- go t.mapped
+
+let mmap t ~length =
+  if length <= 0 then Error Errno.EINVAL
+  else begin
+    let need = round_up length in
+    match List.find_opt (fun (_, glen) -> glen >= need) (gaps t) with
+    | None -> Error Errno.ENOMEM
+    | Some (gaddr, glen) ->
+      (* take the top of the gap, Linux-style top-down *)
+      let addr = gaddr + glen - need in
+      insert_sorted t addr need;
+      Ok addr
+  end
+
+let munmap t ~addr ~length =
+  if length <= 0 || addr < t.base then Error Errno.EINVAL
+  else begin
+    let lo = addr and hi = addr + round_up length in
+    (* Every byte of [lo, hi) must be inside some mapped range. *)
+    let covered =
+      let rec check cursor = function
+        | _ when cursor >= hi -> true
+        | [] -> false
+        | (a, l) :: rest ->
+          if cursor < a then false
+          else if cursor < a + l then check (max cursor (a + l)) rest
+          else check cursor rest
+      in
+      check lo (List.filter (fun (a, l) -> a + l > lo) t.mapped)
+    in
+    if not covered then Error Errno.EINVAL
+    else begin
+      let remains =
+        List.concat_map
+          (fun (a, l) ->
+            let keep_lo = (a, min l (max 0 (lo - a))) in
+            let keep_hi = (max a (min (a + l) hi), max 0 (a + l - hi)) in
+            List.filter (fun (_, len) -> len > 0) [ keep_lo; keep_hi ])
+          t.mapped
+      in
+      t.mapped <- List.sort compare remains;
+      Ok ()
+    end
+  end
+
+let is_mapped t ~addr ~length =
+  let hi = addr + length in
+  List.exists (fun (a, l) -> addr >= a && hi <= a + l) t.mapped
+
+let record_mprotect t ~addr ~length = t.last_mprotect <- Some (addr, length)
+let last_mprotect t = t.last_mprotect
+let main_stack_lo t = t.stack_lo
+let main_stack_hi t = t.limit
+let mapped_bytes t = List.fold_left (fun acc (_, l) -> acc + l) 0 t.mapped
+
+let free_bytes t = List.fold_left (fun acc (_, l) -> acc + l) 0 (gaps t)

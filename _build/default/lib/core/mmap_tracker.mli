@@ -1,0 +1,45 @@
+(** Address tracking for the heap/stack range (paper §IV.C).
+
+    Because the static map already backs the whole range with physical
+    memory, CNK's mmap "merely provides free addresses to the application":
+    no faults, no page-table work. This module is that bookkeeping — brk
+    grows from the bottom, the main stack occupies the top, anonymous mmaps
+    are carved from the space between (top-down, as Linux does), and freed
+    ranges coalesce with their neighbours. *)
+
+type t
+
+val create : base:int -> bytes:int -> main_stack_bytes:int -> t
+
+val brk : t -> int option -> (int, Errno.t) result
+(** [brk t None] queries the break; [brk t (Some addr)] moves it. Fails
+    with [ENOMEM] when the new break would run into an mmap allocation or
+    the stack. Shrinking below the base fails with [EINVAL]. *)
+
+val heap_end : t -> int
+(** Current program break. *)
+
+val mmap : t -> length:int -> (int, Errno.t) result
+(** Allocate an address range (1 MB-granular internally to stay friendly to
+    the page map). Highest available range wins. *)
+
+val munmap : t -> addr:int -> length:int -> (unit, Errno.t) result
+(** Free a previously mapped range (whole or part); adjacent free space
+    coalesces. [EINVAL] if any byte of the range is not currently mapped. *)
+
+val is_mapped : t -> addr:int -> length:int -> bool
+(** Whole range currently inside an mmap allocation? *)
+
+val record_mprotect : t -> addr:int -> length:int -> unit
+val last_mprotect : t -> (int * int) option
+(** CNK remembers the most recent mprotect range and assumes it is the
+    guard area for the next clone (paper §IV.C, Fig 4). *)
+
+val main_stack_lo : t -> int
+(** Lowest legal main-stack address; the guard range sits just below. *)
+
+val main_stack_hi : t -> int
+
+val mapped_bytes : t -> int
+val free_bytes : t -> int
+(** Bytes available between the break and the lowest allocation. *)

@@ -1,0 +1,54 @@
+type region = { name : string; va : int; pa : int; bytes : int; owner : string }
+
+let grain = 1024 * 1024
+
+type t = {
+  pool_base_pa : int;
+  pool_bytes : int;
+  va_base : int;
+  mutable cursor : int;  (* offset of the next free byte in the pool *)
+  table : (string, region) Hashtbl.t;
+}
+
+let create ~pool_base_pa ~pool_bytes ~va_base =
+  { pool_base_pa; pool_bytes; va_base; cursor = 0; table = Hashtbl.create 8 }
+
+let round_up v = (v + grain - 1) / grain * grain
+
+let open_region t ~name ~bytes ~owner =
+  if bytes <= 0 then Error Errno.EINVAL
+  else
+    match Hashtbl.find_opt t.table name with
+    | Some r ->
+      if r.owner <> owner then Error Errno.EACCES
+      else if bytes <= r.bytes then Ok r
+      else Error Errno.EINVAL
+    | None ->
+      let need = round_up bytes in
+      if t.cursor + need > t.pool_bytes then Error Errno.ENOMEM
+      else begin
+        let r =
+          {
+            name;
+            va = t.va_base + t.cursor;
+            pa = t.pool_base_pa + t.cursor;
+            bytes = need;
+            owner;
+          }
+        in
+        t.cursor <- t.cursor + need;
+        Hashtbl.add t.table name r;
+        Ok r
+      end
+
+let find t ~name = Hashtbl.find_opt t.table name
+
+let regions t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.table []
+  |> List.sort (fun a b -> compare a.va b.va)
+
+let used_bytes t = t.cursor
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.cursor <- 0

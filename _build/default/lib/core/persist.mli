@@ -1,0 +1,27 @@
+(** Persistent memory across jobs (paper §IV.D).
+
+    Applications tag memory as persistent by name (shm_open-style). The
+    pool lives in a reserved physical range at the top of DRAM; each named
+    region is assigned a virtual address on first open and — the feature
+    the paper stresses — the {e same} virtual address on every later open,
+    so pointer-linked structures stored inside remain valid in the next
+    job. Contents live in node DRAM, so they survive job boundaries for
+    free and survive reboots exactly when DRAM was in self-refresh. *)
+
+type region = { name : string; va : int; pa : int; bytes : int; owner : string }
+
+type t
+
+val create : pool_base_pa:int -> pool_bytes:int -> va_base:int -> t
+
+val open_region : t -> name:string -> bytes:int -> owner:string -> (region, Errno.t) result
+(** Existing name: returns the original region if [owner] matches the
+    creator ([EACCES] otherwise — "assuming the correct privileges",
+    paper §IV.D), or [EINVAL] if [bytes] exceeds its size. New name:
+    allocates from the pool ([ENOMEM] when full; 1 MB-granular). *)
+
+val find : t -> name:string -> region option
+val regions : t -> region list
+val used_bytes : t -> int
+val clear : t -> unit
+(** Cold boot without self-refresh: all names forgotten. *)

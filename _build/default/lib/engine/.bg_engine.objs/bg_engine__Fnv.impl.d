@@ -1,0 +1,1 @@
+lib/engine/fnv.ml: Bytes Char Format Int64 Printf String

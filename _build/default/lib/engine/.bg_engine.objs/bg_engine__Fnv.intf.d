@@ -1,0 +1,1 @@
+lib/engine/fnv.mli: Format

@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Cycles Event_queue Hashtbl Rng Trace

@@ -1,0 +1,93 @@
+type handle = int
+
+type 'a entry = { time : Cycles.t; seq : int; payload : 'a }
+
+(* Binary min-heap on (time, seq). [alive] tracks scheduled-but-not-fired
+   sequence numbers; cancellation removes from [alive] and the stale heap
+   entry is dropped lazily when it reaches the top. *)
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  alive : (int, unit) Hashtbl.t;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; alive = Hashtbl.create 64 }
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q =
+  let capacity = max 16 (2 * Array.length q.heap) in
+  let heap = Array.make capacity q.heap.(0) in
+  Array.blit q.heap 0 heap 0 q.size;
+  q.heap <- heap
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let add q ~time payload =
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  let entry = { time; seq; payload } in
+  if q.size = Array.length q.heap then
+    if q.size = 0 then q.heap <- Array.make 16 entry else grow q;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1);
+  Hashtbl.add q.alive seq ();
+  seq
+
+let cancel q h = Hashtbl.remove q.alive h
+
+let pop_raw q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some top
+  end
+
+let rec pop q =
+  match pop_raw q with
+  | None -> None
+  | Some e ->
+    if Hashtbl.mem q.alive e.seq then begin
+      Hashtbl.remove q.alive e.seq;
+      Some (e.time, e.payload)
+    end
+    else pop q
+
+let rec peek_time q =
+  if q.size = 0 then None
+  else if Hashtbl.mem q.alive q.heap.(0).seq then Some q.heap.(0).time
+  else begin
+    ignore (pop_raw q);
+    peek_time q
+  end
+
+let is_empty q = Hashtbl.length q.alive = 0
+let length q = Hashtbl.length q.alive

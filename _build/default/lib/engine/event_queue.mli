@@ -1,0 +1,31 @@
+(** Deterministic priority queue of simulation events.
+
+    Events are ordered by (timestamp, insertion sequence number): two events
+    scheduled for the same cycle fire in insertion order. This total order
+    is what makes the whole machine cycle-reproducible — the scheduler never
+    consults anything outside the queue to break ties. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:Cycles.t -> 'a -> handle
+(** [add q ~time payload] schedules [payload] at [time]. *)
+
+val cancel : 'a t -> handle -> unit
+(** [cancel q h] removes the event, if it has not already fired. Cancelling
+    twice, or cancelling a fired event, is a no-op. *)
+
+val pop : 'a t -> (Cycles.t * 'a) option
+(** Remove and return the earliest live event. *)
+
+val peek_time : 'a t -> Cycles.t option
+(** Timestamp of the earliest live event, without removing it. *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)

@@ -1,0 +1,30 @@
+type t = int64
+
+let empty = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let add_byte h b =
+  let h = Int64.logxor h (Int64.of_int (b land 0xff)) in
+  Int64.mul h prime
+
+let add_int64 h x =
+  let rec go h i =
+    if i = 8 then h
+    else
+      let b = Int64.to_int (Int64.shift_right_logical x (8 * i)) land 0xff in
+      go (add_byte h b) (i + 1)
+  in
+  go h 0
+
+let add_int h x = add_int64 h (Int64.of_int x)
+
+let add_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := add_byte !h (Char.code c)) s;
+  !h
+
+let add_bytes h b = add_string h (Bytes.unsafe_to_string b)
+let to_hex h = Printf.sprintf "%016Lx" h
+let equal = Int64.equal
+let compare = Int64.compare
+let pp ppf h = Format.pp_print_string ppf (to_hex h)

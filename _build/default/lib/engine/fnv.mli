@@ -1,0 +1,31 @@
+(** FNV-1a 64-bit hashing.
+
+    Used throughout the simulator wherever a deterministic digest of
+    architectural state is needed (logic scans, waveforms, memory content
+    digests). FNV-1a is chosen for its simplicity and full determinism
+    across runs and platforms; cryptographic strength is not required. *)
+
+type t = int64
+(** A running 64-bit digest. *)
+
+val empty : t
+(** The FNV-1a offset basis. *)
+
+val add_int64 : t -> int64 -> t
+(** [add_int64 h x] folds the eight bytes of [x] (little-endian) into [h]. *)
+
+val add_int : t -> int -> t
+(** [add_int h x] folds a native int into [h]. *)
+
+val add_string : t -> string -> t
+(** [add_string h s] folds every byte of [s] into [h]. *)
+
+val add_bytes : t -> bytes -> t
+(** [add_bytes h b] folds every byte of [b] into [h]. *)
+
+val to_hex : t -> string
+(** Render as a 16-character lowercase hex string. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+type outcome = Completed | Reached_limit | Halted of string
+
+type t = {
+  mutable clock : Cycles.t;
+  queue : (unit -> unit) Event_queue.t;
+  trace : Trace.t;
+  root_rng : Rng.t;
+  streams : (string, Rng.t) Hashtbl.t;
+  seed : int64;
+  mutable halt_reason : string option;
+}
+
+let create ?(seed = 1L) ?(keep_trace_records = false) () =
+  {
+    clock = 0;
+    queue = Event_queue.create ();
+    trace = Trace.create ~keep_records:keep_trace_records ();
+    root_rng = Rng.create seed;
+    streams = Hashtbl.create 16;
+    seed;
+    halt_reason = None;
+  }
+
+let now t = t.clock
+let seed t = t.seed
+
+let schedule_at t time thunk =
+  assert (time >= t.clock);
+  Event_queue.add t.queue ~time thunk
+
+let schedule_in t delta thunk =
+  assert (delta >= 0);
+  schedule_at t (t.clock + delta) thunk
+
+let cancel t h = Event_queue.cancel t.queue h
+let pending t = Event_queue.length t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, thunk) ->
+    t.clock <- time;
+    thunk ();
+    true
+
+let halt t reason = t.halt_reason <- Some reason
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let rec loop () =
+    match t.halt_reason with
+    | Some reason ->
+      t.halt_reason <- None;
+      Halted reason
+    | None ->
+      let budget_ok =
+        match max_events with None -> true | Some m -> !fired < m
+      in
+      if not budget_ok then Reached_limit
+      else begin
+        match Event_queue.peek_time t.queue with
+        | None -> Completed
+        | Some time ->
+          let beyond = match until with None -> false | Some u -> time > u in
+          if beyond then begin
+            (match until with Some u -> t.clock <- max t.clock u | None -> ());
+            Reached_limit
+          end
+          else begin
+            ignore (step t);
+            incr fired;
+            loop ()
+          end
+      end
+  in
+  loop ()
+
+let trace t = t.trace
+let emit t ~label ~value = Trace.emit t.trace ~cycle:t.clock ~label ~value
+
+let rng t name =
+  match Hashtbl.find_opt t.streams name with
+  | Some stream -> stream
+  | None ->
+    let stream = Rng.split t.root_rng name in
+    Hashtbl.add t.streams name stream;
+    stream

@@ -1,0 +1,108 @@
+type summary = {
+  n : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  median : float;
+  p99 : float;
+}
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty";
+  let mn = ref xs.(0) and mx = ref xs.(0) and sum = ref 0.0 in
+  Array.iter
+    (fun x ->
+      if x < !mn then mn := x;
+      if x > !mx then mx := x;
+      sum := !sum +. x)
+    xs;
+  let mean = !sum /. float_of_int n in
+  let var =
+    if n < 2 then 0.0
+    else begin
+      let acc = ref 0.0 in
+      Array.iter
+        (fun x ->
+          let d = x -. mean in
+          acc := !acc +. (d *. d))
+        xs;
+      !acc /. float_of_int (n - 1)
+    end
+  in
+  {
+    n;
+    min = !mn;
+    max = !mx;
+    mean;
+    stddev = sqrt var;
+    median = percentile xs 0.5;
+    p99 = percentile xs 0.99;
+  }
+
+let spread_percent s = (s.max -. s.min) /. s.min *. 100.0
+
+module Online = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let n t = t.n
+  let mean t = t.mean
+  let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+  let min t = t.min
+  let max t = t.max
+end
+
+module Histogram = struct
+  type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+  let create ~lo ~hi ~bins =
+    if bins <= 0 || hi <= lo then invalid_arg "Stats.Histogram.create";
+    { lo; hi; counts = Array.make bins 0; total = 0 }
+
+  let add t x =
+    let bins = Array.length t.counts in
+    let width = (t.hi -. t.lo) /. float_of_int bins in
+    let i = int_of_float (Float.floor ((x -. t.lo) /. width)) in
+    let i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1
+
+  let counts t = Array.copy t.counts
+
+  let bin_lo t i =
+    let bins = Array.length t.counts in
+    t.lo +. (float_of_int i *. ((t.hi -. t.lo) /. float_of_int bins))
+
+  let total t = t.total
+end

@@ -1,0 +1,51 @@
+(** Summary statistics for noise and performance measurements.
+
+    Provides both a one-shot summary over a sample array and a Welford
+    online accumulator for streams too long to store (e.g. the million
+    allreduce iterations of paper §V.D). *)
+
+type summary = {
+  n : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;      (** sample standard deviation (n-1 denominator) *)
+  median : float;
+  p99 : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val spread_percent : summary -> float
+(** [(max - min) / min * 100], the paper's FWQ "variation" metric. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,1]; interpolates between order
+    statistics. [xs] need not be sorted. *)
+
+(** Streaming mean/variance/extrema accumulator. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val n : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+(** Fixed-width histogram, for FWQ-style sample distributions. *)
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  val add : t -> float -> unit
+  (** Samples outside [lo, hi) are clamped into the first/last bin. *)
+
+  val counts : t -> int array
+  val bin_lo : t -> int -> float
+  val total : t -> int
+end

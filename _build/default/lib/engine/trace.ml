@@ -1,0 +1,25 @@
+type record = { cycle : Cycles.t; label : string; value : int64 }
+
+type t = {
+  keep_records : bool;
+  mutable digest : Fnv.t;
+  mutable count : int;
+  mutable records : record list;  (* newest first *)
+  mutable last_cycle : Cycles.t;
+}
+
+let create ?(keep_records = false) () =
+  { keep_records; digest = Fnv.empty; count = 0; records = []; last_cycle = 0 }
+
+let emit t ~cycle ~label ~value =
+  let d = Fnv.add_int t.digest cycle in
+  let d = Fnv.add_string d label in
+  t.digest <- Fnv.add_int64 d value;
+  t.count <- t.count + 1;
+  t.last_cycle <- cycle;
+  if t.keep_records then t.records <- { cycle; label; value } :: t.records
+
+let digest t = t.digest
+let count t = t.count
+let records t = List.rev t.records
+let last_cycle t = t.last_cycle

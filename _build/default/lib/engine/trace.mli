@@ -1,0 +1,31 @@
+(** Architecturally observable event trace with a running digest.
+
+    The trace is the simulator's analogue of the signal history a logic
+    analyzer would see on real silicon. Every unit that changes observable
+    state appends a record; the running FNV digest over (cycle, label,
+    value) triples is what logic scans (see {!Bg_bringup}) capture.
+
+    Recording full records is optional (it costs memory on long runs); the
+    digest is always maintained. *)
+
+type record = { cycle : Cycles.t; label : string; value : int64 }
+
+type t
+
+val create : ?keep_records:bool -> unit -> t
+(** [keep_records] defaults to [false]: only the digest is kept. *)
+
+val emit : t -> cycle:Cycles.t -> label:string -> value:int64 -> unit
+(** Append an observable event. *)
+
+val digest : t -> Fnv.t
+(** Digest over every event emitted so far. *)
+
+val count : t -> int
+(** Number of events emitted so far. *)
+
+val records : t -> record list
+(** Recorded events, oldest first. Empty unless [keep_records] was set. *)
+
+val last_cycle : t -> Cycles.t
+(** Cycle of the most recent event, or 0 if none. *)

@@ -1,0 +1,1 @@
+lib/fwk/buddy.ml: Array Errno Hashtbl Printf

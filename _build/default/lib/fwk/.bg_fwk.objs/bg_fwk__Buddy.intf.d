@@ -1,0 +1,1 @@
+lib/fwk/buddy.mli: Errno

@@ -1,0 +1,1 @@
+lib/fwk/node.ml: Array Bg_cio Bg_engine Bg_hw Buddy Bytes Chip Cnk Coro Cycles Errno Hashtbl Image Int64 Job List Machine Memory Noise_model Page_size Params Printexc Printf Queue Rng Sim Sysreq Tlb

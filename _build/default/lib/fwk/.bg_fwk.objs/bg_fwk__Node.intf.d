@@ -1,0 +1,1 @@
+lib/fwk/node.mli: Bg_cio Job Machine Noise_model

@@ -1,0 +1,1 @@
+lib/fwk/noise_model.ml: Bg_engine List Rng

@@ -1,0 +1,1 @@
+lib/fwk/noise_model.mli: Bg_engine

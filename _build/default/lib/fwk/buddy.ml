@@ -1,0 +1,112 @@
+let min_order = 12
+let max_order = 30
+
+type t = {
+  free_lists : (int, unit) Hashtbl.t array;  (* per order: set of addrs *)
+  allocated : (int, int) Hashtbl.t;           (* addr -> order *)
+  total : int;
+}
+
+let order_of_bytes n =
+  let rec go o = if 1 lsl o >= n then o else go (o + 1) in
+  go min_order
+
+let create ~bytes =
+  let t =
+    {
+      free_lists = Array.init (max_order + 1) (fun _ -> Hashtbl.create 16);
+      allocated = Hashtbl.create 64;
+      total = bytes / (1 lsl min_order) * (1 lsl min_order);
+    }
+  in
+  (* carve the span into maximal aligned power-of-two blocks *)
+  let rec carve addr remaining =
+    if remaining >= 1 lsl min_order then begin
+      let rec fit o =
+        if o < min_order then None
+        else if 1 lsl o <= remaining && addr mod (1 lsl o) = 0 then Some o
+        else fit (o - 1)
+      in
+      match fit max_order with
+      | None -> ()
+      | Some o ->
+        Hashtbl.replace t.free_lists.(o) addr ();
+        carve (addr + (1 lsl o)) (remaining - (1 lsl o))
+    end
+  in
+  carve 0 t.total;
+  t
+
+(* deterministic pick: smallest address in the order's free list *)
+let pick_free t o =
+  Hashtbl.fold
+    (fun addr () acc -> match acc with Some a when a < addr -> acc | _ -> Some addr)
+    t.free_lists.(o) None
+
+let rec alloc t ~order =
+  if order < min_order || order > max_order then Error Errno.EINVAL
+  else
+    match pick_free t order with
+    | Some addr ->
+      Hashtbl.remove t.free_lists.(order) addr;
+      Hashtbl.replace t.allocated addr order;
+      Ok addr
+    | None ->
+      (* split a block of the next order up *)
+      if order = max_order then Error Errno.ENOMEM
+      else begin
+        match alloc t ~order:(order + 1) with
+        | Error e -> Error e
+        | Ok addr ->
+          (* keep the lower half allocated at [order], free the upper *)
+          Hashtbl.remove t.allocated addr;
+          Hashtbl.replace t.allocated addr order;
+          Hashtbl.replace t.free_lists.(order) (addr + (1 lsl order)) ();
+          Ok addr
+      end
+
+let alloc_bytes t n =
+  if n <= 0 then Error Errno.EINVAL else alloc t ~order:(order_of_bytes n)
+
+let rec free t ~addr ~order =
+  (match Hashtbl.find_opt t.allocated addr with
+  | Some o when o = order -> ()
+  | Some o ->
+    invalid_arg (Printf.sprintf "Buddy.free: 0x%x allocated at order %d, freed at %d" addr o order)
+  | None ->
+    (* internal recursive frees during coalescing pass a block that is not
+       in [allocated]; callers must pass real allocations *)
+    ());
+  Hashtbl.remove t.allocated addr;
+  let buddy = addr lxor (1 lsl order) in
+  if order < max_order && Hashtbl.mem t.free_lists.(order) buddy then begin
+    Hashtbl.remove t.free_lists.(order) buddy;
+    free t ~addr:(min addr buddy) ~order:(order + 1)
+  end
+  else Hashtbl.replace t.free_lists.(order) addr ()
+
+let free t ~addr ~order =
+  if not (Hashtbl.mem t.allocated addr) then
+    invalid_arg (Printf.sprintf "Buddy.free: 0x%x not allocated" addr);
+  free t ~addr ~order
+
+let free_bytes t =
+  let sum = ref 0 in
+  Array.iteri (fun o l -> sum := !sum + (Hashtbl.length l * (1 lsl o))) t.free_lists;
+  !sum
+
+let largest_free_order t =
+  let rec go o =
+    if o < min_order then None
+    else if Hashtbl.length t.free_lists.(o) > 0 then Some o
+    else go (o - 1)
+  in
+  go max_order
+
+let fragmentation t =
+  let free = free_bytes t in
+  if free = 0 then 0.0
+  else
+    match largest_free_order t with
+    | None -> 0.0
+    | Some o -> 1.0 -. (float_of_int (1 lsl o) /. float_of_int free)

@@ -1,0 +1,40 @@
+(** Binary buddy allocator for physical page frames.
+
+    This is the Linux-side contrast to CNK's static partitioning: physical
+    memory is managed in power-of-two blocks from 4 KiB up. After churn the
+    free lists fragment, and the probability of satisfying a large
+    contiguous request drops — the "easy to request, may not be granted"
+    row of paper Table II, and the reason large physically contiguous
+    messaging buffers are hard on a stock Linux (§V.C). *)
+
+type t
+
+val create : bytes:int -> t
+(** Manage [bytes] of physical memory (rounded down to a 4 KiB multiple;
+    internally split into maximal power-of-two blocks). *)
+
+val min_order : int
+(** 12 (4 KiB). *)
+
+val max_order : int
+(** 30 (1 GiB). *)
+
+val alloc : t -> order:int -> (int, Errno.t) result
+(** Allocate a 2^order-byte block aligned to its size; [ENOMEM] when no
+    block of that order (or above, to split) is free. *)
+
+val alloc_bytes : t -> int -> (int, Errno.t) result
+(** Allocate the smallest order covering the size. *)
+
+val free : t -> addr:int -> order:int -> unit
+(** Return a block; buddies coalesce eagerly. Freeing something that was
+    never allocated raises [Invalid_argument]. *)
+
+val free_bytes : t -> int
+val largest_free_order : t -> int option
+(** The biggest contiguous block currently available — the fragmentation
+    probe the §V.C bench uses. *)
+
+val fragmentation : t -> float
+(** 1 - largest_free_block/free_bytes; 0 when all free memory is one
+    block, approaching 1 under heavy fragmentation. *)

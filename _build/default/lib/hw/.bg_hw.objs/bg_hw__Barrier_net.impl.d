@@ -1,0 +1,1 @@
+lib/hw/barrier_net.ml: Bg_engine Cycles Fault Int64 List Params Sim

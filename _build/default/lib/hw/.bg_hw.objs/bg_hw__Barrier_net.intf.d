@@ -1,0 +1,1 @@
+lib/hw/barrier_net.mli: Bg_engine Params

@@ -1,0 +1,1 @@
+lib/hw/chip.ml: Array Bg_engine Cache Dac Dram Fault Fnv Hashtbl Int64 List Memory Params Printf Tlb

@@ -1,0 +1,1 @@
+lib/hw/chip.mli: Bg_engine Cache Dac Dram Fault Memory Params Tlb

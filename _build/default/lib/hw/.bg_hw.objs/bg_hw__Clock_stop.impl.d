@@ -1,0 +1,1 @@
+lib/hw/clock_stop.ml: Bg_engine Chip Cycles Event_queue Sim

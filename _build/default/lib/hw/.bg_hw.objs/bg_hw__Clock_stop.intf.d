@@ -1,0 +1,1 @@
+lib/hw/clock_stop.mli: Bg_engine Chip

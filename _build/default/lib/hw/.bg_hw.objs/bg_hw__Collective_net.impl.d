@@ -1,0 +1,1 @@
+lib/hw/collective_net.ml: Array Bg_engine Cycles Fault Float Int64 Params Sim

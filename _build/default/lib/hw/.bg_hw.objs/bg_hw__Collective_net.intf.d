@@ -1,0 +1,1 @@
+lib/hw/collective_net.mli: Bg_engine Params

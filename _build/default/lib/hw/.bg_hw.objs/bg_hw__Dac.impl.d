@@ -1,0 +1,1 @@
+lib/hw/dac.ml: Array

@@ -1,0 +1,1 @@
+lib/hw/memory.ml: Bg_engine Bytes Hashtbl List Printf

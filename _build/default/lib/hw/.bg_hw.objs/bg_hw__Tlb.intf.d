@@ -1,0 +1,1 @@
+lib/hw/tlb.mli: Page_size Stdlib

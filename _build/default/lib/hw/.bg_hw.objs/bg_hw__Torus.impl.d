@@ -1,0 +1,1 @@
+lib/hw/torus.ml: Bg_engine Cycles Fault Float Hashtbl Int64 List Params Sim

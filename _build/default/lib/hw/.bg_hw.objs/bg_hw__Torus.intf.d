@@ -1,0 +1,1 @@
+lib/hw/torus.mli: Bg_engine Params

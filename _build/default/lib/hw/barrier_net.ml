@@ -1,0 +1,42 @@
+open Bg_engine
+
+type waiter = { rank : int; on_release : release_cycle:Cycles.t -> unit }
+
+type t = {
+  sim : Sim.t;
+  params : Params.t;
+  participants : int;
+  mutable waiters : waiter list;  (* newest first *)
+  mutable generation : int;
+  mutable enabled : bool;
+}
+
+let create sim ?(params = Params.bgp) ~participants () =
+  if participants <= 0 then invalid_arg "Barrier_net.create";
+  { sim; params; participants; waiters = []; generation = 0; enabled = true }
+
+let participants t = t.participants
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
+let generation t = t.generation
+let waiting t = List.length t.waiters
+
+let arrive t ~rank ~on_release =
+  if not t.enabled then raise (Fault.Unavailable "barrier");
+  if rank < 0 || rank >= t.participants then invalid_arg "Barrier_net.arrive";
+  if List.exists (fun w -> w.rank = rank) t.waiters then
+    invalid_arg "Barrier_net.arrive: rank already waiting";
+  t.waiters <- { rank; on_release } :: t.waiters;
+  if List.length t.waiters = t.participants then begin
+    let release_cycle = Sim.now t.sim + t.params.Params.barrier_round_cycles in
+    (* Release in rank order for determinism. *)
+    let all = List.sort (fun a b -> compare a.rank b.rank) t.waiters in
+    t.waiters <- [];
+    t.generation <- t.generation + 1;
+    Sim.emit t.sim ~label:"barrier.release" ~value:(Int64.of_int t.generation);
+    List.iter
+      (fun w ->
+        ignore
+          (Sim.schedule_at t.sim release_cycle (fun () -> w.on_release ~release_cycle)))
+      all
+  end

@@ -1,0 +1,27 @@
+(** Global barrier network.
+
+    A dedicated low-latency AND-tree across all nodes. The paper's
+    multichip-reproducible debugging (§III) keeps this network active and
+    consistently configured across reboots so chips restart on the same
+    relative cycle; {!Bg_bringup.Multichip} builds on this model. *)
+
+type t
+
+val create : Bg_engine.Sim.t -> ?params:Params.t -> participants:int -> unit -> t
+
+val participants : t -> int
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val arrive : t -> rank:int -> on_release:(release_cycle:Bg_engine.Cycles.t -> unit) -> unit
+(** Signal arrival of [rank] at the current barrier generation. When every
+    participant has arrived, all [on_release] callbacks fire one barrier
+    round later, and the network advances to the next generation. Arriving
+    twice in one generation raises [Invalid_argument]. *)
+
+val generation : t -> int
+(** Number of completed barriers. *)
+
+val waiting : t -> int
+(** Participants currently arrived and blocked in this generation. *)

@@ -1,0 +1,44 @@
+type mapping = Modulo_line | Xor_fold | Fixed of int
+
+type t = {
+  line_bytes : int;
+  banks : int;
+  mapping : mapping;
+  counts : int array;
+}
+
+let create ?(line_bytes = 128) ~banks mapping =
+  if banks <= 0 then invalid_arg "Cache.create";
+  (match mapping with
+  | Fixed b when b < 0 || b >= banks -> invalid_arg "Cache.create: bad fixed bank"
+  | _ -> ());
+  { line_bytes; banks; mapping; counts = Array.make banks 0 }
+
+let bank_of t addr =
+  let line = addr / t.line_bytes in
+  match t.mapping with
+  | Modulo_line -> line mod t.banks
+  | Fixed b -> b
+  | Xor_fold ->
+    (* Fold higher line bits back onto the bank index so strided access
+       patterns spread across banks. *)
+    let rec fold acc v = if v = 0 then acc else fold (acc lxor v) (v / t.banks) in
+    fold 0 line mod t.banks
+
+let access t addr =
+  let b = bank_of t addr in
+  t.counts.(b) <- t.counts.(b) + 1
+
+let access_count t ~bank = t.counts.(bank)
+
+let imbalance t =
+  let total = Array.fold_left ( + ) 0 t.counts in
+  if total = 0 then 1.0
+  else begin
+    let mean = float_of_int total /. float_of_int t.banks in
+    let max_load = Array.fold_left max 0 t.counts in
+    float_of_int max_load /. mean
+  end
+
+let mapping t = t.mapping
+let banks t = t.banks

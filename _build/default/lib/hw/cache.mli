@@ -1,0 +1,31 @@
+(** L2 cache bank mapping model.
+
+    The paper (§III) describes using CNK's configuration flags to vary the
+    mapping of physical memory onto L2 cache banks during chip design,
+    measuring application sensitivity to bank conflicts. This model keeps
+    exactly what those experiments need: a configurable address→bank
+    function and conflict accounting; it does not model cached data. *)
+
+type mapping =
+  | Modulo_line  (** bank = (addr / line) mod banks — the naive mapping *)
+  | Xor_fold     (** bank = xor-folded address bits — conflict-resistant *)
+  | Fixed of int (** everything to one bank — a deliberately broken config *)
+
+type t
+
+val create : ?line_bytes:int -> banks:int -> mapping -> t
+
+val bank_of : t -> int -> int
+(** Bank servicing a physical address. *)
+
+val access : t -> int -> unit
+(** Record an access for conflict accounting. *)
+
+val access_count : t -> bank:int -> int
+
+val imbalance : t -> float
+(** max/mean bank load over all accesses so far; 1.0 is perfectly even.
+    Returns 1.0 when no accesses were recorded. *)
+
+val mapping : t -> mapping
+val banks : t -> int

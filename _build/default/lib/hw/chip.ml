@@ -1,0 +1,101 @@
+type unit_id = Torus_unit | Collective_unit | Barrier_unit | Dma_unit | L2_bank of int
+
+type core = {
+  core_id : int;
+  tlb : Tlb.t;
+  dac : Dac.t;
+  mutable retired : int;
+}
+
+type t = {
+  id : int;
+  params : Params.t;
+  cores : core array;
+  dram : Dram.t;
+  boot_sram : Memory.t;
+  mutable l2 : Cache.t;
+  units : (unit_id, Fault.status) Hashtbl.t;
+  mutable reset_count : int;
+}
+
+let unit_name = function
+  | Torus_unit -> "torus"
+  | Collective_unit -> "collective"
+  | Barrier_unit -> "barrier"
+  | Dma_unit -> "dma"
+  | L2_bank i -> Printf.sprintf "l2-bank-%d" i
+
+let create ?(params = Params.bgp) ~id () =
+  let make_core core_id =
+    { core_id; tlb = Tlb.create ~capacity:params.Params.tlb_entries; dac = Dac.create (); retired = 0 }
+  in
+  {
+    id;
+    params;
+    cores = Array.init params.Params.cores_per_node make_core;
+    dram = Dram.create ~size:params.Params.dram_bytes;
+    boot_sram = Memory.create ~size:(64 * 1024);
+    l2 = Cache.create ~banks:params.Params.l2_banks Cache.Xor_fold;
+    units = Hashtbl.create 8;
+    reset_count = 0;
+  }
+
+let id t = t.id
+let params t = t.params
+let cores t = t.cores
+
+let core t i =
+  if i < 0 || i >= Array.length t.cores then invalid_arg "Chip.core";
+  t.cores.(i)
+
+let dram t = t.dram
+let memory t = Dram.memory t.dram
+let boot_sram t = t.boot_sram
+let l2 t = t.l2
+
+let set_l2_mapping t mapping =
+  t.l2 <- Cache.create ~banks:t.params.Params.l2_banks mapping;
+  t
+
+let unit_status t u =
+  match Hashtbl.find_opt t.units u with Some s -> s | None -> Fault.Working
+
+let set_unit_status t u s = Hashtbl.replace t.units u s
+let check_unit t u = Fault.check ~name:(unit_name u) (unit_status t u)
+
+let manufacturing_skew t =
+  (* Deterministic per-chip variability derived from the chip id. *)
+  let h = Bg_engine.Fnv.add_int Bg_engine.Fnv.empty (t.id * 2654435761) in
+  let v = Int64.to_float (Int64.shift_right_logical h 11) in
+  v /. 9007199254740992.0
+
+let reset t =
+  Array.iter
+    (fun c ->
+      Tlb.flush c.tlb;
+      for slot = 0 to Dac.registers - 1 do
+        Dac.set c.dac ~slot None
+      done;
+      c.retired <- 0)
+    t.cores;
+  Dram.on_reset t.dram;
+  t.reset_count <- t.reset_count + 1
+
+let reset_count t = t.reset_count
+
+let scan_state t =
+  let open Bg_engine in
+  let h = Fnv.add_int Fnv.empty t.id in
+  let h =
+    Array.fold_left
+      (fun h c ->
+        let h = Fnv.add_int h c.retired in
+        let h = Fnv.add_int h (Tlb.entry_count c.tlb) in
+        List.fold_left
+          (fun h (e : Tlb.entry) ->
+            let h = Fnv.add_int h e.Tlb.vaddr in
+            Fnv.add_int h e.Tlb.paddr)
+          h (Tlb.entries c.tlb))
+      h t.cores
+  in
+  Fnv.add_int64 h (Dram.digest t.dram)

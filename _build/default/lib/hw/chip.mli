@@ -1,0 +1,53 @@
+(** One Blue Gene/P-like System-On-a-Chip node.
+
+    Aggregates four cores (each with its own TLB and DAC registers), the
+    DRAM, a small boot SRAM, the L2 bank-mapping model, and availability
+    status for each functional unit. The chip-level {!reset} implements the
+    paper's reproducible-reboot substrate: all core state is cleared, DRAM
+    obeys its self-refresh rule, and the reset counter is bumped. *)
+
+type unit_id = Torus_unit | Collective_unit | Barrier_unit | Dma_unit | L2_bank of int
+
+type core = {
+  core_id : int;
+  tlb : Tlb.t;
+  dac : Dac.t;
+  mutable retired : int;  (** cycles of work retired, for trace purposes *)
+}
+
+type t
+
+val create : ?params:Params.t -> id:int -> unit -> t
+
+val id : t -> int
+val params : t -> Params.t
+val cores : t -> core array
+val core : t -> int -> core
+val dram : t -> Dram.t
+val memory : t -> Memory.t
+(** Shortcut for [Dram.memory (dram t)]. *)
+
+val boot_sram : t -> Memory.t
+val l2 : t -> Cache.t
+
+val set_l2_mapping : t -> Cache.mapping -> t
+(** Returns a chip with the same identity/memory but a fresh L2 model using
+    the given mapping — the §III cache-mapping experiments. *)
+
+val unit_status : t -> unit_id -> Fault.status
+val set_unit_status : t -> unit_id -> Fault.status -> unit
+val check_unit : t -> unit_id -> unit
+(** Raise {!Fault.Unavailable} if the unit is not working. *)
+
+val manufacturing_skew : t -> float
+(** Per-chip manufacturing variability in [0,1), deterministic in the chip
+    id. Drives the borderline-timing-bug model of {!Bg_bringup}. *)
+
+val reset : t -> unit
+(** Full reset: flush every TLB, clear every DAC register, zero retired
+    counters, apply DRAM self-refresh semantics. Boot SRAM survives. *)
+
+val reset_count : t -> int
+val scan_state : t -> Bg_engine.Fnv.t
+(** Digest of the architectural state a logic scan would capture: core
+    retired counters, TLB geometry, DAC programming, DRAM digest. *)

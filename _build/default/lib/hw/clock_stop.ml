@@ -1,0 +1,28 @@
+open Bg_engine
+
+type t = {
+  sim : Sim.t;
+  chip : Chip.t;
+  mutable handle : Event_queue.handle option;
+  mutable target : Cycles.t option;
+}
+
+let reason_prefix = "clock-stop:"
+
+let create sim ~chip = { sim; chip; handle = None; target = None }
+
+let disarm t =
+  (match t.handle with Some h -> Sim.cancel t.sim h | None -> ());
+  t.handle <- None;
+  t.target <- None
+
+let arm t ~at_cycle =
+  if at_cycle < Sim.now t.sim then invalid_arg "Clock_stop.arm: cycle in the past";
+  disarm t;
+  t.target <- Some at_cycle;
+  t.handle <-
+    Some
+      (Sim.schedule_at t.sim at_cycle (fun () ->
+           Sim.halt t.sim (reason_prefix ^ string_of_int (Chip.id t.chip))))
+
+let armed_at t = t.target

@@ -1,0 +1,21 @@
+(** "Clock Stop" debug hardware.
+
+    Stops a single chip's clocks at a programmed cycle so its state can be
+    scanned out (paper §III). The limitation the paper works around — the
+    unit spans only one chip — is preserved: one armed target per unit.
+    Stopping halts the whole simulation (the chip's clocks gate everything
+    observable about it) with a reason the bringup tooling recognizes. *)
+
+type t
+
+val create : Bg_engine.Sim.t -> chip:Chip.t -> t
+
+val arm : t -> at_cycle:Bg_engine.Cycles.t -> unit
+(** Program a stop at an absolute cycle (must be in the future). Re-arming
+    replaces the previous target. *)
+
+val disarm : t -> unit
+val armed_at : t -> Bg_engine.Cycles.t option
+
+val reason_prefix : string
+(** Halt reason is [reason_prefix ^ string_of_int chip_id]. *)

@@ -1,0 +1,68 @@
+open Bg_engine
+
+type t = {
+  sim : Sim.t;
+  params : Params.t;
+  compute_nodes : int;
+  nodes_per_io_node : int;
+  (* busy-until of each I/O node's shared root link, per direction *)
+  up_busy : Cycles.t array;
+  down_busy : Cycles.t array;
+  mutable enabled : bool;
+}
+
+let create sim ?(params = Params.bgp) ~compute_nodes ~nodes_per_io_node () =
+  if compute_nodes <= 0 || nodes_per_io_node <= 0 then
+    invalid_arg "Collective_net.create";
+  let io_nodes = (compute_nodes + nodes_per_io_node - 1) / nodes_per_io_node in
+  {
+    sim;
+    params;
+    compute_nodes;
+    nodes_per_io_node;
+    up_busy = Array.make io_nodes 0;
+    down_busy = Array.make io_nodes 0;
+    enabled = true;
+  }
+
+let compute_nodes t = t.compute_nodes
+let io_node_count t = Array.length t.up_busy
+
+let io_node_of t ~cn =
+  if cn < 0 || cn >= t.compute_nodes then invalid_arg "Collective_net.io_node_of";
+  cn / t.nodes_per_io_node
+
+let tree_depth t =
+  (* Binary-tree depth of a pset. *)
+  let rec go depth n = if n <= 1 then depth else go (depth + 1) ((n + 1) / 2) in
+  go 1 t.nodes_per_io_node
+
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
+
+let serialization_cycles t bytes =
+  int_of_float
+    (Float.ceil (float_of_int bytes /. t.params.Params.collective_link_bytes_per_cycle))
+
+let estimate_cycles t ~bytes =
+  (tree_depth t * t.params.Params.collective_hop_cycles) + serialization_cycles t bytes
+
+let ship t busy idx ~bytes ~on_arrival =
+  if not t.enabled then raise (Fault.Unavailable "collective");
+  let now = Sim.now t.sim in
+  let ser = serialization_cycles t bytes in
+  let start = max now busy.(idx) in
+  busy.(idx) <- start + ser;
+  let arrival = start + ser + (tree_depth t * t.params.Params.collective_hop_cycles) in
+  ignore
+    (Sim.schedule_at t.sim arrival (fun () -> on_arrival ~arrival_cycle:arrival))
+
+let to_io_node t ~cn ~bytes ~on_arrival =
+  let io = io_node_of t ~cn in
+  Sim.emit t.sim ~label:"collective.up" ~value:(Int64.of_int cn);
+  ship t t.up_busy io ~bytes ~on_arrival
+
+let to_compute_node t ~cn ~bytes ~on_arrival =
+  let io = io_node_of t ~cn in
+  Sim.emit t.sim ~label:"collective.down" ~value:(Int64.of_int cn);
+  ship t t.down_busy io ~bytes ~on_arrival

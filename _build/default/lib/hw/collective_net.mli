@@ -1,0 +1,37 @@
+(** Collective (tree) network linking compute nodes to their I/O node.
+
+    On BG/P every pset of compute nodes shares one I/O node over the
+    collective network; CNK function-ships I/O system calls over it (paper
+    §IV.A). The model charges tree-depth hop latency plus serialization on
+    the shared I/O-node link, so many compute nodes offloading at once
+    queue behind each other — the aggregation the paper credits with
+    keeping filesystem-client counts manageable. *)
+
+type t
+
+val create :
+  Bg_engine.Sim.t ->
+  ?params:Params.t ->
+  compute_nodes:int ->
+  nodes_per_io_node:int ->
+  unit ->
+  t
+
+val compute_nodes : t -> int
+val io_node_count : t -> int
+val io_node_of : t -> cn:int -> int
+val tree_depth : t -> int
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val to_io_node :
+  t -> cn:int -> bytes:int -> on_arrival:(arrival_cycle:Bg_engine.Cycles.t -> unit) -> unit
+(** Ship [bytes] from compute node [cn] up to its I/O node. *)
+
+val to_compute_node :
+  t -> cn:int -> bytes:int -> on_arrival:(arrival_cycle:Bg_engine.Cycles.t -> unit) -> unit
+(** Ship a reply back down to [cn]. *)
+
+val estimate_cycles : t -> bytes:int -> int
+(** Contention-free one-way cost. *)

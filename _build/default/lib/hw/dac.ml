@@ -1,0 +1,28 @@
+type watch = { lo : int; hi : int; on_store : bool; on_load : bool }
+
+type t = { slots : watch option array }
+
+let registers = 4
+
+let create () = { slots = Array.make registers None }
+
+let set t ~slot w =
+  if slot < 0 || slot >= registers then invalid_arg "Dac.set: bad slot";
+  t.slots.(slot) <- w
+
+let get t ~slot =
+  if slot < 0 || slot >= registers then invalid_arg "Dac.get: bad slot";
+  t.slots.(slot)
+
+let find t addr select =
+  let rec go i =
+    if i = registers then None
+    else
+      match t.slots.(i) with
+      | Some w when select w && addr >= w.lo && addr < w.hi -> Some i
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let check_store t ~addr = find t addr (fun w -> w.on_store)
+let check_load t ~addr = find t addr (fun w -> w.on_load)

@@ -1,0 +1,26 @@
+(** Debug Address Compare registers.
+
+    BG/P cores expose a small number of address-compare register pairs that
+    raise a debug exception when a load/store touches a watched range. CNK
+    repurposes them as stack guard ranges (paper §IV.C, Fig 4): no page
+    granularity, no page faults, just a range check on stores. *)
+
+type watch = { lo : int; hi : int; on_store : bool; on_load : bool }
+(** Watch the half-open range [lo, hi). *)
+
+type t
+
+val registers : int
+(** Number of DAC register pairs per core (4, as on the 450 core). *)
+
+val create : unit -> t
+
+val set : t -> slot:int -> watch option -> unit
+(** Program or clear one register pair. [slot] in [0, registers). *)
+
+val get : t -> slot:int -> watch option
+
+val check_store : t -> addr:int -> int option
+(** [check_store t ~addr] returns the matching slot, if any. *)
+
+val check_load : t -> addr:int -> int option

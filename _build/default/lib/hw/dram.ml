@@ -1,0 +1,11 @@
+type t = { memory : Memory.t; mutable self_refresh : bool }
+
+let create ~size = { memory = Memory.create ~size; self_refresh = false }
+let memory t = t.memory
+let enter_self_refresh t = t.self_refresh <- true
+let exit_self_refresh t = t.self_refresh <- false
+let in_self_refresh t = t.self_refresh
+
+let on_reset t = if not t.self_refresh then Memory.zero t.memory
+
+let digest t = Memory.digest t.memory

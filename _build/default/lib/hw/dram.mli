@@ -1,0 +1,21 @@
+(** DDR DRAM with self-refresh.
+
+    The only state that survives a full chip reset is DRAM placed in
+    self-refresh beforehand (paper §III). {!on_reset} implements exactly
+    that rule: contents survive iff self-refresh was engaged. *)
+
+type t
+
+val create : size:int -> t
+val memory : t -> Memory.t
+
+val enter_self_refresh : t -> unit
+val exit_self_refresh : t -> unit
+val in_self_refresh : t -> bool
+
+val on_reset : t -> unit
+(** Apply reset semantics: keep contents when in self-refresh, otherwise
+    lose everything (contents return to zero). Self-refresh state itself
+    survives the reset; boot code must exit it explicitly. *)
+
+val digest : t -> Bg_engine.Fnv.t

@@ -1,0 +1,13 @@
+type status = Working | Broken of string | Absent
+
+exception Unavailable of string
+
+let check ~name = function
+  | Working -> ()
+  | Broken why -> raise (Unavailable (Printf.sprintf "%s broken: %s" name why))
+  | Absent -> raise (Unavailable (Printf.sprintf "%s absent" name))
+
+let pp_status ppf = function
+  | Working -> Format.pp_print_string ppf "working"
+  | Broken why -> Format.fprintf ppf "broken (%s)" why
+  | Absent -> Format.pp_print_string ppf "absent"

@@ -1,0 +1,16 @@
+(** Hardware fault and availability modeling.
+
+    Chip bringup (paper §III) runs CNK with major units absent (during
+    design) or broken (during bringup). Units carry an availability status;
+    using an unavailable unit raises {!Unavailable}, which the kernel can
+    tolerate when configured with the matching control flag. *)
+
+type status = Working | Broken of string | Absent
+
+exception Unavailable of string
+(** Raised by a hardware unit that is broken or absent. *)
+
+val check : name:string -> status -> unit
+(** Raise {!Unavailable} unless the status is [Working]. *)
+
+val pp_status : Format.formatter -> status -> unit

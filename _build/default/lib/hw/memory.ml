@@ -1,0 +1,99 @@
+let chunk_bits = 16
+let chunk_size = 1 lsl chunk_bits
+
+type t = { size : int; chunks : (int, bytes) Hashtbl.t }
+
+let create ~size =
+  if size <= 0 then invalid_arg "Memory.create: size must be positive";
+  { size; chunks = Hashtbl.create 64 }
+
+let size t = t.size
+
+let check t addr len =
+  if addr < 0 || len < 0 || addr + len > t.size then
+    invalid_arg
+      (Printf.sprintf "Memory: access [0x%x, +%d) outside of %d bytes" addr len
+         t.size)
+
+(* Shared all-zero chunk handed out for reads of untouched memory. Never
+   exposed to writers, so it stays zero. *)
+let zero_chunk = Bytes.make chunk_size '\000'
+
+let chunk_rw t idx =
+  match Hashtbl.find_opt t.chunks idx with
+  | Some c -> c
+  | None ->
+    let c = Bytes.make chunk_size '\000' in
+    Hashtbl.add t.chunks idx c;
+    c
+
+let chunk_ro t idx =
+  match Hashtbl.find_opt t.chunks idx with Some c -> c | None -> zero_chunk
+
+(* Walk the chunks overlapping [addr, addr+len), calling
+   [f chunk offset_in_chunk offset_in_buffer span]. *)
+let iter_spans t addr len ~alloc f =
+  let chunk = if alloc then chunk_rw t else chunk_ro t in
+  let pos = ref addr in
+  let done_ = ref 0 in
+  while !done_ < len do
+    let idx = !pos lsr chunk_bits in
+    let off = !pos land (chunk_size - 1) in
+    let span = min (chunk_size - off) (len - !done_) in
+    f (chunk idx) off !done_ span;
+    pos := !pos + span;
+    done_ := !done_ + span
+  done
+
+let read t ~addr ~len =
+  check t addr len;
+  let out = Bytes.create len in
+  iter_spans t addr len ~alloc:false (fun chunk off dst span ->
+      Bytes.blit chunk off out dst span);
+  out
+
+let write t ~addr data =
+  let len = Bytes.length data in
+  check t addr len;
+  iter_spans t addr len ~alloc:true (fun chunk off src span ->
+      Bytes.blit data src chunk off span)
+
+let read_byte t ~addr =
+  check t addr 1;
+  Bytes.get_uint8 (chunk_ro t (addr lsr chunk_bits)) (addr land (chunk_size - 1))
+
+let write_byte t ~addr v =
+  check t addr 1;
+  Bytes.set_uint8 (chunk_rw t (addr lsr chunk_bits)) (addr land (chunk_size - 1)) v
+
+let read_int64 t ~addr =
+  let b = read t ~addr ~len:8 in
+  Bytes.get_int64_le b 0
+
+let write_int64 t ~addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write t ~addr b
+
+let copy ~src ~src_addr ~dst ~dst_addr ~len =
+  let data = read src ~addr:src_addr ~len in
+  write dst ~addr:dst_addr data
+
+let fill t ~addr ~len c =
+  check t addr len;
+  iter_spans t addr len ~alloc:true (fun chunk off _ span ->
+      Bytes.fill chunk off span c)
+
+let zero t = Hashtbl.reset t.chunks
+
+let digest t =
+  (* Fold chunks in index order so the digest is content-deterministic. *)
+  let idxs = Hashtbl.fold (fun k _ acc -> k :: acc) t.chunks [] in
+  let idxs = List.sort compare idxs in
+  List.fold_left
+    (fun h idx ->
+      let h = Bg_engine.Fnv.add_int h idx in
+      Bg_engine.Fnv.add_bytes h (Hashtbl.find t.chunks idx))
+    Bg_engine.Fnv.empty idxs
+
+let touched_bytes t = Hashtbl.length t.chunks * chunk_size

@@ -1,0 +1,43 @@
+(** Sparse simulated physical memory.
+
+    Backing storage is allocated in 64 KiB chunks on first touch, so a
+    simulated 2 GiB node costs only what the workload actually writes.
+    Contents are real bytes: DMA transfers, function-shipped I/O and
+    persistent-memory reuse all move genuine data, which lets tests assert
+    end-to-end integrity rather than just timing. *)
+
+type t
+
+val create : size:int -> t
+(** [create ~size] makes a zero-filled memory of [size] bytes. *)
+
+val size : t -> int
+
+val read : t -> addr:int -> len:int -> bytes
+(** Raises [Invalid_argument] if the range is out of bounds. *)
+
+val write : t -> addr:int -> bytes -> unit
+
+val read_byte : t -> addr:int -> int
+val write_byte : t -> addr:int -> int -> unit
+
+val read_int64 : t -> addr:int -> int64
+(** Little-endian load; used by tests that store pointers in simulated
+    memory (persistent-memory linked lists, paper §IV.D). *)
+
+val write_int64 : t -> addr:int -> int64 -> unit
+
+val copy : src:t -> src_addr:int -> dst:t -> dst_addr:int -> len:int -> unit
+(** Inter-memory copy (DMA, function-ship buffers). *)
+
+val fill : t -> addr:int -> len:int -> char -> unit
+
+val zero : t -> unit
+(** Drop all contents back to zero (a cold reset without self-refresh). *)
+
+val digest : t -> Bg_engine.Fnv.t
+(** Digest of all touched chunks; equal digests mean equal contents for
+    chunks ever written. Zero-only untouched regions do not contribute. *)
+
+val touched_bytes : t -> int
+(** Number of bytes of backing store actually allocated. *)

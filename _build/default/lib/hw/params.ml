@@ -1,0 +1,40 @@
+type t = {
+  cores_per_node : int;
+  dram_bytes : int;
+  l1_bytes : int;
+  l2_banks : int;
+  l2_bytes : int;
+  tlb_entries : int;
+  torus_link_bytes_per_cycle : float;
+  torus_hop_cycles : int;
+  torus_inject_cycles : int;
+  torus_receive_cycles : int;
+  collective_link_bytes_per_cycle : float;
+  collective_hop_cycles : int;
+  barrier_round_cycles : int;
+  dram_refresh_interval_cycles : int;
+  dram_refresh_stall_cycles : int;
+}
+
+let bgp =
+  {
+    cores_per_node = 4;
+    dram_bytes = 2 * 1024 * 1024 * 1024;
+    l1_bytes = 32 * 1024;
+    l2_banks = 8;
+    l2_bytes = 8 * 1024 * 1024;
+    tlb_entries = 64;
+    (* 425 MB/s per link direction at 850 MHz. *)
+    torus_link_bytes_per_cycle = 0.5;
+    torus_hop_cycles = 85;          (* ~100 ns per hop *)
+    torus_inject_cycles = 260;      (* ~0.31 us user-space DMA injection *)
+    torus_receive_cycles = 170;     (* ~0.20 us reception + counter update *)
+    (* Collective (tree) network: ~0.85 GB/s, ~0.8 us per hop. *)
+    collective_link_bytes_per_cycle = 1.0;
+    collective_hop_cycles = 680;
+    barrier_round_cycles = 1105;    (* ~1.3 us global barrier round *)
+    (* DDR refresh: one short stall every 7.8 us, the residual noise floor
+       even under CNK (paper: CNK spread < 0.006%). *)
+    dram_refresh_interval_cycles = 6630;
+    dram_refresh_stall_cycles = 11;
+  }

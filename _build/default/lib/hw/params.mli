@@ -1,0 +1,28 @@
+(** Chip and interconnect parameters of the simulated machine.
+
+    Defaults model a Blue Gene/P node: 4 PowerPC-450-class cores at 850 MHz,
+    2 GiB DDR, 64-entry TLB per core with 1 MB/16 MB/256 MB/1 GB pages, a
+    3D torus (425 MB/s per link per direction), a collective (tree) network
+    and a global barrier network. Everything is a plain record so bringup
+    experiments can run with units disabled or resized (paper §III). *)
+
+type t = {
+  cores_per_node : int;
+  dram_bytes : int;
+  l1_bytes : int;
+  l2_banks : int;
+  l2_bytes : int;
+  tlb_entries : int;  (** per-core TLB capacity *)
+  torus_link_bytes_per_cycle : float;  (** 425 MB/s at 850 MHz = 0.5 B/cycle *)
+  torus_hop_cycles : int;
+  torus_inject_cycles : int;  (** DMA descriptor injection from user space *)
+  torus_receive_cycles : int;
+  collective_link_bytes_per_cycle : float;
+  collective_hop_cycles : int;
+  barrier_round_cycles : int;  (** global-barrier network round latency *)
+  dram_refresh_interval_cycles : int;
+  dram_refresh_stall_cycles : int;
+}
+
+val bgp : t
+(** Default BG/P-like configuration. *)

@@ -1,0 +1,77 @@
+type perm = { read : bool; write : bool; execute : bool }
+
+let perm_rwx = { read = true; write = true; execute = true }
+let perm_rw = { read = true; write = true; execute = false }
+let perm_rx = { read = true; write = false; execute = true }
+let perm_ro = { read = true; write = false; execute = false }
+
+type entry = { vaddr : int; paddr : int; size : Page_size.t; perm : perm }
+
+type access = Load | Store | Fetch
+
+type result = Hit of int | Miss | Fault of string
+
+type t = {
+  capacity : int;
+  mutable entries : entry list;  (* oldest last, for FIFO eviction *)
+  mutable evictions : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Tlb.create";
+  { capacity; entries = []; evictions = 0; misses = 0 }
+
+let covers e addr =
+  addr >= e.vaddr && addr < e.vaddr + Page_size.bytes e.size
+
+let overlaps a b =
+  let a_end = a.vaddr + Page_size.bytes a.size in
+  let b_end = b.vaddr + Page_size.bytes b.size in
+  a.vaddr < b_end && b.vaddr < a_end
+
+let install t e =
+  if not (Page_size.aligned e.size e.vaddr) then
+    Error
+      (Printf.sprintf "vaddr 0x%x not aligned to %s page" e.vaddr
+         (Page_size.to_string e.size))
+  else if not (Page_size.aligned e.size e.paddr) then
+    Error
+      (Printf.sprintf "paddr 0x%x not aligned to %s page" e.paddr
+         (Page_size.to_string e.size))
+  else if List.exists (overlaps e) t.entries then
+    Error (Printf.sprintf "entry at 0x%x overlaps an installed mapping" e.vaddr)
+  else begin
+    if List.length t.entries >= t.capacity then begin
+      (* FIFO eviction of the oldest entry. *)
+      t.entries <- List.filteri (fun i _ -> i < List.length t.entries - 1) t.entries;
+      t.evictions <- t.evictions + 1
+    end;
+    t.entries <- e :: t.entries;
+    Ok ()
+  end
+
+let permitted access perm =
+  match access with
+  | Load -> perm.read
+  | Store -> perm.write
+  | Fetch -> perm.execute
+
+let translate t access addr =
+  match List.find_opt (fun e -> covers e addr) t.entries with
+  | None ->
+    t.misses <- t.misses + 1;
+    Miss
+  | Some e ->
+    if permitted access e.perm then Hit (e.paddr + (addr - e.vaddr))
+    else
+      Fault
+        (Printf.sprintf "%s access to 0x%x denied"
+           (match access with Load -> "load" | Store -> "store" | Fetch -> "fetch")
+           addr)
+
+let flush t = t.entries <- []
+let entries t = t.entries
+let entry_count t = List.length t.entries
+let evictions t = t.evictions
+let misses t = t.misses

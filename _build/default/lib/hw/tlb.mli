@@ -1,0 +1,53 @@
+(** Per-core translation lookaside buffer.
+
+    Two usage styles exist, matching the two kernels:
+    - CNK installs a static set of entries at process start and never takes
+      a miss (paper §IV.C);
+    - the FWK installs 4 KiB entries on demand; capacity evictions (FIFO)
+      model the translation-miss noise contributor of paper §IV.C.
+
+    Translation is by explicit entries only; overlapping entries are
+    rejected at install time. *)
+
+type perm = { read : bool; write : bool; execute : bool }
+
+val perm_rwx : perm
+val perm_rw : perm
+val perm_rx : perm
+val perm_ro : perm
+
+type entry = {
+  vaddr : int;  (** virtual base, aligned to [size] *)
+  paddr : int;  (** physical base, aligned to [size] *)
+  size : Page_size.t;
+  perm : perm;
+}
+
+type t
+
+type access = Load | Store | Fetch
+
+type result =
+  | Hit of int  (** translated physical address *)
+  | Miss        (** no entry covers the address *)
+  | Fault of string  (** permission violation *)
+
+val create : capacity:int -> t
+
+val install : t -> entry -> (unit, string) Stdlib.result
+(** Fails on misalignment or overlap with an existing entry. When the TLB
+    is full, the oldest entry is evicted (FIFO) and the eviction counter is
+    bumped — CNK never triggers this; the FWK does. *)
+
+val translate : t -> access -> int -> result
+
+val flush : t -> unit
+(** Drop all entries (chip reset, process teardown). *)
+
+val entries : t -> entry list
+val entry_count : t -> int
+val evictions : t -> int
+(** Number of capacity evictions since creation — CNK asserts this is 0. *)
+
+val misses : t -> int
+(** Number of [Miss] results returned by {!translate}. *)

@@ -1,0 +1,1 @@
+lib/kabi/coro.ml: Bg_engine Effect Sysreq

@@ -1,0 +1,1 @@
+lib/kabi/coro.mli: Bg_engine Sysreq

@@ -1,0 +1,1 @@
+lib/kabi/errno.mli: Format

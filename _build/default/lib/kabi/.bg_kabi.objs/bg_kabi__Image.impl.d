@@ -1,0 +1,1 @@
+lib/kabi/image.ml: List

@@ -1,0 +1,1 @@
+lib/kabi/job.mli: Image

@@ -1,0 +1,1 @@
+lib/kabi/machine.mli: Bg_engine Bg_hw

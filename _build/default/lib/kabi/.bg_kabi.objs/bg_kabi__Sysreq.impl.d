@@ -1,0 +1,1 @@
+lib/kabi/sysreq.ml: Bg_hw Bytes Errno Format List Printf String

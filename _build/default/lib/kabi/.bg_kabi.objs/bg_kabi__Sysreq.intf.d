@@ -1,0 +1,1 @@
+lib/kabi/sysreq.mli: Bg_hw Errno Format

@@ -1,0 +1,60 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t +=
+  | E_consume : int -> unit Effect.t
+  | E_syscall : Sysreq.request -> Sysreq.reply Effect.t
+  | E_rdtsc : Bg_engine.Cycles.t Effect.t
+  | E_load : (int * int) -> bytes Effect.t
+  | E_store : (int * bytes) -> unit Effect.t
+  | E_yield : unit Effect.t
+  | E_cas : (int * int * int) -> bool Effect.t
+  | E_faa : (int * int) -> int Effect.t
+
+exception Killed of string
+
+let consume n =
+  if n < 0 then invalid_arg "Coro.consume: negative cycles";
+  if n > 0 then perform (E_consume n)
+
+let rdtsc () = perform E_rdtsc
+let syscall r = perform (E_syscall r)
+let load ~addr ~len = perform (E_load (addr, len))
+let store ~addr data = perform (E_store (addr, data))
+let yield () = perform E_yield
+let cas ~addr ~expected ~desired = perform (E_cas (addr, expected, desired))
+let fetch_add ~addr delta = perform (E_faa (addr, delta))
+
+type step =
+  | Finished
+  | Crashed of exn
+  | Consume of int * (unit -> step)
+  | Syscall of Sysreq.request * (Sysreq.reply -> step)
+  | Rdtsc of (Bg_engine.Cycles.t -> step)
+  | Load of int * int * (bytes -> step)
+  | Store of int * bytes * (unit -> step)
+  | Yield of (unit -> step)
+  | Cas of int * int * int * (bool -> step)
+  | Fetch_add of int * int * (int -> step)
+
+let start f =
+  match_with f ()
+    {
+      retc = (fun () -> Finished);
+      exnc = (fun e -> Crashed e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_consume n ->
+            Some (fun (k : (a, step) continuation) -> Consume (n, fun () -> continue k ()))
+          | E_syscall r -> Some (fun k -> Syscall (r, fun reply -> continue k reply))
+          | E_rdtsc -> Some (fun k -> Rdtsc (fun t -> continue k t))
+          | E_load (addr, len) -> Some (fun k -> Load (addr, len, fun b -> continue k b))
+          | E_store (addr, data) -> Some (fun k -> Store (addr, data, fun () -> continue k ()))
+          | E_yield -> Some (fun k -> Yield (fun () -> continue k ()))
+          | E_cas (addr, expected, desired) ->
+            Some (fun k -> Cas (addr, expected, desired, fun ok -> continue k ok))
+          | E_faa (addr, delta) ->
+            Some (fun k -> Fetch_add (addr, delta, fun old -> continue k old))
+          | _ -> None);
+    }

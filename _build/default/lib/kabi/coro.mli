@@ -1,0 +1,56 @@
+(** Effect-handler coroutines: the "machine code" of simulated threads.
+
+    User programs are plain OCaml closures that interact with the machine
+    only through the operations below. Each operation performs an OCaml 5
+    effect; {!start} reifies the computation into a {!step} value the
+    kernel schedules — exactly the boundary a real kernel sees (trap in,
+    decide, resume). Continuations are one-shot: each [step]'s resume
+    function must be called at most once.
+
+    [consume] is time: a block of straight-line computation costing [n]
+    cycles. Kernels decide how much wall-clock those cycles take (CNK:
+    exactly [n] plus DRAM refresh; the FWK: [n] plus ticks, daemons and
+    TLB misses — the paper's noise story). *)
+
+val consume : int -> unit
+(** Retire [n >= 0] cycles of computation. *)
+
+val rdtsc : unit -> Bg_engine.Cycles.t
+(** Read the core's timebase register. *)
+
+val syscall : Sysreq.request -> Sysreq.reply
+
+val load : addr:int -> len:int -> bytes
+(** Data access through the MMU (translation + DAC checks apply). *)
+
+val store : addr:int -> bytes -> unit
+
+val yield : unit -> unit
+(** Voluntarily let another thread of the same core run. *)
+
+val cas : addr:int -> expected:int -> desired:int -> bool
+(** Atomic compare-and-swap on a 64-bit word (lwarx/stwcx on the real
+    core). The kernel performs the read-modify-write as one indivisible
+    step, which is what makes user-space NPTL mutexes possible. *)
+
+val fetch_add : addr:int -> int -> int
+(** Atomic fetch-and-add; returns the previous value. *)
+
+type step =
+  | Finished
+  | Crashed of exn
+  | Consume of int * (unit -> step)
+  | Syscall of Sysreq.request * (Sysreq.reply -> step)
+  | Rdtsc of (Bg_engine.Cycles.t -> step)
+  | Load of int * int * (bytes -> step)
+  | Store of int * bytes * (unit -> step)
+  | Yield of (unit -> step)
+  | Cas of int * int * int * (bool -> step)      (** addr, expected, desired *)
+  | Fetch_add of int * int * (int -> step)       (** addr, delta *)
+
+val start : (unit -> unit) -> step
+(** Run [f] until it finishes, crashes, or performs its first operation. *)
+
+exception Killed of string
+(** Kernels discard a continuation by dropping it; user code that must
+    observe termination (e.g. a SIGSEGV with no handler) sees this. *)

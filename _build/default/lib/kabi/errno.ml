@@ -1,0 +1,71 @@
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | EIO
+  | EBADF
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | EMFILE
+  | ENOSPC
+  | ESPIPE
+  | EROFS
+  | ENOSYS
+  | ENOTEMPTY
+  | ENAMETOOLONG
+
+let to_string = function
+  | EPERM -> "EPERM"
+  | ENOENT -> "ENOENT"
+  | ESRCH -> "ESRCH"
+  | EINTR -> "EINTR"
+  | EIO -> "EIO"
+  | EBADF -> "EBADF"
+  | EAGAIN -> "EAGAIN"
+  | ENOMEM -> "ENOMEM"
+  | EACCES -> "EACCES"
+  | EFAULT -> "EFAULT"
+  | EEXIST -> "EEXIST"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | EINVAL -> "EINVAL"
+  | EMFILE -> "EMFILE"
+  | ENOSPC -> "ENOSPC"
+  | ESPIPE -> "ESPIPE"
+  | EROFS -> "EROFS"
+  | ENOSYS -> "ENOSYS"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+
+let code = function
+  | EPERM -> 1
+  | ENOENT -> 2
+  | ESRCH -> 3
+  | EINTR -> 4
+  | EIO -> 5
+  | EBADF -> 9
+  | EAGAIN -> 11
+  | ENOMEM -> 12
+  | EACCES -> 13
+  | EFAULT -> 14
+  | EEXIST -> 17
+  | ENOTDIR -> 20
+  | EISDIR -> 21
+  | EINVAL -> 22
+  | EMFILE -> 24
+  | ENOSPC -> 28
+  | ESPIPE -> 29
+  | EROFS -> 30
+  | ENOSYS -> 38
+  | ENOTEMPTY -> 39
+  | ENAMETOOLONG -> 36
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal = ( = )

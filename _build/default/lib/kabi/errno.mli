@@ -1,0 +1,35 @@
+(** POSIX error codes returned by syscalls.
+
+    One of the paper's points (§IV.A) is that function-shipping to a Linux
+    I/O node makes CNK produce {e Linux's} result codes verbatim; both
+    kernels and the in-memory filesystem speak this type. *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | EIO
+  | EBADF
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | EMFILE
+  | ENOSPC
+  | ESPIPE
+  | EROFS
+  | ENOSYS
+  | ENOTEMPTY
+  | ENAMETOOLONG
+
+val to_string : t -> string
+val code : t -> int
+(** The conventional Linux numeric value. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

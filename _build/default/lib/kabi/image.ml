@@ -1,0 +1,25 @@
+type symbol = { symbol_name : string; fn : int -> int }
+
+type t = {
+  name : string;
+  text_bytes : int;
+  data_bytes : int;
+  entry : unit -> unit;
+  symbols : symbol list;
+  file_bytes : int;
+}
+
+let executable ~name ?(text_bytes = 1 lsl 20) ?(data_bytes = 1 lsl 20) entry =
+  { name; text_bytes; data_bytes; entry; symbols = []; file_bytes = text_bytes + data_bytes }
+
+let library ~name ?(text_bytes = 1 lsl 20) ?(data_bytes = 1 lsl 18) symbols =
+  {
+    name;
+    text_bytes;
+    data_bytes;
+    entry = (fun () -> ());
+    symbols;
+    file_bytes = text_bytes + data_bytes;
+  }
+
+let find_symbol t name = List.find_opt (fun s -> s.symbol_name = name) t.symbols

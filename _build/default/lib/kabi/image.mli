@@ -1,0 +1,31 @@
+(** Program images — the simulator's stand-in for ELF executables and
+    shared libraries.
+
+    An image carries the section geometry the loader needs (text and data
+    sizes, as the ELF section headers would) plus, in place of machine
+    code, an entry closure and a symbol table of OCaml closures. Dynamic
+    libraries additionally declare an init cost so whole-library loading
+    (paper §IV.B.2: CNK loads the full library rather than demand-paging)
+    shows up in startup time, not as runtime noise. *)
+
+type symbol = { symbol_name : string; fn : int -> int }
+(** Simplified callable symbol: int -> int keeps dlsym monomorphic. *)
+
+type t = {
+  name : string;
+  text_bytes : int;
+  data_bytes : int;      (** .data + .bss *)
+  entry : unit -> unit;  (** main; runs as user code on the main thread *)
+  symbols : symbol list; (** exported functions, for dynamic libraries *)
+  file_bytes : int;      (** on-"disk" size shipped at load time *)
+}
+
+val executable :
+  name:string -> ?text_bytes:int -> ?data_bytes:int -> (unit -> unit) -> t
+(** An executable with a main entry. Sizes default to 1 MB text, 1 MB data. *)
+
+val library :
+  name:string -> ?text_bytes:int -> ?data_bytes:int -> symbol list -> t
+(** A dynamic library: entry is a no-op, symbols are exported. *)
+
+val find_symbol : t -> string -> symbol option

@@ -1,0 +1,20 @@
+type mode = Smp | Dual | Vn
+
+let processes_per_node = function Smp -> 1 | Dual -> 2 | Vn -> 4
+
+type t = {
+  job_name : string;
+  user : string;
+  mode : mode;
+  image : Image.t;
+  shared_bytes : int;
+  threads_per_core : int;
+  reproducible : bool;
+  arg : int;
+}
+
+let create ?(mode = Smp) ?(shared_bytes = 16 * 1024 * 1024) ?(threads_per_core = 3)
+    ?(reproducible = false) ?(arg = 0) ?(user = "user0") ~name image =
+  if threads_per_core < 1 then invalid_arg "Job.create: threads_per_core";
+  if shared_bytes < 0 then invalid_arg "Job.create: shared_bytes";
+  { job_name = name; user; mode; image; shared_bytes; threads_per_core; reproducible; arg }

@@ -1,0 +1,34 @@
+(** Job descriptions, as the control system would submit them.
+
+    The user chooses the node mode (how many processes share a node — SMP,
+    DUAL or VN on BG/P), the shared-memory size (which CNK requires
+    up-front, paper §VII.B) and the image to run. *)
+
+type mode = Smp | Dual | Vn
+(** 1, 2 or 4 processes per node. *)
+
+val processes_per_node : mode -> int
+
+type t = {
+  job_name : string;
+  user : string;  (** submitting user; gates persistent-memory reuse *)
+  mode : mode;
+  image : Image.t;
+  shared_bytes : int;       (** shared-memory region size, fixed at launch *)
+  threads_per_core : int;   (** CNK limit; 1 on early BG/P, up to 3 later *)
+  reproducible : bool;      (** boot in cycle-reproducible mode (paper §III) *)
+  arg : int;                (** scalar argument passed to the program *)
+}
+
+val create :
+  ?mode:mode ->
+  ?shared_bytes:int ->
+  ?threads_per_core:int ->
+  ?reproducible:bool ->
+  ?arg:int ->
+  ?user:string ->
+  name:string ->
+  Image.t ->
+  t
+(** Defaults: SMP mode, 16 MB shared, 3 threads/core, not reproducible,
+    user "user0". *)

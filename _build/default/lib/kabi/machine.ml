@@ -1,0 +1,50 @@
+type ras_severity = Ras_info | Ras_warn | Ras_error
+
+type t = {
+  instance : int;
+  sim : Bg_engine.Sim.t;
+  params : Bg_hw.Params.t;
+  chips : Bg_hw.Chip.t array;
+  torus : Bg_hw.Torus.t;
+  collective : Bg_hw.Collective_net.t;
+  barrier : Bg_hw.Barrier_net.t;
+  mutable ras_subscribers :
+    (rank:int -> severity:ras_severity -> message:string -> unit) list;
+}
+
+let instance_counter = ref 0
+
+let create ?(params = Bg_hw.Params.bgp) ?(seed = 1L) ?nodes_per_io_node ~dims () =
+  incr instance_counter;
+  let x, y, z = dims in
+  let n = x * y * z in
+  let sim = Bg_engine.Sim.create ~seed () in
+  let nodes_per_io_node =
+    match nodes_per_io_node with Some k -> k | None -> if n <= 64 then n else 64
+  in
+  {
+    instance = !instance_counter;
+    sim;
+    params;
+    chips = Array.init n (fun id -> Bg_hw.Chip.create ~params ~id ());
+    torus = Bg_hw.Torus.create sim ~params ~dims ();
+    collective =
+      Bg_hw.Collective_net.create sim ~params ~compute_nodes:n ~nodes_per_io_node ();
+    barrier = Bg_hw.Barrier_net.create sim ~params ~participants:n ();
+    ras_subscribers = [];
+  }
+
+let nodes t = Array.length t.chips
+let chip t i = t.chips.(i)
+let sim t = t.sim
+
+let on_ras t f = t.ras_subscribers <- f :: t.ras_subscribers
+
+let ras_emit t ~rank ~severity ~message =
+  List.iter (fun f -> f ~rank ~severity ~message) t.ras_subscribers
+
+let ras_severity_to_string = function
+  | Ras_info -> "INFO"
+  | Ras_warn -> "WARN"
+  | Ras_error -> "ERROR"
+

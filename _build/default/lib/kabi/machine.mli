@@ -1,0 +1,46 @@
+(** A whole simulated installation: chips wired to the three networks.
+
+    Both kernels, the messaging stack and the bringup tooling share this
+    view. Chip [i] is the compute node with torus rank [i]. *)
+
+type ras_severity = Ras_info | Ras_warn | Ras_error
+
+type t = {
+  instance : int;  (** unique per machine created in this OS process *)
+  sim : Bg_engine.Sim.t;
+  params : Bg_hw.Params.t;
+  chips : Bg_hw.Chip.t array;
+  torus : Bg_hw.Torus.t;
+  collective : Bg_hw.Collective_net.t;
+  barrier : Bg_hw.Barrier_net.t;
+  mutable ras_subscribers :
+    (rank:int -> severity:ras_severity -> message:string -> unit) list;
+      (** use {!on_ras} / {!ras_emit} rather than touching this directly *)
+}
+
+val create :
+  ?params:Bg_hw.Params.t ->
+  ?seed:int64 ->
+  ?nodes_per_io_node:int ->
+  dims:int * int * int ->
+  unit ->
+  t
+(** Build a machine with [x*y*z] nodes. [nodes_per_io_node] defaults to the
+    whole machine sharing one I/O node when small (<= 64 nodes), else 64. *)
+
+val nodes : t -> int
+val chip : t -> int -> Bg_hw.Chip.t
+val sim : t -> Bg_engine.Sim.t
+
+(** {1 RAS events}
+
+    Blue Gene's Reliability/Availability/Serviceability stream: kernels
+    report notable events (guard-page kills, parity errors, unit faults)
+    and the service node collects them. The machine carries a simple
+    pub-sub so producers (kernels) need not know about collectors. *)
+
+val on_ras : t -> (rank:int -> severity:ras_severity -> message:string -> unit) -> unit
+(** Subscribe; multiple subscribers all receive every event. *)
+
+val ras_emit : t -> rank:int -> severity:ras_severity -> message:string -> unit
+val ras_severity_to_string : ras_severity -> string

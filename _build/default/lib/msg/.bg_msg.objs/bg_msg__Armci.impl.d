@@ -1,0 +1,1 @@
+lib/msg/armci.ml: Coro Dcmf Msg_params

@@ -1,0 +1,1 @@
+lib/msg/dcmf.ml: Bg_engine Bg_hw Bytes Coro Cycles Hashtbl List Machine Msg_params Printf Queue Sim Torus

@@ -1,0 +1,1 @@
+lib/msg/dcmf.mli: Bg_engine Machine

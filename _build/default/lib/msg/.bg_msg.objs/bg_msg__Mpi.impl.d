@@ -1,0 +1,1 @@
+lib/msg/mpi.ml: Bg_engine Bg_hw Bytes Coro Cycles Dcmf List Machine Marshal Msg_params Sim

@@ -1,0 +1,1 @@
+lib/msg/mpi.mli: Dcmf

@@ -1,0 +1,1 @@
+lib/msg/msg_params.mli:

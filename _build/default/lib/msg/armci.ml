@@ -1,0 +1,10 @@
+let blocking_put ctx ~dst ~tag ~data =
+  Coro.consume Msg_params.armci_put_overhead;
+  let h = Dcmf.put_with_ack ctx ~dst ~tag ~data in
+  Dcmf.wait h
+
+let blocking_get ctx ~src ~tag =
+  Coro.consume Msg_params.armci_get_overhead;
+  let h = Dcmf.get ctx ~src ~tag in
+  Dcmf.wait h;
+  Dcmf.fetched h

@@ -1,0 +1,10 @@
+(** ARMCI-style blocking one-sided operations (paper Table I).
+
+    ARMCI's blocking put returns only after remote completion is
+    guaranteed (here: the hardware ack), and blocking get after the data
+    has landed locally — both with ARMCI's own bookkeeping on top of the
+    DCMF primitives. Hence "ARMCI Put 2.0 us" sits between raw DCMF put
+    (no remote guarantee) and MPI (two-sided matching). *)
+
+val blocking_put : Dcmf.ctx -> dst:int -> tag:int -> data:bytes -> unit
+val blocking_get : Dcmf.ctx -> src:int -> tag:int -> bytes

@@ -1,0 +1,207 @@
+open Bg_engine
+open Bg_hw
+
+type handle = {
+  mutable complete : bool;
+  mutable at : Cycles.t;
+  mutable data : bytes option;
+}
+
+type ctx = {
+  fabric : fabric;
+  rank : int;
+  buffers : (int, bytes) Hashtbl.t;            (* tag -> registered buffer *)
+  eager_inbox : (int * int * bytes) Queue.t;   (* (tag, src, payload) *)
+}
+
+and fabric = { machine : Machine.t; mutable ctxs : (int * ctx) list }
+
+let make_fabric machine = { machine; ctxs = [] }
+let machine f = f.machine
+let fabric_of c = c.fabric
+
+let attach fabric ~rank =
+  match List.assoc_opt rank fabric.ctxs with
+  | Some c -> c
+  | None ->
+    let c =
+      { fabric; rank; buffers = Hashtbl.create 8; eager_inbox = Queue.create () }
+    in
+    fabric.ctxs <- (rank, c) :: fabric.ctxs;
+    c
+
+let rank c = c.rank
+let node_count c = Machine.nodes c.fabric.machine
+let sim c = c.fabric.machine.Machine.sim
+let torus c = c.fabric.machine.Machine.torus
+
+let peer c rank =
+  match List.assoc_opt rank c.fabric.ctxs with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Dcmf: rank %d not attached" rank)
+
+let register c ~tag ~bytes = Hashtbl.replace c.buffers tag (Bytes.make bytes '\000')
+
+let buffer c ~tag =
+  match Hashtbl.find_opt c.buffers tag with
+  | Some b -> Bytes.copy b
+  | None -> invalid_arg "Dcmf.buffer: unregistered tag"
+
+let fresh_handle () = { complete = false; at = 0; data = None }
+
+let finish h ~at ?data () =
+  h.complete <- true;
+  h.at <- at;
+  h.data <- data
+
+let is_complete h = h.complete
+
+let completion_cycle h =
+  if not h.complete then invalid_arg "Dcmf.completion_cycle: pending";
+  h.at
+
+let fetched h =
+  match h.data with
+  | Some d -> d
+  | None -> invalid_arg "Dcmf.fetched: no data (not a completed get?)"
+
+(* Polling wait, as DCMF does on CNK (interrupts stay off). The interval
+   backs off so multi-megabyte transfers do not flood the event queue. *)
+let wait h =
+  let rec go interval =
+    if not h.complete then begin
+      Coro.consume interval;
+      go (min 2_000 (interval * 2))
+    end
+  in
+  go 50
+
+let deposit peer_ctx ~tag ~data =
+  (match Hashtbl.find_opt peer_ctx.buffers tag with
+  | Some buf ->
+    let n = min (Bytes.length data) (Bytes.length buf) in
+    Bytes.blit data 0 buf 0 n
+  | None ->
+    (* unregistered target: auto-register, as a convenience *)
+    Hashtbl.replace peer_ctx.buffers tag (Bytes.copy data))
+
+let put c ~dst ~tag ~data =
+  let h = fresh_handle () in
+  Coro.consume Msg_params.put_sw;
+  let p = peer c dst in
+  Torus.transfer (torus c) ~src:c.rank ~dst ~bytes:(Bytes.length data)
+    ~on_arrival:(fun ~arrival_cycle ->
+      deposit p ~tag ~data;
+      finish h ~at:arrival_cycle ())
+    ();
+  h
+
+let put_with_ack c ~dst ~tag ~data =
+  let h = fresh_handle () in
+  Coro.consume Msg_params.put_sw;
+  let p = peer c dst in
+  Torus.transfer (torus c) ~src:c.rank ~dst ~bytes:(Bytes.length data)
+    ~on_arrival:(fun ~arrival_cycle:_ ->
+      deposit p ~tag ~data;
+      (* hardware ack packet back to the origin *)
+      Torus.transfer (torus c) ~src:dst ~dst:c.rank ~bytes:Msg_params.remote_ack_bytes
+        ~on_arrival:(fun ~arrival_cycle -> finish h ~at:arrival_cycle ())
+        ())
+    ();
+  h
+
+let get c ~src ~tag =
+  let h = fresh_handle () in
+  Coro.consume Msg_params.get_request_sw;
+  let p = peer c src in
+  (* request packet to the data owner; its DMA reads and streams back,
+     no remote CPU involvement *)
+  Torus.transfer (torus c) ~src:c.rank ~dst:src ~bytes:Msg_params.small_packet_bytes
+    ~on_arrival:(fun ~arrival_cycle:_ ->
+      let data =
+        match Hashtbl.find_opt p.buffers tag with
+        | Some b -> Bytes.copy b
+        | None -> Bytes.empty
+      in
+      ignore
+        (Sim.schedule_in (sim c) Msg_params.get_remote_dma (fun () ->
+             Torus.transfer (torus c) ~src ~dst:c.rank ~bytes:(Bytes.length data)
+               ~on_arrival:(fun ~arrival_cycle ->
+                 finish h ~at:arrival_cycle ~data ())
+               ())))
+    ();
+  h
+
+let send_eager c ~dst ~tag ~data =
+  let h = fresh_handle () in
+  Coro.consume (Msg_params.put_sw + Msg_params.eager_send_sw);
+  let p = peer c dst in
+  Torus.transfer (torus c) ~src:c.rank ~dst
+    ~bytes:(Bytes.length data + Msg_params.small_packet_bytes)
+    ~on_arrival:(fun ~arrival_cycle ->
+      (* receive-side active-message dispatch costs CPU before the payload
+         is usable *)
+      ignore
+        (Sim.schedule_in (sim c) Msg_params.eager_recv_handler (fun () ->
+             Queue.push (tag, c.rank, data) p.eager_inbox;
+             finish h ~at:(arrival_cycle + Msg_params.eager_recv_handler) ())))
+    ();
+  h
+
+let try_recv_eager c ~tag =
+  (* scan the inbox for the first matching tag, preserving order *)
+  let n = Queue.length c.eager_inbox in
+  let found = ref None in
+  for _ = 1 to n do
+    let (t, src, data) = Queue.pop c.eager_inbox in
+    if !found = None && t = tag then found := Some (src, data)
+    else Queue.push (t, src, data) c.eager_inbox
+  done;
+  !found
+
+let put_large c ~dst ~tag ~bytes ~contiguous =
+  ignore tag;
+  let h = fresh_handle () in
+  if contiguous then begin
+    (* one descriptor streams the whole physically contiguous buffer *)
+    Coro.consume Msg_params.put_sw;
+    Torus.transfer (torus c) ~src:c.rank ~dst ~bytes
+      ~on_arrival:(fun ~arrival_cycle -> finish h ~at:arrival_cycle ())
+      ()
+  end
+  else begin
+    (* Fragmented buffer: the DMA cannot walk page tables (paper §IV.C),
+       so software copies each 4 KiB piece through a contiguous bounce
+       buffer (~1.2 B/cycle through DDR, competing with the DMA's own
+       traffic) and builds a descriptor per piece. The copy runs on the
+       calling core, so it serializes against every link this core
+       feeds — that is what caps paged bandwidth below wire speed. *)
+    let frag = Msg_params.paged_fragment_bytes in
+    let pieces = max 1 ((bytes + frag - 1) / frag) in
+    let outstanding = ref pieces in
+    let last_arrival = ref 0 in
+    Coro.consume Msg_params.put_sw;
+    for i = 0 to pieces - 1 do
+      let len = min frag (bytes - (i * frag)) in
+      Coro.consume (Msg_params.paged_fragment_sw + int_of_float (float_of_int len /. 1.2));
+      Torus.transfer (torus c) ~src:c.rank ~dst ~bytes:len
+        ~on_arrival:(fun ~arrival_cycle ->
+          last_arrival := max !last_arrival arrival_cycle;
+          decr outstanding;
+          if !outstanding = 0 then finish h ~at:!last_arrival ())
+        ()
+    done
+  end;
+  h
+
+let barrier_via_hw c =
+  let released = ref false in
+  Bg_hw.Barrier_net.arrive c.fabric.machine.Machine.barrier ~rank:c.rank
+    ~on_release:(fun ~release_cycle:_ -> released := true);
+  let rec spin interval =
+    if not !released then begin
+      Coro.consume interval;
+      spin (min 1_000 (interval * 2))
+    end
+  in
+  spin 50

@@ -1,0 +1,76 @@
+(** DCMF — the Deep Computing Messaging Framework layer (paper §V.C).
+
+    DCMF runs entirely in user space. It can, because CNK (a) lets the
+    application drive the torus DMA directly, (b) exposes the
+    virtual-to-physical mapping, and (c) provides large physically
+    contiguous buffers. Here that shows up as: these functions are called
+    from inside program coroutines, charge user-space software costs via
+    [Coro.consume], and talk straight to {!Bg_hw.Torus} with no syscall.
+
+    A {!fabric} is the per-machine rendezvous point; each rank's program
+    {!attach}es once and gets its context. Data payloads are real bytes:
+    put/get/eager move them into the peer's registered buffers, so tests
+    can assert integrity end to end.
+
+    Completion handling: operations return {!handle}s whose completion is
+    stamped with the hardware arrival cycle plus the receive-side software
+    cost; {!wait} spins (DCMF on CNK polls — there is nothing to yield
+    to). *)
+
+type fabric
+type ctx
+type handle
+
+val make_fabric : Machine.t -> fabric
+val machine : fabric -> Machine.t
+val fabric_of : ctx -> fabric
+val attach : fabric -> rank:int -> ctx
+(** One context per rank; re-attaching returns the same context. *)
+
+val rank : ctx -> int
+val node_count : ctx -> int
+
+val register : ctx -> tag:int -> bytes:int -> unit
+(** Expose a named buffer of the given size for remote put/get. *)
+
+val buffer : ctx -> tag:int -> bytes
+(** Read back a registered buffer's current contents. *)
+
+val put : ctx -> dst:int -> tag:int -> data:bytes -> handle
+(** One-sided put into the peer's registered buffer. The handle completes
+    at remote data arrival (what the paper's one-way latency measures). *)
+
+val put_with_ack : ctx -> dst:int -> tag:int -> data:bytes -> handle
+(** Put whose completion waits for the hardware ack packet to return —
+    the building block of ARMCI's blocking put. *)
+
+val get : ctx -> src:int -> tag:int -> handle
+(** One-sided get of the peer's registered buffer; completes when the data
+    lands locally (find it via {!fetched}). *)
+
+val fetched : handle -> bytes
+(** Data landed by a completed {!get}. *)
+
+val send_eager : ctx -> dst:int -> tag:int -> data:bytes -> handle
+(** Two-sided eager active message; completes (remotely) after the
+    receive-side dispatch handler runs. *)
+
+val try_recv_eager : ctx -> tag:int -> (int * bytes) option
+(** Dequeue an arrived eager message with this tag: (src, payload). *)
+
+val put_large : ctx -> dst:int -> tag:int -> bytes:int -> contiguous:bool -> handle
+(** Bulk transfer for the Fig 8 bandwidth experiment. [contiguous] streams
+    one DMA descriptor; otherwise the buffer is physically fragmented into
+    4 KiB pieces, each needing its own descriptor + handshake round —
+    the Linux-without-big-pages path. No payload bytes are carried. *)
+
+val is_complete : handle -> bool
+val completion_cycle : handle -> Bg_engine.Cycles.t
+(** Raises [Invalid_argument] if not complete yet. *)
+
+val wait : handle -> unit
+(** Spin (adaptive-interval polling) inside the calling coroutine until
+    the handle completes. *)
+
+val barrier_via_hw : ctx -> unit
+(** Enter the global barrier network and spin until released. *)

@@ -1,0 +1,19 @@
+(* All values in 850 MHz cycles; 1 us = 850 cycles.
+   Hardware path for a 1-hop small packet (see Bg_hw.Params.bgp):
+     inject 260 + hop 85 + ser(32B) 64 + receive 170 = 579 cycles = 0.68 us *)
+
+let put_sw = 170            (* 0.9 us total: 579 + 170 = 749 ~ 0.88 us *)
+let eager_send_sw = 300
+let eager_recv_handler = 480 (* eager total ~ 579+300+480 = 1359 ~ 1.6 us *)
+let get_request_sw = 80
+let get_remote_dma = 60     (* get ~ 80+579+60+531 = 1250 ~ 1.5 us *)
+let mpi_send_overhead = 340
+let mpi_match_overhead = 340 (* MPI eager ~ 1359 + 680 = 2039 ~ 2.4 us *)
+let rndv_rts_sw = 250
+let rndv_cts_sw = 250
+let armci_put_overhead = 340 (* ARMCI put ~ 749 + 340 + ack wait ~ 2.0 us *)
+let armci_get_overhead = 1400 (* lock/window checks: ~3.1 us total *)
+let remote_ack_bytes = 16
+let small_packet_bytes = 32
+let paged_fragment_bytes = 4096
+let paged_fragment_sw = 600

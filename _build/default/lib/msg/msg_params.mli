@@ -1,0 +1,55 @@
+(** Software-overhead constants of the messaging stack (cycles).
+
+    These calibrate Table I of the paper. The hardware terms (injection,
+    per-hop, serialization, reception) live in {!Bg_hw.Params}; the values
+    here are the per-layer software costs that stack on top: DCMF's
+    user-space descriptor construction, active-message dispatch, MPI's tag
+    matching, the rendezvous handshake, and ARMCI's blocking semantics.
+
+    Sums at 850 MHz for nearest neighbors reproduce the paper's ordering:
+    DCMF Put 0.9 us < DCMF Eager = DCMF Get 1.6 us < ARMCI Put 2.0 us <
+    MPI Eager 2.4 us < ARMCI Get 3.3 us < MPI Rendezvous 5.6 us. *)
+
+val put_sw : int
+(** DCMF put: build + inject a descriptor from user space. *)
+
+val eager_send_sw : int
+(** DCMF eager send-side: header construction on top of the put path. *)
+
+val eager_recv_handler : int
+(** DCMF eager receive-side: active-message dispatch + copy-out. *)
+
+val get_request_sw : int
+(** DCMF get: request construction. *)
+
+val get_remote_dma : int
+(** DCMF get: remote-side DMA read setup (no remote CPU involvement). *)
+
+val mpi_send_overhead : int
+(** MPI_Send on top of DCMF eager: envelope + request bookkeeping. *)
+
+val mpi_match_overhead : int
+(** MPI receive-side tag matching against posted/unexpected queues. *)
+
+val rndv_rts_sw : int
+(** Rendezvous: RTS construction. *)
+
+val rndv_cts_sw : int
+(** Rendezvous: CTS turnaround at the receiver. *)
+
+val armci_put_overhead : int
+(** ARMCI blocking-put bookkeeping + local fence. *)
+
+val armci_get_overhead : int
+
+val remote_ack_bytes : int
+(** Size of a completion/ack packet. *)
+
+val small_packet_bytes : int
+(** Control packet size (RTS/CTS/get-request). *)
+
+val paged_fragment_bytes : int
+(** Fragment size when the buffer is not physically contiguous (4 KiB). *)
+
+val paged_fragment_sw : int
+(** Per-fragment software cost (descriptor + pin) on the paged path. *)

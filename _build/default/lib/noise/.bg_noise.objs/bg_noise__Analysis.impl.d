@@ -1,0 +1,1 @@
+lib/noise/analysis.ml: Array Bg_engine Format List

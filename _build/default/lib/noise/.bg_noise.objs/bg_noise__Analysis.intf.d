@@ -1,0 +1,1 @@
+lib/noise/analysis.mli: Format

@@ -1,0 +1,1 @@
+lib/noise/fwq_harness.ml: Array Bg_apps Bg_engine Bg_fwk Cnk Float Format Image Job List Machine Sim Stats

@@ -1,0 +1,1 @@
+lib/noise/fwq_harness.mli: Bg_fwk Format

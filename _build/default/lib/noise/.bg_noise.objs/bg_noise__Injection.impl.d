@@ -1,0 +1,1 @@
+lib/noise/injection.ml: Bg_engine Bg_hw Cnk Cycles Format Int64 Machine Rng Sim

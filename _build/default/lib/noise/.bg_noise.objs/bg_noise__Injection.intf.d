@@ -1,0 +1,1 @@
+lib/noise/injection.mli: Bg_engine Cnk Format

@@ -1,0 +1,1 @@
+lib/noise/scaling.ml: Array Bg_engine Bg_fwk Bg_hw Cycles Injection Int64 Rng Stats

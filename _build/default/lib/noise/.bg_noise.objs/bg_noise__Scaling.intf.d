@@ -1,0 +1,1 @@
+lib/noise/scaling.mli: Injection

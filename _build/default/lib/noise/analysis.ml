@@ -1,0 +1,58 @@
+type event = { at_iteration : int; stolen_cycles : int }
+
+type signature = {
+  floor_cycles : int;
+  events : event list;
+  event_count : int;
+  mean_stolen : float;
+  max_stolen : int;
+  events_per_second : float;
+  cpu_fraction : float;
+}
+
+let characterize ?(threshold_cycles = 200) samples =
+  if Array.length samples = 0 then invalid_arg "Analysis.characterize: empty";
+  let floor_cycles = Array.fold_left min max_int samples in
+  let events = ref [] in
+  Array.iteri
+    (fun i s ->
+      let excess = s - floor_cycles in
+      if excess > threshold_cycles then
+        events := { at_iteration = i; stolen_cycles = excess } :: !events)
+    samples;
+  let events = List.rev !events in
+  let total_elapsed = Array.fold_left ( + ) 0 samples in
+  let total_stolen = List.fold_left (fun acc e -> acc + e.stolen_cycles) 0 events in
+  let n = List.length events in
+  {
+    floor_cycles;
+    events;
+    event_count = n;
+    mean_stolen = (if n = 0 then 0.0 else float_of_int total_stolen /. float_of_int n);
+    max_stolen = List.fold_left (fun acc e -> max acc e.stolen_cycles) 0 events;
+    events_per_second =
+      float_of_int n /. Bg_engine.Cycles.to_seconds (max 1 total_elapsed);
+    cpu_fraction = float_of_int total_stolen /. float_of_int (max 1 total_elapsed);
+  }
+
+let classify s ~bins =
+  if bins <= 0 then invalid_arg "Analysis.classify";
+  if s.events = [] then []
+  else begin
+    let hi = s.max_stolen + 1 in
+    let width = max 1 ((hi + bins - 1) / bins) in
+    let counts = Array.make bins 0 in
+    List.iter
+      (fun e ->
+        let b = min (bins - 1) (e.stolen_cycles / width) in
+        counts.(b) <- counts.(b) + 1)
+      s.events;
+    List.init bins (fun b -> (b * width, ((b + 1) * width) - 1, counts.(b)))
+    |> List.filter (fun (_, _, c) -> c > 0)
+  end
+
+let pp ppf s =
+  Format.fprintf ppf
+    "floor %d cycles; %d events (%.1f/s), mean +%.0f, worst +%d, %.3f%% cpu stolen@."
+    s.floor_cycles s.event_count s.events_per_second s.mean_stolen s.max_stolen
+    (100.0 *. s.cpu_fraction)

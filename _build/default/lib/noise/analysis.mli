@@ -1,0 +1,35 @@
+(** Noise characterization from FWQ samples.
+
+    The paper leans on noise-characterization work (Ferreira et al.) that
+    describes interference by the salient parameters applications feel:
+    how often events strike, how long they last, and how much CPU they
+    steal. This module infers those parameters back out of an FWQ sample
+    stream — closing the loop on the simulator: the signature recovered
+    from measured data should match the daemon population that was
+    configured in. *)
+
+type event = {
+  at_iteration : int;
+  stolen_cycles : int;  (** excess over the noise floor *)
+}
+
+type signature = {
+  floor_cycles : int;        (** the detected unperturbed iteration cost *)
+  events : event list;
+  event_count : int;
+  mean_stolen : float;       (** cycles per event *)
+  max_stolen : int;
+  events_per_second : float; (** strike rate in simulated time *)
+  cpu_fraction : float;      (** total stolen / total elapsed *)
+}
+
+val characterize : ?threshold_cycles:int -> int array -> signature
+(** Detect interference events in per-iteration FWQ samples: iterations
+    exceeding the floor (the minimum sample) by more than
+    [threshold_cycles] (default 200) count as struck. *)
+
+val classify : signature -> bins:int -> (int * int * int) list
+(** Histogram the per-event magnitudes into [bins]: (lo_cycles, hi_cycles,
+    count) — distinguishes tick-class events from daemon-class ones. *)
+
+val pp : Format.formatter -> signature -> unit

@@ -1,0 +1,24 @@
+(** Ferreira-style kernel-level noise injection into CNK (paper §V.A).
+
+    CNK is quiet, which makes it the ideal testbed for studying noise:
+    inject synthetic interference with a chosen frequency and duration and
+    measure what it does to applications — the technique of the Ferreira/
+    Bridges/Brightwell work the paper cites. An injector hooks one node's
+    cores and charges periodic penalties through the kernel's
+    interference accumulator. *)
+
+type profile = {
+  period_cycles : int;    (** mean activation period *)
+  duration_cycles : int;  (** cycles stolen per activation *)
+  jitter : float;         (** uniform fraction of period *)
+}
+
+val pp_profile : Format.formatter -> profile -> unit
+
+val attach :
+  Cnk.Node.t -> profile:profile -> seed:int64 -> until:Bg_engine.Cycles.t -> unit
+(** Schedule injection events on every core of the node from now until
+    [until] (absolute cycle). Deterministic in [seed]. *)
+
+val injected_fraction : profile -> float
+(** duration/period — the nominal CPU share stolen. *)

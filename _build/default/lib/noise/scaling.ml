@@ -1,0 +1,107 @@
+open Bg_engine
+
+type noise_profile =
+  | Quiet
+  | Linux_daemons
+  | Linux_io_node
+  | Linux_synchronized
+  | Injected of Injection.profile
+
+(* Per-node interference source built once per run; [advance] returns the
+   finish time of [work] starting at [start] on that node's critical core. *)
+let make_source profile rng =
+  match profile with
+  | Quiet ->
+    let params = Bg_hw.Params.bgp in
+    let interval = params.Bg_hw.Params.dram_refresh_interval_cycles in
+    let stall = params.Bg_hw.Params.dram_refresh_stall_cycles in
+    fun ~start ~work ->
+      let k = ((start + work) / interval) - (start / interval) in
+      start + work + (k * stall)
+  | Linux_daemons ->
+    let model =
+      Bg_fwk.Noise_model.create ~daemons:(Bg_fwk.Noise_model.suse_daemon_set ~core:0) ~rng ()
+    in
+    fun ~start ~work -> Bg_fwk.Noise_model.advance model ~start ~work
+  | Linux_io_node ->
+    let model =
+      Bg_fwk.Noise_model.create ~daemons:(Bg_fwk.Noise_model.io_node_daemon_set ~core:0) ~rng ()
+    in
+    fun ~start ~work -> Bg_fwk.Noise_model.advance model ~start ~work
+  | Linux_synchronized ->
+    (* callers pass identical rng streams; the generator itself is the
+       ordinary daemon population *)
+    let model =
+      Bg_fwk.Noise_model.create ~daemons:(Bg_fwk.Noise_model.suse_daemon_set ~core:0) ~rng ()
+    in
+    fun ~start ~work -> Bg_fwk.Noise_model.advance model ~start ~work
+  | Injected p ->
+    let daemon =
+      {
+        Bg_fwk.Noise_model.daemon_name = "injected";
+        period_mean = float_of_int p.Injection.period_cycles;
+        period_jitter = p.Injection.jitter;
+        cost_mean = float_of_int p.Injection.duration_cycles;
+        cost_jitter = 0.0;
+      }
+    in
+    let model =
+      Bg_fwk.Noise_model.create ~tick_interval:max_int ~tick_cost:0 ~daemons:[ daemon ] ~rng ()
+    in
+    fun ~start ~work -> Bg_fwk.Noise_model.advance model ~start ~work
+
+let tree_cycles nodes =
+  let p = Bg_hw.Params.bgp in
+  let rec depth d n = if n <= 1 then d else depth (d + 1) ((n + 1) / 2) in
+  (2 * depth 0 nodes * p.Bg_hw.Params.collective_hop_cycles) + 300
+
+(* One bulk-synchronous run: every iteration ends at
+   max_i(finish_i) + tree; returns the per-iteration durations. *)
+let run_bsp ~nodes ~iterations ~work_cycles ~profile ~seed =
+  let root = Rng.create seed in
+  let sources =
+    match profile with
+    | Linux_synchronized ->
+      (* identical streams: every node's daemons fire on the same cycles,
+         so per-iteration delays coincide instead of compounding *)
+      Array.init nodes (fun _ ->
+          make_source Linux_daemons (Rng.split root "synchronized"))
+    | _ ->
+      Array.init nodes (fun i -> make_source profile (Rng.split root (string_of_int i)))
+  in
+  let tree = tree_cycles nodes in
+  let now = ref 0 in
+  let durations = Array.make iterations 0.0 in
+  for it = 0 to iterations - 1 do
+    let start = !now in
+    let slowest = ref 0 in
+    Array.iter
+      (fun advance -> slowest := max !slowest (advance ~start ~work:work_cycles))
+      sources;
+    now := !slowest + tree;
+    durations.(it) <- float_of_int (!now - start)
+  done;
+  durations
+
+let allreduce_slowdown ~nodes ~iterations ~work_cycles ~profile ~seed =
+  let durations = run_bsp ~nodes ~iterations ~work_cycles ~profile ~seed in
+  let ideal = float_of_int (work_cycles + tree_cycles nodes) in
+  let s = Stats.summarize durations in
+  s.Stats.mean /. ideal
+
+let allreduce_stddev_us ~nodes ~iterations ~work_cycles ~profile ~seed =
+  let durations = run_bsp ~nodes ~iterations ~work_cycles ~profile ~seed in
+  let s = Stats.summarize durations in
+  Cycles.to_us (int_of_float s.Stats.stddev)
+
+let linpack_spread_percent ~nodes ~runs ~panels ~panel_cycles ~profile ~seed =
+  let totals =
+    Array.init runs (fun r ->
+        let durations =
+          run_bsp ~nodes ~iterations:panels ~work_cycles:panel_cycles ~profile
+            ~seed:(Int64.add seed (Int64.of_int (r * 7919)))
+        in
+        Array.fold_left ( +. ) 0.0 durations)
+  in
+  let s = Stats.summarize totals in
+  (Stats.spread_percent s, Cycles.to_seconds (int_of_float s.Stats.stddev))

@@ -1,0 +1,50 @@
+(** Noise magnification at scale, and long-run stability statistics.
+
+    Event-driven simulation of 100K+ nodes is out of reach, so this module
+    provides the standard analytic treatment (Petrini et al., which the
+    paper cites for the effect): a bulk-synchronous iteration finishes
+    when the {e slowest} of N nodes finishes, so per-node noise that is
+    negligible in expectation is magnified by the max across nodes. The
+    per-node noise draws reuse {!Bg_fwk.Noise_model} generators, so the
+    analytic model and the event-driven kernel share one noise source.
+
+    The same machinery generates the §V.D stability numbers at full
+    paper scale: LINPACK run-to-run spread and mpiBench_Allreduce
+    standard deviations over a million iterations. *)
+
+type noise_profile =
+  | Quiet  (** CNK: DRAM-refresh floor only *)
+  | Linux_daemons  (** the FWK compute-node daemon population *)
+  | Linux_io_node  (** §V.D's baseline: I/O nodes with NFS traffic *)
+  | Linux_synchronized
+      (** the §V.A alternative the paper contrasts with (ZeptoOS, Shmueli
+          et al.): keep the daemons but phase-align them across nodes, so
+          delays coincide instead of compounding *)
+  | Injected of Injection.profile
+
+val allreduce_slowdown :
+  nodes:int ->
+  iterations:int ->
+  work_cycles:int ->
+  profile:noise_profile ->
+  seed:int64 ->
+  float
+(** Mean per-iteration time, normalized to the noise-free time (1.0 = no
+    slowdown). Iterations are bulk-synchronous with a tree allreduce. *)
+
+val allreduce_stddev_us :
+  nodes:int -> iterations:int -> work_cycles:int -> profile:noise_profile -> seed:int64 ->
+  float
+(** Standard deviation of the per-iteration time in microseconds — the
+    mpiBench_Allreduce stability metric of §V.D. *)
+
+val linpack_spread_percent :
+  nodes:int ->
+  runs:int ->
+  panels:int ->
+  panel_cycles:int ->
+  profile:noise_profile ->
+  seed:int64 ->
+  float * float
+(** [(spread_percent, stddev_seconds)] over [runs] complete runs — the
+    "36 runs of LINPACK varied by 0.01%" experiment. *)

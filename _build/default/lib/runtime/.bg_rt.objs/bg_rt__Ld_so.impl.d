@@ -1,0 +1,1 @@
+lib/runtime/ld_so.ml: Bg_cio Bg_engine Bytes Coro Errno Hashtbl Image Libc Sysreq

@@ -1,0 +1,1 @@
+lib/runtime/ld_so.mli: Bg_cio Image

@@ -1,0 +1,1 @@
+lib/runtime/libc.ml: Bg_hw Bytes Coro Int64 Sysreq

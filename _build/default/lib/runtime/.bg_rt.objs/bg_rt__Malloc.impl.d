@@ -1,0 +1,1 @@
+lib/runtime/malloc.ml: Bytes Coro Hashtbl Libc Option Printf Sysreq

@@ -1,0 +1,1 @@
+lib/runtime/openmp.ml: Errno List Pthread Sysreq

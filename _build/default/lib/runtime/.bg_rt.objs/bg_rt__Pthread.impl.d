@@ -1,0 +1,1 @@
+lib/runtime/pthread.ml: Coro Errno Libc Malloc Sysreq

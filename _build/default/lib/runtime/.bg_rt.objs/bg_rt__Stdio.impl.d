@@ -1,0 +1,1 @@
+lib/runtime/stdio.ml: Bg_cio Buffer Bytes Errno Hashtbl Libc List Printf String Sysreq

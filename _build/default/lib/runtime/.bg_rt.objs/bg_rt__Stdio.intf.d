@@ -1,0 +1,1 @@
+lib/runtime/stdio.mli: Bg_cio

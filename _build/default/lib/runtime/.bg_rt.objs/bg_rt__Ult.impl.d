@@ -1,0 +1,1 @@
+lib/runtime/ult.ml: Effect List Queue

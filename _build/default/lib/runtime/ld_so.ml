@@ -1,0 +1,59 @@
+type handle = { image : Image.t; base : int; file_bytes : int }
+
+(* Host-side registry standing in for the symbol tables inside .so files. *)
+let registry : (string, Image.t) Hashtbl.t = Hashtbl.create 16
+
+let lib_path (image : Image.t) = "/lib/" ^ image.Image.name ^ ".so"
+
+let install_library fs (image : Image.t) =
+  let path = lib_path image in
+  (match Bg_cio.Fs.resolve fs ~cwd:"/" "/lib" with
+  | Ok _ -> ()
+  | Error _ -> (
+    match Bg_cio.Fs.mkdir fs ~cwd:"/" "/lib" ~mode:0o755 with
+    | Ok () -> ()
+    | Error e -> invalid_arg (Errno.to_string e)));
+  (match Bg_cio.Fs.open_file fs ~cwd:"/" path ~flags:Sysreq.o_create_trunc ~mode:0o755 with
+  | Error e -> invalid_arg (Errno.to_string e)
+  | Ok inode ->
+    (* Deterministic placeholder contents of the declared file size. *)
+    let seed = Bg_engine.Rng.create (Bg_engine.Rng.seed_of_string image.Image.name) in
+    let data = Bytes.create image.Image.file_bytes in
+    for i = 0 to Bytes.length data - 1 do
+      Bytes.set_uint8 data i (Bg_engine.Rng.int seed 256)
+    done;
+    (match Bg_cio.Fs.write fs inode ~offset:0 data with
+    | Ok _ -> ()
+    | Error e -> invalid_arg (Errno.to_string e)));
+  Hashtbl.replace registry path image;
+  path
+
+let dlopen path =
+  let image =
+    match Hashtbl.find_opt registry path with
+    | Some i -> i
+    | None -> raise (Sysreq.Syscall_error Errno.ENOENT)
+  in
+  (* open + fstat + whole-file MAP_COPY mmap, as CNK's ld.so does. *)
+  let fd = Libc.openf ~flags:Sysreq.o_rdonly path in
+  let st = Libc.fstat fd in
+  let base = Libc.mmap_file ~fd ~length:st.Sysreq.st_size ~offset:0 in
+  Libc.close fd;
+  (* Relocation / init cost proportional to the library size. *)
+  Coro.consume (2000 + (st.Sysreq.st_size / 64));
+  { image; base; file_bytes = st.Sysreq.st_size }
+
+let dlsym h name arg =
+  match Image.find_symbol h.image name with
+  | None -> raise Not_found
+  | Some s ->
+    Coro.consume 200;
+    s.Image.fn arg
+
+let dlclose h = Libc.munmap ~addr:h.base ~length:h.file_bytes
+let base_address h = h.base
+
+let text_writable_demo h =
+  (* CNK consciously skips text/read-only permission enforcement for
+     dynamic objects; this store lands. *)
+  Coro.store ~addr:h.base (Bytes.of_string "patched")

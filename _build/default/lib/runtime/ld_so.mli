@@ -1,0 +1,38 @@
+(** The dynamic linker (paper §IV.B.2).
+
+    Models glibc's ld.so the way CNK hosts it: libraries are opened
+    through the (function-shipped) filesystem, the {e whole} file is
+    brought into memory at load time via a MAP_COPY file mmap — no
+    demand paging, so load noise is confined to startup/dlopen — and page
+    permissions on the library's text are deliberately not honored (a
+    store into loaded text succeeds).
+
+    Because images carry OCaml closures rather than machine code, the
+    "file" on the I/O node holds deterministic placeholder bytes of the
+    right size, and a host-side registry maps the path to the symbol
+    table. Tests assert both views stay consistent. *)
+
+type handle
+
+val install_library : Bg_cio.Fs.t -> Image.t -> string
+(** Write the library's file into [/lib/<name>.so] on the I/O-node
+    filesystem and register its symbols. Returns the path. Host-side
+    setup, not user code. *)
+
+val dlopen : string -> handle
+(** User code: open the library file, read its "headers", mmap the whole
+    file (MAP_COPY), and run its init. Raises {!Sysreq.Syscall_error}
+    [ENOENT] for an unknown path. *)
+
+val dlsym : handle -> string -> int -> int
+(** Look up an exported function and call it: [dlsym h name arg]. Raises
+    [Not_found] for a missing symbol. Charges a per-call consume cost. *)
+
+val dlclose : handle -> unit
+
+val base_address : handle -> int
+(** Where the library text was mapped. *)
+
+val text_writable_demo : handle -> unit
+(** Store a byte into the mapped text — succeeds on CNK because dynamic
+    text permissions are not enforced (§IV.B.2). *)

@@ -1,0 +1,72 @@
+let sc = Coro.syscall
+
+let getpid () = Sysreq.expect_int (sc Sysreq.Getpid)
+let gettid () = Sysreq.expect_int (sc Sysreq.Gettid)
+let rank () = Sysreq.expect_int (sc Sysreq.Get_rank)
+let uname () = Sysreq.expect_uname (sc Sysreq.Uname)
+let personality () = Sysreq.expect_personality (sc Sysreq.Get_personality)
+let gettimeofday_us () = Sysreq.expect_int (sc Sysreq.Gettimeofday)
+
+let brk_now () = Sysreq.expect_int (sc (Sysreq.Brk None))
+
+let sbrk delta =
+  let old = brk_now () in
+  ignore (Sysreq.expect_int (sc (Sysreq.Brk (Some (old + delta)))));
+  old
+
+let mmap_anon ~length =
+  Sysreq.expect_int
+    (sc (Sysreq.Mmap { length; prot = Bg_hw.Tlb.perm_rw; map_copy = false; fd = None; offset = 0 }))
+
+let mmap_file ~fd ~length ~offset =
+  Sysreq.expect_int
+    (sc (Sysreq.Mmap { length; prot = Bg_hw.Tlb.perm_ro; map_copy = true; fd = Some fd; offset }))
+
+let munmap ~addr ~length = Sysreq.expect_unit (sc (Sysreq.Munmap { addr; length }))
+
+let mprotect_guard ~addr ~length =
+  Sysreq.expect_unit (sc (Sysreq.Mprotect { addr; length; prot = Bg_hw.Tlb.perm_ro }))
+
+let shm_open_persistent ~name ~length =
+  Sysreq.expect_int (sc (Sysreq.Shm_open { name; length }))
+
+let query_map () = Sysreq.expect_map (sc Sysreq.Query_map)
+let virtual_to_physical va = Sysreq.expect_int (sc (Sysreq.Query_vtop va))
+
+let openf ?(flags = Sysreq.o_rdwr) ?(mode = 0o644) path =
+  Sysreq.expect_int (sc (Sysreq.Open { path; flags; mode }))
+
+let close fd = Sysreq.expect_unit (sc (Sysreq.Close fd))
+let read fd ~len = Sysreq.expect_bytes (sc (Sysreq.Read { fd; len }))
+let write fd data = Sysreq.expect_int (sc (Sysreq.Write { fd; data }))
+let write_string fd s = write fd (Bytes.of_string s)
+let pread fd ~len ~offset = Sysreq.expect_bytes (sc (Sysreq.Pread { fd; len; offset }))
+let pwrite fd data ~offset = Sysreq.expect_int (sc (Sysreq.Pwrite { fd; data; offset }))
+let lseek fd ~offset ~whence = Sysreq.expect_int (sc (Sysreq.Lseek { fd; offset; whence }))
+let fstat fd = Sysreq.expect_stat (sc (Sysreq.Fstat fd))
+let stat path = Sysreq.expect_stat (sc (Sysreq.Stat path))
+let unlink path = Sysreq.expect_unit (sc (Sysreq.Unlink path))
+let mkdir ?(mode = 0o755) path = Sysreq.expect_unit (sc (Sysreq.Mkdir { path; mode }))
+let rmdir path = Sysreq.expect_unit (sc (Sysreq.Rmdir path))
+let readdir path = Sysreq.expect_names (sc (Sysreq.Readdir path))
+let chdir path = Sysreq.expect_unit (sc (Sysreq.Chdir path))
+let getcwd () = Sysreq.expect_string (sc Sysreq.Getcwd)
+let rename ~src ~dst = Sysreq.expect_unit (sc (Sysreq.Rename { src; dst }))
+let ftruncate fd ~length = Sysreq.expect_unit (sc (Sysreq.Ftruncate { fd; length }))
+let fsync fd = Sysreq.expect_unit (sc (Sysreq.Fsync fd))
+let dup fd = Sysreq.expect_int (sc (Sysreq.Dup fd))
+
+let peek addr = Int64.to_int (Bytes.get_int64_le (Coro.load ~addr ~len:8) 0)
+
+let poke addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  Coro.store ~addr b
+
+let exit_thread code =
+  ignore (sc (Sysreq.Exit_thread code));
+  assert false
+
+let exit_group code =
+  ignore (sc (Sysreq.Exit_group code));
+  assert false

@@ -1,0 +1,69 @@
+(** Thin libc-style veneers over the syscall ABI.
+
+    These are what the glibc boundary of paper §IV looks like from user
+    code: direct syscall wrappers that raise {!Sysreq.Syscall_error} on an
+    errno reply. They run inside a simulated thread (they perform
+    effects), so they may only be called from program closures. *)
+
+val getpid : unit -> int
+val gettid : unit -> int
+val rank : unit -> int
+(** The node's torus rank (BG/P personality data). *)
+
+val uname : unit -> Sysreq.uname_info
+
+val personality : unit -> Sysreq.personality
+(** The node's BG personality block (CNK only; ENOSYS on the FWK). *)
+
+val gettimeofday_us : unit -> int
+
+val sbrk : int -> int
+(** Grow (or shrink) the break by a delta; returns the {e old} break. *)
+
+val brk_now : unit -> int
+val mmap_anon : length:int -> int
+val mmap_file : fd:int -> length:int -> offset:int -> int
+val munmap : addr:int -> length:int -> unit
+val mprotect_guard : addr:int -> length:int -> unit
+
+val shm_open_persistent : name:string -> length:int -> int
+(** Open (or create) a named persistent region; returns its virtual
+    address, stable across jobs (paper §IV.D). *)
+
+val query_map : unit -> Sysreq.region list
+val virtual_to_physical : int -> int
+
+(* --- file I/O (function-shipped on CNK) --- *)
+
+val openf : ?flags:Sysreq.open_flags -> ?mode:int -> string -> int
+val close : int -> unit
+val read : int -> len:int -> bytes
+val write : int -> bytes -> int
+val write_string : int -> string -> int
+val pread : int -> len:int -> offset:int -> bytes
+val pwrite : int -> bytes -> offset:int -> int
+val lseek : int -> offset:int -> whence:Sysreq.whence -> int
+val fstat : int -> Sysreq.stat
+val stat : string -> Sysreq.stat
+val unlink : string -> unit
+val mkdir : ?mode:int -> string -> unit
+val rmdir : string -> unit
+val readdir : string -> string list
+val chdir : string -> unit
+val getcwd : unit -> string
+val rename : src:string -> dst:string -> unit
+val ftruncate : int -> length:int -> unit
+val fsync : int -> unit
+val dup : int -> int
+
+(* --- memory words (through the MMU) --- *)
+
+val peek : int -> int
+(** Load a 64-bit word from a virtual address. *)
+
+val poke : int -> int -> unit
+
+val exit_thread : int -> 'a
+(** Does not return (the kernel never resumes the thread). *)
+
+val exit_group : int -> 'a

@@ -1,0 +1,109 @@
+let mmap_threshold = 128 * 1024
+let align = 16
+
+(* Host-side metadata, keyed per process instance. *)
+type heap = {
+  mutable free_list : (int * int) list;  (* (addr, len), sorted by addr *)
+  blocks : (int, int) Hashtbl.t;          (* addr -> len, live blocks *)
+  mmapped : (int, int) Hashtbl.t;         (* addr -> len, mmap-backed *)
+}
+
+let heaps : (string * int, heap) Hashtbl.t = Hashtbl.create 16
+
+let my_heap () =
+  let key = ((Libc.uname ()).Sysreq.nodename, Libc.getpid ()) in
+  match Hashtbl.find_opt heaps key with
+  | Some h -> h
+  | None ->
+    let h = { free_list = []; blocks = Hashtbl.create 64; mmapped = Hashtbl.create 8 } in
+    Hashtbl.replace heaps key h;
+    h
+
+let round n = (n + align - 1) / align * align
+
+let insert_free h addr len =
+  (* insert sorted, coalescing with neighbours *)
+  let rec go = function
+    | [] -> [ (addr, len) ]
+    | (a, l) :: rest when a + l = addr -> (a, l + len) :: rest
+    | (a, l) :: rest when addr + len = a -> (addr, len + l) :: rest
+    | (a, l) :: rest when a < addr -> (a, l) :: go rest
+    | rest -> (addr, len) :: rest
+  in
+  let merged = go h.free_list in
+  (* one more pass to coalesce a bridge fill *)
+  let rec squash = function
+    | (a1, l1) :: (a2, l2) :: rest when a1 + l1 = a2 -> squash ((a1, l1 + l2) :: rest)
+    | x :: rest -> x :: squash rest
+    | [] -> []
+  in
+  h.free_list <- squash merged
+
+let take_free h need =
+  let rec go = function
+    | [] -> None
+    | (a, l) :: rest when l >= need ->
+      let leftover = if l > need then [ (a + need, l - need) ] else [] in
+      Some (a, leftover @ rest)
+    | x :: rest -> Option.map (fun (a, r) -> (a, x :: r)) (go rest)
+  in
+  match go h.free_list with
+  | Some (addr, rest) ->
+    h.free_list <- rest;
+    Some addr
+  | None -> None
+
+let malloc n =
+  if n <= 0 then invalid_arg "Malloc.malloc";
+  Coro.consume 60;  (* allocator bookkeeping cost *)
+  let h = my_heap () in
+  let need = round n in
+  if need >= mmap_threshold then begin
+    let addr = Libc.mmap_anon ~length:need in
+    Hashtbl.replace h.mmapped addr need;
+    addr
+  end
+  else begin
+    match take_free h need with
+    | Some addr ->
+      Hashtbl.replace h.blocks addr need;
+      addr
+    | None ->
+      (* grow the brk heap by at least 256 KiB at a time *)
+      let grow = max need (256 * 1024) in
+      let base = Libc.sbrk grow in
+      if grow > need then insert_free h (base + need) (grow - need);
+      Hashtbl.replace h.blocks base need;
+      base
+  end
+
+let free addr =
+  Coro.consume 40;
+  let h = my_heap () in
+  match Hashtbl.find_opt h.mmapped addr with
+  | Some len ->
+    Hashtbl.remove h.mmapped addr;
+    Libc.munmap ~addr ~length:len
+  | None -> (
+    match Hashtbl.find_opt h.blocks addr with
+    | Some len ->
+      Hashtbl.remove h.blocks addr;
+      insert_free h addr len
+    | None -> invalid_arg (Printf.sprintf "Malloc.free: unknown block 0x%x" addr))
+
+let calloc n =
+  let addr = malloc n in
+  let rec zero off =
+    if off < n then begin
+      let chunk = min 4096 (n - off) in
+      Coro.store ~addr:(addr + off) (Bytes.make chunk '\000');
+      zero (off + chunk)
+    end
+  in
+  zero 0;
+  addr
+
+let allocated_bytes () =
+  let h = my_heap () in
+  Hashtbl.fold (fun _ l acc -> acc + l) h.blocks 0
+  + Hashtbl.fold (fun _ l acc -> acc + l) h.mmapped 0

@@ -1,0 +1,25 @@
+(** User-space heap allocator over brk/mmap, glibc-style.
+
+    As the paper notes (§IV.B.1), glibc satisfies small requests from the
+    brk heap and routes allocations over the mmap threshold (stacks often
+    exceed 1 MB) through mmap — both of which CNK supports. Free-list
+    metadata is kept host-side per (rank, pid); the allocated ranges are
+    real simulated addresses in the process's static heap region. *)
+
+val malloc : int -> int
+(** Allocate [n > 0] bytes; returns the virtual address. Raises
+    {!Sysreq.Syscall_error} [ENOMEM] when the heap is exhausted. *)
+
+val free : int -> unit
+(** Free an address returned by {!malloc}. Freeing an unknown address
+    raises [Invalid_argument] (glibc would corrupt itself; we're kinder). *)
+
+val calloc : int -> int
+(** malloc + explicit zeroing (the static map hands out zeroed memory on
+    first touch anyway; calloc also zeroes reused blocks). *)
+
+val mmap_threshold : int
+(** Requests of at least this size (128 KiB) go to mmap directly. *)
+
+val allocated_bytes : unit -> int
+(** Live bytes for the calling process. *)

@@ -1,0 +1,26 @@
+let parallel ~num_threads body =
+  if num_threads <= 0 then invalid_arg "Openmp.parallel";
+  (* num_threads is a hint, as in OpenMP: when the kernel refuses another
+     thread (CNK's per-core limit -> EAGAIN), the remaining chunks run on
+     the calling thread instead of failing the region *)
+  let workers = ref [] in
+  let leftover = ref [] in
+  for i = 1 to num_threads - 1 do
+    match Pthread.create (fun () -> body ~thread_num:i) with
+    | h -> workers := h :: !workers
+    | exception Sysreq.Syscall_error Errno.EAGAIN -> leftover := i :: !leftover
+  done;
+  body ~thread_num:0;
+  List.iter (fun i -> body ~thread_num:i) (List.rev !leftover);
+  List.iter Pthread.join !workers
+
+let parallel_for ~num_threads ~lo ~hi body =
+  if hi < lo then invalid_arg "Openmp.parallel_for";
+  let total = hi - lo in
+  let chunk = (total + num_threads - 1) / max 1 num_threads in
+  parallel ~num_threads (fun ~thread_num ->
+      let start = lo + (thread_num * chunk) in
+      let stop = min hi (start + chunk) in
+      for i = start to stop - 1 do
+        body ~thread_num i
+      done)

@@ -1,0 +1,16 @@
+(** Minimal OpenMP-style fork-join layer over {!Pthread}.
+
+    Enough to express the paper's threaded workloads (AMG, IRS, SPhot,
+    UMT use OpenMP on CNK unmodified, §V.B): a parallel region forks
+    [num_threads - 1] workers, runs chunk 0 on the calling thread, and
+    joins. [num_threads] is a hint, as in OpenMP proper: when the kernel
+    refuses another thread (CNK's per-core limit), the overflow chunks run
+    serially on the calling thread rather than failing the region. *)
+
+val parallel_for :
+  num_threads:int -> lo:int -> hi:int -> (thread_num:int -> int -> unit) -> unit
+(** [parallel_for ~num_threads ~lo ~hi body] applies [body ~thread_num i]
+    for every [i] in [lo, hi), split into contiguous chunks. *)
+
+val parallel : num_threads:int -> (thread_num:int -> unit) -> unit
+(** A bare parallel region. *)

@@ -1,0 +1,157 @@
+type t = { tid : int; ctid_addr : int; stack_addr : int; stack_bytes : int }
+
+let guard_len = 64 * 1024
+
+let create ?(stack_bytes = 2 * 1024 * 1024) f =
+  (* Stack via malloc: over the threshold it takes the mmap path, exactly
+     the glibc behaviour the paper describes. Two tid words live at the
+     stack base. *)
+  let stack_addr = Malloc.malloc stack_bytes in
+  (* Layout: page 0 holds the tid words; the guard starts at the next page
+     boundary so protecting it never covers the tid words (the FWK enforces
+     page protection for real, and the kernel's CLONE_*_SETTID stores must
+     land). The usable stack sits above the guard. *)
+  let ctid_addr = stack_addr in
+  let ptid_addr = stack_addr + 8 in
+  (* NPTL mprotects the guard below the usable stack just before clone;
+     CNK records the range and programs the child's DAC from it. *)
+  Libc.mprotect_guard ~addr:(stack_addr + 4096) ~length:guard_len;
+  let tid =
+    Sysreq.expect_int
+      (Coro.syscall
+         (Sysreq.Clone
+            {
+              flags = Sysreq.nptl_clone_flags;
+              stack_hint = stack_addr + stack_bytes;
+              tls = 0;
+              parent_tid_addr = ptid_addr;
+              child_tid_addr = ctid_addr;
+              entry =
+                (fun () ->
+                  (* set_tid_address registers the clear-on-exit word *)
+                  ignore (Coro.syscall (Sysreq.Set_tid_address ctid_addr));
+                  f ());
+            }))
+  in
+  { tid; ctid_addr; stack_addr; stack_bytes }
+
+let tid t = t.tid
+let self () = Libc.gettid ()
+let yield () = ignore (Coro.syscall Sysreq.Sched_yield)
+
+let futex_wait addr expected =
+  match Coro.syscall (Sysreq.Futex_wait { addr; expected }) with
+  | Sysreq.R_int _ -> ()
+  | Sysreq.R_err (Errno.EAGAIN | Errno.EINTR) -> ()
+  | Sysreq.R_err e -> raise (Sysreq.Syscall_error e)
+  | _ -> invalid_arg "futex_wait reply"
+
+let futex_wake addr count =
+  Sysreq.expect_int (Coro.syscall (Sysreq.Futex_wake { addr; count }))
+
+let join t =
+  (* Wait until the kernel clears the child-tid word at thread exit. *)
+  let rec loop () =
+    let v = Libc.peek t.ctid_addr in
+    if v <> 0 then begin
+      futex_wait t.ctid_addr v;
+      loop ()
+    end
+  in
+  loop ();
+  Malloc.free t.stack_addr
+
+module Mutex = struct
+  type m = { word : int }
+  (* 0 = unlocked, 1 = locked, 2 = locked with waiters *)
+
+  let create () =
+    let word = Malloc.malloc 8 in
+    Libc.poke word 0;
+    { word }
+
+  let try_lock m = Coro.cas ~addr:m.word ~expected:0 ~desired:1
+
+  let lock m =
+    if not (Coro.cas ~addr:m.word ~expected:0 ~desired:1) then begin
+      let rec contend () =
+        (* mark contended, then sleep until the holder wakes us *)
+        if Coro.cas ~addr:m.word ~expected:1 ~desired:2 || Libc.peek m.word = 2 then
+          futex_wait m.word 2;
+        if not (Coro.cas ~addr:m.word ~expected:0 ~desired:2) then contend ()
+      in
+      contend ()
+    end
+
+  let unlock m =
+    (* atomic exchange to 0 via CAS loop *)
+    let rec swap_to_zero () =
+      let v = Libc.peek m.word in
+      if v = 0 then 0
+      else if Coro.cas ~addr:m.word ~expected:v ~desired:0 then v
+      else swap_to_zero ()
+    in
+    let old = swap_to_zero () in
+    if old = 2 then ignore (futex_wake m.word 1)
+
+  let destroy m = Malloc.free m.word
+end
+
+module Cond = struct
+  type c = { seq : int }
+
+  let create () =
+    let seq = Malloc.malloc 8 in
+    Libc.poke seq 0;
+    { seq }
+
+  let wait c m =
+    let v = Libc.peek c.seq in
+    Mutex.unlock m;
+    futex_wait c.seq v;
+    Mutex.lock m
+
+  let signal c =
+    ignore (Coro.fetch_add ~addr:c.seq 1);
+    ignore (futex_wake c.seq 1)
+
+  let broadcast c =
+    ignore (Coro.fetch_add ~addr:c.seq 1);
+    ignore (futex_wake c.seq max_int)
+
+  let destroy c = Malloc.free c.seq
+end
+
+module Barrier = struct
+  type b = { parties : int; count : int; sense : int }
+
+  let create ~parties =
+    if parties <= 0 then invalid_arg "Barrier.create";
+    let count = Malloc.malloc 8 and sense = Malloc.malloc 8 in
+    Libc.poke count 0;
+    Libc.poke sense 0;
+    { parties; count; sense }
+
+  let wait b =
+    let my_sense = Libc.peek b.sense in
+    let arrived = Coro.fetch_add ~addr:b.count 1 + 1 in
+    if arrived = b.parties then begin
+      (* last arrival: reset and flip the sense, wake everyone *)
+      Libc.poke b.count 0;
+      ignore (Coro.fetch_add ~addr:b.sense 1);
+      ignore (futex_wake b.sense max_int)
+    end
+    else begin
+      let rec sleep () =
+        if Libc.peek b.sense = my_sense then begin
+          futex_wait b.sense my_sense;
+          sleep ()
+        end
+      in
+      sleep ()
+    end
+
+  let destroy b =
+    Malloc.free b.count;
+    Malloc.free b.sense
+end

@@ -1,0 +1,58 @@
+(** NPTL-shaped pthreads on the CNK syscall subset (paper §IV.B.1).
+
+    This follows the structure of glibc's NPTL closely enough that the
+    kernel sees exactly the calls the paper enumerates: stacks come from
+    malloc (large enough to take the mmap path), an mprotect marks the
+    stack guard just before clone, clone carries the fixed NPTL flag set
+    with parent/child tid addresses, join waits on the child-tid futex
+    that the kernel clears at exit (CLONE_CHILD_CLEARTID), and mutexes /
+    condition variables / barriers are pure futex users. *)
+
+type t
+(** A joinable thread handle. *)
+
+val create : ?stack_bytes:int -> (unit -> unit) -> t
+(** Spawn a thread running the closure. Default stack 2 MiB (over the mmap
+    threshold, as the paper observes is common). Raises
+    {!Sysreq.Syscall_error} [EAGAIN] when the core set is saturated. *)
+
+val tid : t -> int
+
+val join : t -> unit
+(** Block until the thread exits (futex on the child-tid word). *)
+
+val self : unit -> int
+val yield : unit -> unit
+
+(** Drepper-style three-state futex mutex. *)
+module Mutex : sig
+  type m
+
+  val create : unit -> m
+  (** Allocates the lock word on the simulated heap. *)
+
+  val lock : m -> unit
+  val try_lock : m -> bool
+  val unlock : m -> unit
+  val destroy : m -> unit
+end
+
+(** Futex condition variable (sequence-counter protocol). *)
+module Cond : sig
+  type c
+
+  val create : unit -> c
+  val wait : c -> Mutex.m -> unit
+  val signal : c -> unit
+  val broadcast : c -> unit
+  val destroy : c -> unit
+end
+
+(** Counting barrier with sense reversal. *)
+module Barrier : sig
+  type b
+
+  val create : parties:int -> b
+  val wait : b -> unit
+  val destroy : b -> unit
+end

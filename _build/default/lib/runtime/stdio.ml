@@ -1,0 +1,71 @@
+let stdout_path ~rank = Printf.sprintf "/var/log/stdout.%d" rank
+let stderr_path ~rank = Printf.sprintf "/var/log/stderr.%d" rank
+
+(* line buffers keyed per (node, pid, stream) — host-side state standing in
+   for the glibc stdio buffer in process memory *)
+let buffers : (string * int * string, Buffer.t) Hashtbl.t = Hashtbl.create 16
+
+let buffer_of stream =
+  let key = ((Libc.uname ()).Sysreq.nodename, Libc.getpid (), stream) in
+  match Hashtbl.find_opt buffers key with
+  | Some b -> b
+  | None ->
+    let b = Buffer.create 128 in
+    Hashtbl.add buffers key b;
+    b
+
+let ensure_log_dirs () =
+  List.iter
+    (fun p ->
+      match Libc.mkdir p with
+      | () -> ()
+      | exception Sysreq.Syscall_error Errno.EEXIST -> ())
+    [ "/var"; "/var/log" ]
+
+let append_to path data =
+  ensure_log_dirs ();
+  let fd =
+    Libc.openf ~flags:{ Sysreq.o_rdwr with Sysreq.creat = true; append = true } path
+  in
+  ignore (Libc.write fd (Bytes.of_string data));
+  Libc.close fd
+
+let path_for stream =
+  let rank = Libc.rank () in
+  if stream = "out" then stdout_path ~rank else stderr_path ~rank
+
+let write_stream stream s =
+  let b = buffer_of stream in
+  Buffer.add_string b s;
+  (* flush complete lines; keep the partial tail buffered *)
+  let contents = Buffer.contents b in
+  match String.rindex_opt contents '\n' with
+  | None -> ()
+  | Some i ->
+    let complete = String.sub contents 0 (i + 1) in
+    let tail = String.sub contents (i + 1) (String.length contents - i - 1) in
+    Buffer.clear b;
+    Buffer.add_string b tail;
+    append_to (path_for stream) complete
+
+let printf fmt = Printf.ksprintf (write_stream "out") fmt
+let eprintf fmt = Printf.ksprintf (write_stream "err") fmt
+
+let flush () =
+  List.iter
+    (fun stream ->
+      let b = buffer_of stream in
+      if Buffer.length b > 0 then begin
+        let s = Buffer.contents b in
+        Buffer.clear b;
+        append_to (path_for stream) s
+      end)
+    [ "out"; "err" ]
+
+let read_console fs ~rank =
+  match Bg_cio.Fs.resolve fs ~cwd:"/" (stdout_path ~rank) with
+  | Error _ -> ""
+  | Ok inode -> (
+    match Bg_cio.Fs.read fs inode ~offset:0 ~len:(Bg_cio.Fs.size fs inode) with
+    | Ok b -> Bytes.to_string b
+    | Error _ -> "")

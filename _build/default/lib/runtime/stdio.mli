@@ -1,0 +1,25 @@
+(** stdout/stderr forwarding — the missing console.
+
+    Compute nodes have no terminal: on the real machine CNK forwards
+    stdout/stderr traffic through CIOD, which aggregates every rank's
+    output for the job's log. Here the streams are per-rank append-only
+    files under /var/log on the I/O-node filesystem, written through the
+    ordinary function-shipped path (so printing from 10,000 ranks really
+    does queue on the collective network, as users discover).
+
+    Output is line-buffered per rank; {!flush} and {!printf "...\n"} push
+    complete lines out. *)
+
+val printf : ('a, unit, string, unit) format4 -> 'a
+(** Append to the calling rank's stdout stream. *)
+
+val eprintf : ('a, unit, string, unit) format4 -> 'a
+
+val flush : unit -> unit
+(** Force out any buffered partial line. *)
+
+val stdout_path : rank:int -> string
+val stderr_path : rank:int -> string
+
+val read_console : Bg_cio.Fs.t -> rank:int -> string
+(** Host side: collect what a rank printed so far ("" if nothing). *)

@@ -1,0 +1,52 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t +=
+  | U_yield : unit Effect.t
+  | U_spawn : (unit -> unit) -> unit Effect.t
+  | U_count : int Effect.t
+
+let spawn f =
+  try perform (U_spawn f) with Unhandled _ -> failwith "Ult.spawn: no scheduler running"
+
+let yield () = try perform U_yield with Unhandled _ -> ()
+let self_count () = try perform U_count with Unhandled _ -> 0
+
+let run initial =
+  let q : (unit -> unit) Queue.t = Queue.create () in
+  let live = ref (List.length initial) in
+  List.iter (fun f -> Queue.push f q) initial;
+  (* Each ULT runs under this handler; scheduling effects are consumed
+     here, everything else (consume/syscall/load/store) escapes to the
+     kernel, whose resumption re-enters the captured ULT frame. *)
+  let rec next () =
+    match Queue.take_opt q with
+    | None -> ()
+    | Some f -> exec f
+  and exec f =
+    match_with f ()
+      {
+        retc =
+          (fun () ->
+            decr live;
+            next ());
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | U_yield ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  Queue.push (fun () -> continue k ()) q;
+                  next ())
+            | U_spawn g ->
+              Some
+                (fun k ->
+                  incr live;
+                  Queue.push g q;
+                  continue k ())
+            | U_count -> Some (fun k -> continue k !live)
+            | _ -> None);
+      }
+  in
+  next ()

@@ -1,0 +1,28 @@
+(** Cooperative user-level threads — the Charm++ workaround.
+
+    Paper §VII.B: "Some applications overcommit threads to cores for load
+    balancing purposes, and the CNK threading model does not allow that,
+    though Charm++ accomplishes this with a user-mode threading library."
+    This is that library: any number of user-level threads multiplex over
+    the one kernel thread that runs the scheduler. Switches happen only at
+    {!yield} (cooperative, like Charm++ on CNK); kernel-visible effects
+    (consume, syscalls, memory) pass through to the real kernel untouched.
+
+    Implementation: a nested effect handler that intercepts only the ULT
+    scheduling effects and forwards everything else outward. *)
+
+val spawn : (unit -> unit) -> unit
+(** Register a new user-level thread with the running scheduler. Raises
+    [Failure] outside {!run}. *)
+
+val yield : unit -> unit
+(** Switch to the next runnable user-level thread. Outside {!run} this is
+    a no-op. *)
+
+val run : (unit -> unit) list -> unit
+(** Run the given user-level threads (plus any they {!spawn}) round-robin
+    until all complete. May be nested in principle, but each [run] owns
+    its own thread set. *)
+
+val self_count : unit -> int
+(** Number of live ULTs in the innermost running scheduler (0 outside). *)

@@ -1,0 +1,1 @@
+test/test_affinity.ml: Alcotest Array Bg_kabi Bg_rt Cluster Cnk Coro Errno Image Job List Mapping Node Sysreq

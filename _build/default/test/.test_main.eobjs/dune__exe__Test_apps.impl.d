@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Bg_apps Bg_cio Bg_engine Bg_kabi Bg_msg Bg_rt Bytes Cluster Cnk Coro Float Fun Image Job List Machine Node Option Result Stats String

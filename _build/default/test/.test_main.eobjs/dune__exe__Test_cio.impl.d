@@ -1,0 +1,1 @@
+test/test_cio.ml: Alcotest Bg_cio Bg_engine Bg_hw Bg_kabi Bytes Ciod Errno Fs Ioproxy List Machine Printf Proto QCheck QCheck_alcotest Sim Sysreq

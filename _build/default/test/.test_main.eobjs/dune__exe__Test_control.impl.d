@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Bg_bringup Bg_control Bg_engine Bg_hw Bg_kabi Bg_rt Bytes Cnk Coro Gen Image Job List Machine Printf QCheck QCheck_alcotest Result String Sysreq

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Bg_apps Bg_bringup Bg_caps Bg_engine Bg_kabi Bg_noise Bg_rt Cnk Coro Float Fnv Format List Sim String

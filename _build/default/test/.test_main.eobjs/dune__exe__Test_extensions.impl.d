@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bg_apps Bg_bringup Bg_engine Bg_hw Bg_kabi Bg_msg Bg_noise Bg_rt Bytes Cluster Cnk Coro Image Job List Machine Node String Sysreq

@@ -1,0 +1,1 @@
+test/test_fwk.ml: Alcotest Array Bg_cio Bg_engine Bg_fwk Bg_hw Bg_kabi Bg_noise Bg_rt Bytes Cnk Coro Errno Image Job List Machine Result Rng Sim Stats Sysreq

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Barrier_net Bg_engine Bg_hw Bytes Cache Chip Clock_stop Collective_net Dac Dram Fault Float Fnv Gen List Memory Page_size Params QCheck QCheck_alcotest Sim String Tlb Torus

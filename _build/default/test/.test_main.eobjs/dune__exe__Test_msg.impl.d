@@ -1,0 +1,1 @@
+test/test_msg.ml: Alcotest Armci Array Bg_apps Bg_cio Bg_engine Bg_kabi Bg_msg Bg_rt Bytes Cluster Cnk Coro Cycles Dcmf Hashtbl Image Int64 Job List Mpi Msg_params Node Printf Result Sysreq

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Bg_apps Bg_cio Bg_control Bg_engine Bg_fwk Bg_hw Bg_kabi Bg_msg Bytes Cnk Coro Errno Gen Image Int64 Job List Machine Printf QCheck QCheck_alcotest String Sysreq

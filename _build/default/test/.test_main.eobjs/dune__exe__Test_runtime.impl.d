@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Bg_cio Bg_kabi Bg_rt Bytes Cluster Cnk Coro Errno Image Job List Node Result String Sysreq

@@ -1,0 +1,225 @@
+(* Tests for the §VIII extended thread affinity model and the VN-mode
+   shared-memory region: a process borrowing idle cores from its
+   neighbors, TLB map swaps on cross-process switches, and the
+   designation feasibility checks. *)
+
+open Bg_kabi
+open Cnk
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Shared-memory flag/counter layout (the shared region is mapped at the
+   same address and physical range in every process). *)
+let flag_addr = Mapping.shared_va
+let counter_addr = Mapping.shared_va + 8
+let slot_addr i = Mapping.shared_va + 64 + (8 * i)
+
+let test_shared_memory_between_processes () =
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let seen = ref 0 in
+  let image =
+    Image.executable ~name:"shm" (fun () ->
+        let pid = Bg_rt.Libc.getpid () in
+        (* every process publishes into its slot *)
+        Bg_rt.Libc.poke (slot_addr pid) (pid * 11);
+        ignore (Coro.fetch_add ~addr:counter_addr 1);
+        if pid = 1 then begin
+          (* wait until all four have published *)
+          let rec wait () =
+            if Bg_rt.Libc.peek counter_addr < 4 then begin
+              Coro.consume 2_000;
+              wait ()
+            end
+          in
+          wait ();
+          seen := List.fold_left (fun acc p -> acc + Bg_rt.Libc.peek (slot_addr p)) 0 [ 1; 2; 3; 4 ]
+        end)
+  in
+  Cluster.run_job cluster (Job.create ~mode:Job.Vn ~name:"shm" image);
+  check_int "all slots visible across processes" (11 * (1 + 2 + 3 + 4)) !seen;
+  Alcotest.(check (list (pair int string))) "no faults" []
+    (Node.faults (Cluster.node cluster 0))
+
+let run_omp_phase ~designate =
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let node = Cluster.node cluster 0 in
+  let created = ref 0 and rejected = ref 0 and phase_cycles = ref 0 in
+  let image =
+    Image.executable ~name:"vn-omp" (fun () ->
+        let pid = Bg_rt.Libc.getpid () in
+        if pid = 1 then begin
+          (* the OpenMP phase: pid 1 wants all four cores *)
+          let t0 = Coro.rdtsc () in
+          let handles = ref [] in
+          for _ = 1 to 3 do
+            match
+              Bg_rt.Pthread.create (fun () ->
+                  Coro.consume 400_000;
+                  ignore (Coro.fetch_add ~addr:counter_addr 1))
+            with
+            | h ->
+              incr created;
+              handles := h :: !handles
+            | exception Sysreq.Syscall_error Errno.EAGAIN -> incr rejected
+          done;
+          Coro.consume 400_000;
+          List.iter Bg_rt.Pthread.join !handles;
+          phase_cycles := Coro.rdtsc () - t0;
+          Bg_rt.Libc.poke flag_addr 1
+        end
+        else begin
+          (* neighbors idle through the phase, yielding their cores *)
+          let rec idle () =
+            if Bg_rt.Libc.peek flag_addr = 0 then begin
+              ignore (Coro.syscall Sysreq.Sched_yield);
+              Coro.consume 1_000;
+              idle ()
+            end
+          in
+          idle ()
+        end)
+  in
+  (* 1 thread/core: pid 1's own core is full once its main runs *)
+  let job = Job.create ~mode:Job.Vn ~threads_per_core:1 ~name:"omp" image in
+  (match Node.launch node job with Ok () -> () | Error e -> failwith e);
+  if designate then
+    List.iter
+      (fun core ->
+        match Node.designate_remote node ~core ~pid:1 with
+        | Ok () -> ()
+        | Error e -> failwith e)
+      [ 1; 2; 3 ];
+  let finished = ref false in
+  Node.on_job_complete node (fun () -> finished := true);
+  Cluster.run_until_quiet cluster;
+  if not !finished then failwith "vn-omp job did not finish";
+  Alcotest.(check (list (pair int string))) "no faults" [] (Node.faults node);
+  (!created, !rejected, !phase_cycles)
+
+let test_without_designation_eagain () =
+  let created, rejected, _ = run_omp_phase ~designate:false in
+  check_int "no extra threads fit" 0 created;
+  check_int "three rejected" 3 rejected
+
+let test_with_designation_runs_on_remote_cores () =
+  let created, rejected, _ = run_omp_phase ~designate:true in
+  check_int "all three placed on remote cores" 3 created;
+  check_int "none rejected" 0 rejected
+
+let test_designation_speeds_up_phase () =
+  (* with remote cores the 4x400k-cycle phase runs in parallel *)
+  let _, _, serial = run_omp_phase ~designate:false in
+  let _, _, parallel = run_omp_phase ~designate:true in
+  (* serial: only the main's own 400k of work (others rejected);
+     parallel: 4 streams concurrently, so roughly the same wall time but
+     4x the work. Compare work/cycle instead. *)
+  let serial_work = 400_000 and parallel_work = 4 * 400_000 in
+  let serial_rate = float_of_int serial_work /. float_of_int serial in
+  let parallel_rate = float_of_int parallel_work /. float_of_int parallel in
+  check_bool "remote cores raise throughput >2.5x" true (parallel_rate > 2.5 *. serial_rate)
+
+let test_designation_validation () =
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let node = Cluster.node cluster 0 in
+  let image = Image.executable ~name:"idle" (fun () -> Coro.consume 1_000) in
+  (match Node.launch node (Job.create ~mode:Job.Vn ~name:"v" image) with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (* own core rejected *)
+  (match Node.designate_remote node ~core:0 ~pid:1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "designating the owning core must fail");
+  (* unknown pid rejected *)
+  (match Node.designate_remote node ~core:1 ~pid:99 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown pid accepted");
+  (* valid designation visible: core 1 belongs to pid 2 in VN mode, so
+     designating pid 3 as its remote is legal *)
+  (match Node.designate_remote node ~core:1 ~pid:3 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid designation failed: %s" e);
+  Alcotest.(check (option int)) "recorded" (Some 3) (Node.remote_designation node ~core:1);
+  Cluster.run_until_quiet cluster
+
+let test_tlb_swaps_are_counted () =
+  (* run the designated phase and check the trace recorded map swaps *)
+  let cluster = Cluster.create ~dims:(1, 1, 1) ~seed:9L () in
+  Cluster.boot_all cluster;
+  let node = Cluster.node cluster 0 in
+  let image =
+    Image.executable ~name:"swap" (fun () ->
+        let pid = Bg_rt.Libc.getpid () in
+        if pid = 1 then begin
+          let h = Bg_rt.Pthread.create (fun () -> Coro.consume 50_000) in
+          Bg_rt.Pthread.join h;
+          Bg_rt.Libc.poke flag_addr 1
+        end
+        else begin
+          let rec idle () =
+            if Bg_rt.Libc.peek flag_addr = 0 then begin
+              ignore (Coro.syscall Sysreq.Sched_yield);
+              idle ()
+            end
+          in
+          idle ()
+        end)
+  in
+  (match Node.launch node (Job.create ~mode:Job.Vn ~threads_per_core:1 ~name:"s" image) with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match Node.designate_remote node ~core:1 ~pid:1 with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let finished = ref false in
+  Node.on_job_complete node (fun () -> finished := true);
+  Cluster.run_until_quiet cluster;
+  check_bool "finished" true !finished;
+  Alcotest.(check (list (pair int string))) "no faults" [] (Node.faults node)
+
+let test_dual_mode_core_confinement () =
+  (* DUAL: pids 1/2 own cores {0,1}/{2,3}; each proc's extra threads stay
+     inside its own core set (limit respected per core) *)
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let counts = Array.make 3 0 and rejected = ref 0 in
+  let image =
+    Image.executable ~name:"dual" (fun () ->
+        let pid = Bg_rt.Libc.getpid () in
+        (* 1 thread/core, 2 cores: exactly one extra thread fits *)
+        let spawn () =
+          match Bg_rt.Pthread.create (fun () -> Coro.consume 20_000) with
+          | h ->
+            counts.(pid) <- counts.(pid) + 1;
+            Some h
+          | exception Sysreq.Syscall_error Errno.EAGAIN ->
+            incr rejected;
+            None
+        in
+        let h1 = spawn () in
+        let h2 = spawn () in
+        List.iter (function Some h -> Bg_rt.Pthread.join h | None -> ()) [ h1; h2 ])
+  in
+  Cluster.run_job cluster (Job.create ~mode:Job.Dual ~threads_per_core:1 ~name:"d" image);
+  check_int "pid 1 placed one" 1 counts.(1);
+  check_int "pid 2 placed one" 1 counts.(2);
+  check_int "overflow rejected per proc" 2 !rejected;
+  Alcotest.(check (list (pair int string))) "no faults" []
+    (Node.faults (Cluster.node cluster 0))
+
+let suite =
+  [
+    Alcotest.test_case "dual: core confinement" `Quick test_dual_mode_core_confinement;
+    Alcotest.test_case "shm: cross-process visibility" `Quick
+      test_shared_memory_between_processes;
+    Alcotest.test_case "affinity: EAGAIN without designation" `Quick
+      test_without_designation_eagain;
+    Alcotest.test_case "affinity: remote cores host threads" `Quick
+      test_with_designation_runs_on_remote_cores;
+    Alcotest.test_case "affinity: throughput gain" `Quick test_designation_speeds_up_phase;
+    Alcotest.test_case "affinity: validation" `Quick test_designation_validation;
+    Alcotest.test_case "affinity: map swaps run clean" `Quick test_tlb_swaps_are_counted;
+  ]

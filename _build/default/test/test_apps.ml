@@ -1,0 +1,346 @@
+(* Tests for the workload library: DAXPY cost model, FWQ program, UMT and
+   AMG proxies (computation correctness, not just timing), allreduce
+   benchmark and LINPACK proxy plumbing, stencil neighbor finding. *)
+
+open Bg_engine
+open Bg_kabi
+open Cnk
+module Apps = Bg_apps
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_daxpy_quantum () =
+  check_int "canonical quantum" 658_958 (Apps.Daxpy.cycles ~elements:256 ~reps:256);
+  (* linear scaling *)
+  let half = Apps.Daxpy.cycles ~elements:256 ~reps:128 in
+  check_bool "half reps ~ half cycles" true (abs (half - 329_479) < 100)
+
+let test_daxpy_memory_variant () =
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let image =
+    Image.executable ~name:"daxpy" (fun () ->
+        let base = Bg_rt.Malloc.malloc (2 * 8 * 256) in
+        (* seed x with known values *)
+        for i = 0 to 255 do
+          Bg_rt.Libc.poke (base + (8 * i)) 0
+        done;
+        Apps.Daxpy.run_with_memory ~base ~elements:256 ~reps:4)
+  in
+  Cluster.run_job cluster (Job.create ~name:"daxpy" image);
+  Alcotest.(check (list (pair int string))) "no faults" []
+    (Node.faults (Cluster.node cluster 0))
+
+let test_fwq_program_shape () =
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let entry, collect = Apps.Fwq.program ~samples:50 ~threads:4 () in
+  Cluster.run_job cluster (Job.create ~name:"fwq" (Image.executable ~name:"fwq" entry));
+  let r = collect () in
+  check_int "four threads" 4 (List.length r.Apps.Fwq.thread_samples);
+  List.iter
+    (fun (_, samples) ->
+      check_int "sample count" 50 (Array.length samples);
+      Array.iter
+        (fun s -> check_bool "at least the quantum" true (s >= Apps.Daxpy.quantum_cycles))
+        samples)
+    r.Apps.Fwq.thread_samples
+
+let test_umt_proxy_end_to_end () =
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let lib_path = Apps.Umt_proxy.install (Cluster.fs cluster) in
+  Alcotest.(check string) "library path" "/lib/umt_physics.so" lib_path;
+  let entry, collect = Apps.Umt_proxy.program ~lib_path ~timesteps:3 ~threads:4 () in
+  Cluster.run_job cluster (Job.create ~name:"umt" (Image.executable ~name:"umt" entry));
+  let r = collect () in
+  check_int "timesteps" 3 r.Apps.Umt_proxy.timesteps_run;
+  (* per step: sum over angles 0..7 of ((a*7+1)*2) = 2*(7*28+8) = 408 *)
+  check_int "checksum" (3 * 408) r.Apps.Umt_proxy.sweep_checksum;
+  (* the results file landed on the I/O node *)
+  let fs = Cluster.fs cluster in
+  let inode = Result.get_ok (Bg_cio.Fs.resolve fs ~cwd:"/" "/umt_results.txt") in
+  let contents = Result.get_ok (Bg_cio.Fs.read fs inode ~offset:0 ~len:100) in
+  Alcotest.(check string) "file contents" "checksum=1224\n" (Bytes.to_string contents);
+  Alcotest.(check (list (pair int string))) "no faults" []
+    (Node.faults (Cluster.node cluster 0))
+
+let test_amg_proxy_computes () =
+  let run threads =
+    let cluster = Cluster.create ~dims:(1, 1, 1) () in
+    Cluster.boot_all cluster;
+    let entry, collect = Apps.Amg_proxy.program ~grid:16 ~sweeps:3 ~threads () in
+    Cluster.run_job cluster (Job.create ~name:"amg" (Image.executable ~name:"amg" entry));
+    Alcotest.(check (list (pair int string))) "no faults" []
+      (Node.faults (Cluster.node cluster 0));
+    (collect ()).Apps.Amg_proxy.residual
+  in
+  let serial = run 1 in
+  let threaded = run 4 in
+  Alcotest.(check (float 1e-9)) "threading preserves the computation" serial threaded;
+  check_bool "nonzero residual" true (serial > 0.0)
+
+let test_allreduce_bench_zero_stddev_on_cnk () =
+  let cluster = Cluster.create ~dims:(4, 1, 1) () in
+  Cluster.boot_all cluster;
+  let fabric = Bg_msg.Dcmf.make_fabric (Cluster.machine cluster) in
+  for r = 0 to 3 do
+    ignore (Bg_msg.Dcmf.attach fabric ~rank:r)
+  done;
+  let coll = Bg_msg.Mpi.Coll.create fabric ~participants:4 in
+  let entry, collect = Apps.Allreduce_bench.program ~fabric ~coll ~iterations:200 () in
+  Cluster.run_job cluster (Job.create ~name:"ar" (Image.executable ~name:"ar" entry));
+  let stats = collect () in
+  check_int "iterations recorded" 200 (Stats.Online.n stats);
+  (* CNK: at most the DRAM-refresh quantization; "effectively zero" *)
+  check_bool "stddev effectively 0" true (Stats.Online.stddev stats < 0.05)
+
+let test_linpack_program_runs () =
+  let cluster = Cluster.create ~dims:(2, 1, 1) () in
+  Cluster.boot_all cluster;
+  let fabric = Bg_msg.Dcmf.make_fabric (Cluster.machine cluster) in
+  for r = 0 to 1 do
+    ignore (Bg_msg.Dcmf.attach fabric ~rank:r)
+  done;
+  let coll = Bg_msg.Mpi.Coll.create fabric ~participants:2 in
+  let entry, collect =
+    Apps.Linpack.program ~fabric ~coll ~panels:20 ~panel_cycles:10_000 ()
+  in
+  Cluster.run_job cluster (Job.create ~name:"hpl" (Image.executable ~name:"hpl" entry));
+  let total = collect () in
+  check_bool "took at least compute time" true (total >= 20 * 10_000)
+
+let test_stencil_neighbors () =
+  let machine = Machine.create ~dims:(4, 4, 4) () in
+  let n = Apps.Stencil.neighbors_of machine ~rank:0 in
+  check_int "six distinct neighbors" 6 (List.length n);
+  Alcotest.(check (list int)) "expected ranks" [ 1; 3; 4; 12; 16; 48 ] n;
+  (* degenerate machine: fewer distinct neighbors *)
+  let small = Machine.create ~dims:(2, 1, 1) () in
+  let n2 = Apps.Stencil.neighbors_of small ~rank:0 in
+  Alcotest.(check (list int)) "collapsed" [ 1 ] n2
+
+let test_checkpoint_roundtrip () =
+  let ok = ref false and missing = ref true in
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let image =
+    Image.executable ~name:"ckpt" (fun () ->
+        let state = Bg_rt.Malloc.malloc 100_000 in
+        missing := not (Apps.Checkpoint.restore ~name:"none" ~regions:[ (state, 8) ]);
+        (* recognizable pattern *)
+        for i = 0 to 99 do
+          Bg_rt.Libc.poke (state + (i * 1000)) (i * i)
+        done;
+        let written = Apps.Checkpoint.save ~name:"st" ~regions:[ (state, 100_000) ] in
+        assert (written = 100_000);
+        (* corrupt everything *)
+        for i = 0 to 99 do
+          Bg_rt.Libc.poke (state + (i * 1000)) (-1)
+        done;
+        assert (Apps.Checkpoint.exists ~name:"st");
+        assert (Apps.Checkpoint.restore ~name:"st" ~regions:[ (state, 100_000) ]);
+        let all_back = ref true in
+        for i = 0 to 99 do
+          if Bg_rt.Libc.peek (state + (i * 1000)) <> i * i then all_back := false
+        done;
+        Apps.Checkpoint.remove ~name:"st";
+        ok := !all_back && not (Apps.Checkpoint.exists ~name:"st"))
+  in
+  Cluster.run_job cluster (Job.create ~name:"ckpt" image);
+  check_bool "restore of a missing checkpoint reports false" true !missing;
+  check_bool "state survives the corrupt/restore cycle" true !ok;
+  Alcotest.(check (list (pair int string))) "no faults" []
+    (Node.faults (Cluster.node cluster 0))
+
+let test_checkpoint_costs_shipped_io () =
+  (* every checkpoint byte crosses the collective network: the CIOD must
+     have served the write traffic *)
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let image =
+    Image.executable ~name:"ck2" (fun () ->
+        let state = Bg_rt.Malloc.malloc (256 * 1024) in
+        ignore (Apps.Checkpoint.save ~name:"big" ~regions:[ (state, 256 * 1024) ]))
+  in
+  Cluster.run_job cluster (Job.create ~name:"ck2" image);
+  let served = Bg_cio.Ciod.requests_served (Cluster.ciod_for cluster ~rank:0) in
+  (* 256 KiB in 16 KiB chunks = 16 writes + open/close/mkdir *)
+  check_bool "chunked writes shipped" true (served >= 18)
+
+(* mini script interpreter *)
+
+let run_script ?(libs = []) text =
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  List.iter (fun lib -> ignore (Bg_rt.Ld_so.install_library (Cluster.fs cluster) lib)) libs;
+  Apps.Pyscript.install_script (Cluster.fs cluster) ~path:"/job.py" text;
+  let out = ref None and err = ref None in
+  let image =
+    Image.executable ~name:"pyrun" (fun () ->
+        try out := Some (Apps.Pyscript.run ~path:"/job.py")
+        with Apps.Pyscript.Script_error (line, msg) -> err := Some (line, msg))
+  in
+  Cluster.run_job cluster (Job.create ~name:"py" image);
+  (cluster, !out, !err)
+
+let physics_lib =
+  Image.library ~name:"mini_physics"
+    [
+      { Image.symbol_name = "double"; fn = (fun x -> Coro.consume 1_000; x * 2) };
+      { Image.symbol_name = "inc"; fn = (fun x -> x + 1) };
+    ]
+
+let test_pyscript_end_to_end () =
+  let script =
+    "# a UMT-style driver\n\
+     load phys /lib/mini_physics.so\n\
+     set x 3\n\
+     loop 4\n\
+     call phys double x -> x\n\
+     call phys inc x -> x\n\
+     end\n\
+     add x 10\n\
+     print x\n\
+     write out.txt x\n"
+  in
+  let cluster, out, err = run_script ~libs:[ physics_lib ] script in
+  (match err with Some (l, m) -> Alcotest.failf "script error line %d: %s" l m | None -> ());
+  let r = Option.get out in
+  (* ((((3*2+1)*2+1)*2+1)*2+1) + 10 = 73 *)
+  Alcotest.(check (list (pair string int))) "final vars" [ ("x", 73) ]
+    r.Apps.Pyscript.variables;
+  Alcotest.(check string) "printed" "x=73\n" r.Apps.Pyscript.output;
+  check_bool "statements counted" true (r.Apps.Pyscript.statements_executed > 10);
+  let fs = Cluster.fs cluster in
+  let inode = Result.get_ok (Bg_cio.Fs.resolve fs ~cwd:"/" "/out.txt") in
+  Alcotest.(check string) "result file" "x=73\n"
+    (Bytes.to_string (Result.get_ok (Bg_cio.Fs.read fs inode ~offset:0 ~len:100)))
+
+let test_pyscript_nested_loops () =
+  let script = "set n 0\nloop 3\nloop 4\nadd n 1\nend\nend\nprint n\n" in
+  let _, out, err = run_script script in
+  (match err with Some (l, m) -> Alcotest.failf "error %d: %s" l m | None -> ());
+  Alcotest.(check (list (pair string int))) "3*4 adds" [ ("n", 12) ]
+    (Option.get out).Apps.Pyscript.variables
+
+let test_pyscript_errors () =
+  (* unknown statement *)
+  let _, _, err = run_script "frobnicate\n" in
+  (match err with
+  | Some (1, msg) -> check_bool "names the statement" true (String.length msg > 0)
+  | _ -> Alcotest.fail "expected a line-1 parse error");
+  (* undefined variable *)
+  let _, _, err2 = run_script "print ghost\n" in
+  check_bool "undefined var" true (err2 <> None);
+  (* missing library *)
+  let _, out3, err3 = run_script "load phys /lib/none.so\n" in
+  check_bool "dlopen failure surfaces" true (out3 = None || err3 <> None)
+
+let test_pyscript_unterminated_loop () =
+  let _, out, err = run_script "loop 3\nadd x 1\n" in
+  check_bool "unterminated loop rejected" true (out = None && err <> None)
+
+(* conjugate gradient *)
+
+let run_cg ~ranks ~iterations =
+  let cluster = Cluster.create ~dims:(ranks, 1, 1) () in
+  Cluster.boot_all cluster;
+  let fabric = Bg_msg.Dcmf.make_fabric (Cluster.machine cluster) in
+  for r = 0 to ranks - 1 do
+    ignore (Bg_msg.Dcmf.attach fabric ~rank:r)
+  done;
+  let coll = Bg_msg.Mpi.Coll.create fabric ~participants:ranks in
+  let entry, collect =
+    Apps.Cg_solver.program ~fabric ~coll ~cells_per_rank:16 ~iterations ()
+  in
+  Cluster.run_job cluster (Job.create ~name:"cg" (Image.executable ~name:"cg" entry));
+  Array.iter
+    (fun node ->
+      Alcotest.(check (list (pair int string))) "no faults" [] (Node.faults node))
+    (Cluster.nodes cluster);
+  collect ()
+
+let test_cg_converges () =
+  let r = run_cg ~ranks:4 ~iterations:25 in
+  check_bool "residual dropped hard" true
+    (r.Apps.Cg_solver.final_residual < 0.01 *. r.Apps.Cg_solver.initial_residual);
+  let reference =
+    Apps.Cg_solver.reference_final_residual ~ranks:4 ~cells_per_rank:16 ~iterations:25
+  in
+  let rel =
+    Float.abs (r.Apps.Cg_solver.final_residual -. reference)
+    /. Float.max reference 1e-300
+  in
+  check_bool "matches the dense reference" true (rel < 1e-6)
+
+let test_cg_rank_invariant () =
+  (* same global system split 2 vs 4 ways: same convergence *)
+  let a = run_cg ~ranks:2 ~iterations:15 in
+  let b =
+    let cluster = Cluster.create ~dims:(4, 1, 1) () in
+    Cluster.boot_all cluster;
+    let fabric = Bg_msg.Dcmf.make_fabric (Cluster.machine cluster) in
+    for r = 0 to 3 do
+      ignore (Bg_msg.Dcmf.attach fabric ~rank:r)
+    done;
+    let coll = Bg_msg.Mpi.Coll.create fabric ~participants:4 in
+    let entry, collect =
+      Apps.Cg_solver.program ~fabric ~coll ~cells_per_rank:8 ~iterations:15 ()
+    in
+    Cluster.run_job cluster (Job.create ~name:"cg" (Image.executable ~name:"cg" entry));
+    collect ()
+  in
+  let rel =
+    Float.abs (a.Apps.Cg_solver.final_residual -. b.Apps.Cg_solver.final_residual)
+    /. Float.max a.Apps.Cg_solver.final_residual 1e-300
+  in
+  check_bool "decomposition-invariant" true (rel < 1e-6)
+
+let test_ior_writes_and_saturates () =
+  let run ranks =
+    let cluster = Cluster.create ~dims:(8, 1, 1) () in
+    Cluster.boot_all cluster;
+    let entry, collect =
+      Apps.Ior_proxy.program ~bytes_per_rank:(256 * 1024) ~block_bytes:(32 * 1024) ()
+    in
+    Cluster.run_job cluster
+      ~ranks:(List.init ranks Fun.id)
+      (Job.create ~name:"ior" (Image.executable ~name:"ior" entry));
+    let r = collect ~collect_from:(Cluster.machine cluster) () in
+    (cluster, r)
+  in
+  let cluster, r1 = run 1 in
+  check_int "one rank" 1 r1.Apps.Ior_proxy.ranks;
+  (* the file really landed, full sized *)
+  let fs = Cluster.fs cluster in
+  let inode = Result.get_ok (Bg_cio.Fs.resolve fs ~cwd:"/" "/ior/rank-0.dat") in
+  check_int "file size" (256 * 1024) (Bg_cio.Fs.size fs inode);
+  let _, r8 = run 8 in
+  check_bool "more ranks, more aggregate" true
+    (r8.Apps.Ior_proxy.aggregate_mbps > r1.Apps.Ior_proxy.aggregate_mbps);
+  (* but bounded by the shared uplink (~850 MB/s) *)
+  check_bool "bounded by the tree uplink" true (r8.Apps.Ior_proxy.aggregate_mbps < 900.0)
+
+let suite =
+  [
+    Alcotest.test_case "ior: writes + saturation" `Quick test_ior_writes_and_saturates;
+    Alcotest.test_case "cg: converges to the reference" `Quick test_cg_converges;
+    Alcotest.test_case "cg: rank invariant" `Quick test_cg_rank_invariant;
+    Alcotest.test_case "pyscript: end to end" `Quick test_pyscript_end_to_end;
+    Alcotest.test_case "pyscript: nested loops" `Quick test_pyscript_nested_loops;
+    Alcotest.test_case "pyscript: errors" `Quick test_pyscript_errors;
+    Alcotest.test_case "pyscript: unterminated loop" `Quick test_pyscript_unterminated_loop;
+    Alcotest.test_case "checkpoint: roundtrip" `Quick test_checkpoint_roundtrip;
+    Alcotest.test_case "checkpoint: shipped io" `Quick test_checkpoint_costs_shipped_io;
+    Alcotest.test_case "daxpy: quantum" `Quick test_daxpy_quantum;
+    Alcotest.test_case "daxpy: memory variant" `Quick test_daxpy_memory_variant;
+    Alcotest.test_case "fwq: program shape" `Quick test_fwq_program_shape;
+    Alcotest.test_case "umt: end to end" `Quick test_umt_proxy_end_to_end;
+    Alcotest.test_case "amg: threading-invariant" `Quick test_amg_proxy_computes;
+    Alcotest.test_case "allreduce bench: cnk stddev" `Quick
+      test_allreduce_bench_zero_stddev_on_cnk;
+    Alcotest.test_case "linpack: runs" `Quick test_linpack_program_runs;
+    Alcotest.test_case "stencil: neighbors" `Quick test_stencil_neighbors;
+  ]

@@ -1,0 +1,304 @@
+(* Tests for the later paper features: L1 parity recovery (§V.B), the L2
+   cache-mapping bringup experiment (§III), the FTQ benchmark, and the
+   Charm++-style user-level threading workaround (§VII.B). *)
+
+open Bg_kabi
+open Cnk
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* L1 parity recovery *)
+
+let test_l1_parity_recovery () =
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let node = Cluster.node cluster 0 in
+  let recovered = ref 0 and finished = ref false in
+  let image =
+    Image.executable ~name:"gordon-bell" (fun () ->
+        (* the application registers an L1-parity (SIGBUS) handler that
+           marks the block for recomputation *)
+        Sysreq.expect_unit
+          (Coro.syscall (Sysreq.Sigaction { signo = 7; handler = Some (fun _ -> incr recovered) }));
+        for _block = 1 to 20 do
+          Coro.consume 100_000
+        done;
+        finished := true)
+  in
+  (match Node.launch node (Job.create ~name:"gb" image) with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (* the hardware hiccups twice mid-run (the app starts after boot + the
+     ~2.1M-cycle image load and computes for 2M cycles) *)
+  let sim = Cluster.sim cluster in
+  ignore
+    (Bg_engine.Sim.schedule_at sim 2_600_000 (fun () ->
+         ignore (Node.inject_l1_parity_error node ~core:0)));
+  ignore
+    (Bg_engine.Sim.schedule_at sim 3_400_000 (fun () ->
+         ignore (Node.inject_l1_parity_error node ~core:0)));
+  Cluster.run_until_quiet cluster;
+  check_bool "application completed" true !finished;
+  check_int "both errors recovered in place" 2 !recovered;
+  Alcotest.(check (list (pair int string))) "no checkpoint/restart needed" []
+    (Node.faults node)
+
+let test_l1_parity_without_handler_kills () =
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let node = Cluster.node cluster 0 in
+  let image = Image.executable ~name:"naive" (fun () -> Coro.consume 1_000_000) in
+  (match Node.launch node (Job.create ~name:"n" image) with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  ignore
+    (Bg_engine.Sim.schedule_at (Cluster.sim cluster) 2_600_000 (fun () ->
+         ignore (Node.inject_l1_parity_error node ~core:0)));
+  Cluster.run_until_quiet cluster;
+  match Node.faults node with
+  | [ (_, "unhandled signal 7") ] -> ()
+  | l -> Alcotest.failf "expected SIGBUS death, got %d faults" (List.length l)
+
+let test_l1_parity_idle_core () =
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  Cluster.run_until_quiet cluster;
+  check_bool "no victim on an idle core" false
+    (Node.inject_l1_parity_error (Cluster.node cluster 0) ~core:2)
+
+(* ------------------------------------------------------------------ *)
+(* Cache-mapping exploration *)
+
+let test_cache_explore_ranks_mappings () =
+  let results =
+    Bg_bringup.Cache_explore.sweep
+      ~mappings:[ Bg_hw.Cache.Modulo_line; Bg_hw.Cache.Xor_fold; Bg_hw.Cache.Fixed 0 ]
+      ()
+  in
+  check_int "three mappings" 3 (List.length results);
+  let get name =
+    (List.find (fun r -> r.Bg_bringup.Cache_explore.mapping_name = name) results)
+      .Bg_bringup.Cache_explore.imbalance
+  in
+  let modulo = get "modulo-line" and xor = get "xor-fold" and fixed = get "fixed-bank-0" in
+  (* the 1024-byte stride is pathological for modulo, fine for xor-fold *)
+  check_bool "xor-fold beats modulo on the bad stride" true (xor < modulo);
+  check_bool "fixed mapping is the worst (artificial conflicts)" true (fixed >= modulo);
+  check_bool "xor-fold near even" true (xor < 2.0);
+  List.iter
+    (fun r -> check_bool "accesses recorded" true (r.Bg_bringup.Cache_explore.accesses > 0))
+    results
+
+(* ------------------------------------------------------------------ *)
+(* FTQ *)
+
+let run_ftq_cnk () =
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let entry, collect = Bg_apps.Ftq.program ~windows:100 () in
+  Cluster.run_job cluster (Job.create ~name:"ftq" (Image.executable ~name:"ftq" entry));
+  collect ()
+
+let test_ftq_flat_on_cnk () =
+  let r = run_ftq_cnk () in
+  check_int "100 windows" 100 (Array.length r.Bg_apps.Ftq.counts);
+  (* every window fits the same work, give or take one unit *)
+  check_bool "flat profile" true
+    (Bg_apps.Ftq.max_count r - Bg_apps.Ftq.min_count r <= 1);
+  check_bool "windows actually filled" true (Bg_apps.Ftq.min_count r > 300)
+
+let test_ftq_dented_by_injection () =
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let profile =
+    { Bg_noise.Injection.period_cycles = 3_000_000; duration_cycles = 150_000; jitter = 0.4 }
+  in
+  Bg_noise.Injection.attach (Cluster.node cluster 0) ~profile ~seed:4L
+    ~until:(Bg_engine.Sim.now (Cluster.sim cluster) + 2_000_000_000);
+  let entry, collect = Bg_apps.Ftq.program ~windows:100 () in
+  Cluster.run_job cluster (Job.create ~name:"ftq" (Image.executable ~name:"ftq" entry));
+  let r = collect () in
+  (* dents: some windows lose a visible chunk of their work *)
+  check_bool "noise dents the profile" true (Bg_apps.Ftq.spread_percent r > 5.0)
+
+(* ------------------------------------------------------------------ *)
+(* User-level threads (Charm++ workaround) *)
+
+let test_ult_overcommit_on_one_core () =
+  (* 100 "threads" on a kernel that refuses overcommit: they multiplex on
+     one pthread via the user-mode library, as the paper says Charm++ does *)
+  let done_count = ref 0 and interleaved = ref false in
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let image =
+    Image.executable ~name:"charm" (fun () ->
+        let last = ref (-1) in
+        let body i () =
+          for _ = 1 to 3 do
+            Coro.consume 500;
+            (* if another ULT ran since our last step, we interleaved *)
+            if !last <> i && !last <> -1 then interleaved := true;
+            last := i;
+            Bg_rt.Ult.yield ()
+          done;
+          incr done_count
+        in
+        Bg_rt.Ult.run (List.init 100 body))
+  in
+  Cluster.run_job cluster (Job.create ~name:"charm" image);
+  check_int "all 100 ULTs finished" 100 !done_count;
+  check_bool "they interleaved cooperatively" true !interleaved;
+  Alcotest.(check (list (pair int string))) "no faults" []
+    (Node.faults (Cluster.node cluster 0))
+
+let test_ult_spawn_and_syscalls () =
+  let spawned_ran = ref false and fds = ref [] in
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let image =
+    Image.executable ~name:"ult-io" (fun () ->
+        Bg_rt.Ult.run
+          [
+            (fun () ->
+              (* ULTs can make real (function-shipped) syscalls *)
+              let fd =
+                Bg_rt.Libc.openf ~flags:{ Sysreq.o_rdwr with Sysreq.creat = true } "a.txt"
+              in
+              fds := fd :: !fds;
+              Bg_rt.Ult.spawn (fun () ->
+                  spawned_ran := true;
+                  let fd2 =
+                    Bg_rt.Libc.openf ~flags:{ Sysreq.o_rdwr with Sysreq.creat = true } "b.txt"
+                  in
+                  fds := fd2 :: !fds;
+                  Bg_rt.Libc.close fd2);
+              Bg_rt.Ult.yield ();
+              Bg_rt.Libc.close fd);
+          ])
+  in
+  Cluster.run_job cluster (Job.create ~name:"ult" image);
+  check_bool "spawned ULT ran" true !spawned_ran;
+  check_int "both opens went through" 2 (List.length !fds);
+  check_bool "distinct fds" true (List.nth !fds 0 <> List.nth !fds 1)
+
+let test_ult_deep_switching () =
+  (* 200 ULTs x 50 yields = 10,000 cooperative switches through the nested
+     handler: must complete without exhausting the host stack *)
+  let finished = ref 0 in
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let image =
+    Image.executable ~name:"deep" (fun () ->
+        Bg_rt.Ult.run
+          (List.init 200 (fun _ () ->
+               for _ = 1 to 50 do
+                 Bg_rt.Ult.yield ()
+               done;
+               incr finished)))
+  in
+  Cluster.run_job cluster (Job.create ~name:"deep" image);
+  check_int "all completed" 200 !finished;
+  Alcotest.(check (list (pair int string))) "no faults" []
+    (Node.faults (Cluster.node cluster 0))
+
+let test_ult_outside_scheduler () =
+  (* yield outside a scheduler is a harmless no-op; spawn is an error *)
+  Bg_rt.Ult.yield ();
+  check_int "no scheduler" 0 (Bg_rt.Ult.self_count ());
+  check_bool "spawn raises" true
+    (try
+       Bg_rt.Ult.spawn (fun () -> ());
+       false
+     with Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* partial / broken hardware (SSIII) *)
+
+let test_runs_with_torus_broken () =
+  (* CNK's control flags let it run with major units absent: a
+     compute + shipped-I/O job completes with the torus disabled *)
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  Bg_hw.Torus.set_enabled (Cluster.machine cluster).Machine.torus false;
+  let wrote = ref false in
+  let image =
+    Image.executable ~name:"no-torus" (fun () ->
+        Coro.consume 100_000;
+        let fd = Bg_rt.Libc.openf ~flags:{ Sysreq.o_rdwr with Sysreq.creat = true } "ok" in
+        ignore (Bg_rt.Libc.write_string fd "alive");
+        Bg_rt.Libc.close fd;
+        wrote := true)
+  in
+  Cluster.run_job cluster (Job.create ~name:"nt" image);
+  check_bool "job survives a dead torus" true !wrote;
+  Alcotest.(check (list (pair int string))) "no faults" []
+    (Node.faults (Cluster.node cluster 0))
+
+let test_torus_user_sees_broken_unit () =
+  (* a messaging app on the same broken chip dies with a contained fault,
+     not a wedged machine *)
+  let cluster = Cluster.create ~dims:(2, 1, 1) () in
+  Cluster.boot_all cluster;
+  Bg_hw.Torus.set_enabled (Cluster.machine cluster).Machine.torus false;
+  let fabric = Bg_msg.Dcmf.make_fabric (Cluster.machine cluster) in
+  ignore (Bg_msg.Dcmf.attach fabric ~rank:0);
+  ignore (Bg_msg.Dcmf.attach fabric ~rank:1);
+  let image =
+    Image.executable ~name:"needs-torus" (fun () ->
+        if Bg_rt.Libc.rank () = 0 then begin
+          let ctx = Bg_msg.Dcmf.attach fabric ~rank:0 in
+          ignore (Bg_msg.Dcmf.put ctx ~dst:1 ~tag:1 ~data:(Bytes.make 8 'x'))
+        end)
+  in
+  Cluster.run_job cluster (Job.create ~name:"bt" image);
+  (match Node.faults (Cluster.node cluster 0) with
+  | [ (_, reason) ] ->
+    let contains_torus =
+      let n = String.length reason in
+      let rec scan i = i + 5 <= n && (String.sub reason i 5 = "torus" || scan (i + 1)) in
+      scan 0
+    in
+    check_bool "fault names the unit" true contains_torus
+  | l -> Alcotest.failf "expected one contained fault, got %d" (List.length l));
+  check_bool "other node untouched" true (Node.faults (Cluster.node cluster 1) = [])
+
+let test_openmp_degrades_gracefully () =
+  (* ask for 20 threads on a 12-slot node: the region still computes the
+     right answer, overflow chunks running on the master *)
+  let total = ref 0 in
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let image =
+    Image.executable ~name:"omp20" (fun () ->
+        let acc = Bg_rt.Malloc.malloc 8 in
+        Bg_rt.Libc.poke acc 0;
+        Bg_rt.Openmp.parallel_for ~num_threads:20 ~lo:0 ~hi:100 (fun ~thread_num:_ i ->
+            Coro.consume 100;
+            ignore (Coro.fetch_add ~addr:acc i));
+        total := Bg_rt.Libc.peek acc)
+  in
+  Cluster.run_job cluster (Job.create ~name:"omp" image);
+  Alcotest.(check int) "sum intact despite refusals" 4950 !total;
+  Alcotest.(check (list (pair int string))) "no faults" []
+    (Node.faults (Cluster.node cluster 0))
+
+let suite =
+  [
+    Alcotest.test_case "openmp: graceful degradation" `Quick test_openmp_degrades_gracefully;
+    Alcotest.test_case "partial hw: torus off, job runs" `Quick test_runs_with_torus_broken;
+    Alcotest.test_case "partial hw: broken unit contained" `Quick
+      test_torus_user_sees_broken_unit;
+    Alcotest.test_case "l1 parity: handler recovers" `Quick test_l1_parity_recovery;
+    Alcotest.test_case "l1 parity: no handler kills" `Quick
+      test_l1_parity_without_handler_kills;
+    Alcotest.test_case "l1 parity: idle core" `Quick test_l1_parity_idle_core;
+    Alcotest.test_case "cache: mapping exploration" `Quick test_cache_explore_ranks_mappings;
+    Alcotest.test_case "ftq: flat on cnk" `Quick test_ftq_flat_on_cnk;
+    Alcotest.test_case "ftq: dented by injection" `Quick test_ftq_dented_by_injection;
+    Alcotest.test_case "ult: 100-way overcommit" `Quick test_ult_overcommit_on_one_core;
+    Alcotest.test_case "ult: spawn + real syscalls" `Quick test_ult_spawn_and_syscalls;
+    Alcotest.test_case "ult: deep switching" `Quick test_ult_deep_switching;
+    Alcotest.test_case "ult: outside scheduler" `Quick test_ult_outside_scheduler;
+  ]

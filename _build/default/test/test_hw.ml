@@ -1,0 +1,498 @@
+(* Tests for Bg_hw: memory, TLB, DAC, cache banks, DRAM self-refresh, chip
+   reset, torus routing/timing, collective network, barrier network,
+   clock stop. *)
+
+open Bg_engine
+open Bg_hw
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Memory *)
+
+let test_memory_rw_roundtrip () =
+  let m = Memory.create ~size:(1 lsl 20) in
+  let data = Bytes.of_string "hello, blue gene" in
+  Memory.write m ~addr:12345 data;
+  Alcotest.(check string) "roundtrip" "hello, blue gene"
+    (Bytes.to_string (Memory.read m ~addr:12345 ~len:(Bytes.length data)))
+
+let test_memory_cross_chunk () =
+  let m = Memory.create ~size:(1 lsl 20) in
+  (* Straddle the 64 KiB chunk boundary. *)
+  let data = Bytes.make 1000 'x' in
+  Memory.write m ~addr:((1 lsl 16) - 500) data;
+  let back = Memory.read m ~addr:((1 lsl 16) - 500) ~len:1000 in
+  Alcotest.(check bytes) "straddles chunks" data back
+
+let test_memory_untouched_is_zero () =
+  let m = Memory.create ~size:4096 in
+  check_int "zero" 0 (Memory.read_byte m ~addr:100)
+
+let test_memory_bounds () =
+  let m = Memory.create ~size:4096 in
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Memory: access [0x1000, +1) outside of 4096 bytes")
+    (fun () -> ignore (Memory.read_byte m ~addr:4096))
+
+let test_memory_int64 () =
+  let m = Memory.create ~size:4096 in
+  Memory.write_int64 m ~addr:8 0x1122334455667788L;
+  Alcotest.(check int64) "int64 roundtrip" 0x1122334455667788L
+    (Memory.read_int64 m ~addr:8)
+
+let test_memory_copy () =
+  let a = Memory.create ~size:4096 and b = Memory.create ~size:4096 in
+  Memory.write a ~addr:0 (Bytes.of_string "dma-payload");
+  Memory.copy ~src:a ~src_addr:0 ~dst:b ~dst_addr:100 ~len:11;
+  Alcotest.(check string) "copied" "dma-payload"
+    (Bytes.to_string (Memory.read b ~addr:100 ~len:11))
+
+let test_memory_digest_tracks_writes () =
+  let m = Memory.create ~size:4096 in
+  let d0 = Memory.digest m in
+  ignore (Memory.read m ~addr:0 ~len:100);
+  Alcotest.(check bool) "reads don't change digest" true
+    (Fnv.equal d0 (Memory.digest m));
+  Memory.write_byte m ~addr:0 7;
+  Alcotest.(check bool) "writes change digest" false
+    (Fnv.equal d0 (Memory.digest m))
+
+let prop_memory_roundtrip =
+  QCheck.Test.make ~name:"memory write-then-read returns the data" ~count:100
+    QCheck.(pair (int_bound 60_000) (string_of_size Gen.(1 -- 2000)))
+    (fun (addr, s) ->
+      let m = Memory.create ~size:(1 lsl 17) in
+      Memory.write m ~addr (Bytes.of_string s);
+      Bytes.to_string (Memory.read m ~addr ~len:(String.length s)) = s)
+
+(* ------------------------------------------------------------------ *)
+(* Tlb *)
+
+let entry vaddr paddr size perm = { Tlb.vaddr; paddr; size; perm }
+
+let test_tlb_hit_translation () =
+  let tlb = Tlb.create ~capacity:4 in
+  (match Tlb.install tlb (entry 0 (16 * 1024 * 1024) Page_size.P1m Tlb.perm_rwx) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Tlb.translate tlb Tlb.Load 4096 with
+  | Tlb.Hit pa -> check_int "offset preserved" ((16 * 1024 * 1024) + 4096) pa
+  | _ -> Alcotest.fail "expected hit"
+
+let test_tlb_miss () =
+  let tlb = Tlb.create ~capacity:4 in
+  (match Tlb.translate tlb Tlb.Load 4096 with
+  | Tlb.Miss -> ()
+  | _ -> Alcotest.fail "expected miss");
+  check_int "miss counted" 1 (Tlb.misses tlb)
+
+let test_tlb_perm_fault () =
+  let tlb = Tlb.create ~capacity:4 in
+  (match Tlb.install tlb (entry 0 0 Page_size.P1m Tlb.perm_ro) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Tlb.translate tlb Tlb.Store 10 with
+  | Tlb.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault"
+
+let test_tlb_alignment_rejected () =
+  let tlb = Tlb.create ~capacity:4 in
+  match Tlb.install tlb (entry 4096 0 Page_size.P1m Tlb.perm_rwx) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "misaligned entry accepted"
+
+let test_tlb_overlap_rejected () =
+  let tlb = Tlb.create ~capacity:4 in
+  (match Tlb.install tlb (entry 0 0 Page_size.P16m Tlb.perm_rwx) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Tlb.install tlb (entry (1024 * 1024) (1 lsl 30) Page_size.P1m Tlb.perm_rwx) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "overlap accepted"
+
+let test_tlb_fifo_eviction () =
+  let tlb = Tlb.create ~capacity:2 in
+  let mb = 1024 * 1024 in
+  let ok = function Ok () -> () | Error e -> Alcotest.fail e in
+  ok (Tlb.install tlb (entry 0 0 Page_size.P1m Tlb.perm_rwx));
+  ok (Tlb.install tlb (entry mb mb Page_size.P1m Tlb.perm_rwx));
+  ok (Tlb.install tlb (entry (2 * mb) (2 * mb) Page_size.P1m Tlb.perm_rwx));
+  check_int "evictions" 1 (Tlb.evictions tlb);
+  (* Oldest (vaddr 0) was evicted. *)
+  (match Tlb.translate tlb Tlb.Load 0 with
+  | Tlb.Miss -> ()
+  | _ -> Alcotest.fail "expected miss after eviction");
+  match Tlb.translate tlb Tlb.Load (2 * mb) with
+  | Tlb.Hit _ -> ()
+  | _ -> Alcotest.fail "newest must be present"
+
+(* ------------------------------------------------------------------ *)
+(* Dac *)
+
+let test_dac_store_watch () =
+  let d = Dac.create () in
+  Dac.set d ~slot:1 (Some { Dac.lo = 0x1000; hi = 0x2000; on_store = true; on_load = false });
+  Alcotest.(check (option int)) "hit" (Some 1) (Dac.check_store d ~addr:0x1800);
+  Alcotest.(check (option int)) "miss below" None (Dac.check_store d ~addr:0xfff);
+  Alcotest.(check (option int)) "miss at hi" None (Dac.check_store d ~addr:0x2000);
+  Alcotest.(check (option int)) "loads not watched" None (Dac.check_load d ~addr:0x1800)
+
+let test_dac_clear () =
+  let d = Dac.create () in
+  Dac.set d ~slot:0 (Some { Dac.lo = 0; hi = 10; on_store = true; on_load = true });
+  Dac.set d ~slot:0 None;
+  Alcotest.(check (option int)) "cleared" None (Dac.check_store d ~addr:5)
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let test_cache_modulo_spreads_lines () =
+  let c = Cache.create ~banks:8 Cache.Modulo_line in
+  check_int "line 0" 0 (Cache.bank_of c 0);
+  check_int "line 1" 1 (Cache.bank_of c 128);
+  check_int "wraps" 0 (Cache.bank_of c (128 * 8))
+
+let test_cache_fixed_conflicts () =
+  let c = Cache.create ~banks:8 (Cache.Fixed 3) in
+  for i = 0 to 99 do
+    Cache.access c (i * 128)
+  done;
+  check_int "all on one bank" 100 (Cache.access_count c ~bank:3);
+  Alcotest.(check (float 0.01)) "imbalance = banks" 8.0 (Cache.imbalance c)
+
+let test_cache_xor_fold_balances_stride () =
+  let c = Cache.create ~banks:8 Cache.Xor_fold in
+  (* Pathological stride for the modulo mapping: every access hits the
+     same modulo bank; xor-fold must spread it. *)
+  for i = 0 to 799 do
+    Cache.access c (i * 128 * 8)
+  done;
+  Alcotest.(check bool) "imbalance below 2x" true (Cache.imbalance c < 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Dram + Chip reset *)
+
+let test_dram_self_refresh_preserves () =
+  let d = Dram.create ~size:4096 in
+  Memory.write (Dram.memory d) ~addr:0 (Bytes.of_string "persist");
+  Dram.enter_self_refresh d;
+  Dram.on_reset d;
+  Alcotest.(check string) "survives" "persist"
+    (Bytes.to_string (Memory.read (Dram.memory d) ~addr:0 ~len:7))
+
+let test_dram_no_self_refresh_loses () =
+  let d = Dram.create ~size:4096 in
+  Memory.write (Dram.memory d) ~addr:0 (Bytes.of_string "gone");
+  Dram.on_reset d;
+  check_int "zeroed" 0 (Memory.read_byte (Dram.memory d) ~addr:0)
+
+let test_chip_reset_clears_core_state () =
+  let chip = Chip.create ~id:0 () in
+  let core = Chip.core chip 0 in
+  (match Tlb.install core.Chip.tlb (entry 0 0 Page_size.P1m Tlb.perm_rwx) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Dac.set core.Chip.dac ~slot:0
+    (Some { Dac.lo = 0; hi = 100; on_store = true; on_load = false });
+  core.Chip.retired <- 42;
+  Chip.reset chip;
+  check_int "tlb flushed" 0 (Tlb.entry_count core.Chip.tlb);
+  Alcotest.(check (option int)) "dac cleared" None (Dac.check_store core.Chip.dac ~addr:50);
+  check_int "retired cleared" 0 core.Chip.retired;
+  check_int "reset counted" 1 (Chip.reset_count chip)
+
+let test_chip_unit_status () =
+  let chip = Chip.create ~id:0 () in
+  Chip.check_unit chip Chip.Torus_unit;
+  Chip.set_unit_status chip Chip.Torus_unit (Fault.Broken "arbiter");
+  Alcotest.check_raises "broken raises"
+    (Fault.Unavailable "torus broken: arbiter") (fun () ->
+      Chip.check_unit chip Chip.Torus_unit)
+
+let test_chip_skew_deterministic () =
+  let a = Chip.manufacturing_skew (Chip.create ~id:7 ()) in
+  let b = Chip.manufacturing_skew (Chip.create ~id:7 ()) in
+  let c = Chip.manufacturing_skew (Chip.create ~id:8 ()) in
+  Alcotest.(check (float 0.0)) "same id same skew" a b;
+  Alcotest.(check bool) "different id different skew" true (a <> c);
+  Alcotest.(check bool) "in range" true (a >= 0.0 && a < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Torus *)
+
+let mk_torus ?(dims = (4, 4, 4)) sim = Torus.create sim ~dims ()
+
+let test_torus_rank_coord_roundtrip () =
+  let sim = Sim.create () in
+  let t = mk_torus sim in
+  for rank = 0 to Torus.node_count t - 1 do
+    check_int "roundtrip" rank (Torus.rank_of_coord t (Torus.coord_of_rank t rank))
+  done
+
+let test_torus_hops_wraparound () =
+  let sim = Sim.create () in
+  let t = mk_torus sim in
+  let r000 = Torus.rank_of_coord t (0, 0, 0) in
+  let r300 = Torus.rank_of_coord t (3, 0, 0) in
+  (* On a ring of 4, 0 -> 3 is one hop the short way. *)
+  check_int "wraparound" 1 (Torus.hops t ~src:r000 ~dst:r300);
+  let r222 = Torus.rank_of_coord t (2, 2, 2) in
+  check_int "manhattan" 6 (Torus.hops t ~src:r000 ~dst:r222);
+  check_int "self" 0 (Torus.hops t ~src:r000 ~dst:r000)
+
+let test_torus_transfer_timing () =
+  let sim = Sim.create () in
+  let t = mk_torus sim in
+  let p = Params.bgp in
+  let arrived = ref (-1) in
+  Torus.transfer t ~src:0 ~dst:1 ~bytes:1024
+    ~on_arrival:(fun ~arrival_cycle -> arrived := arrival_cycle)
+    ();
+  ignore (Sim.run sim);
+  let expected =
+    p.Params.torus_inject_cycles + p.Params.torus_hop_cycles
+    + int_of_float (Float.ceil (1024.0 /. p.Params.torus_link_bytes_per_cycle))
+    + p.Params.torus_receive_cycles
+  in
+  check_int "1-hop timing" expected !arrived;
+  check_int "estimate agrees" expected (Torus.estimate_cycles t ~src:0 ~dst:1 ~bytes:1024)
+
+let test_torus_link_contention () =
+  let sim = Sim.create () in
+  let t = mk_torus sim in
+  let arrivals = ref [] in
+  (* Two back-to-back transfers over the same link must serialize. *)
+  Torus.transfer t ~src:0 ~dst:1 ~bytes:100_000
+    ~on_arrival:(fun ~arrival_cycle -> arrivals := arrival_cycle :: !arrivals)
+    ();
+  Torus.transfer t ~src:0 ~dst:1 ~bytes:100_000
+    ~on_arrival:(fun ~arrival_cycle -> arrivals := arrival_cycle :: !arrivals)
+    ();
+  ignore (Sim.run sim);
+  match List.sort compare !arrivals with
+  | [ a1; a2 ] ->
+    let ser = int_of_float (Float.ceil (100_000.0 /. Params.bgp.Params.torus_link_bytes_per_cycle)) in
+    Alcotest.(check bool) "second waits for link" true (a2 - a1 >= ser)
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_torus_disjoint_links_parallel () =
+  let sim = Sim.create () in
+  let t = mk_torus sim in
+  let arrivals = ref [] in
+  let record ~arrival_cycle = arrivals := arrival_cycle :: !arrivals in
+  Torus.transfer t ~src:0 ~dst:1 ~bytes:100_000 ~on_arrival:record ();
+  let src2 = Torus.rank_of_coord t (0, 1, 0) and dst2 = Torus.rank_of_coord t (0, 2, 0) in
+  Torus.transfer t ~src:src2 ~dst:dst2 ~bytes:100_000 ~on_arrival:record ();
+  ignore (Sim.run sim);
+  match List.sort compare !arrivals with
+  | [ a1; a2 ] -> check_int "same finish on disjoint links" a1 a2
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_torus_injection_fifo_serializes () =
+  let sim = Sim.create () in
+  let t = mk_torus sim in
+  let arrivals = ref [] in
+  let record ~arrival_cycle = arrivals := arrival_cycle :: !arrivals in
+  (* two DMA descriptors from rank 0 to DIFFERENT destinations: disjoint
+     wire links, but one injection FIFO *)
+  Torus.transfer t ~src:0 ~dst:1 ~bytes:64 ~on_arrival:record ();
+  let dst2 = Torus.rank_of_coord t (0, 1, 0) in
+  Torus.transfer t ~src:0 ~dst:dst2 ~bytes:64 ~on_arrival:record ();
+  ignore (Sim.run sim);
+  (match List.sort compare !arrivals with
+  | [ a1; a2 ] ->
+    Alcotest.(check bool) "second descriptor waits for the FIFO" true
+      (a2 - a1 >= Params.bgp.Params.torus_inject_cycles)
+  | _ -> Alcotest.fail "expected two arrivals");
+  (* different sources inject in parallel *)
+  let sim2 = Sim.create () in
+  let t2 = mk_torus sim2 in
+  let arrivals2 = ref [] in
+  let record2 ~arrival_cycle = arrivals2 := arrival_cycle :: !arrivals2 in
+  Torus.transfer t2 ~src:0 ~dst:1 ~bytes:64 ~on_arrival:record2 ();
+  let src2 = Torus.rank_of_coord t2 (0, 2, 0) and dst3 = Torus.rank_of_coord t2 (0, 3, 0) in
+  Torus.transfer t2 ~src:src2 ~dst:dst3 ~bytes:64 ~on_arrival:record2 ();
+  ignore (Sim.run sim2);
+  match List.sort compare !arrivals2 with
+  | [ a1; a2 ] -> check_int "independent FIFOs" a1 a2
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_torus_disabled_raises () =
+  let sim = Sim.create () in
+  let t = mk_torus sim in
+  Torus.set_enabled t false;
+  Alcotest.check_raises "raises" (Fault.Unavailable "torus") (fun () ->
+      Torus.transfer t ~src:0 ~dst:1 ~bytes:8 ())
+
+let prop_torus_hops_symmetric =
+  QCheck.Test.make ~name:"torus hop count is symmetric" ~count:200
+    QCheck.(pair (int_bound 63) (int_bound 63))
+    (fun (a, b) ->
+      let sim = Sim.create () in
+      let t = mk_torus sim in
+      Torus.hops t ~src:a ~dst:b = Torus.hops t ~src:b ~dst:a)
+
+let prop_torus_hops_bounded =
+  QCheck.Test.make ~name:"torus hops bounded by sum of half-dims" ~count:200
+    QCheck.(pair (int_bound 63) (int_bound 63))
+    (fun (a, b) ->
+      let sim = Sim.create () in
+      let t = mk_torus sim in
+      Torus.hops t ~src:a ~dst:b <= 2 + 2 + 2)
+
+(* ------------------------------------------------------------------ *)
+(* Collective net *)
+
+let test_collective_grouping () =
+  let sim = Sim.create () in
+  let c = Collective_net.create sim ~compute_nodes:64 ~nodes_per_io_node:16 () in
+  check_int "io nodes" 4 (Collective_net.io_node_count c);
+  check_int "cn 0" 0 (Collective_net.io_node_of c ~cn:0);
+  check_int "cn 15" 0 (Collective_net.io_node_of c ~cn:15);
+  check_int "cn 16" 1 (Collective_net.io_node_of c ~cn:16);
+  check_int "cn 63" 3 (Collective_net.io_node_of c ~cn:63)
+
+let test_collective_serializes_shared_uplink () =
+  let sim = Sim.create () in
+  let c = Collective_net.create sim ~compute_nodes:16 ~nodes_per_io_node:16 () in
+  let arrivals = ref [] in
+  let record ~arrival_cycle = arrivals := arrival_cycle :: !arrivals in
+  Collective_net.to_io_node c ~cn:0 ~bytes:10_000 ~on_arrival:record;
+  Collective_net.to_io_node c ~cn:1 ~bytes:10_000 ~on_arrival:record;
+  ignore (Sim.run sim);
+  match List.sort compare !arrivals with
+  | [ a1; a2 ] ->
+    Alcotest.(check bool) "second queues" true (a2 - a1 >= 10_000 / 1)
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_collective_disabled () =
+  let sim = Sim.create () in
+  let c = Collective_net.create sim ~compute_nodes:4 ~nodes_per_io_node:4 () in
+  Collective_net.set_enabled c false;
+  Alcotest.check_raises "raises" (Fault.Unavailable "collective") (fun () ->
+      Collective_net.to_io_node c ~cn:0 ~bytes:8 ~on_arrival:(fun ~arrival_cycle:_ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Barrier net *)
+
+let test_barrier_releases_all_together () =
+  let sim = Sim.create () in
+  let b = Barrier_net.create sim ~participants:4 () in
+  let releases = ref [] in
+  let arrive_at rank when_ =
+    ignore
+      (Sim.schedule_at sim when_ (fun () ->
+           Barrier_net.arrive b ~rank ~on_release:(fun ~release_cycle ->
+               releases := (rank, release_cycle) :: !releases)))
+  in
+  arrive_at 0 10;
+  arrive_at 1 500;
+  arrive_at 2 20;
+  arrive_at 3 999;
+  ignore (Sim.run sim);
+  check_int "all released" 4 (List.length !releases);
+  let times = List.map snd !releases in
+  let expected = 999 + Params.bgp.Params.barrier_round_cycles in
+  List.iter (fun c -> check_int "release = last arrival + round" expected c) times;
+  check_int "generation" 1 (Barrier_net.generation b)
+
+let test_barrier_double_arrive_rejected () =
+  let sim = Sim.create () in
+  let b = Barrier_net.create sim ~participants:2 () in
+  Barrier_net.arrive b ~rank:0 ~on_release:(fun ~release_cycle:_ -> ());
+  Alcotest.check_raises "double arrive"
+    (Invalid_argument "Barrier_net.arrive: rank already waiting") (fun () ->
+      Barrier_net.arrive b ~rank:0 ~on_release:(fun ~release_cycle:_ -> ()))
+
+let test_barrier_generations () =
+  let sim = Sim.create () in
+  let b = Barrier_net.create sim ~participants:2 () in
+  let count = ref 0 in
+  let rec loop rank remaining =
+    if remaining > 0 then
+      Barrier_net.arrive b ~rank ~on_release:(fun ~release_cycle:_ ->
+          incr count;
+          loop rank (remaining - 1))
+  in
+  loop 0 3;
+  loop 1 3;
+  ignore (Sim.run sim);
+  check_int "three generations" 3 (Barrier_net.generation b);
+  check_int "six releases" 6 !count
+
+(* ------------------------------------------------------------------ *)
+(* Clock stop *)
+
+let test_clock_stop_halts () =
+  let sim = Sim.create () in
+  let chip = Chip.create ~id:3 () in
+  let cs = Clock_stop.create sim ~chip in
+  Clock_stop.arm cs ~at_cycle:100;
+  ignore (Sim.schedule_at sim 200 (fun () -> Alcotest.fail "ran past stop"));
+  match Sim.run sim with
+  | Sim.Halted reason -> Alcotest.(check string) "reason" "clock-stop:3" reason
+  | _ -> Alcotest.fail "expected halt"
+
+let test_clock_stop_disarm () =
+  let sim = Sim.create () in
+  let chip = Chip.create ~id:0 () in
+  let cs = Clock_stop.create sim ~chip in
+  Clock_stop.arm cs ~at_cycle:100;
+  Clock_stop.disarm cs;
+  let ran = ref false in
+  ignore (Sim.schedule_at sim 200 (fun () -> ran := true));
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | _ -> Alcotest.fail "expected completion");
+  Alcotest.(check bool) "later event ran" true !ran
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_memory_roundtrip; prop_torus_hops_symmetric; prop_torus_hops_bounded ]
+
+let suite =
+  [
+    Alcotest.test_case "memory: roundtrip" `Quick test_memory_rw_roundtrip;
+    Alcotest.test_case "memory: cross chunk" `Quick test_memory_cross_chunk;
+    Alcotest.test_case "memory: untouched zero" `Quick test_memory_untouched_is_zero;
+    Alcotest.test_case "memory: bounds" `Quick test_memory_bounds;
+    Alcotest.test_case "memory: int64" `Quick test_memory_int64;
+    Alcotest.test_case "memory: copy" `Quick test_memory_copy;
+    Alcotest.test_case "memory: digest tracks writes" `Quick test_memory_digest_tracks_writes;
+    Alcotest.test_case "tlb: hit" `Quick test_tlb_hit_translation;
+    Alcotest.test_case "tlb: miss" `Quick test_tlb_miss;
+    Alcotest.test_case "tlb: perm fault" `Quick test_tlb_perm_fault;
+    Alcotest.test_case "tlb: alignment" `Quick test_tlb_alignment_rejected;
+    Alcotest.test_case "tlb: overlap" `Quick test_tlb_overlap_rejected;
+    Alcotest.test_case "tlb: fifo eviction" `Quick test_tlb_fifo_eviction;
+    Alcotest.test_case "dac: store watch" `Quick test_dac_store_watch;
+    Alcotest.test_case "dac: clear" `Quick test_dac_clear;
+    Alcotest.test_case "cache: modulo mapping" `Quick test_cache_modulo_spreads_lines;
+    Alcotest.test_case "cache: fixed bank conflicts" `Quick test_cache_fixed_conflicts;
+    Alcotest.test_case "cache: xor-fold balances" `Quick test_cache_xor_fold_balances_stride;
+    Alcotest.test_case "dram: self-refresh preserves" `Quick test_dram_self_refresh_preserves;
+    Alcotest.test_case "dram: reset without refresh loses" `Quick test_dram_no_self_refresh_loses;
+    Alcotest.test_case "chip: reset clears cores" `Quick test_chip_reset_clears_core_state;
+    Alcotest.test_case "chip: unit status" `Quick test_chip_unit_status;
+    Alcotest.test_case "chip: skew deterministic" `Quick test_chip_skew_deterministic;
+    Alcotest.test_case "torus: rank/coord roundtrip" `Quick test_torus_rank_coord_roundtrip;
+    Alcotest.test_case "torus: wraparound + manhattan" `Quick test_torus_hops_wraparound;
+    Alcotest.test_case "torus: transfer timing" `Quick test_torus_transfer_timing;
+    Alcotest.test_case "torus: link contention" `Quick test_torus_link_contention;
+    Alcotest.test_case "torus: disjoint links parallel" `Quick test_torus_disjoint_links_parallel;
+    Alcotest.test_case "torus: injection fifo" `Quick test_torus_injection_fifo_serializes;
+    Alcotest.test_case "torus: disabled raises" `Quick test_torus_disabled_raises;
+    Alcotest.test_case "collective: grouping" `Quick test_collective_grouping;
+    Alcotest.test_case "collective: shared uplink serializes" `Quick
+      test_collective_serializes_shared_uplink;
+    Alcotest.test_case "collective: disabled raises" `Quick test_collective_disabled;
+    Alcotest.test_case "barrier: releases together" `Quick test_barrier_releases_all_together;
+    Alcotest.test_case "barrier: double arrive" `Quick test_barrier_double_arrive_rejected;
+    Alcotest.test_case "barrier: generations" `Quick test_barrier_generations;
+    Alcotest.test_case "clock-stop: halts" `Quick test_clock_stop_halts;
+    Alcotest.test_case "clock-stop: disarm" `Quick test_clock_stop_disarm;
+  ]
+  @ qcheck

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "cnk-repro"
+    [
+      ("engine", Test_engine.suite);
+      ("hw", Test_hw.suite);
+      ("cio", Test_cio.suite);
+      ("cnk", Test_cnk.suite);
+      ("fwk", Test_fwk.suite);
+      ("msg", Test_msg.suite);
+      ("apps", Test_apps.suite);
+      ("experiments", Test_experiments.suite);
+      ("affinity", Test_affinity.suite);
+      ("extensions", Test_extensions.suite);
+      ("runtime", Test_runtime.suite);
+      ("properties", Test_properties.suite);
+      ("control", Test_control.suite);
+    ]

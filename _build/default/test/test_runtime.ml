@@ -1,0 +1,316 @@
+(* Tests for the Bg_rt runtime pieces not already covered end-to-end:
+   malloc reuse/coalescing/calloc, condition variables, full libc
+   coverage of the function-shipped POSIX suite, and ld.so error paths. *)
+
+open Bg_kabi
+open Cnk
+module Rt = Bg_rt
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* run user code on a fresh 1-node CNK cluster *)
+let run_user f =
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  Cluster.run_job cluster
+    (Job.create ~name:"rt" (Image.executable ~name:"rt" (fun () -> f cluster)));
+  Alcotest.(check (list (pair int string))) "no faults" []
+    (Node.faults (Cluster.node cluster 0));
+  cluster
+
+(* ------------------------------------------------------------------ *)
+(* malloc *)
+
+let test_malloc_reuses_freed_block () =
+  let reused = ref false in
+  ignore
+    (run_user (fun _ ->
+         let a = Rt.Malloc.malloc 256 in
+         Rt.Malloc.free a;
+         let b = Rt.Malloc.malloc 256 in
+         reused := a = b;
+         Rt.Malloc.free b));
+  check_bool "first-fit reuse" true !reused
+
+let test_malloc_coalesces_neighbors () =
+  let ok = ref false in
+  ignore
+    (run_user (fun _ ->
+         let a = Rt.Malloc.malloc 512 in
+         let b = Rt.Malloc.malloc 512 in
+         let c = Rt.Malloc.malloc 512 in
+         (* free in an order that needs coalescing: a, c, then b bridges *)
+         Rt.Malloc.free a;
+         Rt.Malloc.free c;
+         Rt.Malloc.free b;
+         (* a 1.5 KB block must now fit where the three were *)
+         let d = Rt.Malloc.malloc 1536 in
+         ok := d = a;
+         Rt.Malloc.free d));
+  check_bool "coalesced hole serves a bigger block" true !ok
+
+let test_malloc_distinct_live_blocks () =
+  let distinct = ref false in
+  ignore
+    (run_user (fun _ ->
+         let blocks = List.init 50 (fun i -> Rt.Malloc.malloc (16 + (i mod 7 * 48))) in
+         let sorted = List.sort compare blocks in
+         let rec no_dup = function
+           | a :: (b :: _ as rest) -> a <> b && no_dup rest
+           | _ -> true
+         in
+         distinct := no_dup sorted;
+         List.iter Rt.Malloc.free blocks));
+  check_bool "all live blocks distinct" true !distinct
+
+let test_calloc_zeroes_reused_memory () =
+  let ok = ref false in
+  ignore
+    (run_user (fun _ ->
+         let a = Rt.Malloc.malloc 128 in
+         Rt.Libc.poke a 0xDEAD;
+         Rt.Malloc.free a;
+         let b = Rt.Malloc.calloc 128 in
+         ok := b = a && Rt.Libc.peek b = 0;
+         Rt.Malloc.free b));
+  check_bool "calloc zeroes a dirty reused block" true !ok
+
+let test_malloc_free_unknown_rejected () =
+  let raised = ref false in
+  ignore
+    (run_user (fun _ ->
+         try Rt.Malloc.free 0x12345678
+         with Invalid_argument _ -> raised := true));
+  check_bool "bogus free detected" true !raised
+
+let test_malloc_accounting () =
+  let live_during = ref 0 and live_after = ref (-1) in
+  ignore
+    (run_user (fun _ ->
+         let a = Rt.Malloc.malloc 1000 in
+         let b = Rt.Malloc.malloc (512 * 1024) in
+         live_during := Rt.Malloc.allocated_bytes ();
+         Rt.Malloc.free a;
+         Rt.Malloc.free b;
+         live_after := Rt.Malloc.allocated_bytes ()));
+  check_bool "live bytes cover both" true (!live_during >= 1000 + (512 * 1024));
+  check_int "all freed" 0 !live_after
+
+(* ------------------------------------------------------------------ *)
+(* condition variables *)
+
+let test_cond_signal_wakes_waiter () =
+  let sequence = ref [] in
+  ignore
+    (run_user (fun _ ->
+         let m = Rt.Pthread.Mutex.create () in
+         let c = Rt.Pthread.Cond.create () in
+         let ready = Rt.Malloc.malloc 8 in
+         Rt.Libc.poke ready 0;
+         let consumer =
+           Rt.Pthread.create (fun () ->
+               Rt.Pthread.Mutex.lock m;
+               while Rt.Libc.peek ready = 0 do
+                 Rt.Pthread.Cond.wait c m
+               done;
+               sequence := "consumed" :: !sequence;
+               Rt.Pthread.Mutex.unlock m)
+         in
+         Coro.consume 20_000;
+         Rt.Pthread.Mutex.lock m;
+         Rt.Libc.poke ready 1;
+         sequence := "produced" :: !sequence;
+         Rt.Pthread.Cond.signal c;
+         Rt.Pthread.Mutex.unlock m;
+         Rt.Pthread.join consumer;
+         Rt.Pthread.Cond.destroy c;
+         Rt.Pthread.Mutex.destroy m));
+  Alcotest.(check (list string)) "producer then consumer" [ "produced"; "consumed" ]
+    (List.rev !sequence)
+
+let test_cond_broadcast_wakes_all () =
+  let woken = ref 0 in
+  ignore
+    (run_user (fun _ ->
+         let m = Rt.Pthread.Mutex.create () in
+         let c = Rt.Pthread.Cond.create () in
+         let go = Rt.Malloc.malloc 8 in
+         Rt.Libc.poke go 0;
+         let waiters =
+           List.init 3 (fun _ ->
+               Rt.Pthread.create (fun () ->
+                   Rt.Pthread.Mutex.lock m;
+                   while Rt.Libc.peek go = 0 do
+                     Rt.Pthread.Cond.wait c m
+                   done;
+                   Rt.Pthread.Mutex.unlock m;
+                   incr woken))
+         in
+         Coro.consume 30_000;
+         Rt.Pthread.Mutex.lock m;
+         Rt.Libc.poke go 1;
+         Rt.Pthread.Cond.broadcast c;
+         Rt.Pthread.Mutex.unlock m;
+         List.iter Rt.Pthread.join waiters));
+  check_int "all three woken" 3 !woken
+
+(* ------------------------------------------------------------------ *)
+(* libc coverage over the function-shipped suite *)
+
+let test_libc_file_suite () =
+  let cluster =
+    run_user (fun _ ->
+        Rt.Libc.mkdir "/data";
+        Rt.Libc.chdir "/data";
+        Alcotest.(check string) "getcwd" "/data" (Rt.Libc.getcwd ());
+        let fd = Rt.Libc.openf ~flags:{ Sysreq.o_rdwr with Sysreq.creat = true } "log" in
+        ignore (Rt.Libc.write_string fd "0123456789");
+        (* pread/pwrite do not disturb the cursor *)
+        ignore (Rt.Libc.pwrite fd (Bytes.of_string "AB") ~offset:2);
+        Alcotest.(check string) "pread" "1AB4"
+          (Bytes.to_string (Rt.Libc.pread fd ~len:4 ~offset:1));
+        check_int "cursor still at end" 10
+          (Rt.Libc.lseek fd ~offset:0 ~whence:Sysreq.Seek_cur);
+        Rt.Libc.ftruncate fd ~length:4;
+        check_int "truncated" 4 (Rt.Libc.fstat fd).Sysreq.st_size;
+        let fd2 = Rt.Libc.dup fd in
+        check_bool "dup fd distinct" true (fd2 <> fd);
+        Rt.Libc.fsync fd;
+        Rt.Libc.close fd;
+        Rt.Libc.close fd2;
+        Rt.Libc.rename ~src:"log" ~dst:"log.old";
+        Alcotest.(check (list string)) "readdir" [ "log.old" ] (Rt.Libc.readdir ".");
+        check_int "stat via path" 4 (Rt.Libc.stat "log.old").Sysreq.st_size;
+        Rt.Libc.unlink "log.old";
+        Rt.Libc.chdir "/";
+        Rt.Libc.rmdir "/data")
+  in
+  (* nothing left behind *)
+  Alcotest.(check (list string)) "clean tree" []
+    (Result.get_ok (Bg_cio.Fs.readdir (Cluster.fs cluster) ~cwd:"/" "/"))
+
+let test_libc_gettimeofday_monotonic () =
+  let ok = ref false in
+  ignore
+    (run_user (fun _ ->
+         let t1 = Rt.Libc.gettimeofday_us () in
+         Coro.consume 8_500_000 (* 10 ms *);
+         let t2 = Rt.Libc.gettimeofday_us () in
+         ok := t2 - t1 >= 9_000 && t2 - t1 < 11_000));
+  check_bool "clock advanced ~10ms" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* ld.so error paths *)
+
+let test_ld_so_missing_library () =
+  let errno = ref "" in
+  ignore
+    (run_user (fun _ ->
+         try ignore (Rt.Ld_so.dlopen "/lib/never_installed.so")
+         with Sysreq.Syscall_error e -> errno := Errno.to_string e));
+  Alcotest.(check string) "dlopen ENOENT" "ENOENT" !errno
+
+let test_ld_so_missing_symbol () =
+  let raised = ref false in
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let lib = Image.library ~name:"libsmall" [ { Image.symbol_name = "f"; fn = (fun x -> x) } ] in
+  let path = Rt.Ld_so.install_library (Cluster.fs cluster) lib in
+  let image =
+    Image.executable ~name:"dl" (fun () ->
+        let h = Rt.Ld_so.dlopen path in
+        (try ignore (Rt.Ld_so.dlsym h "does_not_exist" 0) with Not_found -> raised := true);
+        Rt.Ld_so.dlclose h)
+  in
+  Cluster.run_job cluster (Job.create ~name:"dl" image);
+  check_bool "dlsym Not_found" true !raised
+
+let test_ld_so_file_matches_declared_size () =
+  let sizes = ref (0, 0) in
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let lib = Image.library ~name:"libsz" ~text_bytes:(1 lsl 20) [] in
+  let path = Rt.Ld_so.install_library (Cluster.fs cluster) lib in
+  let image =
+    Image.executable ~name:"sz" (fun () ->
+        let st = Rt.Libc.stat path in
+        sizes := (st.Sysreq.st_size, lib.Image.file_bytes))
+  in
+  Cluster.run_job cluster (Job.create ~name:"sz" image);
+  let on_disk, declared = !sizes in
+  check_int "ld.so loads exactly the on-disk bytes" declared on_disk
+
+(* stdout forwarding *)
+
+let test_stdio_forwarding () =
+  let cluster = Cluster.create ~dims:(2, 1, 1) () in
+  Cluster.boot_all cluster;
+  let image =
+    Image.executable ~name:"printer" (fun () ->
+        let r = Rt.Libc.rank () in
+        Rt.Stdio.printf "hello from rank %d\n" r;
+        Rt.Stdio.printf "partial...";
+        Rt.Stdio.printf " completed %d\n" (r * 2);
+        Rt.Stdio.eprintf "warning from %d\n" r;
+        Rt.Stdio.printf "tail without newline";
+        Rt.Stdio.flush ())
+  in
+  Cluster.run_job cluster (Job.create ~name:"p" image);
+  let fs = Cluster.fs cluster in
+  Alcotest.(check string) "rank 0 console"
+    "hello from rank 0\npartial... completed 0\ntail without newline"
+    (Rt.Stdio.read_console fs ~rank:0);
+  Alcotest.(check string) "rank 1 console"
+    "hello from rank 1\npartial... completed 2\ntail without newline"
+    (Rt.Stdio.read_console fs ~rank:1);
+  (* stderr went to its own stream *)
+  let err =
+    let inode = Result.get_ok (Bg_cio.Fs.resolve fs ~cwd:"/" (Rt.Stdio.stderr_path ~rank:1)) in
+    Bytes.to_string (Result.get_ok (Bg_cio.Fs.read fs inode ~offset:0 ~len:100))
+  in
+  Alcotest.(check string) "stderr separate" "warning from 1\n" err
+
+let test_strace_capture () =
+  let cluster = Cluster.create ~dims:(1, 1, 1) () in
+  Cluster.boot_all cluster;
+  let node = Cluster.node cluster 0 in
+  Node.set_strace node true;
+  let image =
+    Image.executable ~name:"traced" (fun () ->
+        let fd = Rt.Libc.openf ~flags:{ Sysreq.o_rdwr with Sysreq.creat = true } "t" in
+        ignore (Rt.Libc.write_string fd "abc");
+        Rt.Libc.close fd)
+  in
+  Cluster.run_job cluster (Job.create ~name:"t" image);
+  let log = Node.strace_output node in
+  let has needle =
+    let n = String.length log and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub log i m = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "open traced" true (has {|open("t"|});
+  check_bool "write traced" true (has "write(fd=");
+  check_bool "close traced" true (has "close(");
+  (* tracing off produces nothing *)
+  Node.set_strace node false;
+  Alcotest.(check string) "off" "" (Node.strace_output node)
+
+let suite =
+  [
+    Alcotest.test_case "stdio: forwarding" `Quick test_stdio_forwarding;
+    Alcotest.test_case "strace: capture" `Quick test_strace_capture;
+    Alcotest.test_case "malloc: reuse" `Quick test_malloc_reuses_freed_block;
+    Alcotest.test_case "malloc: coalesce" `Quick test_malloc_coalesces_neighbors;
+    Alcotest.test_case "malloc: distinct blocks" `Quick test_malloc_distinct_live_blocks;
+    Alcotest.test_case "malloc: calloc zeroes" `Quick test_calloc_zeroes_reused_memory;
+    Alcotest.test_case "malloc: bogus free" `Quick test_malloc_free_unknown_rejected;
+    Alcotest.test_case "malloc: accounting" `Quick test_malloc_accounting;
+    Alcotest.test_case "cond: signal" `Quick test_cond_signal_wakes_waiter;
+    Alcotest.test_case "cond: broadcast" `Quick test_cond_broadcast_wakes_all;
+    Alcotest.test_case "libc: file suite" `Quick test_libc_file_suite;
+    Alcotest.test_case "libc: gettimeofday" `Quick test_libc_gettimeofday_monotonic;
+    Alcotest.test_case "ld.so: missing library" `Quick test_ld_so_missing_library;
+    Alcotest.test_case "ld.so: missing symbol" `Quick test_ld_so_missing_symbol;
+    Alcotest.test_case "ld.so: size consistency" `Quick test_ld_so_file_matches_declared_size;
+  ]
