@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples docs csv clean
+.PHONY: all build test bench examples docs csv trace-smoke clean
 
 all: build
 
@@ -23,6 +23,14 @@ docs:
 
 csv:
 	dune exec bin/export_data.exe -- --out results
+
+# Tiny instrumented FWQ run; obs_tool validates the emitted JSON against
+# its in-repo RFC 8259 checker and fails if any span category is missing.
+trace-smoke:
+	dune exec bin/obs_tool.exe -- --app fwq --samples 200 \
+	  --chrome-trace /tmp/obs_smoke.json --metrics-csv /tmp/obs_smoke.csv
+	@grep -q '"traceEvents"' /tmp/obs_smoke.json
+	@echo "trace-smoke OK"
 
 clean:
 	dune clean

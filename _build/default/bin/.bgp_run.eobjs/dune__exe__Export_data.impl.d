@@ -1,1 +1,1 @@
-bin/export_data.ml: Arg Array Bg_apps Bg_engine Bg_msg Bg_noise Cmd Cmdliner Cnk Filename Image Job List Printf String Term Unix
+bin/export_data.ml: Arg Array Bg_apps Bg_control Bg_engine Bg_msg Bg_noise Bg_obs Cmd Cmdliner Cnk Filename Image Job List Machine Printf String Term Unix

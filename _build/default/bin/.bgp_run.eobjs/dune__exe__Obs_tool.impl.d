@@ -1,0 +1,1 @@
+bin/obs_tool.ml: Arg Bg_apps Bg_control Bg_engine Bg_fwk Bg_noise Bg_obs Cmd Cmdliner Cnk Format Image Int64 Job List Machine Printf String Term

@@ -1,0 +1,1 @@
+bin/obs_tool.mli:

@@ -8,7 +8,9 @@
      results/fig8_bandwidth.csv     (bytes, contiguous MB/s, paged MB/s)
      results/table1_latency.csv
      results/noise_scaling.csv
-     results/collectives.csv *)
+     results/collectives.csv
+     results/obs_metrics.csv       (instrumented CNK FWQ run)
+     results/obs_trace.json        (Chrome trace-event of the same run) *)
 
 open Cmdliner
 module Noise = Bg_noise
@@ -99,6 +101,26 @@ let export_collectives dir =
   in
   write_csv dir "collectives.csv" "elements,tree_us,torus_us" rows
 
+(* One instrumented CNK FWQ run: the syscall/cio/tlb/scheduler breakdown
+   behind the figures, as both a metrics CSV and a Chrome trace. *)
+let export_obs dir samples =
+  let cluster = Cnk.Cluster.create ~dims:(1, 1, 1) () in
+  let obs = Machine.obs (Cnk.Cluster.machine cluster) in
+  Bg_obs.Obs.set_enabled obs true;
+  Cnk.Cluster.boot_all cluster;
+  let sched = Bg_control.Scheduler.create cluster in
+  let entry, _ = Bg_apps.Fwq.program ~samples ~threads:4 () in
+  ignore
+    (Bg_control.Scheduler.submit sched ~shape:(1, 1, 1)
+       (Job.create ~name:"fwq" (Image.executable ~name:"fwq" entry)));
+  Bg_control.Scheduler.drain sched;
+  let metrics = Filename.concat dir "obs_metrics.csv" in
+  Bg_obs.Export.to_file ~path:metrics (Bg_obs.Export.metrics_csv obs);
+  Printf.printf "wrote %s\n%!" metrics;
+  let trace = Filename.concat dir "obs_trace.json" in
+  Bg_obs.Export.to_file ~path:trace (Bg_obs.Export.chrome_trace obs);
+  Printf.printf "wrote %s\n%!" trace
+
 let export_table1 dir =
   (* static decomposition straight from the calibration constants *)
   let rows =
@@ -121,6 +143,7 @@ let run out samples =
   export_scaling out;
   export_collectives out;
   export_table1 out;
+  export_obs out (min samples 2_000);
   Printf.printf "all series exported to %s/\n" out
 
 let cmd =

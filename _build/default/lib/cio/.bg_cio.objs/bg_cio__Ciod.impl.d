@@ -1,1 +1,1 @@
-lib/cio/ciod.ml: Array Bg_engine Bg_hw Bytes Cycles Fs Hashtbl Int64 Ioproxy List Machine Proto Sim Sysreq
+lib/cio/ciod.ml: Array Bg_engine Bg_hw Bg_obs Bytes Cycles Fs Hashtbl Int64 Ioproxy List Machine Proto Sim Sysreq

@@ -1,4 +1,10 @@
 open Bg_engine
+module Obs = Bg_obs.Obs
+
+(* I/O-node worker activity appears in the trace under the requesting
+   rank's pid, on tid lanes [worker_tid_base + worker] so CIOD service
+   never collides with the rank's own core lanes. *)
+let worker_tid_base = 16
 
 type t = {
   machine : Machine.t;
@@ -39,9 +45,18 @@ let proxy t ~rank ~pid =
     Hashtbl.add t.proxies (rank, pid) p;
     p
 
-let job_start t ~rank ~pids = List.iter (fun pid -> ignore (proxy t ~rank ~pid)) pids
+let obs t = t.machine.Machine.obs
+
+let mark t ~rank name =
+  let now = Sim.now t.machine.Machine.sim in
+  Obs.span_record (obs t) ~cat:"cio" ~name ~rank ~core:worker_tid_base ~start:now ~finish:now
+
+let job_start t ~rank ~pids =
+  mark t ~rank "job_start";
+  List.iter (fun pid -> ignore (proxy t ~rank ~pid)) pids
 
 let job_end t ~rank =
+  mark t ~rank "job_end";
   let doomed =
     Hashtbl.fold (fun (r, p) _ acc -> if r = rank then (r, p) :: acc else acc) t.proxies []
   in
@@ -71,20 +86,44 @@ let pick_worker t now =
 
 let submit t data =
   let sim = t.machine.Machine.sim in
+  let o = obs t in
   let hdr, req = Proto.decode_request data in
   let p = proxy t ~rank:hdr.Proto.rank ~pid:hdr.Proto.pid in
-  let worker, start = pick_worker t (Sim.now sim) in
+  let now = Sim.now sim in
+  let worker, start = pick_worker t now in
   let finish = start + request_cost req in
   t.worker_busy.(worker) <- finish;
+  (* Round-trip breakdown, parts 2 and 3: time queued behind earlier
+     requests on the I/O node's cores, then the Linux-side service. Both
+     intervals are fully determined here, so they are recorded one-shot. *)
+  if Obs.enabled o then begin
+    let lane = worker_tid_base + worker in
+    if start > now then
+      Obs.span_record o ~cat:"cio" ~name:"queue_wait" ~rank:hdr.Proto.rank ~core:lane
+        ~start:now ~finish:start;
+    Obs.span_record o ~cat:"cio"
+      ~name:("service." ^ Sysreq.request_name req)
+      ~rank:hdr.Proto.rank ~core:lane ~start ~finish;
+    Obs.observe_cycles o ~rank:hdr.Proto.rank ~subsystem:"cio" ~name:"service_cycles"
+      (finish - start);
+    Obs.observe_cycles o ~rank:hdr.Proto.rank ~subsystem:"cio" ~name:"queue_wait_cycles"
+      (start - now)
+  end;
   ignore
     (Sim.schedule_at sim finish (fun () ->
          t.served <- t.served + 1;
          Sim.emit sim ~label:"ciod.served" ~value:(Int64.of_int hdr.Proto.rank);
          let reply = Ioproxy.handle p req in
          let reply_bytes = Proto.encode_reply hdr reply in
+         (* part 4: the reply's trip back down the collective network *)
+         let hr =
+           Obs.span_begin o ~cat:"cio" ~name:"transit_reply" ~rank:hdr.Proto.rank
+             ~core:(worker_tid_base + worker) ~now:(Sim.now sim)
+         in
          Bg_hw.Collective_net.to_compute_node t.machine.Machine.collective
            ~cn:hdr.Proto.rank ~bytes:(Bytes.length reply_bytes)
            ~on_arrival:(fun ~arrival_cycle:_ ->
+             Obs.span_end o hr ~now:(Sim.now sim);
              match Hashtbl.find_opt t.deliver hdr.Proto.rank with
              | Some deliver -> deliver reply_bytes
              | None -> ())))

@@ -1,1 +1,1 @@
-lib/control/ras.ml: Bg_engine Format List Machine
+lib/control/ras.ml: Array Bg_engine Format List Machine

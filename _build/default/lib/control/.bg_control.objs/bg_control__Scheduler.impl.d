@@ -1,1 +1,1 @@
-lib/control/scheduler.ml: Bg_engine Bg_hw Cnk Cycles Hashtbl Job List Machine Partition Printf Sim
+lib/control/scheduler.ml: Bg_engine Bg_hw Bg_obs Cnk Cycles Hashtbl Job List Machine Partition Printf Sim

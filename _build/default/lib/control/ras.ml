@@ -5,27 +5,64 @@ type event = {
   message : string;
 }
 
-type t = { machine : Machine.t; mutable log : event list (* newest first *) }
+(* The log is a fixed-capacity ring: a RAS storm (every node reporting the
+   same parity error) must not grow the service node's memory without
+   bound. Totals stay exact — only old event records are overwritten. *)
+type t = {
+  machine : Machine.t;
+  capacity : int;
+  ring : event option array;
+  mutable written : int;  (* events ever logged, including overwritten *)
+  severity_counts : int array;  (* indexed by severity_index, never reset *)
+}
 
-let attach machine =
-  let t = { machine; log = [] } in
+let severity_index = function
+  | Machine.Ras_info -> 0
+  | Machine.Ras_warn -> 1
+  | Machine.Ras_error -> 2
+
+let attach ?(capacity = 4096) machine =
+  if capacity <= 0 then invalid_arg "Ras.attach: capacity must be positive";
+  let t =
+    {
+      machine;
+      capacity;
+      ring = Array.make capacity None;
+      written = 0;
+      severity_counts = Array.make 3 0;
+    }
+  in
   Machine.on_ras machine (fun ~rank ~severity ~message ->
-      t.log <-
+      let e =
         { cycle = Bg_engine.Sim.now machine.Machine.sim; rank; severity; message }
-        :: t.log);
+      in
+      t.ring.(t.written mod t.capacity) <- Some e;
+      t.written <- t.written + 1;
+      t.severity_counts.(severity_index severity) <-
+        t.severity_counts.(severity_index severity) + 1);
   t
 
-let events t = List.rev t.log
+let dropped t = max 0 (t.written - t.capacity)
+
+let events t =
+  let retained = min t.written t.capacity in
+  let first = t.written - retained in
+  List.init retained (fun i ->
+      match t.ring.((first + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
 
 let count t ?severity () =
   match severity with
-  | None -> List.length t.log
-  | Some s -> List.length (List.filter (fun e -> e.severity = s) t.log)
+  | None -> t.written
+  | Some s -> t.severity_counts.(severity_index s)
 
 let by_rank t ~rank = List.filter (fun e -> e.rank = rank) (events t)
 let errors t = List.filter (fun e -> e.severity = Machine.Ras_error) (events t)
 
 let pp ppf t =
+  if dropped t > 0 then
+    Format.fprintf ppf "(... %d older events dropped ...)@." (dropped t);
   List.iter
     (fun e ->
       Format.fprintf ppf "[%10d] R%02d %-5s %s@." e.cycle e.rank

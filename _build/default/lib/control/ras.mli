@@ -16,13 +16,26 @@ type event = {
 
 type t
 
-val attach : Machine.t -> t
-(** Subscribe a fresh collector to the machine's RAS stream. *)
+val attach : ?capacity:int -> Machine.t -> t
+(** Subscribe a fresh collector to the machine's RAS stream. The log
+    retains at most [capacity] events (default 4096) in a ring — a RAS
+    storm overwrites the oldest records instead of growing without
+    bound. Counts stay exact even when records are dropped. *)
 
 val events : t -> event list
-(** Oldest first. *)
+(** Retained events, oldest first (at most [capacity] of them). *)
+
+val dropped : t -> int
+(** Events overwritten by ring wraparound. *)
 
 val count : t -> ?severity:Machine.ras_severity -> unit -> int
+(** Total events ever logged (per severity if given), including any
+    whose records were dropped. O(1). *)
+
 val by_rank : t -> rank:int -> event list
+(** Retained events from [rank], oldest first. *)
+
 val errors : t -> event list
+(** Retained [Ras_error] events, oldest first. *)
+
 val pp : Format.formatter -> t -> unit

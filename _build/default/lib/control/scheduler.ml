@@ -1,4 +1,5 @@
 open Bg_engine
+module Obs = Bg_obs.Obs
 
 type job_id = int
 
@@ -9,6 +10,7 @@ type pending = {
   shape : int * int * int;
   job : Job.t;
   walltime : int option;
+  submitted : Cycles.t;  (* cycle of Scheduler.submit, for queue-wait timing *)
 }
 
 type t = {
@@ -21,6 +23,9 @@ type t = {
   mutable done_order : job_id list;
   mutable outstanding : int;
 }
+
+let obs t = (Cnk.Cluster.machine t.cluster).Machine.obs
+let now t = Sim.now (Cnk.Cluster.sim t.cluster)
 
 let create ?(backfill = false) cluster =
   let machine = Cnk.Cluster.machine cluster in
@@ -42,9 +47,11 @@ let submit t ?walltime_cycles ~shape job =
   if sx > x || sy > y || sz > z then failwith "Scheduler.submit: job can never fit";
   let jid = t.next_id in
   t.next_id <- jid + 1;
-  t.queue <- t.queue @ [ { jid; shape; job; walltime = walltime_cycles } ];
+  t.queue <-
+    t.queue @ [ { jid; shape; job; walltime = walltime_cycles; submitted = now t } ];
   Hashtbl.replace t.states jid Queued;
   t.outstanding <- t.outstanding + 1;
+  Obs.incr (obs t) ~subsystem:"scheduler" ~name:"jobs_submitted" ();
   jid
 
 (* Try to start queued jobs; FIFO unless backfill is on, in which case
@@ -67,6 +74,7 @@ let rec try_start t =
             match Partition.allocate t.partition ~shape:p.shape with
             | Ok alloc ->
               t.queue <- head :: List.rev_append acc more;
+              Obs.incr (obs t) ~subsystem:"scheduler" ~name:"backfill_started" ();
               start t p alloc;
               try_start t
             | Error _ -> pick (p :: acc) more)
@@ -75,6 +83,18 @@ let rec try_start t =
       end)
 
 and start t pending alloc =
+  let o = obs t in
+  let start_cycle = now t in
+  (* Scheduler decisions live under the control-system pid, one tid lane
+     per job id, so a queue's history reads as a Gantt chart. *)
+  Obs.incr o ~subsystem:"scheduler" ~name:"jobs_started" ();
+  Obs.observe_cycles o ~subsystem:"scheduler" ~name:"queue_wait_cycles"
+    (start_cycle - pending.submitted);
+  let job_span =
+    Obs.span_begin o ~cat:"scheduler"
+      ~name:(Printf.sprintf "job.%d" pending.jid)
+      ~rank:Obs.node_scope ~core:pending.jid ~now:start_cycle
+  in
   Hashtbl.replace t.states pending.jid (Running alloc.Partition.ranks);
   let remaining = ref (List.length alloc.Partition.ranks) in
   List.iter
@@ -88,6 +108,8 @@ and start t pending alloc =
               (Completed (Sim.now (Cnk.Cluster.sim t.cluster)));
             t.done_order <- pending.jid :: t.done_order;
             t.outstanding <- t.outstanding - 1;
+            Obs.span_end o job_span ~now:(now t);
+            Obs.incr o ~subsystem:"scheduler" ~name:"jobs_completed" ();
             try_start t
           end))
     alloc.Partition.ranks;

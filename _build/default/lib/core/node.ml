@@ -1,5 +1,6 @@
 open Bg_engine
 open Bg_hw
+module Obs = Bg_obs.Obs
 
 (* --- tunable kernel constants (cycles) ------------------------------ *)
 
@@ -105,6 +106,8 @@ let process_map t ~pid =
 let emit t label value =
   Sim.emit (sim t) ~label ~value:(Int64.of_int ((t.rank * 1_000_000) + value))
 
+let obs t = t.machine.Machine.obs
+
 let ras t severity message =
   Machine.ras_emit t.machine ~rank:t.rank ~severity ~message
 
@@ -177,6 +180,7 @@ let translate t (th : thread) access va len =
   let core = Chip.core t.chip th.core_id in
   match Tlb.translate core.Chip.tlb access va with
   | Tlb.Miss ->
+    Obs.incr (obs t) ~rank:t.rank ~core:th.core_id ~subsystem:"tlb" ~name:"miss" ();
     raise (Fault (Printf.sprintf "TLB miss at 0x%x: outside the static map" va))
   | Tlb.Fault reason -> raise (Fault reason)
   | Tlb.Hit pa ->
@@ -289,7 +293,12 @@ let remap_core_for t core (p : proc) =
       (Mapping.tlb_entries p.map);
     core.mapped_pid <- Some p.pid;
     emit t "cnk.tlb_swap" ((core.id * 100) + p.pid);
-    tlb_swap_cycles_per_entry * List.length p.map.Mapping.regions
+    let cost = tlb_swap_cycles_per_entry * List.length p.map.Mapping.regions in
+    let now = Sim.now (sim t) in
+    Obs.span_record (obs t) ~cat:"tlb" ~name:"map_swap" ~rank:t.rank ~core:core.id
+      ~start:now ~finish:(now + cost);
+    Obs.incr (obs t) ~rank:t.rank ~core:core.id ~subsystem:"tlb" ~name:"map_swap" ();
+    cost
   end
 
 let rec dispatch t core =
@@ -327,11 +336,26 @@ let make_ready t (th : thread) =
 
 (* --- thread lifecycle ------------------------------------------------- *)
 
+(* Surface the hardware's own event counters (TLB miss, DAC violation)
+   into the metrics registry as per-core gauges. *)
+let publish_hw_gauges t =
+  let o = obs t in
+  if Obs.enabled o then
+    Array.iter
+      (fun (core : core_state) ->
+        let hw = Chip.core t.chip core.id in
+        Obs.set_gauge o ~rank:t.rank ~core:core.id ~subsystem:"tlb" ~name:"hw_misses"
+          (Tlb.misses hw.Chip.tlb);
+        Obs.set_gauge o ~rank:t.rank ~core:core.id ~subsystem:"dac" ~name:"hw_violations"
+          (Dac.violations hw.Chip.dac))
+      t.cores
+
 let check_job_done t =
   if t.job_active then begin
     let all_exited = Hashtbl.fold (fun _ p acc -> acc && p.exited) t.procs true in
     if all_exited && Hashtbl.length t.procs > 0 then begin
       t.job_active <- false;
+      publish_hw_gauges t;
       Bg_cio.Ciod.job_end t.ciod ~rank:t.rank;
       emit t "cnk.job_done" 0;
       match t.on_complete with
@@ -448,6 +472,7 @@ let rec step_thread t (th : thread) (s : Coro.step) =
            thread continues; without one the thread dies. *)
         th.pending_sigs <- th.pending_sigs @ [ sigsegv ];
         emit t "cnk.guard_hit" th.tid;
+        Obs.incr (obs t) ~rank:t.rank ~core:th.core_id ~subsystem:"dac" ~name:"violation" ();
         ras t Machine.Ras_warn
           (Printf.sprintf "DAC guard hit by tid %d at 0x%x" th.tid addr);
         if deliver_signals t th then step_thread t th (k ())
@@ -478,9 +503,32 @@ let rec step_thread t (th : thread) (s : Coro.step) =
           (Format.asprintf "[%d] tid %d: %a@." (Sim.now (sim t)) th.tid Sysreq.pp_request req)
       | None -> ());
       emit t "cnk.syscall" ((th.tid * 1000) + (Hashtbl.hash (Sysreq.request_name req) mod 1000));
+      let k = instrument_syscall t th req k in
       ignore
         (Sim.schedule_in (sim t) syscall_overhead (fun () ->
              if th.state <> Zombie then handle_syscall t th req k))
+
+(* Wrap a syscall continuation so the dispatch-to-reply interval lands in
+   the observability layer: a "syscall" span plus a per-kind latency
+   timer. Purely passive — no events, no RNG — so the architectural trace
+   digest is unchanged whether collection is on or off. Exit syscalls
+   never return, so they get no span. *)
+and instrument_syscall t (th : thread) req k =
+  let o = obs t in
+  if not (Obs.enabled o) then k
+  else
+    match req with
+    | Sysreq.Exit_thread _ | Sysreq.Exit_group _ -> k
+    | _ ->
+      let name = Sysreq.request_name req in
+      let start = Sim.now (sim t) in
+      let h = Obs.span_begin o ~cat:"syscall" ~name ~rank:t.rank ~core:th.core_id ~now:start in
+      fun reply ->
+        let now = Sim.now (sim t) in
+        Obs.span_end o h ~now;
+        Obs.observe_cycles o ~rank:t.rank ~subsystem:"syscall" ~name (now - start);
+        Obs.incr o ~rank:t.rank ~core:th.core_id ~subsystem:"syscall" ~name ();
+        k reply
 
 and fault_thread t (th : thread) reason =
   t.faults <- (th.tid, reason) :: t.faults;
@@ -739,10 +787,21 @@ and function_ship t (th : thread) req ret =
   let data = Bg_cio.Proto.encode_request hdr req in
   Hashtbl.replace t.io_pending th.tid ret;
   emit t "cnk.fship" th.tid;
+  let o = obs t in
+  Obs.incr o ~rank:t.rank ~subsystem:"cio" ~name:"ship_requests" ();
+  Obs.incr o ~rank:t.rank ~subsystem:"cio" ~name:"ship_bytes" ~by:(Bytes.length data) ();
+  (* Round-trip breakdown, part 1: request marshalling is instantaneous in
+     sim time, so the first shipped leg is the collective-network transit
+     up to the I/O node; CIOD itself records service and reply legs. *)
+  let h =
+    Obs.span_begin o ~cat:"cio" ~name:"transit_request" ~rank:t.rank ~core:th.core_id
+      ~now:(Sim.now (sim t))
+  in
   (* The thread keeps its core and spins until the reply (§VI.C): no
      context switch happens during an I/O system call. *)
   Bg_hw.Collective_net.to_io_node t.machine.Machine.collective ~cn:t.rank
     ~bytes:(Bytes.length data) ~on_arrival:(fun ~arrival_cycle:_ ->
+      Obs.span_end o h ~now:(Sim.now (sim t));
       Bg_cio.Ciod.submit t.ciod data)
 
 (* --- boot / reset ------------------------------------------------------ *)
@@ -863,6 +922,9 @@ let launch t (job : Job.t) =
                   | Error msg -> failwith ("CNK static map install failed: " ^ msg))
                 (Mapping.tlb_entries pm);
               assert (Tlb.evictions tlb = 0);
+              let now = Sim.now (sim t) in
+              Obs.span_record (obs t) ~cat:"tlb" ~name:"static_install" ~rank:t.rank
+                ~core:core_id ~start:now ~finish:now;
               t.cores.(core_id).mapped_pid <- Some pid)
             cores;
           (* Load the image text so scans and persist tests see real data. *)

@@ -55,7 +55,10 @@ let summarize xs =
     p99 = percentile xs 0.99;
   }
 
-let spread_percent s = (s.max -. s.min) /. s.min *. 100.0
+let spread_percent s =
+  if s.min <> 0.0 then (s.max -. s.min) /. s.min *. 100.0
+  else if s.max = 0.0 then 0.0 (* all-zero samples: no spread, not 0/0 *)
+  else infinity
 
 module Online = struct
   type t = {

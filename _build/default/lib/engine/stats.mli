@@ -18,7 +18,9 @@ val summarize : float array -> summary
 (** Raises [Invalid_argument] on an empty array. *)
 
 val spread_percent : summary -> float
-(** [(max - min) / min * 100], the paper's FWQ "variation" metric. *)
+(** [(max - min) / min * 100], the paper's FWQ "variation" metric.
+    An all-zero summary has no spread and yields [0.] (not NaN); a zero
+    minimum with a nonzero maximum yields [infinity]. *)
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0,1]; interpolates between order

@@ -25,7 +25,15 @@ val count : t -> int
 (** Number of events emitted so far. *)
 
 val records : t -> record list
-(** Recorded events, oldest first. Empty unless [keep_records] was set. *)
+(** Recorded events, oldest first. Empty unless [keep_records] was set.
+    Builds a fresh reversed list on every call — O(n) allocation each
+    time. Prefer {!iter} anywhere called repeatedly or on long traces;
+    [records] remains for tests and one-shot dumps. *)
+
+val iter : t -> (record -> unit) -> unit
+(** [iter t f] applies [f] to each recorded event, oldest first, without
+    copying the record list. Digest and record contents are exactly
+    those {!records} would return. *)
 
 val last_cycle : t -> Cycles.t
 (** Cycle of the most recent event, or 0 if none. *)

@@ -1,5 +1,6 @@
 open Bg_engine
 open Bg_hw
+module Obs = Bg_obs.Obs
 
 let boot_cycles_full = 18_000_000
 let boot_cycles_stripped = 2_600_000
@@ -145,6 +146,8 @@ let create ?noise_seed ?(daemons = Noise_model.suse_daemon_set) ?(stripped = fal
 let emit t label value =
   Sim.emit (sim t) ~label ~value:(Int64.of_int ((t.rank * 1_000_000) + value))
 
+let obs t = t.machine.Machine.obs
+
 (* --- demand paging ----------------------------------------------------- *)
 
 exception Fault of string
@@ -173,6 +176,7 @@ let rec resolve_page t (th : thread) access va =
       match Hashtbl.find_opt p.page_table vpage with
       | Some f ->
         core.penalty <- core.penalty + tlb_refill_cycles;
+        Obs.incr (obs t) ~rank:t.rank ~core:th.core_id ~subsystem:"tlb" ~name:"refill" ();
         f
       | None ->
         if not (legal_va p va) then
@@ -201,10 +205,12 @@ let rec resolve_page t (th : thread) access va =
           let n = min page (max 0 (Bytes.length contents - off)) in
           if n > 0 then Memory.write (memory t) ~addr:f (Bytes.sub contents off n);
           t.major_faults <- t.major_faults + 1;
-          core.penalty <- core.penalty + major_fault_cycles
+          core.penalty <- core.penalty + major_fault_cycles;
+          Obs.incr (obs t) ~rank:t.rank ~core:th.core_id ~subsystem:"vm" ~name:"major_fault" ()
         | None ->
           t.minor_faults <- t.minor_faults + 1;
-          core.penalty <- core.penalty + minor_fault_cycles);
+          core.penalty <- core.penalty + minor_fault_cycles;
+          Obs.incr (obs t) ~rank:t.rank ~core:th.core_id ~subsystem:"vm" ~name:"minor_fault" ());
         f
     in
     (* install a 4K entry; FIFO eviction is free to happen *)
@@ -403,9 +409,30 @@ let rec step_thread t (th : thread) (s : Coro.step) =
         step_thread t th (k v)
       with Fault reason -> on_fault t th reason (fun () -> step_thread t th (k 0)))
     | Coro.Syscall (req, k) ->
+      let k = instrument_syscall t th req k in
       ignore
         (Sim.schedule_in (sim t) syscall_overhead (fun () ->
              if th.state <> Zombie then handle_syscall t th req k))
+
+(* Same passive wrapper as the CNK kernel: record the dispatch-to-reply
+   interval per Sysreq kind. Comparing the two kernels' "syscall" timers
+   side by side is the paper's Table II in live form. *)
+and instrument_syscall t (th : thread) req k =
+  let o = obs t in
+  if not (Obs.enabled o) then k
+  else
+    match req with
+    | Sysreq.Exit_thread _ | Sysreq.Exit_group _ -> k
+    | _ ->
+      let name = Sysreq.request_name req in
+      let start = Sim.now (sim t) in
+      let h = Obs.span_begin o ~cat:"syscall" ~name ~rank:t.rank ~core:th.core_id ~now:start in
+      fun reply ->
+        let now = Sim.now (sim t) in
+        Obs.span_end o h ~now;
+        Obs.observe_cycles o ~rank:t.rank ~subsystem:"syscall" ~name (now - start);
+        Obs.incr o ~rank:t.rank ~core:th.core_id ~subsystem:"syscall" ~name ();
+        k reply
 
 and requeue t (th : thread) =
   let core = t.cores.(th.core_id) in

@@ -1,10 +1,10 @@
 type watch = { lo : int; hi : int; on_store : bool; on_load : bool }
 
-type t = { slots : watch option array }
+type t = { slots : watch option array; mutable violations : int }
 
 let registers = 4
 
-let create () = { slots = Array.make registers None }
+let create () = { slots = Array.make registers None; violations = 0 }
 
 let set t ~slot w =
   if slot < 0 || slot >= registers then invalid_arg "Dac.set: bad slot";
@@ -19,10 +19,13 @@ let find t addr select =
     if i = registers then None
     else
       match t.slots.(i) with
-      | Some w when select w && addr >= w.lo && addr < w.hi -> Some i
+      | Some w when select w && addr >= w.lo && addr < w.hi ->
+        t.violations <- t.violations + 1;
+        Some i
       | _ -> go (i + 1)
   in
   go 0
 
 let check_store t ~addr = find t addr (fun w -> w.on_store)
 let check_load t ~addr = find t addr (fun w -> w.on_load)
+let violations t = t.violations

@@ -1,1 +1,1 @@
-lib/kabi/machine.ml: Array Bg_engine Bg_hw List
+lib/kabi/machine.ml: Array Bg_engine Bg_hw Bg_obs List

@@ -1,1 +1,1 @@
-lib/kabi/machine.mli: Bg_engine Bg_hw
+lib/kabi/machine.mli: Bg_engine Bg_hw Bg_obs

@@ -8,13 +8,14 @@ type t = {
   torus : Bg_hw.Torus.t;
   collective : Bg_hw.Collective_net.t;
   barrier : Bg_hw.Barrier_net.t;
+  obs : Bg_obs.Obs.t;
   mutable ras_subscribers :
     (rank:int -> severity:ras_severity -> message:string -> unit) list;
 }
 
 let instance_counter = ref 0
 
-let create ?(params = Bg_hw.Params.bgp) ?(seed = 1L) ?nodes_per_io_node ~dims () =
+let create ?(params = Bg_hw.Params.bgp) ?(seed = 1L) ?nodes_per_io_node ?obs ~dims () =
   incr instance_counter;
   let x, y, z = dims in
   let n = x * y * z in
@@ -31,8 +32,11 @@ let create ?(params = Bg_hw.Params.bgp) ?(seed = 1L) ?nodes_per_io_node ~dims ()
     collective =
       Bg_hw.Collective_net.create sim ~params ~compute_nodes:n ~nodes_per_io_node ();
     barrier = Bg_hw.Barrier_net.create sim ~params ~participants:n ();
+    obs = (match obs with Some o -> o | None -> Bg_obs.Obs.create ());
     ras_subscribers = [];
   }
+
+let obs t = t.obs
 
 let nodes t = Array.length t.chips
 let chip t i = t.chips.(i)

@@ -13,6 +13,9 @@ type t = {
   torus : Bg_hw.Torus.t;
   collective : Bg_hw.Collective_net.t;
   barrier : Bg_hw.Barrier_net.t;
+  obs : Bg_obs.Obs.t;
+      (** the machine's observability collector; disabled unless turned
+          on with [Bg_obs.Obs.set_enabled] (or passed in at {!create}) *)
   mutable ras_subscribers :
     (rank:int -> severity:ras_severity -> message:string -> unit) list;
       (** use {!on_ras} / {!ras_emit} rather than touching this directly *)
@@ -22,15 +25,18 @@ val create :
   ?params:Bg_hw.Params.t ->
   ?seed:int64 ->
   ?nodes_per_io_node:int ->
+  ?obs:Bg_obs.Obs.t ->
   dims:int * int * int ->
   unit ->
   t
 (** Build a machine with [x*y*z] nodes. [nodes_per_io_node] defaults to the
-    whole machine sharing one I/O node when small (<= 64 nodes), else 64. *)
+    whole machine sharing one I/O node when small (<= 64 nodes), else 64.
+    [obs] defaults to a fresh, disabled collector. *)
 
 val nodes : t -> int
 val chip : t -> int -> Bg_hw.Chip.t
 val sim : t -> Bg_engine.Sim.t
+val obs : t -> Bg_obs.Obs.t
 
 (** {1 RAS events}
 

@@ -1,1 +1,1 @@
-lib/noise/injection.ml: Bg_engine Bg_hw Cnk Cycles Format Int64 Machine Rng Sim
+lib/noise/injection.ml: Bg_engine Bg_hw Bg_obs Cnk Cycles Format Int64 Machine Rng Sim

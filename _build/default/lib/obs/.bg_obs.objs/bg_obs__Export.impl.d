@@ -1,0 +1,1 @@
+lib/obs/export.ml: Bg_engine Buffer Char Cycles Hashtbl List Obs Printf String

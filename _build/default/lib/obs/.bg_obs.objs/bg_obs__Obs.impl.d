@@ -1,0 +1,1 @@
+lib/obs/obs.ml: Array Bg_engine Cycles Fnv Format Hashtbl List Option Printf Stats

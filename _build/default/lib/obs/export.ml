@@ -1,0 +1,248 @@
+open Bg_engine
+
+(* --- JSON helpers ------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* --- Chrome trace-event (catapult) format ------------------------------ *)
+
+(* One "X" (complete) event per span: ts/dur in microseconds, pid = rank,
+   tid = core. Process-name metadata rows label each rank so the catapult
+   viewer shows "rank 3" instead of "pid 3"; the control system (rank -1)
+   gets its own row. *)
+
+let pid_of_rank rank = if rank = Obs.node_scope then 0xFFFF else rank
+
+let rank_label rank =
+  if rank = Obs.node_scope then "control system" else Printf.sprintf "rank %d" rank
+
+let chrome_trace obs =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char b ','
+  in
+  let ranks = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Obs.span) ->
+      if not (Hashtbl.mem ranks s.rank) then Hashtbl.add ranks s.rank ();
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"depth\":%d}}"
+           (json_escape s.name) (json_escape s.cat) (Cycles.to_us s.start)
+           (Cycles.to_us (s.finish - s.start))
+           (pid_of_rank s.rank) s.core s.depth))
+    (Obs.spans obs);
+  let labelled = Hashtbl.fold (fun r () acc -> r :: acc) ranks [] |> List.sort compare in
+  List.iter
+    (fun rank ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}"
+           (pid_of_rank rank)
+           (json_escape (rank_label rank))))
+    labelled;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* --- CSV --------------------------------------------------------------- *)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let metrics_csv obs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "subsystem,name,rank,core,kind,count,value,mean,min,max\n";
+  List.iter
+    (fun (m : Obs.metric) ->
+      let k = m.Obs.key in
+      let row =
+        match m.Obs.value with
+        | Obs.Counter v ->
+          Printf.sprintf "%s,%s,%d,%d,counter,,%d,,," (csv_escape k.Obs.subsystem)
+            (csv_escape k.Obs.name) k.Obs.rank k.Obs.core v
+        | Obs.Gauge v ->
+          Printf.sprintf "%s,%s,%d,%d,gauge,,%d,,," (csv_escape k.Obs.subsystem)
+            (csv_escape k.Obs.name) k.Obs.rank k.Obs.core v
+        | Obs.Timer { n; mean; min; max } ->
+          Printf.sprintf "%s,%s,%d,%d,timer,%d,,%.3f,%.0f,%.0f" (csv_escape k.Obs.subsystem)
+            (csv_escape k.Obs.name) k.Obs.rank k.Obs.core n mean min max
+      in
+      Buffer.add_string b row;
+      Buffer.add_char b '\n')
+    (Obs.snapshot obs);
+  Buffer.contents b
+
+let spans_csv obs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "cat,name,rank,core,start_cycle,finish_cycle,duration_cycles,depth\n";
+  List.iter
+    (fun (s : Obs.span) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%d\n" (csv_escape s.Obs.cat)
+           (csv_escape s.Obs.name) s.Obs.rank s.Obs.core s.Obs.start s.Obs.finish
+           (s.Obs.finish - s.Obs.start) s.Obs.depth))
+    (Obs.spans obs);
+  Buffer.contents b
+
+let to_file ~path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* --- minimal JSON syntax checker --------------------------------------- *)
+
+(* Enough of RFC 8259 to assert that what we emit parses: values, nesting,
+   strings with escapes, numbers. Used by tests and by obs_tool's smoke
+   validation, so the repo needs no external JSON dependency. *)
+
+exception Bad of string
+
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit =
+    String.iter (fun c -> expect c) lit
+  in
+  let string_ () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail "bad \\u escape"
+          done
+        | _ -> fail "bad escape");
+        go ()
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  let number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let digits () =
+      let saw = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          saw := true;
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if not !saw then fail "expected digit"
+    in
+    digits ();
+    (match peek () with
+    | Some '.' ->
+      advance ();
+      digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_ ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "expected a value"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else begin
+      let rec members () =
+        skip_ws ();
+        string_ ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          members ()
+        | Some '}' -> advance ()
+        | _ -> fail "expected ',' or '}'"
+      in
+      members ()
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else begin
+      let rec elements () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          elements ()
+        | Some ']' -> advance ()
+        | _ -> fail "expected ',' or ']'"
+      in
+      elements ()
+    end
+  in
+  try
+    value ();
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at byte %d" !pos) else Ok ()
+  with Bad msg -> Error msg

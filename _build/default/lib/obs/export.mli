@@ -1,0 +1,29 @@
+(** Exporters for the observability layer.
+
+    Chrome trace-event (catapult) JSON — load the file in
+    [chrome://tracing] or [https://ui.perfetto.dev] — plus flat CSVs for
+    scripted analysis, and a dependency-free JSON syntax checker so the
+    smoke tests can validate emitted traces in-process. *)
+
+val chrome_trace : Obs.t -> string
+(** The retained spans as a catapult JSON object: one ["ph":"X"]
+    (complete) event per span with [ts]/[dur] in microseconds,
+    [pid] = rank and [tid] = core, plus process-name metadata rows. *)
+
+val metrics_csv : Obs.t -> string
+(** [subsystem,name,rank,core,kind,count,value,mean,min,max] rows from
+    {!Obs.snapshot}, deterministically ordered. *)
+
+val spans_csv : Obs.t -> string
+(** [cat,name,rank,core,start_cycle,finish_cycle,duration_cycles,depth]
+    rows, oldest first. *)
+
+val to_file : path:string -> string -> unit
+
+val validate_json : string -> (unit, string) result
+(** Minimal RFC 8259 syntax check (values, nesting, escapes, numbers).
+    [Ok ()] iff the whole string is one well-formed JSON value. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (quotes not
+    included). *)

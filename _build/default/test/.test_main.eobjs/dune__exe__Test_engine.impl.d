@@ -1,1 +1,1 @@
-test/test_engine.ml: Alcotest Array Bg_engine Cycles Event_queue Float Fnv Format Gen Int64 List Option QCheck QCheck_alcotest Rng Sim Stats Trace
+test/test_engine.ml: Alcotest Array Bg_engine Cycles Event_queue Float Fnv Format Gen Int64 List Option Printf QCheck QCheck_alcotest Rng Sim Stats Trace

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Array Bg_apps Bg_engine Bg_kabi Bg_obs Cnk Fnv Image Job List Machine Printf Result Sim Stats String Trace

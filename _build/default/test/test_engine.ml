@@ -277,6 +277,26 @@ let test_stats_spread () =
   let s = Stats.summarize [| 100.0; 105.0 |] in
   check_float "spread%" 5.0 (Stats.spread_percent s)
 
+let test_stats_spread_zero_min () =
+  (* all-zero samples (an idle FTQ window) have no spread, not NaN *)
+  check_float "all zero" 0.0 (Stats.spread_percent (Stats.summarize [| 0.0; 0.0; 0.0 |]));
+  let s = Stats.summarize [| 0.0; 4.0 |] in
+  Alcotest.(check bool) "zero min, nonzero max" true (Stats.spread_percent s = infinity)
+
+let test_trace_iter_matches_records () =
+  let t = Trace.create ~keep_records:true () in
+  for i = 1 to 5 do
+    Trace.emit t ~cycle:(i * 3) ~label:(Printf.sprintf "e%d" i) ~value:(Int64.of_int i)
+  done;
+  let seen = ref [] in
+  Trace.iter t (fun r -> seen := r :: !seen);
+  Alcotest.(check bool) "iter visits records oldest-first" true
+    (List.rev !seen = Trace.records t);
+  (* iter on a record-free trace visits nothing *)
+  let bare = Trace.create () in
+  Trace.emit bare ~cycle:1 ~label:"x" ~value:0L;
+  Trace.iter bare (fun _ -> Alcotest.fail "no records should be retained")
+
 let test_stats_online_matches_batch () =
   let xs = Array.init 1000 (fun i -> sin (float_of_int i)) in
   let s = Stats.summarize xs in
@@ -336,6 +356,8 @@ let suite =
     Alcotest.test_case "sim: trace digest reproducible" `Quick test_sim_trace_digest_reproducible;
     Alcotest.test_case "stats: summary" `Quick test_stats_summary;
     Alcotest.test_case "stats: spread" `Quick test_stats_spread;
+    Alcotest.test_case "stats: spread zero-min guard" `Quick test_stats_spread_zero_min;
+    Alcotest.test_case "trace: iter matches records" `Quick test_trace_iter_matches_records;
     Alcotest.test_case "stats: online = batch" `Quick test_stats_online_matches_batch;
     Alcotest.test_case "stats: histogram" `Quick test_stats_histogram;
   ]

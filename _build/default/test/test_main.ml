@@ -14,4 +14,5 @@ let () =
       ("runtime", Test_runtime.suite);
       ("properties", Test_properties.suite);
       ("control", Test_control.suite);
+      ("obs", Test_obs.suite);
     ]

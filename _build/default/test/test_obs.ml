@@ -1,0 +1,182 @@
+(* Tests for the observability layer: span rings, metrics registry,
+   exporters — and the invariant the whole design hangs on: turning
+   collection on must not perturb the simulated machine. *)
+
+open Bg_engine
+open Bg_kabi
+module Obs = Bg_obs.Obs
+module Export = Bg_obs.Export
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Span rings *)
+
+let test_ring_wraparound () =
+  let o = Obs.create ~ring_capacity:4 ~enabled:true () in
+  for i = 0 to 9 do
+    Obs.span_record o ~cat:"t" ~name:(Printf.sprintf "s%d" i) ~rank:0 ~core:0
+      ~start:(i * 10)
+      ~finish:((i * 10) + 5)
+  done;
+  check_int "all recordings counted" 10 (Obs.span_count o);
+  check_int "overwritten accounted" 6 (Obs.dropped_spans o);
+  let spans = Obs.spans o in
+  check_int "capacity retained" 4 (List.length spans);
+  (match spans with
+  | first :: _ -> check_int "oldest survivor is s6" 60 first.Obs.start
+  | [] -> Alcotest.fail "no spans retained");
+  let starts = List.map (fun s -> s.Obs.start) spans in
+  check_bool "oldest first" true (starts = List.sort compare starts)
+
+let test_nested_span_balance () =
+  let o = Obs.create ~enabled:true () in
+  let outer = Obs.span_begin o ~cat:"k" ~name:"outer" ~rank:1 ~core:2 ~now:100 in
+  let inner = Obs.span_begin o ~cat:"k" ~name:"inner" ~rank:1 ~core:2 ~now:110 in
+  check_int "two open" 2 (Obs.open_count o);
+  Obs.span_end o inner ~now:120;
+  Obs.span_end o outer ~now:150;
+  check_int "balanced" 0 (Obs.open_count o);
+  (match Obs.spans o with
+  | [ a; b ] ->
+    Alcotest.(check string) "outer first (by start)" "outer" a.Obs.name;
+    check_int "outer at depth 0" 0 a.Obs.depth;
+    check_int "inner at depth 1" 1 b.Obs.depth;
+    check_int "inner finish kept" 120 b.Obs.finish
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 spans, got %d" (List.length l)));
+  (* ending an already-ended handle must be a no-op *)
+  Obs.span_end o inner ~now:999;
+  check_int "double end ignored" 2 (Obs.span_count o)
+
+let test_disabled_is_noop () =
+  let o = Obs.create () in
+  let h = Obs.span_begin o ~cat:"x" ~name:"n" ~rank:0 ~core:0 ~now:1 in
+  check_bool "null handle" true (h = Obs.null_handle);
+  Obs.span_end o h ~now:2;
+  Obs.incr o ~subsystem:"x" ~name:"c" ();
+  Obs.observe_cycles o ~subsystem:"x" ~name:"t" 5;
+  check_int "no spans" 0 (Obs.span_count o);
+  check_int "no metrics" 0 (List.length (Obs.snapshot o));
+  check_bool "digest untouched" true (Fnv.equal (Obs.digest o) Fnv.empty)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_timer_single_sample () =
+  let o = Obs.create ~enabled:true () in
+  Obs.observe_cycles o ~subsystem:"s" ~name:"lat" 42;
+  match Obs.timer_stats o ~subsystem:"s" ~name:"lat" () with
+  | None -> Alcotest.fail "timer missing"
+  | Some st ->
+    check_int "one sample" 1 (Stats.Online.n st);
+    Alcotest.(check (float 1e-9)) "mean=min=max" 42.0 (Stats.Online.mean st);
+    Alcotest.(check (float 1e-9)) "min" 42.0 (Stats.Online.min st);
+    Alcotest.(check (float 1e-9)) "max" 42.0 (Stats.Online.max st)
+
+let test_timer_histogram_clamps () =
+  let o = Obs.create ~enabled:true () in
+  let feed = Obs.observe_cycles o ~hi:100.0 ~bins:10 ~subsystem:"s" ~name:"lat" in
+  feed 0;
+  (* below range and far above range must clamp into the edge bins *)
+  feed 1_000_000;
+  feed 99;
+  match Obs.timer_histogram o ~subsystem:"s" ~name:"lat" () with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    let counts = Stats.Histogram.counts h in
+    check_int "all samples binned" 3 (Stats.Histogram.total h);
+    check_int "first bin" 1 counts.(0);
+    check_int "last bin holds clamp + 99" 2 counts.(Array.length counts - 1)
+
+let test_counters_and_snapshot_order () =
+  let o = Obs.create ~enabled:true () in
+  Obs.incr o ~rank:1 ~core:0 ~subsystem:"syscall" ~name:"write" ();
+  Obs.incr o ~rank:0 ~core:0 ~subsystem:"syscall" ~name:"write" ~by:3 ();
+  Obs.incr o ~rank:0 ~core:0 ~subsystem:"syscall" ~name:"write" ();
+  Obs.set_gauge o ~rank:0 ~subsystem:"tlb" ~name:"entries" 64;
+  check_int "per-scope" 4 (Obs.counter_value o ~rank:0 ~core:0 ~subsystem:"syscall" ~name:"write" ());
+  check_int "summed over scopes" 5 (Obs.counter_total o ~subsystem:"syscall" ~name:"write");
+  let keys = List.map (fun m -> m.Obs.key) (Obs.snapshot o) in
+  check_bool "snapshot deterministically sorted" true
+    (keys = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: the acceptance criterion of the whole layer *)
+
+let fwq_run ~obs_on =
+  let cluster = Cnk.Cluster.create ~dims:(1, 1, 1) ~seed:3L () in
+  let machine = Cnk.Cluster.machine cluster in
+  if obs_on then Obs.set_enabled (Machine.obs machine) true;
+  Cnk.Cluster.boot_all cluster;
+  let entry, _ = Bg_apps.Fwq.program ~samples:150 ~threads:4 () in
+  Cnk.Cluster.run_job cluster
+    (Job.create ~name:"fwq" (Image.executable ~name:"fwq" entry));
+  (Trace.digest (Sim.trace (Cnk.Cluster.sim cluster)), Machine.obs machine)
+
+let test_sim_digest_unperturbed () =
+  let off, _ = fwq_run ~obs_on:false in
+  let on_, obs = fwq_run ~obs_on:true in
+  check_bool "sim trace digest identical with obs on vs off" true
+    (Fnv.equal off on_);
+  check_bool "and the run actually collected something" true
+    (Obs.span_count obs > 0)
+
+let test_obs_digest_reproducible () =
+  let _, a = fwq_run ~obs_on:true in
+  let _, b = fwq_run ~obs_on:true in
+  Alcotest.(check string) "span digest reproducible"
+    (Fnv.to_hex (Obs.digest a))
+    (Fnv.to_hex (Obs.digest b));
+  check_bool "digest covers spans" false (Fnv.equal (Obs.digest a) Fnv.empty)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let test_chrome_trace_valid_json () =
+  let _, obs = fwq_run ~obs_on:true in
+  let json = Export.chrome_trace obs in
+  (match Export.validate_json json with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("emitted invalid JSON: " ^ e));
+  let cats = List.sort_uniq compare (List.map (fun s -> s.Obs.cat) (Obs.spans obs)) in
+  List.iter
+    (fun c -> check_bool ("category " ^ c) true (List.mem c cats))
+    [ "syscall"; "cio"; "tlb" ]
+
+let test_json_validator_rejects () =
+  check_bool "garbage" true (Result.is_error (Export.validate_json "{"));
+  check_bool "trailing" true (Result.is_error (Export.validate_json "{} x"));
+  check_bool "bare word" true (Result.is_error (Export.validate_json "nope"));
+  check_bool "unterminated string" true
+    (Result.is_error (Export.validate_json "{\"a\": \"b}"));
+  check_bool "valid nested" true
+    (Result.is_ok (Export.validate_json "{\"a\":[1,2.5e3,true,null,\"s\\n\"]}"))
+
+let test_csv_exports () =
+  let _, obs = fwq_run ~obs_on:true in
+  let metrics = Export.metrics_csv obs in
+  let spans = Export.spans_csv obs in
+  check_bool "metrics header" true
+    (String.length metrics > 0
+    && String.sub metrics 0 9 = "subsystem");
+  check_bool "spans header" true
+    (String.length spans > 0 && String.sub spans 0 3 = "cat");
+  check_int "one line per span + header"
+    (List.length (Obs.spans obs) + 1)
+    (List.length (String.split_on_char '\n' (String.trim spans)))
+
+let suite =
+  [
+    Alcotest.test_case "span ring: wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "spans: nested balance" `Quick test_nested_span_balance;
+    Alcotest.test_case "disabled collector is a no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "timer: single sample" `Quick test_timer_single_sample;
+    Alcotest.test_case "timer histogram: clamping" `Quick test_timer_histogram_clamps;
+    Alcotest.test_case "counters + snapshot order" `Quick test_counters_and_snapshot_order;
+    Alcotest.test_case "sim digest unperturbed by obs" `Quick test_sim_digest_unperturbed;
+    Alcotest.test_case "obs digest reproducible" `Quick test_obs_digest_reproducible;
+    Alcotest.test_case "chrome trace is valid JSON" `Quick test_chrome_trace_valid_json;
+    Alcotest.test_case "json validator rejects junk" `Quick test_json_validator_rejects;
+    Alcotest.test_case "csv exports" `Quick test_csv_exports;
+  ]

@@ -22,4 +22,16 @@ let emit t ~cycle ~label ~value =
 let digest t = t.digest
 let count t = t.count
 let records t = List.rev t.records
+
+let iter t f =
+  (* Oldest-first over the newest-first spine without materialising the
+     reversed list; depth = number of retained records. *)
+  let rec go = function
+    | [] -> ()
+    | r :: rest ->
+      go rest;
+      f r
+  in
+  go t.records
+
 let last_cycle t = t.last_cycle

@@ -24,3 +24,8 @@ val check_store : t -> addr:int -> int option
 (** [check_store t ~addr] returns the matching slot, if any. *)
 
 val check_load : t -> addr:int -> int option
+
+val violations : t -> int
+(** Total range matches (hits) observed by {!check_store}/{!check_load}
+    since creation — the per-core DAC-violation count the observability
+    layer publishes. *)

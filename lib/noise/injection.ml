@@ -12,6 +12,8 @@ let injected_fraction p = float_of_int p.duration_cycles /. float_of_int p.perio
 let attach node ~profile ~seed ~until =
   let machine = Cnk.Node.machine node in
   let sim = machine.Machine.sim in
+  let obs = machine.Machine.obs in
+  let rank = Cnk.Node.rank node in
   let cores = (Bg_hw.Chip.params (Cnk.Node.chip node)).Bg_hw.Params.cores_per_node in
   for core = 0 to cores - 1 do
     let rng = Rng.create (Int64.add seed (Int64.of_int core)) in
@@ -20,6 +22,14 @@ let attach node ~profile ~seed ~until =
         ignore
           (Sim.schedule_at sim at (fun () ->
                Cnk.Node.add_core_penalty node ~core ~cycles:profile.duration_cycles;
+               (* Attribute each stolen interval so slowdowns in app spans
+                  can be traced back to the injected daemon activity. *)
+               let module Obs = Bg_obs.Obs in
+               Obs.incr obs ~rank ~core ~subsystem:"noise" ~name:"activations" ();
+               Obs.incr obs ~rank ~core ~subsystem:"noise" ~name:"injected_cycles"
+                 ~by:profile.duration_cycles ();
+               Obs.span_record obs ~cat:"noise" ~name:"daemon" ~rank ~core ~start:at
+                 ~finish:(at + profile.duration_cycles);
                let spread = float_of_int profile.period_cycles *. profile.jitter in
                let next =
                  at + profile.period_cycles

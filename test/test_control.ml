@@ -243,6 +243,25 @@ let test_ras_l1_parity_warns () =
          && String.length e.Ctl.Ras.message >= 2)
        (Ctl.Ras.events ras))
 
+let test_ras_log_is_bounded () =
+  let machine = Machine.create ~dims:(1, 1, 1) () in
+  let ras = Ctl.Ras.attach ~capacity:8 machine in
+  for i = 1 to 20 do
+    let severity = if i mod 5 = 0 then Machine.Ras_error else Machine.Ras_info in
+    Machine.ras_emit machine ~rank:0 ~severity
+      ~message:(Printf.sprintf "storm %d" i)
+  done;
+  check_int "ring holds capacity" 8 (List.length (Ctl.Ras.events ras));
+  check_int "overwritten accounted" 12 (Ctl.Ras.dropped ras);
+  check_int "total count exact despite drops" 20 (Ctl.Ras.count ras ());
+  check_int "per-severity count exact" 4
+    (Ctl.Ras.count ras ~severity:Machine.Ras_error ());
+  (match Ctl.Ras.events ras with
+  | oldest :: _ ->
+    Alcotest.(check string) "oldest retained is event 13" "storm 13"
+      oldest.Ctl.Ras.message
+  | [] -> Alcotest.fail "empty ring")
+
 (* ------------------------------------------------------------------ *)
 (* Torus link faults *)
 
@@ -361,6 +380,7 @@ let suite =
     Alcotest.test_case "vcd: export + diff" `Quick test_vcd_export;
     Alcotest.test_case "ras: kernel events collected" `Quick test_ras_collects_kernel_events;
     Alcotest.test_case "ras: parity warns" `Quick test_ras_l1_parity_warns;
+    Alcotest.test_case "ras: log is bounded" `Quick test_ras_log_is_bounded;
     Alcotest.test_case "torus: reroute around broken link" `Quick
       test_torus_reroutes_around_broken_link;
     Alcotest.test_case "torus: severed ring" `Quick test_torus_severed_ring_fails;
