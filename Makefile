@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples docs csv trace-smoke clean
+.PHONY: all build test bench examples docs csv trace-smoke resilience-smoke clean
 
 all: build
 
@@ -31,6 +31,17 @@ trace-smoke:
 	  --chrome-trace /tmp/obs_smoke.json --metrics-csv /tmp/obs_smoke.csv
 	@grep -q '"traceEvents"' /tmp/obs_smoke.json
 	@echo "trace-smoke OK"
+
+# Seeded fault-injection sweep, run twice: the tool itself checks that
+# in-place parity recovery beats rollback wherever a fault forced one,
+# and the two runs must print bit-identical digest lines.
+resilience-smoke:
+	dune exec bin/resilience_tool.exe -- --seed 1 --csv /tmp/resilience_sweep.csv \
+	  | grep digest > /tmp/resilience_smoke_a.txt
+	dune exec bin/resilience_tool.exe -- --seed 1 \
+	  | grep digest > /tmp/resilience_smoke_b.txt
+	@cmp /tmp/resilience_smoke_a.txt /tmp/resilience_smoke_b.txt
+	@echo "resilience-smoke OK"
 
 clean:
 	dune clean

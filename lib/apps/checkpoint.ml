@@ -1,5 +1,7 @@
 let chunk = 16 * 1024 (* ship in 16 KiB pieces, as a real library would *)
 
+let magic = 0x434b5031 (* "CKP1" *)
+
 let path name = "/ckpt/" ^ name
 
 let ensure_dir () =
@@ -7,13 +9,29 @@ let ensure_dir () =
   | () -> ()
   | exception Sysreq.Syscall_error Errno.EEXIST -> ()
 
+(* Every checkpoint starts with a self-describing header so restore can
+   refuse a region list that does not match the save — a partial restore
+   into the wrong addresses is far worse than no restore at all.
+
+     [magic][count][addr0][len0]...[addrN][lenN]     (8-byte LE ints)  *)
+let header regions =
+  let b = Bytes.create (8 * (2 + (2 * List.length regions))) in
+  Bytes.set_int64_le b 0 (Int64.of_int magic);
+  Bytes.set_int64_le b 8 (Int64.of_int (List.length regions));
+  List.iteri
+    (fun i (addr, len) ->
+      Bytes.set_int64_le b (16 + (16 * i)) (Int64.of_int addr);
+      Bytes.set_int64_le b (24 + (16 * i)) (Int64.of_int len))
+    regions;
+  b
+
 let save ~name ~regions =
   ensure_dir ();
   let fd =
     Bg_rt.Libc.openf ~flags:{ Sysreq.o_rdwr with Sysreq.creat = true; trunc = true }
       (path name)
   in
-  let total = ref 0 in
+  let total = ref (Bg_rt.Libc.write fd (header regions)) in
   List.iter
     (fun (addr, len) ->
       let off = ref 0 in
@@ -32,22 +50,42 @@ let exists ~name =
   | _ -> true
   | exception Sysreq.Syscall_error Errno.ENOENT -> false
 
+type restore_error = No_checkpoint | Region_mismatch
+
+let word b i = Int64.to_int (Bytes.get_int64_le b (8 * i))
+
+let read_header fd =
+  let head = Bg_rt.Libc.read fd ~len:16 in
+  if Bytes.length head < 16 || word head 0 <> magic then None
+  else begin
+    let count = word head 1 in
+    let body = Bg_rt.Libc.read fd ~len:(16 * count) in
+    if Bytes.length body < 16 * count then None
+    else Some (List.init count (fun i -> (word body (2 * i), word body ((2 * i) + 1))))
+  end
+
 let restore ~name ~regions =
   match Bg_rt.Libc.openf ~flags:Sysreq.o_rdonly (path name) with
-  | exception Sysreq.Syscall_error Errno.ENOENT -> false
-  | fd ->
-    List.iter
-      (fun (addr, len) ->
-        let off = ref 0 in
-        while !off < len do
-          let n = min chunk (len - !off) in
-          let data = Bg_rt.Libc.read fd ~len:n in
-          if Bytes.length data > 0 then Coro.store ~addr:(addr + !off) data;
-          off := !off + n
-        done)
-      regions;
-    Bg_rt.Libc.close fd;
-    true
+  | exception Sysreq.Syscall_error Errno.ENOENT -> Error No_checkpoint
+  | fd -> (
+    match read_header fd with
+    | Some saved when saved = regions ->
+      List.iter
+        (fun (addr, len) ->
+          let off = ref 0 in
+          while !off < len do
+            let n = min chunk (len - !off) in
+            let data = Bg_rt.Libc.read fd ~len:n in
+            if Bytes.length data > 0 then Coro.store ~addr:(addr + !off) data;
+            off := !off + n
+          done)
+        regions;
+      Bg_rt.Libc.close fd;
+      Ok ()
+    | _ ->
+      (* wrong or missing region list: touch no memory *)
+      Bg_rt.Libc.close fd;
+      Error Region_mismatch)
 
 let remove ~name =
   match Bg_rt.Libc.unlink (path name) with

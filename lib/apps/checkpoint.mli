@@ -6,16 +6,29 @@
     to the (offloaded) filesystem and, on failure, restoring and
     recomputing everything since the last checkpoint — "heavy I/O-bound
     checkpoint/restart cycles". These are real shipped writes: each save
-    pays marshal + collective network + CIOD service for every byte. *)
+    pays marshal + collective network + CIOD service for every byte.
+
+    Checkpoints are self-describing: the file starts with the region list
+    it was saved from, and {!restore} refuses to touch memory unless the
+    caller passes the identical list. *)
 
 val save : name:string -> regions:(int * int) list -> int
 (** Write each (vaddr, len) range of the calling process's memory to
-    /ckpt/<name>, returning the bytes written. Creates /ckpt as needed;
-    an existing checkpoint of the same name is replaced. *)
+    /ckpt/<name>, returning the bytes shipped (header + data). Creates
+    /ckpt as needed; an existing checkpoint of the same name is
+    replaced. *)
 
-val restore : name:string -> regions:(int * int) list -> bool
-(** Read the checkpoint back into memory (ranges must match the save).
-    Returns false if no checkpoint of that name exists. *)
+type restore_error =
+  | No_checkpoint  (** nothing saved under that name *)
+  | Region_mismatch
+      (** the saved region list differs from the one passed (or the file
+          is not a checkpoint); memory was not modified *)
+
+val restore :
+  name:string -> regions:(int * int) list -> (unit, restore_error) result
+(** Read the checkpoint back into memory. The region list must be exactly
+    the one passed to {!save}; on any mismatch no memory is written and
+    [Error Region_mismatch] is returned — never a partial restore. *)
 
 val exists : name:string -> bool
 val remove : name:string -> unit

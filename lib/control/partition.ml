@@ -8,6 +8,7 @@ type allocation = {
 type t = {
   dims : int * int * int;
   occupied : bool array;  (* indexed by rank *)
+  down : bool array;      (* RAS marked the node dead; never allocate *)
   mutable live : allocation list;
   mutable next_id : int;
 }
@@ -15,7 +16,13 @@ type t = {
 let create ~dims =
   let x, y, z = dims in
   if x <= 0 || y <= 0 || z <= 0 then invalid_arg "Partition.create";
-  { dims; occupied = Array.make (x * y * z) false; live = []; next_id = 1 }
+  {
+    dims;
+    occupied = Array.make (x * y * z) false;
+    down = Array.make (x * y * z) false;
+    live = [];
+    next_id = 1;
+  }
 
 let rank_of t (cx, cy, cz) =
   let x, y, _ = t.dims in
@@ -44,7 +51,8 @@ let allocate t ~shape =
            for bx = 0 to x - sx do
              if !found = None then begin
                let ranks = box_ranks t (bx, by, bz) shape in
-               if List.for_all (fun r -> not t.occupied.(r)) ranks then begin
+               if List.for_all (fun r -> not t.occupied.(r) && not t.down.(r)) ranks
+               then begin
                  found := Some ((bx, by, bz), ranks);
                  raise Exit
                end
@@ -71,7 +79,20 @@ let release t id =
     t.live <- List.filter (fun x -> x.id <> id) t.live
 
 let free_nodes t =
-  Array.fold_left (fun acc o -> if o then acc else acc + 1) 0 t.occupied
+  let free = ref 0 in
+  Array.iteri (fun r o -> if (not o) && not t.down.(r) then incr free) t.occupied;
+  !free
 
 let allocated t = List.rev t.live
 let total_nodes t = Array.length t.occupied
+
+let set_down t ~rank down =
+  if rank < 0 || rank >= Array.length t.down then invalid_arg "Partition.set_down";
+  t.down.(rank) <- down
+
+let is_down t ~rank = t.down.(rank)
+
+let down_nodes t =
+  let acc = ref [] in
+  Array.iteri (fun r d -> if d then acc := r :: !acc) t.down;
+  List.rev !acc

@@ -26,5 +26,16 @@ val release : t -> int -> unit
 (** Free an allocation by id; unknown ids raise [Invalid_argument]. *)
 
 val free_nodes : t -> int
+(** Nodes neither occupied nor marked down. *)
+
 val allocated : t -> allocation list
 val total_nodes : t -> int
+
+val set_down : t -> rank:int -> bool -> unit
+(** Mark a node dead (or revived). Down nodes are skipped by {!allocate};
+    the RAS/recovery path flips this when a node death event arrives. *)
+
+val is_down : t -> rank:int -> bool
+
+val down_nodes : t -> int list
+(** Ranks currently marked down, ascending. *)

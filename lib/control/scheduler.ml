@@ -3,14 +3,21 @@ module Obs = Bg_obs.Obs
 
 type job_id = int
 
-type job_state = Queued | Running of int list | Completed of Cycles.t
+type job_state =
+  | Queued
+  | Running of int list
+  | Completed of Cycles.t
+  | Failed of Cycles.t
 
 type pending = {
   jid : job_id;
   shape : int * int * int;
-  job : Job.t;
+  factory : ranks:int list -> Job.t;
   walltime : int option;
-  submitted : Cycles.t;  (* cycle of Scheduler.submit, for queue-wait timing *)
+  restart_limit : int;
+  mutable restarts : int;
+  mutable submitted : Cycles.t;  (* (re)submission cycle, for queue-wait timing *)
+  mutable failed_at : Cycles.t option;  (* when RAS declared the incarnation dead *)
 }
 
 type t = {
@@ -19,6 +26,8 @@ type t = {
   backfill : bool;
   mutable queue : pending list;  (* FIFO, head first *)
   states : (job_id, job_state) Hashtbl.t;
+  jobs : (job_id, pending) Hashtbl.t;  (* every job ever submitted *)
+  running : (job_id, pending * Partition.allocation) Hashtbl.t;
   mutable next_id : int;
   mutable done_order : job_id list;
   mutable outstanding : int;
@@ -26,6 +35,8 @@ type t = {
 
 let obs t = (Cnk.Cluster.machine t.cluster).Machine.obs
 let now t = Sim.now (Cnk.Cluster.sim t.cluster)
+let cluster t = t.cluster
+let partition t = t.partition
 
 let create ?(backfill = false) cluster =
   let machine = Cnk.Cluster.machine cluster in
@@ -36,23 +47,40 @@ let create ?(backfill = false) cluster =
     backfill;
     queue = [];
     states = Hashtbl.create 16;
+    jobs = Hashtbl.create 16;
+    running = Hashtbl.create 16;
     next_id = 1;
     done_order = [];
     outstanding = 0;
   }
 
-let submit t ?walltime_cycles ~shape job =
+let submit_factory t ?walltime_cycles ?(restart_limit = 0) ~shape factory =
   let x, y, z = Bg_hw.Torus.dims (Cnk.Cluster.machine t.cluster).Machine.torus in
   let sx, sy, sz = shape in
   if sx > x || sy > y || sz > z then failwith "Scheduler.submit: job can never fit";
   let jid = t.next_id in
   t.next_id <- jid + 1;
-  t.queue <-
-    t.queue @ [ { jid; shape; job; walltime = walltime_cycles; submitted = now t } ];
+  let pending =
+    {
+      jid;
+      shape;
+      factory;
+      walltime = walltime_cycles;
+      restart_limit;
+      restarts = 0;
+      submitted = now t;
+      failed_at = None;
+    }
+  in
+  t.queue <- t.queue @ [ pending ];
   Hashtbl.replace t.states jid Queued;
+  Hashtbl.replace t.jobs jid pending;
   t.outstanding <- t.outstanding + 1;
   Obs.incr (obs t) ~subsystem:"scheduler" ~name:"jobs_submitted" ();
   jid
+
+let submit t ?walltime_cycles ~shape job =
+  submit_factory t ?walltime_cycles ~shape (fun ~ranks:_ -> job)
 
 (* Try to start queued jobs; FIFO unless backfill is on, in which case
    later jobs may start past a blocked head. *)
@@ -90,32 +118,31 @@ and start t pending alloc =
   Obs.incr o ~subsystem:"scheduler" ~name:"jobs_started" ();
   Obs.observe_cycles o ~subsystem:"scheduler" ~name:"queue_wait_cycles"
     (start_cycle - pending.submitted);
+  (match pending.failed_at with
+  | Some failed when pending.restarts > 0 ->
+    Obs.observe_cycles o ~subsystem:"scheduler" ~name:"recovery_latency_cycles"
+      (start_cycle - failed);
+    pending.failed_at <- None
+  | _ -> ());
   let job_span =
     Obs.span_begin o ~cat:"scheduler"
       ~name:(Printf.sprintf "job.%d" pending.jid)
       ~rank:Obs.node_scope ~core:pending.jid ~now:start_cycle
   in
   Hashtbl.replace t.states pending.jid (Running alloc.Partition.ranks);
+  Hashtbl.replace t.running pending.jid (pending, alloc);
+  let job = pending.factory ~ranks:alloc.Partition.ranks in
   let remaining = ref (List.length alloc.Partition.ranks) in
   List.iter
     (fun rank ->
       let node = Cnk.Cluster.node t.cluster rank in
       Cnk.Node.on_job_complete node (fun () ->
           decr remaining;
-          if !remaining = 0 then begin
-            Partition.release t.partition alloc.Partition.id;
-            Hashtbl.replace t.states pending.jid
-              (Completed (Sim.now (Cnk.Cluster.sim t.cluster)));
-            t.done_order <- pending.jid :: t.done_order;
-            t.outstanding <- t.outstanding - 1;
-            Obs.span_end o job_span ~now:(now t);
-            Obs.incr o ~subsystem:"scheduler" ~name:"jobs_completed" ();
-            try_start t
-          end))
+          if !remaining = 0 then finish t pending alloc job_span))
     alloc.Partition.ranks;
   List.iter
     (fun rank ->
-      match Cnk.Node.launch (Cnk.Cluster.node t.cluster rank) pending.job with
+      match Cnk.Node.launch (Cnk.Cluster.node t.cluster rank) job with
       | Ok () -> ()
       | Error e -> failwith (Printf.sprintf "launch on rank %d: %s" rank e))
     alloc.Partition.ranks;
@@ -123,14 +150,99 @@ and start t pending alloc =
   | None -> ()
   | Some limit ->
     let sim = Cnk.Cluster.sim t.cluster in
+    let incarnation = pending.restarts in
     ignore
       (Bg_engine.Sim.schedule_in sim limit (fun () ->
            match Hashtbl.find_opt t.states pending.jid with
-           | Some (Running _) ->
+           | Some (Running _) when pending.restarts = incarnation ->
+             (* kill, but tell RAS first: silent job disappearance is the
+                §VI diagnosability sin *)
+             let machine = Cnk.Cluster.machine t.cluster in
+             let rank = List.hd alloc.Partition.ranks in
+             Machine.ras_emit machine ~rank ~severity:Machine.Ras_warn
+               ~message:
+                 (Printf.sprintf "SCHED walltime job=%d rank=%d limit=%d" pending.jid
+                    rank limit);
+             Obs.incr o ~subsystem:"scheduler" ~name:"walltime_kills" ();
              List.iter
                (fun rank -> Cnk.Node.kill_job (Cnk.Cluster.node t.cluster rank))
                alloc.Partition.ranks
            | _ -> ()))
+
+(* Every member node reported completion: decide between terminal states
+   and a restart. A job failed if any process on any member node exited
+   nonzero (a crash, a kill after a node death, or a walltime kill). *)
+and finish t pending alloc job_span =
+  let o = obs t in
+  Partition.release t.partition alloc.Partition.id;
+  Hashtbl.remove t.running pending.jid;
+  Obs.span_end o job_span ~now:(now t);
+  let failed =
+    List.exists
+      (fun rank ->
+        List.exists
+          (fun (_, code) -> code <> 0)
+          (Cnk.Node.exit_codes (Cnk.Cluster.node t.cluster rank)))
+      alloc.Partition.ranks
+  in
+  if failed && pending.restarts < pending.restart_limit then begin
+    pending.restarts <- pending.restarts + 1;
+    pending.submitted <- now t;
+    Hashtbl.replace t.states pending.jid Queued;
+    (* requeue at the head: recovery preempts the waiting line *)
+    t.queue <- pending :: t.queue;
+    Obs.incr o ~subsystem:"scheduler" ~name:"jobs_restarted" ();
+    let machine = Cnk.Cluster.machine t.cluster in
+    Machine.ras_emit machine
+      ~rank:(List.hd alloc.Partition.ranks)
+      ~severity:Machine.Ras_info
+      ~message:
+        (Printf.sprintf "SCHED restart job=%d attempt=%d" pending.jid pending.restarts);
+    try_start t
+  end
+  else begin
+    let state =
+      if failed && pending.restart_limit > 0 then Failed (now t) else Completed (now t)
+    in
+    Hashtbl.replace t.states pending.jid state;
+    t.done_order <- pending.jid :: t.done_order;
+    t.outstanding <- t.outstanding - 1;
+    Obs.incr o ~subsystem:"scheduler" ~name:"jobs_completed" ();
+    try_start t
+  end
+
+let mark_down t ~rank =
+  if not (Partition.is_down t.partition ~rank) then begin
+    Partition.set_down t.partition ~rank true;
+    Obs.incr (obs t) ~subsystem:"scheduler" ~name:"nodes_down" ()
+  end
+
+(* Kill the running job that spans [rank], if any. Survivors of a member
+   failure would otherwise spin forever on messages (or barriers) that can
+   no longer complete, so the whole gang dies in the same cycle. *)
+let kill_spanning t ~rank =
+  let victim =
+    Hashtbl.fold
+      (fun _ (pending, alloc) acc ->
+        if List.mem rank alloc.Partition.ranks then Some (pending, alloc) else acc)
+      t.running None
+  in
+  match victim with
+  | None -> ()
+  | Some (pending, alloc) ->
+    pending.failed_at <- Some (now t);
+    let machine = Cnk.Cluster.machine t.cluster in
+    Machine.ras_emit machine ~rank ~severity:Machine.Ras_error
+      ~message:(Printf.sprintf "SCHED job_lost job=%d rank=%d" pending.jid rank);
+    List.iter
+      (fun r -> Cnk.Node.kill_job (Cnk.Cluster.node t.cluster r))
+      alloc.Partition.ranks
+
+let node_failed t ~rank =
+  mark_down t ~rank;
+  kill_spanning t ~rank
+
+let job_crashed t ~rank = kill_spanning t ~rank
 
 let drain t =
   try_start t;
@@ -149,5 +261,10 @@ let state t jid =
   match Hashtbl.find_opt t.states jid with
   | Some s -> s
   | None -> invalid_arg "Scheduler.state: unknown job"
+
+let restarts t jid =
+  match Hashtbl.find_opt t.jobs jid with
+  | Some p -> p.restarts
+  | None -> invalid_arg "Scheduler.restarts: unknown job"
 
 let completed_order t = List.rev t.done_order

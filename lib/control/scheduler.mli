@@ -5,7 +5,13 @@
     backfill of smaller jobs past a blocked head), launches the job on the
     partition's ranks, and releases the partition when every member node
     reports completion. Because everything runs in one deterministic
-    simulation, schedules are reproducible. *)
+    simulation, schedules are reproducible.
+
+    The resilience path (paper §V.B): {!node_failed} marks a node down in
+    the allocator and kills the running job that spans it; a job submitted
+    with a restart budget is then requeued at the head of the line and
+    reallocated — excluding down nodes — so a checkpointed application can
+    resume from its last committed state. *)
 
 type job_id = int
 
@@ -13,6 +19,9 @@ type job_state =
   | Queued
   | Running of int list  (** the partition's ranks *)
   | Completed of Bg_engine.Cycles.t  (** completion cycle *)
+  | Failed of Bg_engine.Cycles.t
+      (** a job with a restart budget exhausted it (jobs without one
+          always report [Completed], matching classic batch semantics) *)
 
 type t
 
@@ -24,13 +33,49 @@ val submit :
   t -> ?walltime_cycles:int -> shape:int * int * int -> Job.t -> job_id
 (** Enqueue; jobs start when {!drain} runs the machine. A job still
     running [walltime_cycles] after launch is killed on every node of its
-    partition (threads exit 137) and reported Completed. *)
+    partition (threads exit 137), with a RAS event naming the job and its
+    lead rank, and reported Completed. *)
+
+val submit_factory :
+  t ->
+  ?walltime_cycles:int ->
+  ?restart_limit:int ->
+  shape:int * int * int ->
+  (ranks:int list -> Job.t) ->
+  job_id
+(** Like {!submit}, but the job image is built per launch from the ranks
+    actually allocated — required for restart after a node death, when the
+    replacement partition has different members. [restart_limit] (default
+    0) bounds how many times a failed incarnation (nonzero exit on any
+    member node) is requeued before the job is declared [Failed]. *)
 
 val drain : t -> unit
 (** Start whatever fits, then run the simulation, starting queued jobs as
     partitions free up, until every submitted job completes. Raises
-    [Failure] if a job can never fit the machine. *)
+    [Failure] if a job can never fit the machine (including when down
+    nodes leave no partition of the requested shape). *)
+
+val node_failed : t -> rank:int -> unit
+(** RAS recovery entry point: mark [rank] down for future allocations and
+    kill the running job that spans it (every member node, in the same
+    cycle — survivors would otherwise block forever on a dead peer). The
+    job is requeued if it has restart budget left. *)
+
+val mark_down : t -> rank:int -> unit
+(** Mark a node down without touching running jobs. *)
+
+val job_crashed : t -> rank:int -> unit
+(** Gang semantics for an application crash on [rank]: kill the spanning
+    job on every member node (it restarts if it has budget), but leave the
+    node in the allocation pool — the hardware is fine. *)
 
 val state : t -> job_id -> job_state
+val restarts : t -> job_id -> int
+(** How many times the job has been relaunched so far. *)
+
 val completed_order : t -> job_id list
-(** Ids in completion order. *)
+(** Ids in completion order (includes [Failed] jobs). *)
+
+val cluster : t -> Cnk.Cluster.t
+val partition : t -> Partition.t
+(** The live allocator — exposed for the resilience layer and tests. *)

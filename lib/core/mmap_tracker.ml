@@ -1,5 +1,7 @@
 let grain = 1024 * 1024 (* carve mmaps at 1 MB granularity *)
 
+let dirty_grain = 4096 (* dirty tracking works at page granularity *)
+
 type t = {
   base : int;
   limit : int;           (* exclusive top of the whole range *)
@@ -8,6 +10,7 @@ type t = {
   (* allocated mmap ranges, disjoint, sorted by address *)
   mutable mapped : (int * int) list;  (* (addr, len) *)
   mutable last_mprotect : (int * int) option;
+  dirty : (int, unit) Hashtbl.t;      (* dirty pages, keyed by page index *)
 }
 
 let create ~base ~bytes ~main_stack_bytes =
@@ -20,6 +23,7 @@ let create ~base ~bytes ~main_stack_bytes =
     break_ = base;
     mapped = [];
     last_mprotect = None;
+    dirty = Hashtbl.create 64;
   }
 
 let heap_end t = t.break_
@@ -117,3 +121,36 @@ let main_stack_hi t = t.limit
 let mapped_bytes t = List.fold_left (fun acc (_, l) -> acc + l) 0 t.mapped
 
 let free_bytes t = List.fold_left (fun acc (_, l) -> acc + l) 0 (gaps t)
+
+(* -- dirty-page tracking (incremental checkpoints) ---------------------- *)
+
+let mark_dirty t ~addr ~len =
+  if len > 0 then begin
+    (* clamp to the tracked range; writes elsewhere (text, shared segment,
+       persistent regions) are not checkpoint state *)
+    let lo = max addr t.base and hi = min (addr + len) t.limit in
+    if lo < hi then
+      for page = lo / dirty_grain to (hi - 1) / dirty_grain do
+        Hashtbl.replace t.dirty page ()
+      done
+  end
+
+let clear_dirty t = Hashtbl.reset t.dirty
+
+let dirty_ranges t =
+  let pages = Hashtbl.fold (fun page () acc -> page :: acc) t.dirty [] in
+  let pages = List.sort_uniq compare pages in
+  (* coalesce runs of adjacent pages into (addr, len) ranges *)
+  let rec coalesce acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+      let rec run last = function
+        | q :: qs when q = last + 1 -> run q qs
+        | qs -> (last, qs)
+      in
+      let last, rest = run p rest in
+      coalesce ((p * dirty_grain, (last - p + 1) * dirty_grain) :: acc) rest
+  in
+  coalesce [] pages
+
+let dirty_bytes t = Hashtbl.length t.dirty * dirty_grain

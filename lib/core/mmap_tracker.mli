@@ -43,3 +43,26 @@ val main_stack_hi : t -> int
 val mapped_bytes : t -> int
 val free_bytes : t -> int
 (** Bytes available between the break and the lowest allocation. *)
+
+(** {2 Dirty-page tracking}
+
+    CNK has no demand paging, but the kernel still sees every store (the
+    simulator routes them through the TLB), so it can keep a cheap
+    dirty-page bitmap over the heap/stack range. The resilience layer uses
+    it for incremental checkpoints: only pages written since the previous
+    checkpoint need to be shipped. *)
+
+val mark_dirty : t -> addr:int -> len:int -> unit
+(** Record a store to [addr, addr+len). Clamped to the tracked range;
+    stores outside it (text, shared segment, persistent regions) are
+    ignored. Granularity is 4 KiB pages. *)
+
+val dirty_ranges : t -> (int * int) list
+(** Coalesced [(addr, len)] list of pages written since the last
+    {!clear_dirty}, ascending by address. Deterministic. *)
+
+val clear_dirty : t -> unit
+(** Forget all dirty state (called after a checkpoint commits). *)
+
+val dirty_bytes : t -> int
+(** Number of dirty bytes ([4 KiB] × dirty page count). *)

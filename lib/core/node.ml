@@ -224,6 +224,7 @@ let read_word t (th : thread) va =
 
 let write_word t (th : thread) va v =
   let pa = translate t th Tlb.Store va 8 in
+  Mmap_tracker.mark_dirty th.proc.tracker ~addr:va ~len:8;
   Memory.write_int64 (memory t) ~addr:pa (Int64.of_int v)
 
 (* --- DRAM refresh stretch -------------------------------------------- *)
@@ -328,11 +329,16 @@ let release_core t (th : thread) =
   | _ -> ());
   dispatch t core
 
+(* A thread can die while an event that would wake it is already in
+   flight (e.g. the control system kills a job during image load, SSV.B);
+   waking a Zombie would occupy its core forever with no continuation. *)
 let make_ready t (th : thread) =
-  let core = t.cores.(th.core_id) in
-  th.state <- Ready;
-  Queue.push th core.ready;
-  dispatch t core
+  if th.state <> Zombie then begin
+    let core = t.cores.(th.core_id) in
+    th.state <- Ready;
+    Queue.push th core.ready;
+    dispatch t core
+  end
 
 (* --- thread lifecycle ------------------------------------------------- *)
 
@@ -480,6 +486,7 @@ let rec step_thread t (th : thread) (s : Coro.step) =
         try
           let pa = translate t th Tlb.Store addr len in
           Cache.access (Chip.l2 t.chip) pa;
+          Mmap_tracker.mark_dirty th.proc.tracker ~addr ~len;
           Memory.write (memory t) ~addr:pa data;
           step_thread t th (k ())
         with Fault reason -> fault_thread t th reason))
@@ -589,6 +596,7 @@ and handle_syscall t (th : thread) (req : Sysreq.request) k =
           | Sysreq.R_bytes data -> (
             try
               let pa = translate t th Tlb.Store addr (max 1 (Bytes.length data)) in
+              Mmap_tracker.mark_dirty p.tracker ~addr ~len:(Bytes.length data);
               Memory.write (memory t) ~addr:pa data
             with Fault _ -> ())
           | _ -> ());
@@ -607,6 +615,10 @@ and handle_syscall t (th : thread) (req : Sysreq.request) k =
   | Sysreq.Query_vtop va -> (
     try ret (Sysreq.R_int (translate t th Tlb.Load va 1))
     with Fault _ -> ret (Sysreq.R_err Errno.EFAULT))
+  | Sysreq.Query_dirty { clear } ->
+    let ranges = Mmap_tracker.dirty_ranges p.tracker in
+    if clear then Mmap_tracker.clear_dirty p.tracker;
+    ret (Sysreq.R_ranges ranges)
   | Sysreq.Set_tid_address addr ->
     th.clear_child_tid <- Some addr;
     ret (Sysreq.R_int th.tid)

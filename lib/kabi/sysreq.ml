@@ -75,6 +75,7 @@ type request =
   | Shm_open of { name : string; length : int }
   | Query_map
   | Query_vtop of int
+  | Query_dirty of { clear : bool }
   | Uname
   | Get_personality
   | Gettimeofday
@@ -108,6 +109,7 @@ type reply =
   | R_map of region list
   | R_uname of uname_info
   | R_personality of personality
+  | R_ranges of (int * int) list
   | R_err of Errno.t
 
 exception Syscall_error of Errno.t
@@ -123,6 +125,7 @@ let expect_string = function R_string s -> s | r -> err r
 let expect_map = function R_map m -> m | r -> err r
 let expect_uname = function R_uname u -> u | r -> err r
 let expect_personality = function R_personality p -> p | r -> err r
+let expect_ranges = function R_ranges r -> r | r -> err r
 
 let is_file_io = function
   | Open _ | Close _ | Read _ | Write _ | Pread _ | Pwrite _ | Lseek _ | Fstat _
@@ -132,7 +135,8 @@ let is_file_io = function
   | Getpid | Gettid | Get_rank | Clone _ | Set_tid_address _ | Exit_thread _
   | Exit_group _ | Sigaction _ | Tgkill _ | Sched_yield | Futex_wait _
   | Futex_wake _ | Brk _ | Mmap _ | Munmap _ | Mprotect _ | Shm_open _
-  | Query_map | Query_vtop _ | Uname | Get_personality | Gettimeofday ->
+  | Query_map | Query_vtop _ | Query_dirty _ | Uname | Get_personality
+  | Gettimeofday ->
     false
 
 let request_name = function
@@ -155,6 +159,7 @@ let request_name = function
   | Shm_open _ -> "shm_open"
   | Query_map -> "query_map"
   | Query_vtop _ -> "query_vtop"
+  | Query_dirty _ -> "query_dirty"
   | Uname -> "uname"
   | Get_personality -> "get_personality"
   | Gettimeofday -> "gettimeofday"
@@ -222,6 +227,7 @@ let pp_request ppf r =
       (if prot.Bg_hw.Tlb.execute then "x" else "-")
   | Shm_open { name; length } -> Format.fprintf ppf "shm_open(%S, %d)" name length
   | Query_vtop a -> Format.fprintf ppf "query_vtop(0x%x)" a
+  | Query_dirty { clear } -> Format.fprintf ppf "query_dirty(clear=%b)" clear
   | Open { path; flags; mode } ->
     Format.fprintf ppf "open(%S, %a, 0o%o)" path pp_flags flags mode
   | Close fd -> Format.fprintf ppf "close(%d)" fd
@@ -271,4 +277,7 @@ let pp_reply ppf = function
   | R_personality p ->
     let x, y, z = p.p_coords in
     Format.fprintf ppf "personality{rank=%d (%d,%d,%d) pset=%d}" p.p_rank x y z p.p_pset
+  | R_ranges ranges ->
+    Format.fprintf ppf "<%d ranges, %d bytes>" (List.length ranges)
+      (List.fold_left (fun acc (_, l) -> acc + l) 0 ranges)
   | R_err e -> Format.fprintf ppf "-%s" (Errno.to_string e)

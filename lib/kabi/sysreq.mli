@@ -101,6 +101,10 @@ type request =
       (** CNK persistent/shared named memory (paper §IV.D) *)
   | Query_map
   | Query_vtop of int  (** user-space virtual-to-physical (paper §V.C) *)
+  | Query_dirty of { clear : bool }
+      (** pages of the heap/stack range written since the last clearing
+          query — the incremental-checkpoint primitive. Handled locally by
+          the kernel, never function-shipped. *)
   (* info *)
   | Uname
   | Get_personality
@@ -136,6 +140,7 @@ type reply =
   | R_map of region list
   | R_uname of uname_info
   | R_personality of personality
+  | R_ranges of (int * int) list  (** [(addr, len)] ranges, ascending *)
   | R_err of Errno.t
 
 exception Syscall_error of Errno.t
@@ -150,6 +155,7 @@ val expect_string : reply -> string
 val expect_map : reply -> region list
 val expect_uname : reply -> uname_info
 val expect_personality : reply -> personality
+val expect_ranges : reply -> (int * int) list
 
 val is_file_io : request -> bool
 (** True for the requests CNK function-ships to the I/O node. *)

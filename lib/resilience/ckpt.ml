@@ -1,0 +1,263 @@
+open Bg_engine
+module Obs = Bg_obs.Obs
+module Libc = Bg_rt.Libc
+
+type strategy = Parity_inplace | Rollback
+
+type spec = {
+  name : string;
+  steps : int;
+  step_cycles : int;
+  state_bytes : int;
+  ckpt_every : int;
+  full_every : int;
+  strategy : strategy;
+}
+
+type outcome = {
+  rank_index : int;
+  machine_rank : int;
+  final_step : int;
+  state_digest : Fnv.t;
+  parity_redos : int;
+  restored_step : int;
+}
+
+let sigbus = 7
+let chunk = 16 * 1024
+
+(* State layout: [0..8) the last completed step, slots of 64 bytes from
+   offset 64 on; step k rewrites slot (k-1) mod slots with a pattern that
+   is a pure function of (logical rank, k) — so the host can mirror the
+   final state byte for byte and recovery bugs show up as digest splits. *)
+let slot_bytes = 64
+let data_off = 64
+let slots spec = (spec.state_bytes - data_off) / slot_bytes
+let slot_of spec step = (step - 1) mod slots spec
+
+let fill_slot ~rank_index ~step b off =
+  for j = 0 to slot_bytes - 1 do
+    Bytes.set b (off + j) (Char.chr (((rank_index * 31) + (step * 7) + j) land 0xff))
+  done
+
+let expected_digest spec ~rank_index =
+  let b = Bytes.make spec.state_bytes '\000' in
+  Bytes.set_int64_le b 0 (Int64.of_int spec.steps);
+  for step = 1 to spec.steps do
+    fill_slot ~rank_index ~step b (data_off + (slot_of spec step * slot_bytes))
+  done;
+  Fnv.add_bytes Fnv.empty b
+
+(* -- checkpoint files --------------------------------------------------
+
+   Keyed by logical rank so a restart finds its state on any partition.
+   Full images go through Apps.Checkpoint (self-describing region list);
+   deltas use a tiny [count][addr len]...[data] format of their own.
+   A version exists once `<name>.c<v>` does — written by logical rank 0
+   only after a barrier confirmed every rank's file is durable. *)
+
+let full_name spec idx v = Printf.sprintf "%s.r%d.f%d" spec.name idx v
+let delta_path spec idx v = Printf.sprintf "/ckpt/%s.r%d.d%d" spec.name idx v
+let commit_prefix spec = spec.name ^ ".c"
+let is_full spec v = spec.full_every <= 1 || v mod spec.full_every = 1
+let rw_create = { Sysreq.o_rdwr with Sysreq.creat = true; trunc = true }
+
+let newest_committed spec =
+  match Libc.readdir "/ckpt" with
+  | exception Sysreq.Syscall_error _ -> 0
+  | names ->
+    let p = commit_prefix spec in
+    let pl = String.length p in
+    List.fold_left
+      (fun acc n ->
+        if String.length n > pl && String.sub n 0 pl = p then
+          match int_of_string_opt (String.sub n pl (String.length n - pl)) with
+          | Some v when acc < v -> v
+          | _ -> acc
+        else acc)
+      0 names
+
+let write_commit spec ~v ~step =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  Bytes.set_int64_le b 8 (Int64.of_int step);
+  let fd = Libc.openf ~flags:rw_create ("/ckpt/" ^ commit_prefix spec ^ string_of_int v) in
+  ignore (Libc.write fd b);
+  Libc.close fd
+
+let write_delta spec ~idx ~v ~base =
+  let lo = base and hi = base + spec.state_bytes in
+  let ranges =
+    Libc.query_dirty ~clear:true
+    |> List.filter_map (fun (a, l) ->
+           let a' = max a lo and e = min (a + l) hi in
+           if a' < e then Some (a', e - a') else None)
+  in
+  let count = List.length ranges in
+  let head = Bytes.create (8 * (1 + (2 * count))) in
+  Bytes.set_int64_le head 0 (Int64.of_int count);
+  List.iteri
+    (fun i (a, l) ->
+      Bytes.set_int64_le head (8 * (1 + (2 * i))) (Int64.of_int a);
+      Bytes.set_int64_le head (8 * (2 + (2 * i))) (Int64.of_int l))
+    ranges;
+  let fd = Libc.openf ~flags:rw_create (delta_path spec idx v) in
+  let total = ref (Libc.write fd head) in
+  List.iter
+    (fun (a, l) ->
+      let off = ref 0 in
+      while !off < l do
+        let n = min chunk (l - !off) in
+        total := !total + Libc.write fd (Coro.load ~addr:(a + !off) ~len:n);
+        off := !off + n
+      done)
+    ranges;
+  Libc.close fd;
+  !total
+
+let apply_delta spec ~idx ~v =
+  match Libc.openf ~flags:Sysreq.o_rdonly (delta_path spec idx v) with
+  | exception Sysreq.Syscall_error _ -> ()
+  | fd ->
+    let size = (Libc.fstat fd).Sysreq.st_size in
+    let data = Libc.read fd ~len:size in
+    Libc.close fd;
+    if Bytes.length data >= 8 then begin
+      let word i = Int64.to_int (Bytes.get_int64_le data (8 * i)) in
+      let count = word 0 in
+      let doff = ref (8 * (1 + (2 * count))) in
+      for i = 0 to count - 1 do
+        let a = word (1 + (2 * i)) and l = word (2 + (2 * i)) in
+        let off = ref 0 in
+        while !off < l do
+          let n = min chunk (l - !off) in
+          Coro.store ~addr:(a + !off) (Bytes.sub data (!doff + !off) n);
+          off := !off + n
+        done;
+        doff := !doff + l
+      done
+    end
+
+(* Restore the newest committed version: full base image, then every delta
+   up to it. Returns (version, step) — (0, 0) means start fresh. *)
+let try_restore spec ~idx ~base =
+  match newest_committed spec with
+  | 0 -> (0, 0)
+  | v -> (
+    let vf = if spec.full_every <= 1 then v else v - ((v - 1) mod spec.full_every) in
+    match
+      Bg_apps.Checkpoint.restore ~name:(full_name spec idx vf)
+        ~regions:[ (base, spec.state_bytes) ]
+    with
+    | Ok () ->
+      for w = vf + 1 to v do
+        apply_delta spec ~idx ~v:w
+      done;
+      (v, Libc.peek base)
+    | Error _ -> (0, 0))
+
+let job_factory ~fabric spec =
+  if spec.state_bytes < 128 then invalid_arg "Ckpt.job_factory: state_bytes < 128";
+  if spec.steps < 1 || spec.step_cycles < 1 then invalid_arg "Ckpt.job_factory";
+  let machine = Bg_msg.Dcmf.machine fabric in
+  let obs = machine.Machine.obs in
+  let outcomes = ref [] in
+  let factory ~ranks =
+    let n = List.length ranks in
+    (* fresh collective state per incarnation: a killed incarnation's
+       half-finished barrier must not leak arrivals into the next one *)
+    let coll = Bg_msg.Mpi.Coll.create fabric ~participants:n in
+    let entry () =
+      let me = Libc.rank () in
+      let idx =
+        let rec find i = function
+          | [] -> invalid_arg "Ckpt: rank not in partition"
+          | r :: _ when r = me -> i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 ranks
+      in
+      let mpi = Bg_msg.Mpi.create (Bg_msg.Dcmf.attach fabric ~rank:me) in
+      let barrier () = ignore (Bg_msg.Mpi.Coll.allreduce_sum coll mpi 1.) in
+      let base = Libc.sbrk spec.state_bytes in
+      let regions = [ (base, spec.state_bytes) ] in
+      let version, start_step = try_restore spec ~idx ~base in
+      (* restoring dirtied the whole image; deltas restart from here *)
+      ignore (Libc.query_dirty ~clear:true);
+      if start_step > 0 then Obs.incr obs ~subsystem:"resilience" ~name:"restores" ();
+      let hit = ref false and redos = ref 0 in
+      (match spec.strategy with
+      | Parity_inplace ->
+        (* CNK §V.B: the parity SIGBUS is survivable — note it and redo *)
+        Libc.sigaction ~signo:sigbus (Some (fun _ -> hit := true))
+      | Rollback ->
+        (* FWK stand-in: no in-place story; the fault kills the job and
+           recovery must roll back to the last checkpoint *)
+        ());
+      let v = ref version in
+      for step = start_step + 1 to spec.steps do
+        let rec attempt () =
+          hit := false;
+          Coro.consume spec.step_cycles;
+          if !hit then begin
+            incr redos;
+            Obs.incr obs ~subsystem:"resilience" ~name:"parity_redos" ();
+            attempt ()
+          end
+        in
+        attempt ();
+        let b = Bytes.create slot_bytes in
+        fill_slot ~rank_index:idx ~step b 0;
+        Coro.store ~addr:(base + data_off + (slot_of spec step * slot_bytes)) b;
+        Libc.poke base step;
+        Obs.incr obs ~subsystem:"resilience" ~name:"steps_executed" ();
+        if spec.ckpt_every > 0 && step mod spec.ckpt_every = 0 && step < spec.steps
+        then begin
+          barrier () (* quiesce: every rank at the same step *);
+          let t0 = Coro.rdtsc () in
+          incr v;
+          let bytes =
+            if is_full spec !v then begin
+              let b =
+                Bg_apps.Checkpoint.save ~name:(full_name spec idx !v) ~regions
+              in
+              ignore (Libc.query_dirty ~clear:true);
+              Obs.incr obs ~subsystem:"resilience" ~name:"ckpt_full" ();
+              b
+            end
+            else begin
+              Obs.incr obs ~subsystem:"resilience" ~name:"ckpt_delta" ();
+              write_delta spec ~idx ~v:!v ~base
+            end
+          in
+          Obs.incr obs ~subsystem:"resilience" ~name:"ckpt_bytes" ~by:bytes ();
+          barrier () (* everyone durable before the version commits *);
+          if idx = 0 then write_commit spec ~v:!v ~step;
+          Obs.observe_cycles obs ~subsystem:"resilience" ~name:"ckpt_cycles"
+            (Coro.rdtsc () - t0)
+        end
+      done;
+      let digest = ref Fnv.empty in
+      let off = ref 0 in
+      while !off < spec.state_bytes do
+        let nb = min chunk (spec.state_bytes - !off) in
+        digest := Fnv.add_bytes !digest (Coro.load ~addr:(base + !off) ~len:nb);
+        off := !off + nb
+      done;
+      outcomes :=
+        {
+          rank_index = idx;
+          machine_rank = me;
+          final_step = Libc.peek base;
+          state_digest = !digest;
+          parity_redos = !redos;
+          restored_step = start_step;
+        }
+        :: !outcomes
+    in
+    Job.create ~name:spec.name (Image.executable ~name:spec.name entry)
+  in
+  let collect () =
+    List.sort (fun a b -> compare a.rank_index b.rank_index) !outcomes
+  in
+  (factory, collect)

@@ -1,0 +1,62 @@
+(** Coordinated checkpoint/restart service (paper §V.B).
+
+    Wraps a synthetic iterative application — [steps] compute steps of
+    [step_cycles] each over [state_bytes] of heap — in the full recovery
+    protocol:
+
+    - every [ckpt_every] steps the job quiesces at a collective-network
+      barrier (a tree allreduce over exactly the partition's ranks), then
+      each rank writes its checkpoint through function-shipped I/O: a
+      {!Bg_apps.Checkpoint} full image every [full_every]-th version, a
+      dirty-page delta (via the kernel's [Query_dirty] syscall) otherwise;
+    - a second barrier confirms every rank's write is durable before
+      logical rank 0 writes the commit marker — a half-written version is
+      never eligible for restore;
+    - on (re)launch each rank restores the newest {e committed} version
+      and resumes from the step it recorded.
+
+    Checkpoint files are keyed by {e logical} rank (position in the
+    partition's rank list), so a restart on a different partition — after
+    the scheduler excluded a dead node — finds its state regardless of
+    which physical nodes it lands on.
+
+    The two recovery strategies reproduce the paper's cost asymmetry:
+    [Parity_inplace] (CNK) installs a SIGBUS handler and simply redoes the
+    interrupted step when an L1 parity error fires; [Rollback] (the
+    full-weight-kernel stand-in) has no handler, so the same fault kills
+    the job and costs a full restart + recompute from the last
+    checkpoint. *)
+
+type strategy = Parity_inplace | Rollback
+
+type spec = {
+  name : string;       (** job name; also keys the checkpoint files *)
+  steps : int;
+  step_cycles : int;
+  state_bytes : int;   (** per-rank state; at least 128 *)
+  ckpt_every : int;    (** steps between checkpoints; 0 = never checkpoint *)
+  full_every : int;    (** every Nth version is full, the rest are deltas;
+                           <= 1 = always full *)
+  strategy : strategy;
+}
+
+type outcome = {
+  rank_index : int;       (** logical rank (position in the partition) *)
+  machine_rank : int;     (** physical rank of the final incarnation *)
+  final_step : int;
+  state_digest : Bg_engine.Fnv.t;
+  parity_redos : int;     (** steps redone in place (CNK path) *)
+  restored_step : int;    (** step recovered at launch; 0 = started fresh *)
+}
+
+val job_factory :
+  fabric:Bg_msg.Dcmf.fabric ->
+  spec ->
+  (ranks:int list -> Job.t) * (unit -> outcome list)
+(** A factory for {!Bg_control.Scheduler.submit_factory} plus a collector
+    for the outcomes of ranks that ran to completion (sorted by logical
+    rank; complete once the job's final incarnation finishes). *)
+
+val expected_digest : spec -> rank_index:int -> Bg_engine.Fnv.t
+(** Host-side mirror of the state a completed rank must end with —
+    recovery is only correct if the digests match. *)

@@ -1,0 +1,39 @@
+type t =
+  | L1_parity of { rank : int; core : int }
+  | Node_death of { rank : int }
+  | Link_failure of { rank : int; dir : int }
+  | Link_repair of { rank : int; dir : int }
+
+let rank = function
+  | L1_parity { rank; _ } | Node_death { rank } | Link_failure { rank; _ }
+  | Link_repair { rank; _ } ->
+    rank
+
+let severity = function
+  | L1_parity _ -> Machine.Ras_warn
+  | Node_death _ -> Machine.Ras_error
+  | Link_failure _ -> Machine.Ras_error
+  | Link_repair _ -> Machine.Ras_info
+
+let to_message = function
+  | L1_parity { rank; core } -> Printf.sprintf "FAULT parity rank=%d core=%d" rank core
+  | Node_death { rank } -> Printf.sprintf "FAULT node_death rank=%d" rank
+  | Link_failure { rank; dir } -> Printf.sprintf "FAULT link rank=%d dir=%d" rank dir
+  | Link_repair { rank; dir } -> Printf.sprintf "FAULT link_up rank=%d dir=%d" rank dir
+
+let of_message msg =
+  let scan fmt k = try Some (Scanf.sscanf msg fmt k) with _ -> None in
+  if String.length msg < 6 || String.sub msg 0 6 <> "FAULT " then None
+  else
+    match scan "FAULT parity rank=%d core=%d" (fun rank core -> L1_parity { rank; core }) with
+    | Some _ as e -> e
+    | None -> (
+      match scan "FAULT node_death rank=%d" (fun rank -> Node_death { rank }) with
+      | Some _ as e -> e
+      | None -> (
+        match scan "FAULT link rank=%d dir=%d" (fun rank dir -> Link_failure { rank; dir }) with
+        | Some _ as e -> e
+        | None ->
+          scan "FAULT link_up rank=%d dir=%d" (fun rank dir -> Link_repair { rank; dir })))
+
+let pp ppf e = Format.pp_print_string ppf (to_message e)

@@ -1,0 +1,22 @@
+(** Typed fault events riding the RAS channel.
+
+    RAS messages are strings (paper §VI: the control system's event
+    database); the resilience layer needs structure. Injector and kernel
+    publish events through {!to_message}; consumers recover them with
+    {!of_message}. Any RAS message that does not parse is simply not a
+    fault event — the channel stays shared with free-form kernel logs. *)
+
+type t =
+  | L1_parity of { rank : int; core : int }
+      (** transient L1 data-cache parity error — CNK recovers in place *)
+  | Node_death of { rank : int }  (** the node is gone for good *)
+  | Link_failure of { rank : int; dir : int }  (** torus link [dir] (0-5) *)
+  | Link_repair of { rank : int; dir : int }
+
+val rank : t -> int
+val severity : t -> Machine.ras_severity
+val to_message : t -> string
+val of_message : string -> t option
+(** Inverse of {!to_message}; [None] for anything else. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,141 @@
+open Bg_engine
+module Obs = Bg_obs.Obs
+
+type config = {
+  parity_mean : float;
+  death_mean : float;
+  link_mean : float;
+  link_repair_after : int;
+  horizon : int;
+}
+
+let default =
+  {
+    parity_mean = 0.;
+    death_mean = 0.;
+    link_mean = 0.;
+    link_repair_after = 200_000;
+    horizon = max_int;
+  }
+
+type t = {
+  cluster : Cnk.Cluster.t;
+  config : config;
+  mutable log : (Cycles.t * Fault_event.t) list;  (* newest first *)
+  mutable dead : int list;
+  mutable parity : int;
+  mutable deaths : int;
+  mutable links : int;
+}
+
+let machine t = Cnk.Cluster.machine t.cluster
+let sim t = Cnk.Cluster.sim t.cluster
+let obs t = (machine t).Machine.obs
+
+let alive t =
+  List.filter
+    (fun r -> not (List.mem r t.dead))
+    (List.init (Machine.nodes (machine t)) Fun.id)
+
+let publish t ev =
+  t.log <- (Sim.now (sim t), ev) :: t.log;
+  Machine.ras_emit (machine t) ~rank:(Fault_event.rank ev)
+    ~severity:(Fault_event.severity ev)
+    ~message:(Fault_event.to_message ev);
+  let total = t.parity + t.deaths + t.links in
+  if total > 0 then
+    Obs.set_gauge (obs t) ~subsystem:"resilience" ~name:"mtbf_cycles"
+      (Sim.now (sim t) / total)
+
+let rec apply t ev =
+  match ev with
+  | Fault_event.L1_parity { rank; core } ->
+    t.parity <- t.parity + 1;
+    Obs.incr (obs t) ~subsystem:"resilience" ~name:"parity_injected" ();
+    publish t ev;
+    (* the error only bites a core that is actually running user code *)
+    if Cnk.Node.inject_l1_parity_error (Cnk.Cluster.node t.cluster rank) ~core then
+      Obs.incr (obs t) ~subsystem:"resilience" ~name:"parity_delivered" ()
+  | Fault_event.Node_death { rank } ->
+    if not (List.mem rank t.dead) then begin
+      t.deaths <- t.deaths + 1;
+      t.dead <- rank :: t.dead;
+      Obs.incr (obs t) ~subsystem:"resilience" ~name:"deaths_injected" ();
+      (* publish first: an attached Recovery kills the spanning job on every
+         member node inside this very cycle, so survivors never spin on a
+         dead peer *)
+      publish t ev;
+      let node = Cnk.Cluster.node t.cluster rank in
+      if Cnk.Node.job_active node then Cnk.Node.kill_job node
+    end
+  | Fault_event.Link_failure { rank; dir } ->
+    let torus = (machine t).Machine.torus in
+    if not (Bg_hw.Torus.link_broken torus ~rank ~dir) then begin
+      t.links <- t.links + 1;
+      Obs.incr (obs t) ~subsystem:"resilience" ~name:"links_broken" ();
+      publish t ev;
+      Bg_hw.Torus.set_link_broken torus ~rank ~dir true;
+      if t.config.link_repair_after > 0 then
+        ignore
+          (Sim.schedule_in (sim t) t.config.link_repair_after (fun () ->
+               apply t (Fault_event.Link_repair { rank; dir })))
+    end
+  | Fault_event.Link_repair { rank; dir } ->
+    let torus = (machine t).Machine.torus in
+    if Bg_hw.Torus.link_broken torus ~rank ~dir then begin
+      Bg_hw.Torus.set_link_broken torus ~rank ~dir false;
+      publish t ev
+    end
+
+let inject_now = apply
+
+(* One self-rescheduling Poisson stream per fault class, each on its own
+   named RNG stream so enabling one class never perturbs another. *)
+let stream t name mean pick =
+  if mean > 0. then begin
+    let sim = sim t in
+    let rng = Sim.rng sim ("resilience." ^ name) in
+    let rec next () =
+      let dt = max 1 (int_of_float (Rng.exponential rng ~mean)) in
+      let at = Sim.now sim + dt in
+      if at <= t.config.horizon then
+        ignore
+          (Sim.schedule_at sim at (fun () ->
+               (match pick rng with Some ev -> apply t ev | None -> ());
+               next ()))
+    in
+    next ()
+  end
+
+let choose rng = function
+  | [] -> None
+  | ranks -> Some (List.nth ranks (Rng.int rng (List.length ranks)))
+
+let attach ?(config = default) cluster =
+  let t =
+    { cluster; config; log = []; dead = []; parity = 0; deaths = 0; links = 0 }
+  in
+  let cores = (machine t).Machine.params.Bg_hw.Params.cores_per_node in
+  let n = Machine.nodes (machine t) in
+  stream t "parity" config.parity_mean (fun rng ->
+      match choose rng (alive t) with
+      | None -> None
+      | Some rank -> Some (Fault_event.L1_parity { rank; core = Rng.int rng cores }));
+  stream t "death" config.death_mean (fun rng ->
+      (* never kill the last node: a machine with zero survivors has
+         nothing left to reallocate onto *)
+      match alive t with
+      | [] | [ _ ] -> None
+      | ranks -> (
+        match choose rng ranks with
+        | None -> None
+        | Some rank -> Some (Fault_event.Node_death { rank })));
+  stream t "link" config.link_mean (fun rng ->
+      Some (Fault_event.Link_failure { rank = Rng.int rng n; dir = Rng.int rng 6 }));
+  t
+
+let injected t = List.rev t.log
+let dead_ranks t = List.sort compare t.dead
+let parity_count t = t.parity
+let death_count t = t.deaths
+let link_count t = t.links

@@ -1,0 +1,42 @@
+module Obs = Bg_obs.Obs
+
+type t = {
+  scheduler : Bg_control.Scheduler.t;
+  mutable deaths : int;
+  mutable parity : int;
+  mutable links : int;
+}
+
+let attach scheduler =
+  let t = { scheduler; deaths = 0; parity = 0; links = 0 } in
+  let machine = Cnk.Cluster.machine (Bg_control.Scheduler.cluster scheduler) in
+  let obs = machine.Machine.obs in
+  let is_crash message =
+    (* the kernel's own RAS wording for a dying thread — gang-kill the job
+       so no surviving rank blocks on a dead peer *)
+    let has sub =
+      let n = String.length sub and m = String.length message in
+      let rec at i = i + n <= m && (String.sub message i n = sub || at (i + 1)) in
+      at 0
+    in
+    has "killed by unhandled signal" || has "crashed:"
+  in
+  Machine.on_ras machine (fun ~rank ~severity:_ ~message ->
+      match Fault_event.of_message message with
+      | None -> if is_crash message then Bg_control.Scheduler.job_crashed t.scheduler ~rank
+      | Some (Fault_event.Node_death { rank }) ->
+        t.deaths <- t.deaths + 1;
+        Obs.incr obs ~subsystem:"resilience" ~name:"deaths_handled" ();
+        Bg_control.Scheduler.node_failed t.scheduler ~rank
+      | Some (Fault_event.L1_parity _) ->
+        (* CNK's in-place recovery: nothing for the control system to do *)
+        t.parity <- t.parity + 1
+      | Some (Fault_event.Link_failure _) | Some (Fault_event.Link_repair _) ->
+        (* the torus reroutes; note it and move on *)
+        t.links <- t.links + 1);
+  t
+
+let deaths_handled t = t.deaths
+let parity_seen t = t.parity
+let link_events_seen t = t.links
+let events_seen t = t.deaths + t.parity + t.links

@@ -1,0 +1,24 @@
+(** RAS-driven failure detection and recovery.
+
+    Subscribes to the machine's RAS stream, decodes {!Fault_event}s, and
+    drives the control system: a node death marks the node down in the
+    scheduler's allocator and kills the spanning job — synchronously, in
+    the same cycle the event is published, so no survivor ever blocks on a
+    dead peer. A job submitted with a restart budget is then reallocated
+    (excluding down nodes) and relaunched; checkpointed applications
+    resume from their last committed state.
+
+    L1 parity and link events are counted but need no control-system
+    action: CNK recovers parity in place (§V.B) and the torus reroutes
+    around a broken link on its own. *)
+
+type t
+
+val attach : Bg_control.Scheduler.t -> t
+(** Start consuming RAS events for this scheduler's cluster. *)
+
+val deaths_handled : t -> int
+val parity_seen : t -> int
+val link_events_seen : t -> int
+val events_seen : t -> int
+(** Typed fault events decoded so far (all classes). *)

@@ -32,6 +32,10 @@ let shm_open_persistent ~name ~length =
 
 let query_map () = Sysreq.expect_map (sc Sysreq.Query_map)
 let virtual_to_physical va = Sysreq.expect_int (sc (Sysreq.Query_vtop va))
+let query_dirty ~clear = Sysreq.expect_ranges (sc (Sysreq.Query_dirty { clear }))
+
+let sigaction ~signo handler =
+  Sysreq.expect_unit (sc (Sysreq.Sigaction { signo; handler }))
 
 let openf ?(flags = Sysreq.o_rdwr) ?(mode = 0o644) path =
   Sysreq.expect_int (sc (Sysreq.Open { path; flags; mode }))

@@ -33,6 +33,15 @@ val shm_open_persistent : name:string -> length:int -> int
 val query_map : unit -> Sysreq.region list
 val virtual_to_physical : int -> int
 
+val query_dirty : clear:bool -> (int * int) list
+(** Pages of the heap/stack range written since the last clearing query,
+    as coalesced [(addr, len)] ranges (CNK only; ENOSYS on the FWK). The
+    incremental-checkpoint primitive. *)
+
+val sigaction : signo:int -> (int -> unit) option -> unit
+(** Install ([Some h]) or reset ([None]) a signal handler. Handlers run
+    kernel-side and must not perform coroutine effects. *)
+
 (* --- file I/O (function-shipped on CNK) --- *)
 
 val openf : ?flags:Sysreq.open_flags -> ?mode:int -> string -> int

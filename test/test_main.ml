@@ -15,4 +15,5 @@ let () =
       ("properties", Test_properties.suite);
       ("control", Test_control.suite);
       ("obs", Test_obs.suite);
+      ("resilience", Test_resilience.suite);
     ]
