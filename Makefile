@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples docs csv trace-smoke resilience-smoke clean
+.PHONY: all build test bench examples docs csv trace-smoke resilience-smoke attribute-smoke clean
 
 all: build
 
@@ -42,6 +42,20 @@ resilience-smoke:
 	  | grep digest > /tmp/resilience_smoke_b.txt
 	@cmp /tmp/resilience_smoke_a.txt /tmp/resilience_smoke_b.txt
 	@echo "resilience-smoke OK"
+
+# Noise-attribution run, twice: the tool asserts FWK's tick+daemon share
+# beats CNK's and that every ledger conserves cycles; the two runs must
+# print bit-identical acct/UPC digest lines.
+attribute-smoke:
+	dune exec bin/noise_tool.exe -- attribute --samples 500 \
+	  --folded-prefix /tmp/attr_smoke \
+	  | grep digest > /tmp/attribute_smoke_a.txt
+	dune exec bin/noise_tool.exe -- attribute --samples 500 \
+	  --folded-prefix /tmp/attr_smoke \
+	  | grep digest > /tmp/attribute_smoke_b.txt
+	@cmp /tmp/attribute_smoke_a.txt /tmp/attribute_smoke_b.txt
+	@test -s /tmp/attr_smoke_cnk.folded && test -s /tmp/attr_smoke_fwk.folded
+	@echo "attribute-smoke OK"
 
 clean:
 	dune clean

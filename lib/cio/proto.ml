@@ -253,7 +253,8 @@ let encode_reply hdr reply =
   | Sysreq.R_err e ->
     put_u8 b 7;
     put_int b (Errno.code e)
-  | Sysreq.R_map _ | Sysreq.R_uname _ | Sysreq.R_personality _ | Sysreq.R_ranges _ ->
+  | Sysreq.R_map _ | Sysreq.R_uname _ | Sysreq.R_personality _ | Sysreq.R_ranges _
+  | Sysreq.R_perf _ ->
     invalid_arg "Proto.encode_reply: reply kind never crosses the wire");
   Buffer.to_bytes b
 

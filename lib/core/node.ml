@@ -1,6 +1,7 @@
 open Bg_engine
 open Bg_hw
 module Obs = Bg_obs.Obs
+module Accounting = Bg_obs.Accounting
 
 (* --- tunable kernel constants (cycles) ------------------------------ *)
 
@@ -48,7 +49,8 @@ type core_state = {
   id : int;
   mutable current : thread option;
   ready : thread Queue.t;
-  mutable pending_penalty : int;  (* cycles of interference (IPIs) to charge *)
+  mutable pending_penalty : int;  (* injected interference (daemon noise) *)
+  mutable pending_ipi : int;  (* IPI handler cycles to charge *)
   mutable next_dac_slot : int;
   (* SSVIII extended thread affinity: the single process whose pthreads may
      also run on this core, and whose map the core must swap to *)
@@ -107,6 +109,10 @@ let emit t label value =
   Sim.emit (sim t) ~label ~value:(Int64.of_int ((t.rank * 1_000_000) + value))
 
 let obs t = t.machine.Machine.obs
+let acct t = t.machine.Machine.acct
+
+let acct_switch t ~core state =
+  Accounting.switch (acct t) ~rank:t.rank ~core ~now:(Sim.now t.machine.Machine.sim) state
 
 let ras t severity message =
   Machine.ras_emit t.machine ~rank:t.rank ~severity ~message
@@ -138,6 +144,7 @@ let create ?mapping_config machine ~rank ~ciod () =
               current = None;
               ready = Queue.create ();
               pending_penalty = 0;
+              pending_ipi = 0;
               next_dac_slot = 0;
               remote_pid = None;
               mapped_pid = None;
@@ -313,21 +320,31 @@ let rec dispatch t core =
       else begin
         core.current <- Some th;
         th.state <- Running;
+        (* context switch + any map swap is kernel overhead; the thread's
+           own cycles start when the resume fires *)
+        acct_switch t ~core:core.id Accounting.Kernel;
         let swap = remap_core_for t core th.proc in
         let resume = th.resume in
         th.resume <- None;
         ignore
           (Sim.schedule_in (sim t) (ctx_switch_cycles + swap) (fun () ->
-               if th.state = Running then
-                 match resume with Some k -> k () | None -> ()))
+               if th.state = Running then begin
+                 acct_switch t ~core:core.id Accounting.App;
+                 match resume with Some k -> k () | None -> ()
+               end))
       end)
+
+let core_idle t (core : core_state) =
+  if core.current = None && Queue.is_empty core.ready then
+    acct_switch t ~core:core.id Accounting.Idle
 
 let release_core t (th : thread) =
   let core = t.cores.(th.core_id) in
   (match core.current with
   | Some cur when cur.tid = th.tid -> core.current <- None
   | _ -> ());
-  dispatch t core
+  dispatch t core;
+  core_idle t core
 
 (* A thread can die while an event that would wake it is already in
    flight (e.g. the control system kills a job during image load, SSV.B);
@@ -354,7 +371,13 @@ let publish_hw_gauges t =
           (Tlb.misses hw.Chip.tlb);
         Obs.set_gauge o ~rank:t.rank ~core:core.id ~subsystem:"dac" ~name:"hw_violations"
           (Dac.violations hw.Chip.dac))
-      t.cores
+      t.cores;
+  if Obs.enabled o then
+    List.iter
+      (fun (r : Upc.reading) ->
+        Obs.set_gauge o ~rank:t.rank ~core:r.Upc.core ~subsystem:"upc"
+          ~name:(Upc.event_name r.Upc.event) r.Upc.count)
+      (Upc.snapshot (Chip.upc t.chip))
 
 let check_job_done t =
   if t.job_active then begin
@@ -460,10 +483,20 @@ let rec step_thread t (th : thread) (s : Coro.step) =
       let core = t.cores.(th.core_id) in
       let penalty = core.pending_penalty in
       core.pending_penalty <- 0;
-      let actual = refresh_stretch t (Sim.now (sim t)) n + penalty in
+      let ipi = core.pending_ipi in
+      core.pending_ipi <- 0;
+      let actual = refresh_stretch t (Sim.now (sim t)) n + penalty + ipi in
       ignore
         (Sim.schedule_in (sim t) actual (fun () ->
-             if th.state <> Zombie && deliver_signals t th then step_thread t th (k ())))
+             if th.state <> Zombie then begin
+               (* the stretched block has known sub-causes: injected daemon
+                  noise and IPI handler time; the rest was the app *)
+               if penalty > 0 || ipi > 0 then
+                 Accounting.attribute (acct t) ~rank:t.rank ~core:th.core_id
+                   ~now:(Sim.now (sim t))
+                   [ (Accounting.Daemon, penalty); (Accounting.Interrupt, ipi) ];
+               if deliver_signals t th then step_thread t th (k ())
+             end))
     | Coro.Load (addr, len, k) -> (
       try
         let pa = translate t th Tlb.Load addr len in
@@ -511,6 +544,7 @@ let rec step_thread t (th : thread) (s : Coro.step) =
       | None -> ());
       emit t "cnk.syscall" ((th.tid * 1000) + (Hashtbl.hash (Sysreq.request_name req) mod 1000));
       let k = instrument_syscall t th req k in
+      let k = account_syscall t th req k in
       ignore
         (Sim.schedule_in (sim t) syscall_overhead (fun () ->
              if th.state <> Zombie then handle_syscall t th req k))
@@ -536,6 +570,17 @@ and instrument_syscall t (th : thread) req k =
         Obs.observe_cycles o ~rank:t.rank ~subsystem:"syscall" ~name (now - start);
         Obs.incr o ~rank:t.rank ~core:th.core_id ~subsystem:"syscall" ~name ();
         k reply
+
+(* Charge trap-to-reply to [Syscall] in the cycle ledger. Exit syscalls
+   never reply; their cycles end with the thread. *)
+and account_syscall t (th : thread) req k =
+  match req with
+  | Sysreq.Exit_thread _ | Sysreq.Exit_group _ -> k
+  | _ ->
+    acct_switch t ~core:th.core_id Accounting.Syscall;
+    fun reply ->
+      acct_switch t ~core:th.core_id Accounting.App;
+      k reply
 
 and fault_thread t (th : thread) reason =
   t.faults <- (th.tid, reason) :: t.faults;
@@ -664,6 +709,30 @@ and handle_syscall t (th : thread) (req : Sysreq.request) k =
         release_core t th
       end)
   | Sysreq.Futex_wake { addr; count } -> ret (Sysreq.R_int (wake_futex t p addr count))
+  | Sysreq.Query_perf op ->
+    let upc = Chip.upc t.chip in
+    (match op with
+    | Sysreq.Perf_start ->
+      Upc.start upc;
+      ret Sysreq.R_unit
+    | Sysreq.Perf_stop ->
+      Upc.stop upc;
+      ret Sysreq.R_unit
+    | Sysreq.Perf_freeze ->
+      Upc.freeze upc;
+      ret Sysreq.R_unit
+    | Sysreq.Perf_read ->
+      let readings =
+        match Upc.frozen_snapshot upc with
+        | Some rs -> rs
+        | None -> Upc.snapshot upc
+      in
+      ret
+        (Sysreq.R_perf
+           (List.map
+              (fun (r : Upc.reading) ->
+                { Sysreq.pr_event = r.Upc.event; pr_core = r.Upc.core; pr_count = r.Upc.count })
+              readings)))
   | _ when Sysreq.is_file_io req ->
     if not t.io_enabled then ret (Sysreq.R_err Errno.ENOSYS)
     else function_ship t th req ret
@@ -693,7 +762,7 @@ and reposition_main_guard t (th : thread) =
       let core = t.cores.(main.core_id) in
       ignore
         (Sim.schedule_in (sim t) ipi_latency (fun () ->
-             core.pending_penalty <- core.pending_penalty + ipi_handler_cycles;
+             core.pending_ipi <- core.pending_ipi + ipi_handler_cycles;
              if main.state <> Zombie then program_guard t main lo hi))
     end
 
@@ -835,6 +904,7 @@ let destroy_job t =
       c.current <- None;
       Queue.clear c.ready;
       c.pending_penalty <- 0;
+      c.pending_ipi <- 0;
       c.next_dac_slot <- 0;
       c.remote_pid <- None;
       c.mapped_pid <- None)

@@ -87,11 +87,17 @@ module Online = struct
 end
 
 module Histogram = struct
-  type t = { lo : float; hi : float; counts : int array; mutable total : int }
+  type t = {
+    lo : float;
+    hi : float;
+    counts : int array;
+    mutable total : int;
+    mutable sum : float;
+  }
 
   let create ~lo ~hi ~bins =
     if bins <= 0 || hi <= lo then invalid_arg "Stats.Histogram.create";
-    { lo; hi; counts = Array.make bins 0; total = 0 }
+    { lo; hi; counts = Array.make bins 0; total = 0; sum = 0.0 }
 
   let add t x =
     let bins = Array.length t.counts in
@@ -99,7 +105,8 @@ module Histogram = struct
     let i = int_of_float (Float.floor ((x -. t.lo) /. width)) in
     let i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
     t.counts.(i) <- t.counts.(i) + 1;
-    t.total <- t.total + 1
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. x
 
   let counts t = Array.copy t.counts
 
@@ -108,4 +115,29 @@ module Histogram = struct
     t.lo +. (float_of_int i *. ((t.hi -. t.lo) /. float_of_int bins))
 
   let total t = t.total
+  let sum t = t.sum
+
+  let percentile t p =
+    if t.total = 0 then 0.0
+    else begin
+      let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+      let bins = Array.length t.counts in
+      let width = (t.hi -. t.lo) /. float_of_int bins in
+      let target = p *. float_of_int t.total in
+      let target = if target < 1.0 then 1.0 else target in
+      let rec walk i cum =
+        if i >= bins then t.hi
+        else begin
+          let cum' = cum + t.counts.(i) in
+          if float_of_int cum' >= target && t.counts.(i) > 0 then begin
+            let frac =
+              (target -. float_of_int cum) /. float_of_int t.counts.(i)
+            in
+            bin_lo t i +. (frac *. width)
+          end
+          else walk (i + 1) cum'
+        end
+      in
+      walk 0 0
+    end
 end

@@ -50,4 +50,14 @@ module Histogram : sig
   val counts : t -> int array
   val bin_lo : t -> int -> float
   val total : t -> int
+
+  val sum : t -> float
+  (** Sum of all samples as added (before clamping into [lo, hi)). *)
+
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [0,1]: the smallest value [v] such
+      that at least [p * total] samples fall in bins at or below the one
+      containing [v], linearly interpolated inside that bin. Resolution
+      is one bin width; clamped samples answer from the edge bins. An
+      empty histogram yields [0.]. *)
 end

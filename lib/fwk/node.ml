@@ -1,6 +1,7 @@
 open Bg_engine
 open Bg_hw
 module Obs = Bg_obs.Obs
+module Accounting = Bg_obs.Accounting
 
 let boot_cycles_full = 18_000_000
 let boot_cycles_stripped = 2_600_000
@@ -147,6 +148,10 @@ let emit t label value =
   Sim.emit (sim t) ~label ~value:(Int64.of_int ((t.rank * 1_000_000) + value))
 
 let obs t = t.machine.Machine.obs
+let acct t = t.machine.Machine.acct
+
+let acct_switch t ~core state =
+  Accounting.switch (acct t) ~rank:t.rank ~core ~now:(Sim.now t.machine.Machine.sim) state
 
 (* --- demand paging ----------------------------------------------------- *)
 
@@ -286,19 +291,28 @@ let rec dispatch t core =
         core.current <- Some th;
         th.state <- Running;
         th.slice_left <- timeslice;
+        acct_switch t ~core:core.id Accounting.Kernel;
         let resume = th.resume in
         th.resume <- None;
         ignore
           (Sim.schedule_in (sim t) ctx_switch_cycles (fun () ->
-               if th.state = Running then match resume with Some k -> k () | None -> ()))
+               if th.state = Running then begin
+                 acct_switch t ~core:core.id Accounting.App;
+                 match resume with Some k -> k () | None -> ()
+               end))
       end)
+
+let core_idle t (core : core_state) =
+  if core.current = None && Queue.is_empty core.ready then
+    acct_switch t ~core:core.id Accounting.Idle
 
 let release_core t (th : thread) =
   let core = t.cores.(th.core_id) in
   (match core.current with
   | Some cur when cur.tid = th.tid -> core.current <- None
   | _ -> ());
-  dispatch t core
+  dispatch t core;
+  core_idle t core
 
 let make_ready t (th : thread) =
   let core = t.cores.(th.core_id) in
@@ -410,6 +424,7 @@ let rec step_thread t (th : thread) (s : Coro.step) =
       with Fault reason -> on_fault t th reason (fun () -> step_thread t th (k 0)))
     | Coro.Syscall (req, k) ->
       let k = instrument_syscall t th req k in
+      let k = account_syscall t th req k in
       ignore
         (Sim.schedule_in (sim t) syscall_overhead (fun () ->
              if th.state <> Zombie then handle_syscall t th req k))
@@ -433,6 +448,17 @@ and instrument_syscall t (th : thread) req k =
         Obs.observe_cycles o ~rank:t.rank ~subsystem:"syscall" ~name (now - start);
         Obs.incr o ~rank:t.rank ~core:th.core_id ~subsystem:"syscall" ~name ();
         k reply
+
+(* Charge trap-to-reply to [Syscall] in the cycle ledger; same contract
+   as the CNK kernel. *)
+and account_syscall t (th : thread) req k =
+  match req with
+  | Sysreq.Exit_thread _ | Sysreq.Exit_group _ -> k
+  | _ ->
+    acct_switch t ~core:th.core_id Accounting.Syscall;
+    fun reply ->
+      acct_switch t ~core:th.core_id Accounting.App;
+      k reply
 
 and requeue t (th : thread) =
   let core = t.cores.(th.core_id) in
@@ -460,25 +486,47 @@ and on_fault t (th : thread) reason continue =
 and do_consume t (th : thread) work k =
   let core = t.cores.(th.core_id) in
   let now = Sim.now (sim t) in
-  let work = work + core.penalty in
+  let pen = core.penalty in
+  let work = work + pen in
   core.penalty <- 0;
+  (* Close the window in the cycle ledger: steals to Interrupt/Daemon,
+     kernel service folded into the window (TLB refills, fault handling)
+     to Kernel, the rest to the app. The [min] keeps attribution inside
+     the window when a large penalty spills across a slice split. *)
+  let account ~window (steal : Noise_model.steal) =
+    let kernel_part = min pen window in
+    if steal.Noise_model.tick > 0 || steal.Noise_model.daemon > 0 || kernel_part > 0 then
+      Accounting.attribute (acct t) ~rank:t.rank ~core:th.core_id
+        ~now:(Sim.now (sim t))
+        [
+          (Accounting.Interrupt, steal.Noise_model.tick);
+          (Accounting.Daemon, steal.Noise_model.daemon);
+          (Accounting.Kernel, kernel_part);
+        ]
+  in
   let has_waiters = not (Queue.is_empty core.ready) in
   if has_waiters && work > th.slice_left then begin
     let part = th.slice_left in
-    let finish = Noise_model.advance core.noise ~start:now ~work:(refresh_stretch t now part) in
+    let window = refresh_stretch t now part in
+    let finish, steal = Noise_model.advance2 core.noise ~start:now ~work:window in
     ignore
       (Sim.schedule_at (sim t) finish (fun () ->
            if th.state <> Zombie then begin
+             account ~window steal;
              th.resume <- Some (fun () -> do_consume t th (work - part) k);
              requeue t th
            end))
   end
   else begin
-    let finish = Noise_model.advance core.noise ~start:now ~work:(refresh_stretch t now work) in
+    let window = refresh_stretch t now work in
+    let finish, steal = Noise_model.advance2 core.noise ~start:now ~work:window in
     th.slice_left <- max 1 (th.slice_left - work);
     ignore
       (Sim.schedule_at (sim t) finish (fun () ->
-           if th.state <> Zombie && deliver_signals t th then step_thread t th (k ())))
+           if th.state <> Zombie then begin
+             account ~window steal;
+             if deliver_signals t th then step_thread t th (k ())
+           end))
   end
 
 (* --- syscalls ------------------------------------------------------------- *)
@@ -619,6 +667,31 @@ and handle_syscall t (th : thread) req k =
         release_core t th
       end)
   | Sysreq.Futex_wake { addr; count } -> ret (Sysreq.R_int (wake_futex t p addr count))
+  | Sysreq.Query_perf op ->
+    (* Linux exposes the same UPC silicon through its perf layer. *)
+    let upc = Chip.upc t.chip in
+    (match op with
+    | Sysreq.Perf_start ->
+      Upc.start upc;
+      ret Sysreq.R_unit
+    | Sysreq.Perf_stop ->
+      Upc.stop upc;
+      ret Sysreq.R_unit
+    | Sysreq.Perf_freeze ->
+      Upc.freeze upc;
+      ret Sysreq.R_unit
+    | Sysreq.Perf_read ->
+      let readings =
+        match Upc.frozen_snapshot upc with
+        | Some rs -> rs
+        | None -> Upc.snapshot upc
+      in
+      ret
+        (Sysreq.R_perf
+           (List.map
+              (fun (r : Upc.reading) ->
+                { Sysreq.pr_event = r.Upc.event; pr_core = r.Upc.core; pr_count = r.Upc.count })
+              readings)))
   | _ when Sysreq.is_file_io req ->
     (* Local VFS: in-kernel service, Linux-scale cost, then reply. *)
     ignore

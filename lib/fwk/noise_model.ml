@@ -64,8 +64,10 @@ let draw rng mean jitter =
   let lo = mean *. (1.0 -. jitter) and hi = mean *. (1.0 +. jitter) in
   lo +. Rng.float rng (max 1.0 (hi -. lo))
 
+type steal = { tick : int; daemon : int }
+
 (* Pop the earliest interference event at or before [deadline], if any.
-   Returns its cost and advances that source. *)
+   Returns its cost, tagged tick-or-daemon, and advances that source. *)
 let pop_event t deadline =
   let tick_time = t.next_tick in
   let best_daemon =
@@ -82,7 +84,7 @@ let pop_event t deadline =
   if tick_time <= daemon_time && tick_time <= deadline then begin
     t.next_tick <- t.next_tick + t.tick_interval;
     let cost = t.tick_cost + Rng.int t.rng (t.tick_cost / 4) in
-    Some cost
+    Some (`Tick, cost)
   end
   else if daemon_time <= deadline then begin
     match best_daemon with
@@ -90,11 +92,11 @@ let pop_event t deadline =
     | Some s ->
       let d = s.daemon in
       s.next_at <- s.next_at +. draw t.rng d.period_mean d.period_jitter;
-      Some (int_of_float (draw t.rng d.cost_mean d.cost_jitter))
+      Some (`Daemon, int_of_float (draw t.rng d.cost_mean d.cost_jitter))
     end
   else None
 
-let advance t ~start ~work =
+let advance2 t ~start ~work =
   (* Skip events that would have fired while the core was idle: the
      timeline starts at [start]. *)
   if t.next_tick < start then begin
@@ -102,21 +104,28 @@ let advance t ~start ~work =
     t.next_tick <- t.next_tick + ((missed + 1) * t.tick_interval)
   end;
   List.iter
-    (fun s ->
+    (fun (s : source) ->
       let d = s.daemon in
       while s.next_at < float_of_int start do
         s.next_at <- s.next_at +. draw t.rng d.period_mean d.period_jitter
       done)
     t.sources;
   let finish = ref (start + work) in
+  let tick = ref 0 in
+  let daemon = ref 0 in
   let continue = ref true in
   while !continue do
     match pop_event t !finish with
-    | Some cost ->
+    | Some (kind, cost) ->
       t.stolen <- t.stolen + cost;
+      (match kind with
+      | `Tick -> tick := !tick + cost
+      | `Daemon -> daemon := !daemon + cost);
       finish := !finish + cost
     | None -> continue := false
   done;
-  !finish
+  (!finish, { tick = !tick; daemon = !daemon })
+
+let advance t ~start ~work = fst (advance2 t ~start ~work)
 
 let stolen_cycles t = t.stolen

@@ -54,5 +54,13 @@ val advance : t -> start:Bg_engine.Cycles.t -> work:int -> Bg_engine.Cycles.t
     events — the walk iterates to the true fixpoint). Calls must be made
     with nondecreasing [start] (a core's timeline moves forward). *)
 
+type steal = { tick : int; daemon : int }
+(** Cycles stolen from one window, split by cause. *)
+
+val advance2 : t -> start:Bg_engine.Cycles.t -> work:int -> Bg_engine.Cycles.t * steal
+(** Like {!advance}, also reporting the window's steal decomposed into
+    timer-tick and daemon cycles — the raw material for per-source noise
+    attribution. [advance] is [fst] of this. *)
+
 val stolen_cycles : t -> int
 (** Total interference charged so far. *)

@@ -9,11 +9,22 @@ type t = {
   mutable waiters : waiter list;  (* newest first *)
   mutable generation : int;
   mutable enabled : bool;
+  mutable on_arrive : rank:int -> unit;
 }
 
 let create sim ?(params = Params.bgp) ~participants () =
   if participants <= 0 then invalid_arg "Barrier_net.create";
-  { sim; params; participants; waiters = []; generation = 0; enabled = true }
+  {
+    sim;
+    params;
+    participants;
+    waiters = [];
+    generation = 0;
+    enabled = true;
+    on_arrive = (fun ~rank:_ -> ());
+  }
+
+let set_arrive_hook t f = t.on_arrive <- f
 
 let participants t = t.participants
 let enabled t = t.enabled
@@ -27,6 +38,7 @@ let arrive t ~rank ~on_release =
   if List.exists (fun w -> w.rank = rank) t.waiters then
     invalid_arg "Barrier_net.arrive: rank already waiting";
   t.waiters <- { rank; on_release } :: t.waiters;
+  t.on_arrive ~rank;
   if List.length t.waiters = t.participants then begin
     let release_cycle = Sim.now t.sim + t.params.Params.barrier_round_cycles in
     (* Release in rank order for determinism. *)

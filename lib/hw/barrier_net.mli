@@ -25,3 +25,7 @@ val generation : t -> int
 
 val waiting : t -> int
 (** Participants currently arrived and blocked in this generation. *)
+
+val set_arrive_hook : t -> (rank:int -> unit) -> unit
+(** Called on every {!arrive} with the arriving rank — the UPC's
+    barrier-wait feed. Default: no-op. *)

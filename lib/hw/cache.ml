@@ -5,6 +5,7 @@ type t = {
   banks : int;
   mapping : mapping;
   counts : int array;
+  mutable on_access : unit -> unit;
 }
 
 let create ?(line_bytes = 128) ~banks mapping =
@@ -12,7 +13,9 @@ let create ?(line_bytes = 128) ~banks mapping =
   (match mapping with
   | Fixed b when b < 0 || b >= banks -> invalid_arg "Cache.create: bad fixed bank"
   | _ -> ());
-  { line_bytes; banks; mapping; counts = Array.make banks 0 }
+  { line_bytes; banks; mapping; counts = Array.make banks 0; on_access = ignore }
+
+let set_access_hook t f = t.on_access <- f
 
 let bank_of t addr =
   let line = addr / t.line_bytes in
@@ -27,7 +30,8 @@ let bank_of t addr =
 
 let access t addr =
   let b = bank_of t addr in
-  t.counts.(b) <- t.counts.(b) + 1
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.on_access ()
 
 let access_count t ~bank = t.counts.(bank)
 

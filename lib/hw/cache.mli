@@ -29,3 +29,7 @@ val imbalance : t -> float
 
 val mapping : t -> mapping
 val banks : t -> int
+
+val set_access_hook : t -> (unit -> unit) -> unit
+(** Called on every {!access} — the UPC's L1-miss feed (an access that
+    reaches an L2 bank missed L1 by definition here). Default: no-op. *)

@@ -14,6 +14,7 @@ type t = {
   dram : Dram.t;
   boot_sram : Memory.t;
   mutable l2 : Cache.t;
+  upc : Upc.t;
   units : (unit_id, Fault.status) Hashtbl.t;
   mutable reset_count : int;
 }
@@ -29,16 +30,30 @@ let create ?(params = Params.bgp) ~id () =
   let make_core core_id =
     { core_id; tlb = Tlb.create ~capacity:params.Params.tlb_entries; dac = Dac.create (); retired = 0 }
   in
-  {
-    id;
-    params;
-    cores = Array.init params.Params.cores_per_node make_core;
-    dram = Dram.create ~size:params.Params.dram_bytes;
-    boot_sram = Memory.create ~size:(64 * 1024);
-    l2 = Cache.create ~banks:params.Params.l2_banks Cache.Xor_fold;
-    units = Hashtbl.create 8;
-    reset_count = 0;
-  }
+  let t =
+    {
+      id;
+      params;
+      cores = Array.init params.Params.cores_per_node make_core;
+      dram = Dram.create ~size:params.Params.dram_bytes;
+      boot_sram = Memory.create ~size:(64 * 1024);
+      l2 = Cache.create ~banks:params.Params.l2_banks Cache.Xor_fold;
+      upc = Upc.create ~cores:params.Params.cores_per_node ();
+      units = Hashtbl.create 8;
+      reset_count = 0;
+    }
+  in
+  Array.iter
+    (fun c ->
+      Tlb.set_miss_hook c.tlb (fun () ->
+          Upc.record t.upc ~core:c.core_id Upc.Tlb_miss 1);
+      Tlb.set_refill_hook c.tlb (fun () ->
+          Upc.record t.upc ~core:c.core_id Upc.Tlb_refill 1))
+    t.cores;
+  Cache.set_access_hook t.l2 (fun () -> Upc.record t.upc Upc.L1_miss 1);
+  Dram.set_self_refresh_hook t.dram (fun () ->
+      Upc.record t.upc Upc.Dram_self_refresh 1);
+  t
 
 let id t = t.id
 let params t = t.params
@@ -53,8 +68,11 @@ let memory t = Dram.memory t.dram
 let boot_sram t = t.boot_sram
 let l2 t = t.l2
 
+let upc t = t.upc
+
 let set_l2_mapping t mapping =
   t.l2 <- Cache.create ~banks:t.params.Params.l2_banks mapping;
+  Cache.set_access_hook t.l2 (fun () -> Upc.record t.upc Upc.L1_miss 1);
   t
 
 let unit_status t u =
@@ -79,6 +97,7 @@ let reset t =
       c.retired <- 0)
     t.cores;
   Dram.on_reset t.dram;
+  Upc.reset t.upc;
   t.reset_count <- t.reset_count + 1
 
 let reset_count t = t.reset_count

@@ -30,6 +30,12 @@ val memory : t -> Memory.t
 val boot_sram : t -> Memory.t
 val l2 : t -> Cache.t
 
+val upc : t -> Upc.t
+(** The chip's performance-counter unit. {!create} wires the per-core TLB
+    miss/refill hooks, the L2 access hook and the DRAM self-refresh hook
+    into it; torus and barrier feeds are wired at machine level where the
+    rank-to-chip mapping is known. A chip {!reset} resets the UPC too. *)
+
 val set_l2_mapping : t -> Cache.mapping -> t
 (** Returns a chip with the same identity/memory but a fresh L2 model using
     the given mapping — the §III cache-mapping experiments. *)

@@ -1,8 +1,18 @@
-type t = { memory : Memory.t; mutable self_refresh : bool }
+type t = {
+  memory : Memory.t;
+  mutable self_refresh : bool;
+  mutable on_self_refresh : unit -> unit;
+}
 
-let create ~size = { memory = Memory.create ~size; self_refresh = false }
+let create ~size =
+  { memory = Memory.create ~size; self_refresh = false; on_self_refresh = ignore }
+
 let memory t = t.memory
-let enter_self_refresh t = t.self_refresh <- true
+let set_self_refresh_hook t f = t.on_self_refresh <- f
+
+let enter_self_refresh t =
+  if not t.self_refresh then t.on_self_refresh ();
+  t.self_refresh <- true
 let exit_self_refresh t = t.self_refresh <- false
 let in_self_refresh t = t.self_refresh
 

@@ -13,6 +13,10 @@ val enter_self_refresh : t -> unit
 val exit_self_refresh : t -> unit
 val in_self_refresh : t -> bool
 
+val set_self_refresh_hook : t -> (unit -> unit) -> unit
+(** Called each time the DRAM actually enters self-refresh (not on
+    redundant requests while already in it). Default: no-op. *)
+
 val on_reset : t -> unit
 (** Apply reset semantics: keep contents when in self-refresh, otherwise
     lose everything (contents return to zero). Self-refresh state itself

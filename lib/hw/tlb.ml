@@ -16,11 +16,23 @@ type t = {
   mutable entries : entry list;  (* oldest last, for FIFO eviction *)
   mutable evictions : int;
   mutable misses : int;
+  mutable on_miss : unit -> unit;
+  mutable on_refill : unit -> unit;
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Tlb.create";
-  { capacity; entries = []; evictions = 0; misses = 0 }
+  {
+    capacity;
+    entries = [];
+    evictions = 0;
+    misses = 0;
+    on_miss = ignore;
+    on_refill = ignore;
+  }
+
+let set_miss_hook t f = t.on_miss <- f
+let set_refill_hook t f = t.on_refill <- f
 
 let covers e addr =
   addr >= e.vaddr && addr < e.vaddr + Page_size.bytes e.size
@@ -48,6 +60,7 @@ let install t e =
       t.evictions <- t.evictions + 1
     end;
     t.entries <- e :: t.entries;
+    t.on_refill ();
     Ok ()
   end
 
@@ -61,6 +74,7 @@ let translate t access addr =
   match List.find_opt (fun e -> covers e addr) t.entries with
   | None ->
     t.misses <- t.misses + 1;
+    t.on_miss ();
     Miss
   | Some e ->
     if permitted access e.perm then Hit (e.paddr + (addr - e.vaddr))

@@ -51,3 +51,9 @@ val evictions : t -> int
 
 val misses : t -> int
 (** Number of [Miss] results returned by {!translate}. *)
+
+val set_miss_hook : t -> (unit -> unit) -> unit
+(** Called on every [Miss] result; the UPC feed. Default: no-op. *)
+
+val set_refill_hook : t -> (unit -> unit) -> unit
+(** Called on every successful {!install}; the UPC feed. Default: no-op. *)

@@ -11,6 +11,7 @@ type t = {
   broken : (int * int, unit) Hashtbl.t;
   mutable enabled : bool;
   mutable transfers : int;
+  mutable on_inject : src:int -> unit;
 }
 
 let create sim ?(params = Params.bgp) ~dims () =
@@ -25,7 +26,10 @@ let create sim ?(params = Params.bgp) ~dims () =
     broken = Hashtbl.create 4;
     enabled = true;
     transfers = 0;
+    on_inject = (fun ~src:_ -> ());
   }
+
+let set_inject_hook t f = t.on_inject <- f
 
 let node_count t =
   let x, y, z = t.dims in
@@ -147,6 +151,7 @@ let transfer t ~src ~dst ~bytes ?(on_arrival = fun ~arrival_cycle:_ -> ()) () =
      | _ -> ());
   if bytes < 0 then invalid_arg "Torus.transfer";
   t.transfers <- t.transfers + 1;
+  t.on_inject ~src;
   let p = t.params in
   let now = Sim.now t.sim in
   (* descriptors from one node go through its injection FIFO in order *)

@@ -50,3 +50,7 @@ val estimate_cycles : t -> src:int -> dst:int -> bytes:int -> int
 (** Contention-free latency estimate for the same path. *)
 
 val transfers_started : t -> int
+
+val set_inject_hook : t -> (src:int -> unit) -> unit
+(** Called once per {!transfer} with the injecting rank — the UPC's
+    torus-packet feed. Default: no-op. *)

@@ -9,6 +9,7 @@ type t = {
   collective : Bg_hw.Collective_net.t;
   barrier : Bg_hw.Barrier_net.t;
   obs : Bg_obs.Obs.t;
+  acct : Bg_obs.Accounting.t;
   mutable ras_subscribers :
     (rank:int -> severity:ras_severity -> message:string -> unit) list;
 }
@@ -23,20 +24,34 @@ let create ?(params = Bg_hw.Params.bgp) ?(seed = 1L) ?nodes_per_io_node ?obs ~di
   let nodes_per_io_node =
     match nodes_per_io_node with Some k -> k | None -> if n <= 64 then n else 64
   in
-  {
-    instance = !instance_counter;
-    sim;
-    params;
-    chips = Array.init n (fun id -> Bg_hw.Chip.create ~params ~id ());
-    torus = Bg_hw.Torus.create sim ~params ~dims ();
-    collective =
-      Bg_hw.Collective_net.create sim ~params ~compute_nodes:n ~nodes_per_io_node ();
-    barrier = Bg_hw.Barrier_net.create sim ~params ~participants:n ();
-    obs = (match obs with Some o -> o | None -> Bg_obs.Obs.create ());
-    ras_subscribers = [];
-  }
+  let t =
+    {
+      instance = !instance_counter;
+      sim;
+      params;
+      chips = Array.init n (fun id -> Bg_hw.Chip.create ~params ~id ());
+      torus = Bg_hw.Torus.create sim ~params ~dims ();
+      collective =
+        Bg_hw.Collective_net.create sim ~params ~compute_nodes:n ~nodes_per_io_node ();
+      barrier = Bg_hw.Barrier_net.create sim ~params ~participants:n ();
+      obs = (match obs with Some o -> o | None -> Bg_obs.Obs.create ());
+      acct = Bg_obs.Accounting.create ();
+      ras_subscribers = [];
+    }
+  in
+  (* Per-chip UPC feeds that need the rank-to-chip mapping: torus packet
+     injections and barrier arrivals land on the injecting/arriving
+     chip's counter unit. *)
+  Bg_hw.Torus.set_inject_hook t.torus (fun ~src ->
+      if src >= 0 && src < n then
+        Bg_hw.Upc.record (Bg_hw.Chip.upc t.chips.(src)) Bg_hw.Upc.Torus_packet 1);
+  Bg_hw.Barrier_net.set_arrive_hook t.barrier (fun ~rank ->
+      if rank >= 0 && rank < n then
+        Bg_hw.Upc.record (Bg_hw.Chip.upc t.chips.(rank)) Bg_hw.Upc.Barrier_wait 1);
+  t
 
 let obs t = t.obs
+let acct t = t.acct
 
 let nodes t = Array.length t.chips
 let chip t i = t.chips.(i)

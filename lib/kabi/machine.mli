@@ -16,6 +16,9 @@ type t = {
   obs : Bg_obs.Obs.t;
       (** the machine's observability collector; disabled unless turned
           on with [Bg_obs.Obs.set_enabled] (or passed in at {!create}) *)
+  acct : Bg_obs.Accounting.t;
+      (** the machine's cycle-accounting ledger; disabled unless turned
+          on with [Bg_obs.Accounting.set_enabled] *)
   mutable ras_subscribers :
     (rank:int -> severity:ras_severity -> message:string -> unit) list;
       (** use {!on_ras} / {!ras_emit} rather than touching this directly *)
@@ -37,6 +40,7 @@ val nodes : t -> int
 val chip : t -> int -> Bg_hw.Chip.t
 val sim : t -> Bg_engine.Sim.t
 val obs : t -> Bg_obs.Obs.t
+val acct : t -> Bg_obs.Accounting.t
 
 (** {1 RAS events}
 

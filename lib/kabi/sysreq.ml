@@ -52,6 +52,10 @@ type personality = {
 
 type uname_info = { sysname : string; nodename : string; release : string; machine : string }
 
+type perf_op = Perf_start | Perf_stop | Perf_freeze | Perf_read
+
+type perf_reading = { pr_event : Bg_hw.Upc.event; pr_core : int; pr_count : int }
+
 type request =
   | Getpid
   | Gettid
@@ -76,6 +80,7 @@ type request =
   | Query_map
   | Query_vtop of int
   | Query_dirty of { clear : bool }
+  | Query_perf of perf_op
   | Uname
   | Get_personality
   | Gettimeofday
@@ -110,6 +115,7 @@ type reply =
   | R_uname of uname_info
   | R_personality of personality
   | R_ranges of (int * int) list
+  | R_perf of perf_reading list
   | R_err of Errno.t
 
 exception Syscall_error of Errno.t
@@ -126,6 +132,7 @@ let expect_map = function R_map m -> m | r -> err r
 let expect_uname = function R_uname u -> u | r -> err r
 let expect_personality = function R_personality p -> p | r -> err r
 let expect_ranges = function R_ranges r -> r | r -> err r
+let expect_perf = function R_perf r -> r | r -> err r
 
 let is_file_io = function
   | Open _ | Close _ | Read _ | Write _ | Pread _ | Pwrite _ | Lseek _ | Fstat _
@@ -135,8 +142,8 @@ let is_file_io = function
   | Getpid | Gettid | Get_rank | Clone _ | Set_tid_address _ | Exit_thread _
   | Exit_group _ | Sigaction _ | Tgkill _ | Sched_yield | Futex_wait _
   | Futex_wake _ | Brk _ | Mmap _ | Munmap _ | Mprotect _ | Shm_open _
-  | Query_map | Query_vtop _ | Query_dirty _ | Uname | Get_personality
-  | Gettimeofday ->
+  | Query_map | Query_vtop _ | Query_dirty _ | Query_perf _ | Uname
+  | Get_personality | Gettimeofday ->
     false
 
 let request_name = function
@@ -160,6 +167,7 @@ let request_name = function
   | Query_map -> "query_map"
   | Query_vtop _ -> "query_vtop"
   | Query_dirty _ -> "query_dirty"
+  | Query_perf _ -> "query_perf"
   | Uname -> "uname"
   | Get_personality -> "get_personality"
   | Gettimeofday -> "gettimeofday"
@@ -228,6 +236,13 @@ let pp_request ppf r =
   | Shm_open { name; length } -> Format.fprintf ppf "shm_open(%S, %d)" name length
   | Query_vtop a -> Format.fprintf ppf "query_vtop(0x%x)" a
   | Query_dirty { clear } -> Format.fprintf ppf "query_dirty(clear=%b)" clear
+  | Query_perf op ->
+    Format.fprintf ppf "query_perf(%s)"
+      (match op with
+      | Perf_start -> "start"
+      | Perf_stop -> "stop"
+      | Perf_freeze -> "freeze"
+      | Perf_read -> "read")
   | Open { path; flags; mode } ->
     Format.fprintf ppf "open(%S, %a, 0o%o)" path pp_flags flags mode
   | Close fd -> Format.fprintf ppf "close(%d)" fd
@@ -280,4 +295,5 @@ let pp_reply ppf = function
   | R_ranges ranges ->
     Format.fprintf ppf "<%d ranges, %d bytes>" (List.length ranges)
       (List.fold_left (fun acc (_, l) -> acc + l) 0 ranges)
+  | R_perf readings -> Format.fprintf ppf "<%d perf readings>" (List.length readings)
   | R_err e -> Format.fprintf ppf "-%s" (Errno.to_string e)

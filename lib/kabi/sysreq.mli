@@ -74,6 +74,16 @@ type uname_info = {
   machine : string;
 }
 
+type perf_op =
+  | Perf_start   (** start the chip's UPC counting *)
+  | Perf_stop
+  | Perf_freeze  (** latch a coherent snapshot; counting continues *)
+  | Perf_read
+      (** read the latched snapshot (or live counters if never frozen) *)
+
+type perf_reading = { pr_event : Bg_hw.Upc.event; pr_core : int; pr_count : int }
+(** [pr_core] is {!Bg_hw.Upc.chip_scope} for chip-wide events. *)
+
 type request =
   (* process / thread *)
   | Getpid
@@ -105,6 +115,10 @@ type request =
       (** pages of the heap/stack range written since the last clearing
           query — the incremental-checkpoint primitive. Handled locally by
           the kernel, never function-shipped. *)
+  | Query_perf of perf_op
+      (** control/read the chip's UPC ({!Bg_hw.Upc}). Handled locally by
+          both kernels, never function-shipped; replies with {!R_perf}
+          on [Perf_read], [R_unit] otherwise. *)
   (* info *)
   | Uname
   | Get_personality
@@ -141,6 +155,7 @@ type reply =
   | R_uname of uname_info
   | R_personality of personality
   | R_ranges of (int * int) list  (** [(addr, len)] ranges, ascending *)
+  | R_perf of perf_reading list   (** non-zero counters, fixed order *)
   | R_err of Errno.t
 
 exception Syscall_error of Errno.t
@@ -156,6 +171,7 @@ val expect_map : reply -> region list
 val expect_uname : reply -> uname_info
 val expect_personality : reply -> personality
 val expect_ranges : reply -> (int * int) list
+val expect_perf : reply -> perf_reading list
 
 val is_file_io : request -> bool
 (** True for the requests CNK function-ships to the I/O node. *)

@@ -1,0 +1,186 @@
+open Bg_engine
+
+type state = App | Syscall | Interrupt | Daemon | Idle | Kernel
+
+let all_states = [ App; Syscall; Interrupt; Daemon; Idle; Kernel ]
+
+let state_index = function
+  | App -> 0
+  | Syscall -> 1
+  | Interrupt -> 2
+  | Daemon -> 3
+  | Idle -> 4
+  | Kernel -> 5
+
+let n_states = 6
+
+let state_name = function
+  | App -> "app"
+  | Syscall -> "syscall"
+  | Interrupt -> "interrupt"
+  | Daemon -> "daemon"
+  | Idle -> "idle"
+  | Kernel -> "kernel"
+
+type ledger = {
+  l_rank : int;
+  l_core : int;
+  first : Cycles.t;
+  mutable since : Cycles.t;
+  mutable state : state;
+  totals : int array;  (* indexed by state_index; invariant: sum = since - first *)
+}
+
+type t = {
+  mutable enabled : bool;
+  ledgers : (int * int, ledger) Hashtbl.t;
+}
+
+let create ?(enabled = false) () = { enabled; ledgers = Hashtbl.create 16 }
+
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
+let reset t = Hashtbl.reset t.ledgers
+
+let ledger t ~rank ~core ~now state =
+  match Hashtbl.find_opt t.ledgers (rank, core) with
+  | Some l -> l
+  | None ->
+    let l =
+      {
+        l_rank = rank;
+        l_core = core;
+        first = now;
+        since = now;
+        state;
+        totals = Array.make n_states 0;
+      }
+    in
+    Hashtbl.replace t.ledgers (rank, core) l;
+    l
+
+let backwards l upto =
+  invalid_arg
+    (Printf.sprintf "Accounting: time moved backwards on (%d,%d): %d < %d"
+       l.l_rank l.l_core upto l.since)
+
+(* Charge [since, upto) to the ledger's current state. *)
+let accrue l upto =
+  let d = upto - l.since in
+  if d < 0 then backwards l upto;
+  let i = state_index l.state in
+  l.totals.(i) <- l.totals.(i) + d;
+  l.since <- upto
+
+let switch t ~rank ~core ~now state =
+  if t.enabled then begin
+    let l = ledger t ~rank ~core ~now state in
+    accrue l now;
+    l.state <- state
+  end
+
+let attribute t ~rank ~core ~now parts =
+  if t.enabled then begin
+    match Hashtbl.find_opt t.ledgers (rank, core) with
+    | None ->
+      (* No ledger yet: the interval predates accounting. Open at [now]
+         with nothing charged — conservation starts here. *)
+      ignore (ledger t ~rank ~core ~now App)
+    | Some l ->
+      let d = now - l.since in
+      if d < 0 then backwards l now;
+      let listed =
+        List.fold_left
+          (fun acc (_, c) ->
+            if c < 0 then invalid_arg "Accounting.attribute: negative cycles";
+            acc + c)
+          0 parts
+      in
+      if listed > d then
+        invalid_arg
+          (Printf.sprintf
+             "Accounting.attribute: %d cycles attributed but only %d elapsed \
+              on (%d,%d)"
+             listed d rank core);
+      List.iter
+        (fun (st, c) ->
+          let i = state_index st in
+          l.totals.(i) <- l.totals.(i) + c)
+        parts;
+      let i = state_index l.state in
+      l.totals.(i) <- l.totals.(i) + (d - listed);
+      l.since <- now
+  end
+
+type entry = {
+  rank : int;
+  core : int;
+  first_cycle : Cycles.t;
+  last_cycle : Cycles.t;
+  app : int;
+  syscall : int;
+  interrupt : int;
+  daemon : int;
+  idle : int;
+  kernel : int;
+}
+
+let entry_of_ledger l =
+  {
+    rank = l.l_rank;
+    core = l.l_core;
+    first_cycle = l.first;
+    last_cycle = l.since;
+    app = l.totals.(state_index App);
+    syscall = l.totals.(state_index Syscall);
+    interrupt = l.totals.(state_index Interrupt);
+    daemon = l.totals.(state_index Daemon);
+    idle = l.totals.(state_index Idle);
+    kernel = l.totals.(state_index Kernel);
+  }
+
+let cycles e = function
+  | App -> e.app
+  | Syscall -> e.syscall
+  | Interrupt -> e.interrupt
+  | Daemon -> e.daemon
+  | Idle -> e.idle
+  | Kernel -> e.kernel
+
+let attributed e =
+  e.app + e.syscall + e.interrupt + e.daemon + e.idle + e.kernel
+
+let elapsed e = e.last_cycle - e.first_cycle
+
+let conserved_entry e = attributed e = elapsed e
+
+let entries t =
+  Hashtbl.fold (fun _ l acc -> entry_of_ledger l :: acc) t.ledgers []
+  |> List.sort (fun a b -> compare (a.rank, a.core) (b.rank, b.core))
+
+let conserved t = List.for_all conserved_entry (entries t)
+
+let totals es =
+  List.fold_left
+    (fun acc e ->
+      List.map2 (fun (st, c) st' -> assert (st == st'); (st, c + cycles e st))
+        acc all_states)
+    (List.map (fun st -> (st, 0)) all_states)
+    es
+
+let digest t =
+  List.fold_left
+    (fun h e ->
+      let h = Fnv.add_int h e.rank in
+      let h = Fnv.add_int h e.core in
+      let h = Fnv.add_int h e.first_cycle in
+      let h = Fnv.add_int h e.last_cycle in
+      List.fold_left (fun h st -> Fnv.add_int h (cycles e st)) h all_states)
+    Fnv.empty (entries t)
+
+let pp_entry ppf e =
+  Format.fprintf ppf
+    "rank%d/core%d: elapsed=%d app=%d syscall=%d interrupt=%d daemon=%d \
+     idle=%d kernel=%d"
+    e.rank e.core (elapsed e) e.app e.syscall e.interrupt e.daemon e.idle
+    e.kernel

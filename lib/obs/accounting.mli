@@ -1,0 +1,100 @@
+(** Exhaustive per-(rank,core) cycle accounting.
+
+    CNK's determinism means every core-cycle has exactly one cause, and
+    the paper's noise analysis rests on being able to say which: the
+    application ran, a syscall was in flight, an interrupt fired, a
+    daemon stole the core, the core idled, or the kernel burned overhead
+    (context switches, TLB work). This ledger makes that attribution a
+    checked invariant rather than a hope: kernels report state
+    transitions with the current simulation time, intervals are charged
+    to exactly one state, and by construction
+
+    {e attributed cycles = elapsed cycles, exactly, per core.}
+
+    Like the rest of [Bg_obs] the ledger is passive — it never schedules
+    events, draws randomness, or touches the architectural trace — and
+    it is disabled (all calls no-ops) until {!set_enabled}. Collection
+    on or off cannot change a simulation's digest. *)
+
+type state =
+  | App        (** user computation retiring on the core *)
+  | Syscall    (** between trap and reply, incl. function-ship waits *)
+  | Interrupt  (** timer ticks, IPIs *)
+  | Daemon     (** cycles stolen by background daemons / injected noise *)
+  | Idle       (** no runnable thread on the core *)
+  | Kernel     (** kernel overhead: context switch, TLB install, faults *)
+
+val all_states : state list
+val state_name : state -> string
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** Default [enabled:false]: every call below is a no-op until enabled. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val reset : t -> unit
+(** Drop all ledgers (accounting restarts at the next transition). *)
+
+val switch : t -> rank:int -> core:int -> now:Bg_engine.Cycles.t -> state -> unit
+(** The core entered [state] at [now]. Cycles since the previous
+    transition are charged to the previous state. The first call for a
+    (rank, core) opens its ledger at [now] with zero charged. [now] must
+    not precede the previous transition (kernels pass [Sim.now], which
+    is monotonic). *)
+
+val attribute :
+  t ->
+  rank:int ->
+  core:int ->
+  now:Bg_engine.Cycles.t ->
+  (state * int) list ->
+  unit
+(** Close the interval since the last transition at [now], charging each
+    listed [(state, cycles)] portion to its state and the remainder to
+    the core's current state. Used where one elapsed block has known
+    sub-causes — e.g. a compute block that was stretched by a timer tick
+    and a daemon: the steal goes to [Interrupt]/[Daemon], the rest to
+    [App]. Raises [Invalid_argument] if the listed portions exceed the
+    elapsed interval (over-attribution is a kernel bug, not a rounding
+    error). If no ledger exists yet — accounting was enabled mid-
+    interval — one is opened at [now] and the parts are dropped, since
+    the interval predates accounting. *)
+
+type entry = {
+  rank : int;
+  core : int;
+  first_cycle : Bg_engine.Cycles.t;  (** ledger opened *)
+  last_cycle : Bg_engine.Cycles.t;   (** last transition *)
+  app : int;
+  syscall : int;
+  interrupt : int;
+  daemon : int;
+  idle : int;
+  kernel : int;
+}
+
+val entries : t -> entry list
+(** One entry per touched (rank, core), sorted, accounted up to each
+    core's last transition. *)
+
+val cycles : entry -> state -> int
+val attributed : entry -> int
+val elapsed : entry -> int
+(** [last_cycle - first_cycle]. *)
+
+val conserved_entry : entry -> bool
+(** [attributed e = elapsed e] — the conservation property. *)
+
+val conserved : t -> bool
+(** Conservation holds on every ledger. *)
+
+val totals : entry list -> (state * int) list
+(** Per-state sums across entries, in {!all_states} order. *)
+
+val digest : t -> Bg_engine.Fnv.t
+(** FNV fold over all entries, for run-to-run determinism checks. *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -48,6 +48,25 @@ let chrome_trace obs =
            (Cycles.to_us (s.finish - s.start))
            (pid_of_rank s.rank) s.core s.depth))
     (Obs.spans obs);
+  (* counter ("C") events: one sample per counter/gauge metric, so trace
+     viewers plot end-of-run values alongside the spans *)
+  List.iter
+    (fun (m : Obs.metric) ->
+      let k = m.Obs.key in
+      let emit v =
+        if not (Hashtbl.mem ranks k.Obs.rank) then Hashtbl.add ranks k.Obs.rank ();
+        sep ();
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":0.000,\"pid\":%d,\"args\":{\"value\":%d}}"
+             (json_escape
+                (Printf.sprintf "%s.%s[c%d]" k.Obs.subsystem k.Obs.name k.Obs.core))
+             (pid_of_rank k.Obs.rank) v)
+      in
+      match m.Obs.value with
+      | Obs.Counter v | Obs.Gauge v -> emit v
+      | Obs.Timer _ -> ())
+    (Obs.snapshot obs);
   let labelled = Hashtbl.fold (fun r () acc -> r :: acc) ranks [] |> List.sort compare in
   List.iter
     (fun rank ->
@@ -70,21 +89,23 @@ let csv_escape s =
 
 let metrics_csv obs =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "subsystem,name,rank,core,kind,count,value,mean,min,max\n";
+  Buffer.add_string b
+    "subsystem,name,rank,core,kind,count,value,mean,min,max,sum,p50,p90,p99,p999\n";
   List.iter
     (fun (m : Obs.metric) ->
       let k = m.Obs.key in
       let row =
         match m.Obs.value with
         | Obs.Counter v ->
-          Printf.sprintf "%s,%s,%d,%d,counter,,%d,,," (csv_escape k.Obs.subsystem)
+          Printf.sprintf "%s,%s,%d,%d,counter,,%d,,,,,,,," (csv_escape k.Obs.subsystem)
             (csv_escape k.Obs.name) k.Obs.rank k.Obs.core v
         | Obs.Gauge v ->
-          Printf.sprintf "%s,%s,%d,%d,gauge,,%d,,," (csv_escape k.Obs.subsystem)
+          Printf.sprintf "%s,%s,%d,%d,gauge,,%d,,,,,,,," (csv_escape k.Obs.subsystem)
             (csv_escape k.Obs.name) k.Obs.rank k.Obs.core v
-        | Obs.Timer { n; mean; min; max } ->
-          Printf.sprintf "%s,%s,%d,%d,timer,%d,,%.3f,%.0f,%.0f" (csv_escape k.Obs.subsystem)
-            (csv_escape k.Obs.name) k.Obs.rank k.Obs.core n mean min max
+        | Obs.Timer { n; mean; min; max; sum; p50; p90; p99; p999 } ->
+          Printf.sprintf "%s,%s,%d,%d,timer,%d,,%.3f,%.0f,%.0f,%.0f,%.1f,%.1f,%.1f,%.1f"
+            (csv_escape k.Obs.subsystem) (csv_escape k.Obs.name) k.Obs.rank
+            k.Obs.core n mean min max sum p50 p90 p99 p999
       in
       Buffer.add_string b row;
       Buffer.add_char b '\n')
@@ -101,6 +122,87 @@ let spans_csv obs =
            (csv_escape s.Obs.name) s.Obs.rank s.Obs.core s.Obs.start s.Obs.finish
            (s.Obs.finish - s.Obs.start) s.Obs.depth))
     (Obs.spans obs);
+  Buffer.contents b
+
+(* --- collapsed stacks (flamegraph folded format) ----------------------- *)
+
+(* Rebuild call stacks from span nesting: within one (rank, core) scope,
+   spans sorted by (start, depth) visit parents before their children, so
+   a running stack of not-yet-finished spans is exactly the call stack.
+   Each frame's weight is its self time — duration minus the duration of
+   its direct children — which is what flamegraph.pl expects. *)
+
+let span_frame (s : Obs.span) =
+  if s.Obs.cat = "" then s.Obs.name else s.Obs.cat ^ ":" ^ s.Obs.name
+
+let scope_frame rank core =
+  if rank = Obs.node_scope then "control"
+  else Printf.sprintf "rank%d/core%d" rank core
+
+let collapsed_stacks obs =
+  let by_scope = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Obs.span) ->
+      let k = (s.Obs.rank, s.Obs.core) in
+      let prev = match Hashtbl.find_opt by_scope k with Some l -> l | None -> [] in
+      Hashtbl.replace by_scope k (s :: prev))
+    (Obs.spans obs);
+  let scopes =
+    Hashtbl.fold (fun k l acc -> (k, List.rev l) :: acc) by_scope []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let weights = Hashtbl.create 64 in
+  let add_weight key w =
+    if w > 0 then
+      match Hashtbl.find_opt weights key with
+      | Some r -> r := !r + w
+      | None -> Hashtbl.add weights key (ref w)
+  in
+  List.iter
+    (fun ((rank, core), ss) ->
+      let ss =
+        List.sort
+          (fun (a : Obs.span) (b : Obs.span) ->
+            let c = compare a.Obs.start b.Obs.start in
+            if c <> 0 then c else compare a.Obs.depth b.Obs.depth)
+          ss
+      in
+      let root = scope_frame rank core in
+      (* stack of open frames, top first: (label, finish, self cycles) *)
+      let stack = ref [] in
+      let flush_top () =
+        match !stack with
+        | [] -> ()
+        | (label, _, self) :: rest ->
+          stack := rest;
+          let ancestors = List.rev_map (fun (l, _, _) -> l) rest in
+          add_weight (String.concat ";" ((root :: ancestors) @ [ label ])) (max 0 self)
+      in
+      List.iter
+        (fun (s : Obs.span) ->
+          let rec pop_finished () =
+            match !stack with
+            | (_, fin, _) :: _ when fin <= s.Obs.start ->
+              flush_top ();
+              pop_finished ()
+            | _ -> ()
+          in
+          pop_finished ();
+          let dur = s.Obs.finish - s.Obs.start in
+          (match !stack with
+          | (label, fin, self) :: rest ->
+            stack := (label, fin, self - dur) :: rest
+          | [] -> ());
+          stack := (span_frame s, s.Obs.finish, dur) :: !stack)
+        ss;
+      while !stack <> [] do
+        flush_top ()
+      done)
+    scopes;
+  let b = Buffer.create 1024 in
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) weights []
+  |> List.sort compare
+  |> List.iter (fun (k, w) -> Buffer.add_string b (Printf.sprintf "%s %d\n" k w));
   Buffer.contents b
 
 let to_file ~path contents =

@@ -8,15 +8,25 @@
 val chrome_trace : Obs.t -> string
 (** The retained spans as a catapult JSON object: one ["ph":"X"]
     (complete) event per span with [ts]/[dur] in microseconds,
-    [pid] = rank and [tid] = core, plus process-name metadata rows. *)
+    [pid] = rank and [tid] = core; one ["ph":"C"] counter event per
+    counter/gauge metric (end-of-run value, plotted as a track); plus
+    process-name metadata rows. *)
 
 val metrics_csv : Obs.t -> string
-(** [subsystem,name,rank,core,kind,count,value,mean,min,max] rows from
-    {!Obs.snapshot}, deterministically ordered. *)
+(** [subsystem,name,rank,core,kind,count,value,mean,min,max,sum,p50,p90,
+    p99,p999] rows from {!Obs.snapshot}, deterministically ordered. *)
 
 val spans_csv : Obs.t -> string
 (** [cat,name,rank,core,start_cycle,finish_cycle,duration_cycles,depth]
     rows, oldest first. *)
+
+val collapsed_stacks : Obs.t -> string
+(** The retained spans in Brendan Gregg's folded-stack format, one
+    ["frame;frame;... cycles"] line per unique stack, lines sorted.
+    Stacks are rebuilt from span nesting depth per (rank, core) scope,
+    rooted at a ["rankR/coreC"] frame; a frame's weight is its self
+    time in cycles (duration minus direct children). Feed directly to
+    [flamegraph.pl] or speedscope. *)
 
 val to_file : path:string -> string -> unit
 

@@ -32,6 +32,7 @@ type span = {
   start : Cycles.t;
   finish : Cycles.t;
   depth : int;
+  seq : int;  (* global completion order *)
 }
 
 type handle = int
@@ -58,6 +59,7 @@ type ring = {
   starts : int array;
   finishes : int array;
   depths : int array;
+  seqs : int array;  (* global completion sequence number per slot *)
   mutable written : int;  (* total spans ever pushed through this ring *)
 }
 
@@ -110,6 +112,7 @@ let ring_for t scope =
         starts = Array.make cap 0;
         finishes = Array.make cap 0;
         depths = Array.make cap 0;
+        seqs = Array.make cap 0;
         written = 0;
       }
     in
@@ -132,6 +135,7 @@ let push_span t ~cat ~name ~rank ~core ~start ~finish ~depth =
   ring.starts.(i) <- start;
   ring.finishes.(i) <- finish;
   ring.depths.(i) <- depth;
+  ring.seqs.(i) <- t.completed;
   ring.written <- ring.written + 1;
   t.completed <- t.completed + 1;
   let d = Fnv.add_string t.digest cat in
@@ -200,6 +204,7 @@ let iter_scope_spans r f =
         start = r.starts.(i);
         finish = r.finishes.(i);
         depth = r.depths.(i);
+        seq = r.seqs.(i);
       }
   done
 
@@ -213,11 +218,16 @@ let spans t =
     (fun ((rank, core), r) ->
       iter_scope_spans r (fun s -> out := { s with rank; core } :: !out))
     scopes;
-  (* stable order: by start cycle, then scope, oldest first *)
-  List.stable_sort
+  (* total order: start cycle, then scope, then global completion
+     sequence — equal-start spans sort deterministically no matter what
+     order the scope table iterates in *)
+  List.sort
     (fun a b ->
       let c = compare a.start b.start in
-      if c <> 0 then c else compare (a.rank, a.core) (b.rank, b.core))
+      if c <> 0 then c
+      else
+        let c = compare (a.rank, a.core) (b.rank, b.core) in
+        if c <> 0 then c else compare a.seq b.seq)
     (List.rev !out)
 
 let digest t = t.digest
@@ -288,7 +298,17 @@ let timer_histogram t ?(rank = node_scope) ?(core = node_scope) ~subsystem ~name
 type value =
   | Counter of int
   | Gauge of int
-  | Timer of { n : int; mean : float; min : float; max : float }
+  | Timer of {
+      n : int;
+      mean : float;
+      min : float;
+      max : float;
+      sum : float;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+      p999 : float;
+    }
 
 type metric = { key : key; value : value }
 
@@ -299,6 +319,14 @@ let snapshot t =
   Hashtbl.iter
     (fun key tm ->
       let o = tm.online in
+      let h = tm.hist in
+      (* bin interpolation can land outside the observed extremes when a
+         distribution is much tighter than the bin width; clamp so the
+         reported quantiles always lie within the data *)
+      let pct p =
+        Float.max (Stats.Online.min o)
+          (Float.min (Stats.Online.max o) (Stats.Histogram.percentile h p))
+      in
       out :=
         {
           key;
@@ -309,6 +337,11 @@ let snapshot t =
                 mean = Stats.Online.mean o;
                 min = Stats.Online.min o;
                 max = Stats.Online.max o;
+                sum = Stats.Histogram.sum h;
+                p50 = pct 0.50;
+                p90 = pct 0.90;
+                p99 = pct 0.99;
+                p999 = pct 0.999;
               };
         }
         :: !out)
@@ -334,6 +367,7 @@ let pp_metric ppf m =
   match m.value with
   | Counter v -> Format.fprintf ppf "%s.%s%s = %d" m.key.subsystem m.key.name scope v
   | Gauge v -> Format.fprintf ppf "%s.%s%s = %d (gauge)" m.key.subsystem m.key.name scope v
-  | Timer { n; mean; min; max } ->
-    Format.fprintf ppf "%s.%s%s: n=%d mean=%.1f min=%.0f max=%.0f" m.key.subsystem
-      m.key.name scope n mean min max
+  | Timer { n; mean; min; max; sum = _; p50; p90 = _; p99; p999 } ->
+    Format.fprintf ppf
+      "%s.%s%s: n=%d mean=%.1f min=%.0f max=%.0f p50=%.0f p99=%.0f p999=%.0f"
+      m.key.subsystem m.key.name scope n mean min max p50 p99 p999

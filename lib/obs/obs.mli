@@ -49,6 +49,7 @@ type span = {
   start : Bg_engine.Cycles.t;
   finish : Bg_engine.Cycles.t;
   depth : int;  (** nesting depth within the scope at begin time *)
+  seq : int;    (** global completion order across all scopes *)
 }
 
 type handle
@@ -79,7 +80,9 @@ val abandon_open : t -> handle -> unit
 (** Discard an open span without recording it (e.g. thread death). *)
 
 val spans : t -> span list
-(** All retained spans across scopes, oldest first (by start cycle). *)
+(** All retained spans across scopes in a total, deterministic order:
+    by start cycle, ties broken by (rank, core), then by completion
+    sequence — never by hash-table iteration order. *)
 
 val span_count : t -> int
 (** Completed spans ever recorded, including overwritten ones. *)
@@ -155,7 +158,19 @@ type key = { subsystem : string; name : string; rank : int; core : int }
 type value =
   | Counter of int
   | Gauge of int
-  | Timer of { n : int; mean : float; min : float; max : float }
+  | Timer of {
+      n : int;
+      mean : float;
+      min : float;
+      max : float;
+      sum : float;  (** sum of samples as observed (pre-clamp) *)
+      p50 : float;
+      p90 : float;
+      p99 : float;
+      p999 : float;
+          (** histogram percentiles ({!Bg_engine.Stats.Histogram.percentile});
+              resolution is one bin width *)
+    }
 
 type metric = { key : key; value : value }
 
