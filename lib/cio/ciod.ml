@@ -10,30 +10,56 @@ type t = {
   machine : Machine.t;
   fs : Fs.t;
   io_node : int;
+  config : Reliable.config;
+  manifest : Manifest.t;
   proxies : (int * int, Ioproxy.t) Hashtbl.t;  (* (rank, pid) -> proxy *)
   deliver : (int, bytes -> unit) Hashtbl.t;    (* rank -> reply delivery *)
   worker_busy : Cycles.t array;                 (* 4 I/O-node cores *)
+  (* in-flight service events, cancellable on crash *)
+  inflight : (int, Event_queue.handle) Hashtbl.t;
+  mutable inflight_next : int;
+  (* (rank, pid, tid) -> seq of the request currently being serviced, so a
+     retransmission that lands before the original finishes is not
+     executed a second time *)
+  executing : (int * int * int, int) Hashtbl.t;
+  mutable alive : bool;
   mutable served : int;
+  mutable retransmits_seen : int;
+  mutable queue_rejects : int;
+  mutable crashes : int;
 }
 
 (* Linux-side service cost: syscall entry + VFS + wakeup of the proxy. *)
 let base_service_cycles = 3400 (* ~4 us *)
 let per_byte_cycles = 0.25
 
-let create machine ?fs ~io_node () =
+let create machine ?fs ?(config = Reliable.off) ~io_node () =
+  Reliable.validate config;
   let fs = match fs with Some f -> f | None -> Fs.create () in
   {
     machine;
     fs;
     io_node;
+    config;
+    manifest = Manifest.create ();
     proxies = Hashtbl.create 64;
     deliver = Hashtbl.create 64;
     worker_busy = Array.make 4 0;
+    inflight = Hashtbl.create 16;
+    inflight_next = 0;
+    executing = Hashtbl.create 16;
+    alive = true;
     served = 0;
+    retransmits_seen = 0;
+    queue_rejects = 0;
+    crashes = 0;
   }
 
 let fs t = t.fs
 let io_node t = t.io_node
+let config t = t.config
+let manifest t = t.manifest
+let alive t = t.alive
 
 let register_node t ~rank ~deliver = Hashtbl.replace t.deliver rank deliver
 
@@ -47,13 +73,25 @@ let proxy t ~rank ~pid =
 
 let obs t = t.machine.Machine.obs
 
+let count t name =
+  Obs.incr (obs t) ~rank:t.io_node ~subsystem:"ciod" ~name ()
+
+let depth_gauge t =
+  Obs.set_gauge (obs t) ~rank:t.io_node ~subsystem:"ciod" ~name:"queue_depth"
+    (Hashtbl.length t.inflight)
+
 let mark t ~rank name =
   let now = Sim.now t.machine.Machine.sim in
   Obs.span_record (obs t) ~cat:"cio" ~name ~rank ~core:worker_tid_base ~start:now ~finish:now
 
 let job_start t ~rank ~pids =
   mark t ~rank "job_start";
-  List.iter (fun pid -> ignore (proxy t ~rank ~pid)) pids
+  List.iter
+    (fun pid ->
+      let p = proxy t ~rank ~pid in
+      Manifest.add_proc t.manifest ~rank ~pid;
+      Manifest.record_proxy t.manifest ~rank ~pid (Ioproxy.snapshot p))
+    pids
 
 let job_end t ~rank =
   mark t ~rank "job_end";
@@ -62,9 +100,12 @@ let job_end t ~rank =
   in
   List.iter
     (fun key ->
-      Ioproxy.close_all (Hashtbl.find t.proxies key);
+      (match Hashtbl.find_opt t.proxies key with
+      | Some p -> Ioproxy.close_all p
+      | None -> ());
       Hashtbl.remove t.proxies key)
-    doomed
+    doomed;
+  Manifest.remove_rank t.manifest ~rank
 
 let request_cost req =
   let data_bytes =
@@ -84,10 +125,18 @@ let pick_worker t now =
   let start = max now t.worker_busy.(!best) in
   (!best, start)
 
-let submit t data =
+(* --- legacy (lossless) path ------------------------------------------
+   Kept bit-for-bit: with the reliability layer off, every trace emit,
+   span, and schedule below matches the pre-reliability protocol. *)
+
+let submit_raw t data =
   let sim = t.machine.Machine.sim in
   let o = obs t in
-  let hdr, req = Proto.decode_request data in
+  let hdr, req =
+    match Proto.decode_request data with
+    | Ok v -> v
+    | Error e -> failwith ("Proto.decode_request: " ^ Proto.error_message e)
+  in
   let p = proxy t ~rank:hdr.Proto.rank ~pid:hdr.Proto.pid in
   let now = Sim.now sim in
   let worker, start = pick_worker t now in
@@ -112,8 +161,11 @@ let submit t data =
   ignore
     (Sim.schedule_at sim finish (fun () ->
          t.served <- t.served + 1;
+         count t "served";
          Sim.emit sim ~label:"ciod.served" ~value:(Int64.of_int hdr.Proto.rank);
          let reply = Ioproxy.handle p req in
+         Manifest.record_proxy t.manifest ~rank:hdr.Proto.rank ~pid:hdr.Proto.pid
+           (Ioproxy.snapshot p);
          let reply_bytes = Proto.encode_reply hdr reply in
          (* part 4: the reply's trip back down the collective network *)
          let hr =
@@ -121,12 +173,182 @@ let submit t data =
              ~core:(worker_tid_base + worker) ~now:(Sim.now sim)
          in
          Bg_hw.Collective_net.to_compute_node t.machine.Machine.collective
-           ~cn:hdr.Proto.rank ~bytes:(Bytes.length reply_bytes)
-           ~on_arrival:(fun ~arrival_cycle:_ ->
+           ~cn:hdr.Proto.rank ~payload:reply_bytes
+           ~on_arrival:(fun ~payload ~arrival_cycle:_ ->
              Obs.span_end o hr ~now:(Sim.now sim);
              match Hashtbl.find_opt t.deliver hdr.Proto.rank with
-             | Some deliver -> deliver reply_bytes
+             | Some deliver -> deliver payload
              | None -> ())))
 
+(* --- reliable path ---------------------------------------------------- *)
+
+let send_down t ~rank framed =
+  let sim = t.machine.Machine.sim in
+  let o = obs t in
+  let sent = Sim.now sim in
+  Bg_hw.Collective_net.to_compute_node t.machine.Machine.collective ~cn:rank
+    ~payload:framed
+    ~on_arrival:(fun ~payload ~arrival_cycle ->
+      (* Recorded one-shot at arrival: a dropped reply must not leak an
+         open span. *)
+      Obs.span_record o ~cat:"cio" ~name:"transit_reply" ~rank ~core:worker_tid_base
+        ~start:sent ~finish:arrival_cycle;
+      match Hashtbl.find_opt t.deliver rank with
+      | Some deliver -> deliver payload
+      | None -> ())
+
+let service t (f : Frame.t) req =
+  let sim = t.machine.Machine.sim in
+  let o = obs t in
+  let now = Sim.now sim in
+  let worker, start = pick_worker t now in
+  let finish = start + request_cost req in
+  t.worker_busy.(worker) <- finish;
+  let key = t.inflight_next in
+  t.inflight_next <- key + 1;
+  let exec_key = (f.Frame.rank, f.Frame.pid, f.Frame.tid) in
+  Hashtbl.replace t.executing exec_key f.Frame.seq;
+  let handle =
+    Sim.schedule_at sim finish (fun () ->
+        Hashtbl.remove t.inflight key;
+        Hashtbl.remove t.executing exec_key;
+        depth_gauge t;
+        t.served <- t.served + 1;
+        count t "served";
+        Sim.emit sim ~label:"ciod.served" ~value:(Int64.of_int f.Frame.rank);
+        if Obs.enabled o then begin
+          let lane = worker_tid_base + worker in
+          if start > now then
+            Obs.span_record o ~cat:"cio" ~name:"queue_wait" ~rank:f.Frame.rank
+              ~core:lane ~start:now ~finish:start;
+          Obs.span_record o ~cat:"cio"
+            ~name:("service." ^ Sysreq.request_name req)
+            ~rank:f.Frame.rank ~core:lane ~start ~finish;
+          Obs.observe_cycles o ~rank:f.Frame.rank ~subsystem:"cio" ~name:"service_cycles"
+            (finish - start);
+          Obs.observe_cycles o ~rank:f.Frame.rank ~subsystem:"cio"
+            ~name:"queue_wait_cycles" (start - now)
+        end;
+        (* Execute, snapshot, cache, reply — atomically within this event,
+           so a crash either sees the request fully applied (and replayable
+           from the cache) or not at all. *)
+        let p = proxy t ~rank:f.Frame.rank ~pid:f.Frame.pid in
+        let reply = Ioproxy.handle p req in
+        let hdr = { Proto.rank = f.Frame.rank; pid = f.Frame.pid; tid = f.Frame.tid } in
+        let framed =
+          Frame.encode
+            {
+              Frame.kind = Frame.Reply;
+              rank = f.Frame.rank;
+              pid = f.Frame.pid;
+              tid = f.Frame.tid;
+              seq = f.Frame.seq;
+              payload = Proto.encode_reply hdr reply;
+            }
+        in
+        Manifest.record_proxy t.manifest ~rank:f.Frame.rank ~pid:f.Frame.pid
+          (Ioproxy.snapshot p);
+        Manifest.record_reply t.manifest ~rank:f.Frame.rank ~pid:f.Frame.pid
+          ~tid:f.Frame.tid ~seq:f.Frame.seq ~frame:framed;
+        send_down t ~rank:f.Frame.rank framed)
+  in
+  Hashtbl.replace t.inflight key handle;
+  depth_gauge t
+
+let submit_reliable t data =
+  if not t.alive then count t "dropped_dead"
+  else
+    match Frame.decode data with
+    | Error Frame.Corrupt -> count t "corrupt_frames"
+    | Error (Frame.Malformed _) -> count t "malformed"
+    | Ok f -> (
+      match f.Frame.kind with
+      | Frame.Ack ->
+        Manifest.retire_reply t.manifest ~rank:f.Frame.rank ~pid:f.Frame.pid
+          ~tid:f.Frame.tid ~seq:f.Frame.seq
+      | Frame.Reply ->
+        (* replies never flow up the tree *)
+        count t "malformed"
+      | Frame.Request -> (
+        match
+          Manifest.last_reply t.manifest ~rank:f.Frame.rank ~pid:f.Frame.pid
+            ~tid:f.Frame.tid
+        with
+        | Some (seq, cached) when seq = f.Frame.seq ->
+          (* Duplicate of an already-executed request: replay the cached
+             reply, do NOT re-execute (a re-run write would double-append). *)
+          t.retransmits_seen <- t.retransmits_seen + 1;
+          count t "retransmit_seen";
+          send_down t ~rank:f.Frame.rank cached
+        | Some (seq, _) when f.Frame.seq < seq ->
+          (* Stale straggler from before the cached request; the sender has
+             long since moved on. *)
+          t.retransmits_seen <- t.retransmits_seen + 1;
+          count t "retransmit_seen"
+        | _ ->
+          if
+            Hashtbl.find_opt t.executing (f.Frame.rank, f.Frame.pid, f.Frame.tid)
+            = Some f.Frame.seq
+          then begin
+            (* Duplicate of a request still being serviced: the reply in
+               flight will answer both copies; executing again would apply
+               the side effects twice. *)
+            t.retransmits_seen <- t.retransmits_seen + 1;
+            count t "retransmit_seen"
+          end
+          else if Hashtbl.length t.inflight >= t.config.Reliable.queue_limit then begin
+            (* Bounded worker queue: shed load; the sender's timeout
+               re-drives the request. *)
+            t.queue_rejects <- t.queue_rejects + 1;
+            count t "queue_rejects"
+          end
+          else (
+            match Proto.decode_request f.Frame.payload with
+            | Error _ -> count t "malformed"
+            | Ok (_hdr, req) -> service t f req)))
+
+let submit t data =
+  if t.config.Reliable.enabled then submit_reliable t data else submit_raw t data
+
+(* --- crash / restart --------------------------------------------------- *)
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    t.crashes <- t.crashes + 1;
+    count t "crashes";
+    Sim.emit t.machine.Machine.sim ~label:"ciod.crash" ~value:(Int64.of_int t.io_node);
+    (* Queued work and all daemon-resident state die with the process.
+       The manifest survives: it models control-system storage. *)
+    Hashtbl.iter (fun _ h -> Sim.cancel t.machine.Machine.sim h) t.inflight;
+    Hashtbl.reset t.inflight;
+    Hashtbl.reset t.executing;
+    depth_gauge t;
+    Hashtbl.reset t.proxies;
+    Array.fill t.worker_busy 0 (Array.length t.worker_busy) 0
+  end
+
+let restart t =
+  if not t.alive then begin
+    t.alive <- true;
+    count t "restarts";
+    Sim.emit t.machine.Machine.sim ~label:"ciod.restart" ~value:(Int64.of_int t.io_node);
+    (* Rebuild every proxy from its manifest snapshot; descriptors, offsets
+       and cwd come back exactly as of the last executed request. *)
+    List.iter
+      (fun (rank, pid) ->
+        let p =
+          match Manifest.proxy_snapshot t.manifest ~rank ~pid with
+          | Some snap -> Ioproxy.restore t.fs ~rank ~pid snap
+          | None -> Ioproxy.create t.fs ~rank ~pid
+        in
+        Hashtbl.replace t.proxies (rank, pid) p)
+      (Manifest.procs t.manifest)
+  end
+
 let requests_served t = t.served
+let retransmits_seen t = t.retransmits_seen
+let queue_rejects t = t.queue_rejects
+let crashes t = t.crashes
+let queue_depth t = Hashtbl.length t.inflight
 let proxy_count t = Hashtbl.length t.proxies

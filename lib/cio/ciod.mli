@@ -7,33 +7,66 @@
 
     The I/O node has four cores; request service occupies one of four
     worker slots, so bursts from many compute nodes queue — the
-    aggregation that turns 64 compute nodes into one filesystem client. *)
+    aggregation that turns 64 compute nodes into one filesystem client.
+
+    With {!Reliable.config.enabled} (off by default), traffic is
+    {!Frame}-wrapped and the daemon becomes crash-tolerant: requests are
+    sequence-numbered per (rank, pid, tid); a replay cache suppresses
+    duplicate execution (a retransmitted [write] must not double-append)
+    by resending the cached reply; positive acks retire cache entries; the
+    worker queue is bounded; and {!crash}/{!restart} model the daemon
+    dying mid-flight and being rebuilt from the job {!Manifest}. *)
 
 type t
 
-val create : Machine.t -> ?fs:Fs.t -> io_node:int -> unit -> t
+val create : Machine.t -> ?fs:Fs.t -> ?config:Reliable.config -> io_node:int -> unit -> t
 (** [fs] lets several I/O nodes share one filesystem (a "network mount");
-    by default each CIOD gets a private one. *)
+    by default each CIOD gets a private one. [config] defaults to
+    {!Reliable.off}: bare Proto bytes on the wire, bit-identical to the
+    pre-reliability protocol. *)
 
 val fs : t -> Fs.t
 val io_node : t -> int
+val config : t -> Reliable.config
+val manifest : t -> Manifest.t
+val alive : t -> bool
 
 val register_node : t -> rank:int -> deliver:(bytes -> unit) -> unit
 (** The compute-node kernel registers how replies reach it: [deliver] is
     invoked when the reply message arrives back at node [rank]. *)
 
 val job_start : t -> rank:int -> pids:int list -> unit
-(** Create the ioproxies for a job's processes on [rank]. *)
+(** Create the ioproxies for a job's processes on [rank] and enter them
+    into the manifest. *)
 
 val job_end : t -> rank:int -> unit
-(** Tear down rank's proxies, closing their descriptors. *)
+(** Tear down rank's proxies, closing their descriptors, and drop the
+    rank from the manifest. *)
 
 val submit : t -> bytes -> unit
-(** A marshaled request has arrived at the I/O node (the uplink transit is
-    charged by the caller). Decodes, queues on a worker, executes, and
-    ships the reply. Unknown (rank, pid) gets an implicit proxy, so
-    single-shot tools work without [job_start]. *)
+(** A marshaled message has arrived at the I/O node (the uplink transit is
+    charged by the caller). In the default mode this is a bare Proto
+    request: decode, queue on a worker, execute, ship the reply; a
+    malformed message raises [Failure]. In reliable mode it is a
+    {!Frame}: CRC failures and malformed frames are dropped silently
+    (counted in the ["ciod"] Obs subsystem; the sender's timeout
+    re-drives), duplicates are answered from the replay cache without
+    re-execution, acks retire cache entries, and anything arriving while
+    the daemon is down is dropped. *)
+
+val crash : t -> unit
+(** Kill the daemon mid-flight: queued work is cancelled, proxies and all
+    daemon-resident state are lost. The {!Manifest} survives (it models
+    control-system storage). Idempotent while down. *)
+
+val restart : t -> unit
+(** Bring a crashed daemon back: proxies are rebuilt from their manifest
+    snapshots, so descriptors, offsets and cwd resume as of the last
+    executed request. No-op while alive. *)
 
 val requests_served : t -> int
-
+val retransmits_seen : t -> int
+val queue_rejects : t -> int
+val crashes : t -> int
+val queue_depth : t -> int
 val proxy_count : t -> int

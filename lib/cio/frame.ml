@@ -1,0 +1,111 @@
+type kind = Request | Reply | Ack
+
+type t = {
+  kind : kind;
+  rank : int;
+  pid : int;
+  tid : int;
+  seq : int;
+  payload : bytes;
+}
+
+type error = Malformed of string | Corrupt
+
+let error_message = function
+  | Malformed m -> m
+  | Corrupt -> "CRC mismatch"
+
+(* --- CRC-32 (IEEE 802.3, reflected) --------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 data ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Bytes.get_uint8 data i) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+(* --- wire layout ------------------------------------------------------
+
+   0        magic (0xc9)
+   1        kind
+   2..5     crc32, little-endian — computed over the ENTIRE frame with
+            these four bytes zeroed, so a single bit flip anywhere
+            (magic, kind, crc field, header, payload) is always detected
+   6..13    rank
+   14..21   pid
+   22..29   tid
+   30..37   seq
+   38..45   payload length
+   46..     payload                                                        *)
+
+let magic = 0xc9
+let header_bytes = 46
+
+let kind_byte = function Request -> 0 | Reply -> 1 | Ack -> 2
+
+let byte_kind = function
+  | 0 -> Some Request
+  | 1 -> Some Reply
+  | 2 -> Some Ack
+  | _ -> None
+
+let overhead = header_bytes
+
+let encode f =
+  let len = Bytes.length f.payload in
+  let b = Bytes.create (header_bytes + len) in
+  Bytes.set_uint8 b 0 magic;
+  Bytes.set_uint8 b 1 (kind_byte f.kind);
+  Bytes.set_int64_le b 6 (Int64.of_int f.rank);
+  Bytes.set_int64_le b 14 (Int64.of_int f.pid);
+  Bytes.set_int64_le b 22 (Int64.of_int f.tid);
+  Bytes.set_int64_le b 30 (Int64.of_int f.seq);
+  Bytes.set_int64_le b 38 (Int64.of_int len);
+  Bytes.blit f.payload 0 b header_bytes len;
+  (* checksum the whole frame with the crc field zeroed (Bytes.create
+     gives uninitialized memory — zeroing is not optional) *)
+  Bytes.set_int32_le b 2 0l;
+  let crc = crc32 b ~pos:0 ~len:(Bytes.length b) in
+  Bytes.set_int32_le b 2 (Int32.of_int crc);
+  b
+
+let decode data =
+  let n = Bytes.length data in
+  if n < header_bytes then Error (Malformed (Printf.sprintf "short frame: %d bytes" n))
+  else begin
+    let stored = Int32.to_int (Bytes.get_int32_le data 2) land 0xffffffff in
+    let scratch = Bytes.copy data in
+    Bytes.set_int32_le scratch 2 0l;
+    let computed = crc32 scratch ~pos:0 ~len:n in
+    if stored <> computed then Error Corrupt
+    else if Bytes.get_uint8 data 0 <> magic then Error (Malformed "bad magic")
+    else
+      match byte_kind (Bytes.get_uint8 data 1) with
+      | None -> Error (Malformed "bad kind")
+      | Some kind -> begin
+        let int_at off = Int64.to_int (Bytes.get_int64_le data off) in
+        let len = int_at 38 in
+        if len < 0 || header_bytes + len <> n then
+          Error (Malformed (Printf.sprintf "bad payload length %d in %d-byte frame" len n))
+        else
+          Ok
+            {
+              kind;
+              rank = int_at 6;
+              pid = int_at 14;
+              tid = int_at 22;
+              seq = int_at 30;
+              payload = Bytes.sub data header_bytes len;
+            }
+      end
+  end

@@ -11,12 +11,13 @@ type t = {
   mutable cwd : string;
   fds : (int, open_file) Hashtbl.t;
   mutable next_fd : int;
+  mutable closed : bool;
 }
 
 let fd_limit = 1024
 
 let create fs ~rank ~pid =
-  { fs; rank; pid; cwd = "/"; fds = Hashtbl.create 16; next_fd = 3 }
+  { fs; rank; pid; cwd = "/"; fds = Hashtbl.create 16; next_fd = 3; closed = false }
 
 let rank t = t.rank
 let pid t = t.pid
@@ -81,6 +82,8 @@ let do_lseek t fd offset whence =
       end)
 
 let handle t req =
+  if t.closed then err Errno.EBADF
+  else
   match req with
   | Sysreq.Open { path; flags; mode } -> do_open t path flags mode
   | Sysreq.Close fd ->
@@ -133,4 +136,49 @@ let handle t req =
   | Sysreq.Fsync fd -> with_fd t fd (fun _ -> Sysreq.R_unit)
   | _ -> err Errno.ENOSYS
 
-let close_all t = Hashtbl.reset t.fds
+let closed t = t.closed
+
+(* Idempotent: a CIOD restart over the same [Fs] may tear a proxy down
+   twice (once on crash cleanup, once on job end); the second call must
+   neither raise nor disturb descriptors of a successor proxy. *)
+let close_all t =
+  if not t.closed then begin
+    Hashtbl.reset t.fds;
+    t.closed <- true
+  end
+
+(* --- crash-recovery snapshots ---------------------------------------- *)
+
+type fd_snapshot = {
+  snap_fd : int;
+  snap_inode : Fs.inode;
+  snap_flags : Sysreq.open_flags;
+  snap_offset : int;
+}
+
+type snapshot = { snap_cwd : string; snap_next_fd : int; snap_fds : fd_snapshot list }
+
+let snapshot t =
+  let fds =
+    Hashtbl.fold
+      (fun fd o acc ->
+        { snap_fd = fd; snap_inode = o.inode; snap_flags = o.flags; snap_offset = o.offset }
+        :: acc)
+      t.fds []
+  in
+  {
+    snap_cwd = t.cwd;
+    snap_next_fd = t.next_fd;
+    snap_fds = List.sort (fun a b -> compare a.snap_fd b.snap_fd) fds;
+  }
+
+let restore fs ~rank ~pid snap =
+  let t = create fs ~rank ~pid in
+  t.cwd <- snap.snap_cwd;
+  t.next_fd <- snap.snap_next_fd;
+  List.iter
+    (fun s ->
+      Hashtbl.replace t.fds s.snap_fd
+        { inode = s.snap_inode; flags = s.snap_flags; offset = s.snap_offset })
+    snap.snap_fds;
+  t

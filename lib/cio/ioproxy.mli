@@ -23,4 +23,23 @@ val handle : t -> Sysreq.request -> Sysreq.reply
     are not file I/O return [R_err ENOSYS]. *)
 
 val close_all : t -> unit
-(** Job teardown: drop every descriptor. *)
+(** Job teardown: drop every descriptor and mark the proxy closed.
+    Idempotent — a second call (e.g. crash cleanup followed by job end)
+    is a no-op, so a restarted CIOD reusing the same {!Fs} never tears
+    down a successor proxy's descriptors. *)
+
+val closed : t -> bool
+(** True once {!close_all} has run; subsequent {!handle} calls return
+    [R_err EBADF]. *)
+
+(** {2 Crash-recovery snapshots}
+
+    A proxy's entire kernel-visible state — cwd, fd table with flags and
+    offsets, next-fd counter — can be captured and later rebuilt against
+    the same filesystem, modeling the job manifest CIOD persists so a
+    restarted daemon can resume a running job. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : Fs.t -> rank:int -> pid:int -> snapshot -> t

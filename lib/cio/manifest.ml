@@ -1,0 +1,43 @@
+type proc = { rank : int; pid : int }
+
+type cached_reply = { seq : int; frame : bytes }
+
+type t = {
+  procs : (proc, unit) Hashtbl.t;
+  proxies : (proc, Ioproxy.snapshot) Hashtbl.t;
+  replies : (proc * int, cached_reply) Hashtbl.t;
+}
+
+let create () =
+  { procs = Hashtbl.create 16; proxies = Hashtbl.create 16; replies = Hashtbl.create 16 }
+
+let add_proc t ~rank ~pid = Hashtbl.replace t.procs { rank; pid } ()
+
+let procs t =
+  Hashtbl.fold (fun p () acc -> (p.rank, p.pid) :: acc) t.procs []
+  |> List.sort compare
+
+let record_proxy t ~rank ~pid snap = Hashtbl.replace t.proxies { rank; pid } snap
+let proxy_snapshot t ~rank ~pid = Hashtbl.find_opt t.proxies { rank; pid }
+
+let record_reply t ~rank ~pid ~tid ~seq ~frame =
+  Hashtbl.replace t.replies ({ rank; pid }, tid) { seq; frame }
+
+let last_reply t ~rank ~pid ~tid =
+  match Hashtbl.find_opt t.replies ({ rank; pid }, tid) with
+  | Some { seq; frame } -> Some (seq, frame)
+  | None -> None
+
+let retire_reply t ~rank ~pid ~tid ~seq =
+  match Hashtbl.find_opt t.replies ({ rank; pid }, tid) with
+  | Some c when c.seq = seq -> Hashtbl.remove t.replies ({ rank; pid }, tid)
+  | _ -> ()
+
+let remove_rank t ~rank =
+  let drop_if tbl key (p : proc) = if p.rank = rank then Hashtbl.remove tbl key in
+  let proc_keys = Hashtbl.fold (fun p () acc -> p :: acc) t.procs [] in
+  List.iter (fun p -> drop_if t.procs p p) proc_keys;
+  let proxy_keys = Hashtbl.fold (fun p _ acc -> p :: acc) t.proxies [] in
+  List.iter (fun p -> drop_if t.proxies p p) proxy_keys;
+  let reply_keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.replies [] in
+  List.iter (fun ((p, _) as k) -> drop_if t.replies k p) reply_keys

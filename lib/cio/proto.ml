@@ -17,29 +17,55 @@ let put_bytes b d =
   put_int b (Bytes.length d);
   Buffer.add_bytes b d
 
+type error = Malformed of string
+
+let error_message (Malformed m) = m
+
 type cursor = { data : bytes; mutable pos : int }
 
+(* Internal decode failure; [decode_request]/[decode_reply] catch it and
+   return a typed [Malformed] — a hostile message must never raise out of
+   the decoder, and no cursor read may touch bytes past the buffer. *)
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let need c n =
+  if n < 0 || c.pos + n > Bytes.length c.data then
+    bad "truncated: need %d byte(s) at offset %d of %d" n c.pos (Bytes.length c.data)
+
 let get_u8 c =
+  need c 1;
   let v = Bytes.get_uint8 c.data c.pos in
   c.pos <- c.pos + 1;
   v
 
 let get_int c =
+  need c 8;
   let v = Int64.to_int (Bytes.get_int64_le c.data c.pos) in
   c.pos <- c.pos + 8;
   v
 
-let get_str c =
+let get_len c =
   let n = get_int c in
+  need c n;
+  n
+
+let get_str c =
+  let n = get_len c in
   let s = Bytes.sub_string c.data c.pos n in
   c.pos <- c.pos + n;
   s
 
 let get_bytes c =
-  let n = get_int c in
+  let n = get_len c in
   let s = Bytes.sub c.data c.pos n in
   c.pos <- c.pos + n;
   s
+
+let finished c =
+  if c.pos <> Bytes.length c.data then
+    bad "trailing garbage: %d byte(s) past the message" (Bytes.length c.data - c.pos)
 
 let put_header b { rank; pid; tid } =
   put_int b rank;
@@ -78,7 +104,7 @@ let byte_whence = function
   | 0 -> Sysreq.Seek_set
   | 1 -> Sysreq.Seek_cur
   | 2 -> Sysreq.Seek_end
-  | n -> failwith (Printf.sprintf "Proto: bad whence %d" n)
+  | n -> bad "bad whence %d" n
 
 let encode_request hdr req =
   if not (Sysreq.is_file_io req) then
@@ -160,10 +186,11 @@ let encode_request hdr req =
   Buffer.to_bytes b
 
 let decode_request data =
-  let c = { data; pos = 0 } in
-  let hdr = get_header c in
-  let req =
-    match get_u8 c with
+  try
+    let c = { data; pos = 0 } in
+    let hdr = get_header c in
+    let req =
+      match get_u8 c with
     | 1 ->
       let path = get_str c in
       let flags = byte_flags (get_u8 c) in
@@ -214,9 +241,11 @@ let decode_request data =
       Sysreq.Rename { src; dst }
     | 18 -> Sysreq.Dup (get_int c)
     | 19 -> Sysreq.Fsync (get_int c)
-    | n -> failwith (Printf.sprintf "Proto: bad request tag %d" n)
-  in
-  (hdr, req)
+      | n -> bad "bad request tag %d" n
+    in
+    finished c;
+    Ok (hdr, req)
+  with Bad m -> Error (Malformed m)
 
 (* --- reply encoding -------------------------------------------------- *)
 
@@ -225,7 +254,7 @@ let kind_byte = function Sysreq.Regular -> 0 | Sysreq.Directory -> 1
 let byte_kind = function
   | 0 -> Sysreq.Regular
   | 1 -> Sysreq.Directory
-  | n -> failwith (Printf.sprintf "Proto: bad kind %d" n)
+  | n -> bad "bad kind %d" n
 
 let encode_reply hdr reply =
   let b = Buffer.create 64 in
@@ -269,26 +298,31 @@ let errno_of_code code =
   in
   match List.find_opt (fun e -> Errno.code e = code) all with
   | Some e -> e
-  | None -> failwith (Printf.sprintf "Proto: unknown errno %d" code)
+  | None -> bad "unknown errno %d" code
 
 let decode_reply data =
-  let c = { data; pos = 0 } in
-  let hdr = get_header c in
-  let reply =
-    match get_u8 c with
-    | 1 -> Sysreq.R_unit
-    | 2 -> Sysreq.R_int (get_int c)
-    | 3 -> Sysreq.R_bytes (get_bytes c)
-    | 4 ->
-      let st_size = get_int c in
-      let st_kind = byte_kind (get_u8 c) in
-      let st_perm = get_int c in
-      Sysreq.R_stat { Sysreq.st_size; st_kind; st_perm }
-    | 5 ->
-      let n = get_int c in
-      Sysreq.R_names (List.init n (fun _ -> get_str c))
-    | 6 -> Sysreq.R_string (get_str c)
-    | 7 -> Sysreq.R_err (errno_of_code (get_int c))
-    | n -> failwith (Printf.sprintf "Proto: bad reply tag %d" n)
-  in
-  (hdr, reply)
+  try
+    let c = { data; pos = 0 } in
+    let hdr = get_header c in
+    let reply =
+      match get_u8 c with
+      | 1 -> Sysreq.R_unit
+      | 2 -> Sysreq.R_int (get_int c)
+      | 3 -> Sysreq.R_bytes (get_bytes c)
+      | 4 ->
+        let st_size = get_int c in
+        let st_kind = byte_kind (get_u8 c) in
+        let st_perm = get_int c in
+        Sysreq.R_stat { Sysreq.st_size; st_kind; st_perm }
+      | 5 ->
+        let n = get_int c in
+        (* each name needs at least its 8-byte length prefix *)
+        if n < 0 || n * 8 > Bytes.length c.data - c.pos then bad "bad name count %d" n;
+        Sysreq.R_names (List.init n (fun _ -> get_str c))
+      | 6 -> Sysreq.R_string (get_str c)
+      | 7 -> Sysreq.R_err (errno_of_code (get_int c))
+      | n -> bad "bad reply tag %d" n
+    in
+    finished c;
+    Ok (hdr, reply)
+  with Bad m -> Error (Malformed m)

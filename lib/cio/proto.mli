@@ -8,15 +8,24 @@
     {!encode_request} rejects anything else.
 
     Framing: every message starts with a header carrying the originating
-    (rank, pid, tid) so CIOD can route to the matching ioproxy thread. *)
+    (rank, pid, tid) so CIOD can route to the matching ioproxy thread.
+
+    Decoding is hostile-input safe: a truncated or bit-flipped message
+    yields a typed {!error}, never an exception, and no decode path reads
+    past the end of the buffer. (On the lossy-network path, messages are
+    additionally CRC-framed by {!Frame}; these decoders are the last line
+    of defense and the one exercised directly by fuzz tests.) *)
 
 type header = { rank : int; pid : int; tid : int }
+
+type error = Malformed of string
+
+val error_message : error -> string
 
 val encode_request : header -> Sysreq.request -> bytes
 (** Raises [Invalid_argument] if {!Sysreq.is_file_io} is false. *)
 
-val decode_request : bytes -> header * Sysreq.request
-(** Raises [Failure] on a malformed message. *)
+val decode_request : bytes -> (header * Sysreq.request, error) result
 
 val encode_reply : header -> Sysreq.reply -> bytes
-val decode_reply : bytes -> header * Sysreq.reply
+val decode_reply : bytes -> (header * Sysreq.reply, error) result

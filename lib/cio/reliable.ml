@@ -1,0 +1,28 @@
+type config = {
+  enabled : bool;
+  rto_cycles : int;
+  backoff : int;
+  retry_budget : int;
+  queue_limit : int;
+}
+
+let off =
+  { enabled = false; rto_cycles = 0; backoff = 1; retry_budget = 0; queue_limit = 0 }
+
+let default_on =
+  { enabled = true; rto_cycles = 40_000; backoff = 2; retry_budget = 10; queue_limit = 256 }
+
+let rto_cap = 1_000_000
+
+let validate c =
+  if c.enabled then begin
+    if c.rto_cycles <= 0 then invalid_arg "Reliable: rto_cycles must be positive";
+    if c.backoff < 1 then invalid_arg "Reliable: backoff must be >= 1";
+    if c.retry_budget < 1 then invalid_arg "Reliable: retry_budget must be >= 1";
+    if c.queue_limit < 1 then invalid_arg "Reliable: queue_limit must be >= 1"
+  end
+
+let rto c ~attempt =
+  if attempt < 0 then invalid_arg "Reliable.rto";
+  let rec go v n = if n <= 0 || v >= rto_cap then v else go (v * c.backoff) (n - 1) in
+  min rto_cap (go c.rto_cycles attempt)

@@ -1,0 +1,30 @@
+(** Policy knobs for the reliable function-ship transport.
+
+    With [enabled = false] (the default everywhere), CNK and CIOD exchange
+    bare {!Proto} bytes exactly as before the reliability layer existed —
+    no frames, no acks, no timers — so fault-free digests are unchanged.
+    With [enabled = true], requests and replies are {!Frame}-wrapped,
+    sequence-numbered, positively acknowledged, and retransmitted on a
+    timeout with exponential backoff until [retry_budget] is exhausted, at
+    which point the syscall fails with [EIO] and a RAS event. *)
+
+type config = {
+  enabled : bool;
+  rto_cycles : int;  (** initial retransmission timeout *)
+  backoff : int;  (** timeout multiplier per retry (>= 1) *)
+  retry_budget : int;  (** retransmissions before giving up with EIO *)
+  queue_limit : int;  (** CIOD worker-queue bound; excess requests are dropped *)
+}
+
+val off : config
+val default_on : config
+
+val rto_cap : int
+(** Ceiling on the backed-off timeout. *)
+
+val validate : config -> unit
+(** Raises [Invalid_argument] on nonsensical knobs (only when enabled). *)
+
+val rto : config -> attempt:int -> int
+(** Timeout for the given 0-based attempt: [rto_cycles * backoff^attempt],
+    capped at {!rto_cap}. *)

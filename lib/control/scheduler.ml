@@ -242,6 +242,22 @@ let node_failed t ~rank =
   mark_down t ~rank;
   kill_spanning t ~rank
 
+(* An unrecoverable I/O node takes its whole pset with it (the compute
+   nodes it served have no other path to the filesystem): every member is
+   excluded from future allocations and any job spanning one of them is
+   lost. *)
+let pset_failed t ~ranks =
+  (match ranks with
+  | first :: _ ->
+    let machine = Cnk.Cluster.machine t.cluster in
+    Machine.ras_emit machine ~rank:first ~severity:Machine.Ras_error
+      ~message:
+        (Printf.sprintf "SCHED pset_lost ranks=%s"
+           (String.concat "," (List.map string_of_int ranks)))
+  | [] -> ());
+  List.iter (fun rank -> mark_down t ~rank) ranks;
+  List.iter (fun rank -> kill_spanning t ~rank) ranks
+
 let job_crashed t ~rank = kill_spanning t ~rank
 
 let drain t =

@@ -64,6 +64,11 @@ val node_failed : t -> rank:int -> unit
 val mark_down : t -> rank:int -> unit
 (** Mark a node down without touching running jobs. *)
 
+val pset_failed : t -> ranks:int list -> unit
+(** An I/O node died for good: emit one RAS event, mark every compute
+    node it served down, and kill any job spanning them. Jobs with
+    restart budget are requeued onto surviving psets. *)
+
 val job_crashed : t -> rank:int -> unit
 (** Gang semantics for an application crash on [rank]: kill the spanning
     job on every member node (it restarts if it has budget), but leave the

@@ -8,7 +8,7 @@ type t = {
   nodes_per_io_node : int;
 }
 
-let create ?params ?seed ?mapping_config ?nodes_per_io_node ~dims () =
+let create ?params ?seed ?mapping_config ?nodes_per_io_node ?cio ~dims () =
   let machine = Machine.create ?params ?seed ?nodes_per_io_node ~dims () in
   let n = Machine.nodes machine in
   let nodes_per_io_node =
@@ -17,7 +17,8 @@ let create ?params ?seed ?mapping_config ?nodes_per_io_node ~dims () =
   let io_nodes = (n + nodes_per_io_node - 1) / nodes_per_io_node in
   let fs = Bg_cio.Fs.create () in
   let ciods =
-    Array.init io_nodes (fun io_node -> Bg_cio.Ciod.create machine ~fs ~io_node ())
+    Array.init io_nodes (fun io_node ->
+        Bg_cio.Ciod.create machine ~fs ?config:cio ~io_node ())
   in
   let nodes =
     Array.init n (fun rank ->
@@ -31,6 +32,14 @@ let nodes t = t.nodes
 let node t i = t.nodes.(i)
 let fs t = t.fs
 let ciod_for t ~rank = t.ciods.(rank / t.nodes_per_io_node)
+let ciod t ~io_node = t.ciods.(io_node)
+let io_node_count t = Array.length t.ciods
+
+let pset_ranks t ~io_node =
+  let n = Array.length t.nodes in
+  let lo = io_node * t.nodes_per_io_node in
+  let hi = min n (lo + t.nodes_per_io_node) in
+  List.init (hi - lo) (fun i -> lo + i)
 
 let boot_all t =
   let remaining = ref (Array.length t.nodes) in

@@ -13,10 +13,13 @@ val create :
   ?seed:int64 ->
   ?mapping_config:Mapping.config ->
   ?nodes_per_io_node:int ->
+  ?cio:Bg_cio.Reliable.config ->
   dims:int * int * int ->
   unit ->
   t
-(** Create and cold-boot every node (boot completes once the sim runs). *)
+(** Create and cold-boot every node (boot completes once the sim runs).
+    [cio] selects the function-ship transport for every CIOD/CNK pair
+    (default {!Bg_cio.Reliable.off}: the legacy lossless protocol). *)
 
 val machine : t -> Machine.t
 val sim : t -> Bg_engine.Sim.t
@@ -26,6 +29,12 @@ val fs : t -> Bg_cio.Fs.t
 (** The shared filesystem behind all I/O nodes. *)
 
 val ciod_for : t -> rank:int -> Bg_cio.Ciod.t
+val ciod : t -> io_node:int -> Bg_cio.Ciod.t
+val io_node_count : t -> int
+
+val pset_ranks : t -> io_node:int -> int list
+(** The compute-node ranks served by [io_node] — the blast radius of an
+    unrecoverable CIOD failure. *)
 
 val boot_all : t -> unit
 (** Run the simulation until every node reports booted. *)

@@ -2,6 +2,8 @@ open Bg_engine
 open Bg_hw
 module Obs = Bg_obs.Obs
 module Accounting = Bg_obs.Accounting
+module Frame = Bg_cio.Frame
+module Reliable = Bg_cio.Reliable
 
 (* --- tunable kernel constants (cycles) ------------------------------ *)
 
@@ -58,6 +60,18 @@ type core_state = {
   mutable mapped_pid : int option;  (* whose TLB entries the core holds *)
 }
 
+(* One outstanding reliable-mode function-ship per thread (threads spin on
+   I/O, so depth 1 suffices). Holds everything needed to retransmit. *)
+type io_inflight = {
+  io_ret : Sysreq.reply -> unit;
+  io_seq : int;
+  io_frame : bytes;  (* encoded request frame, resent verbatim on timeout *)
+  io_pid : int;
+  io_core : int;
+  mutable io_attempts : int;  (* retransmissions performed so far *)
+  mutable io_timer : Bg_engine.Event_queue.handle option;
+}
+
 type t = {
   machine : Machine.t;
   rank : int;
@@ -70,6 +84,8 @@ type t = {
   procs : (int, proc) Hashtbl.t;
   threads : (int, thread) Hashtbl.t;
   io_pending : (int, Sysreq.reply -> unit) Hashtbl.t;  (* tid -> resume *)
+  io_inflight : (int, io_inflight) Hashtbl.t;  (* tid -> reliable in-flight *)
+  io_seq : (int, int) Hashtbl.t;  (* tid -> next sequence number *)
   mutable next_pid : int;
   mutable next_tid : int;
   mutable booted : bool;
@@ -117,6 +133,70 @@ let acct_switch t ~core state =
 let ras t severity message =
   Machine.ras_emit t.machine ~rank:t.rank ~severity ~message
 
+(* --- reliable CIO transport (CNK side) ------------------------------- *)
+
+let cio_config t = Bg_cio.Ciod.config t.ciod
+
+let cio_count t name = Obs.incr (obs t) ~rank:t.rank ~subsystem:"cio" ~name ()
+
+let cancel_io_timer t inf =
+  match inf.io_timer with
+  | Some h ->
+    Sim.cancel (sim t) h;
+    inf.io_timer <- None
+  | None -> ()
+
+let drop_io_inflight t tid =
+  match Hashtbl.find_opt t.io_inflight tid with
+  | Some inf ->
+    cancel_io_timer t inf;
+    Hashtbl.remove t.io_inflight tid
+  | None -> ()
+
+(* Ship a frame up the tree. The transit span is recorded one-shot at
+   arrival (start captured at send): a dropped message must not leak an
+   open span. The delivered payload may differ from [frame] when the
+   network corrupts it — CIOD's CRC check catches that. *)
+let send_frame_up t ~core frame =
+  let o = obs t in
+  let sent = Sim.now (sim t) in
+  Bg_hw.Collective_net.to_io_node t.machine.Machine.collective ~cn:t.rank ~payload:frame
+    ~on_arrival:(fun ~payload ~arrival_cycle ->
+      Obs.span_record o ~cat:"cio" ~name:"transit_request" ~rank:t.rank ~core ~start:sent
+        ~finish:arrival_cycle;
+      Bg_cio.Ciod.submit t.ciod payload)
+
+let send_ack t ~pid ~tid ~seq =
+  let frame =
+    Frame.encode
+      { Frame.kind = Frame.Ack; rank = t.rank; pid; tid; seq; payload = Bytes.create 0 }
+  in
+  cio_count t "acks";
+  Bg_hw.Collective_net.to_io_node t.machine.Machine.collective ~cn:t.rank ~payload:frame
+    ~on_arrival:(fun ~payload ~arrival_cycle:_ -> Bg_cio.Ciod.submit t.ciod payload)
+
+let deliver_reliable t reply_bytes =
+  match Frame.decode reply_bytes with
+  | Error _ -> cio_count t "corrupt_replies"
+  | Ok f when f.Frame.kind <> Frame.Reply -> cio_count t "corrupt_replies"
+  | Ok f -> (
+    match Hashtbl.find_opt t.io_inflight f.Frame.tid with
+    | Some inf when inf.io_seq = f.Frame.seq -> (
+      match Bg_cio.Proto.decode_reply f.Frame.payload with
+      | Error _ ->
+        (* CRC passed but the inner payload is bad: treat as loss, the
+           retransmission timer re-drives the request. *)
+        cio_count t "corrupt_replies"
+      | Ok (_hdr, reply) ->
+        cancel_io_timer t inf;
+        Hashtbl.remove t.io_inflight f.Frame.tid;
+        send_ack t ~pid:inf.io_pid ~tid:f.Frame.tid ~seq:f.Frame.seq;
+        inf.io_ret reply)
+    | _ ->
+      (* No in-flight request at that seq: a duplicated or very late
+         reply whose request already completed. *)
+      cio_count t "stale_replies")
+
 (* --- creation -------------------------------------------------------- *)
 
 let create ?mapping_config machine ~rank ~ciod () =
@@ -157,6 +237,8 @@ let create ?mapping_config machine ~rank ~ciod () =
       procs = Hashtbl.create 4;
       threads = Hashtbl.create 16;
       io_pending = Hashtbl.create 16;
+      io_inflight = Hashtbl.create 16;
+      io_seq = Hashtbl.create 16;
       next_pid = 1;
       next_tid = 1;
       booted = false;
@@ -171,12 +253,18 @@ let create ?mapping_config machine ~rank ~ciod () =
     }
   in
   Bg_cio.Ciod.register_node ciod ~rank ~deliver:(fun reply_bytes ->
-      let hdr, reply = Bg_cio.Proto.decode_reply reply_bytes in
-      match Hashtbl.find_opt t.io_pending hdr.Bg_cio.Proto.tid with
-      | Some k ->
-        Hashtbl.remove t.io_pending hdr.Bg_cio.Proto.tid;
-        k reply
-      | None -> ());
+      if (cio_config t).Reliable.enabled then deliver_reliable t reply_bytes
+      else
+        let hdr, reply =
+          match Bg_cio.Proto.decode_reply reply_bytes with
+          | Ok v -> v
+          | Error e -> failwith ("Proto.decode_reply: " ^ Bg_cio.Proto.error_message e)
+        in
+        match Hashtbl.find_opt t.io_pending hdr.Bg_cio.Proto.tid with
+        | Some k ->
+          Hashtbl.remove t.io_pending hdr.Bg_cio.Proto.tid;
+          k reply
+        | None -> ());
   t
 
 (* --- memory access through the static map --------------------------- *)
@@ -401,6 +489,8 @@ let rec thread_exit t (th : thread) code =
     th.resume <- None;
     clear_guard t th;
     Hashtbl.remove t.io_pending th.tid;
+    drop_io_inflight t th.tid;
+    Hashtbl.remove t.io_seq th.tid;
     ignore (Futex.remove t.futex ~tid:th.tid);
     emit t "cnk.thread_exit" th.tid;
     (* CLONE_CHILD_CLEARTID: zero the tid word and wake one joiner. The
@@ -864,26 +954,90 @@ and handle_tgkill t (_th : thread) tid signo ret =
     ret Sysreq.R_unit
 
 and function_ship t (th : thread) req ret =
+  if (cio_config t).Reliable.enabled then function_ship_reliable t th req ret
+  else begin
+    let hdr = { Bg_cio.Proto.rank = t.rank; pid = th.proc.pid; tid = th.tid } in
+    let data = Bg_cio.Proto.encode_request hdr req in
+    Hashtbl.replace t.io_pending th.tid ret;
+    emit t "cnk.fship" th.tid;
+    let o = obs t in
+    Obs.incr o ~rank:t.rank ~subsystem:"cio" ~name:"ship_requests" ();
+    Obs.incr o ~rank:t.rank ~subsystem:"cio" ~name:"ship_bytes" ~by:(Bytes.length data) ();
+    (* Round-trip breakdown, part 1: request marshalling is instantaneous in
+       sim time, so the first shipped leg is the collective-network transit
+       up to the I/O node; CIOD itself records service and reply legs. *)
+    let h =
+      Obs.span_begin o ~cat:"cio" ~name:"transit_request" ~rank:t.rank ~core:th.core_id
+        ~now:(Sim.now (sim t))
+    in
+    (* The thread keeps its core and spins until the reply (§VI.C): no
+       context switch happens during an I/O system call. *)
+    Bg_hw.Collective_net.to_io_node t.machine.Machine.collective ~cn:t.rank
+      ~payload:data ~on_arrival:(fun ~payload ~arrival_cycle:_ ->
+        Obs.span_end o h ~now:(Sim.now (sim t));
+        Bg_cio.Ciod.submit t.ciod payload)
+  end
+
+(* Reliable mode: the request is CRC-framed with a per-thread sequence
+   number, retransmitted on timeout with exponential backoff, and fails
+   the syscall with EIO (plus a RAS event) once the retry budget is gone.
+   The thread still spins on its core throughout — retries cost wall-clock
+   cycles, not context switches. *)
+and function_ship_reliable t (th : thread) req ret =
+  let cfg = cio_config t in
   let hdr = { Bg_cio.Proto.rank = t.rank; pid = th.proc.pid; tid = th.tid } in
-  let data = Bg_cio.Proto.encode_request hdr req in
-  Hashtbl.replace t.io_pending th.tid ret;
+  let payload = Bg_cio.Proto.encode_request hdr req in
+  let seq = Option.value (Hashtbl.find_opt t.io_seq th.tid) ~default:0 in
+  Hashtbl.replace t.io_seq th.tid (seq + 1);
+  let frame =
+    Frame.encode
+      { Frame.kind = Frame.Request; rank = t.rank; pid = th.proc.pid; tid = th.tid; seq;
+        payload }
+  in
+  let inf =
+    {
+      io_ret = ret;
+      io_seq = seq;
+      io_frame = frame;
+      io_pid = th.proc.pid;
+      io_core = th.core_id;
+      io_attempts = 0;
+      io_timer = None;
+    }
+  in
+  Hashtbl.replace t.io_inflight th.tid inf;
   emit t "cnk.fship" th.tid;
   let o = obs t in
   Obs.incr o ~rank:t.rank ~subsystem:"cio" ~name:"ship_requests" ();
-  Obs.incr o ~rank:t.rank ~subsystem:"cio" ~name:"ship_bytes" ~by:(Bytes.length data) ();
-  (* Round-trip breakdown, part 1: request marshalling is instantaneous in
-     sim time, so the first shipped leg is the collective-network transit
-     up to the I/O node; CIOD itself records service and reply legs. *)
-  let h =
-    Obs.span_begin o ~cat:"cio" ~name:"transit_request" ~rank:t.rank ~core:th.core_id
-      ~now:(Sim.now (sim t))
+  Obs.incr o ~rank:t.rank ~subsystem:"cio" ~name:"ship_bytes" ~by:(Bytes.length frame) ();
+  let rec send () =
+    send_frame_up t ~core:th.core_id inf.io_frame;
+    arm ()
+  and arm () =
+    let delay = Reliable.rto cfg ~attempt:inf.io_attempts in
+    inf.io_timer <- Some (Sim.schedule_in (sim t) delay on_timeout)
+  and on_timeout () =
+    inf.io_timer <- None;
+    match Hashtbl.find_opt t.io_inflight th.tid with
+    | Some i when i == inf ->
+      if inf.io_attempts >= cfg.Reliable.retry_budget then begin
+        Hashtbl.remove t.io_inflight th.tid;
+        cio_count t "eio";
+        emit t "cnk.fship_eio" th.tid;
+        ras t Machine.Ras_error
+          (Printf.sprintf "CIO rank=%d tid=%d seq=%d: retry budget exhausted, EIO"
+             t.rank th.tid seq);
+        ret (Sysreq.R_err Errno.EIO)
+      end
+      else begin
+        inf.io_attempts <- inf.io_attempts + 1;
+        cio_count t "retransmits";
+        emit t "cnk.fship_retry" th.tid;
+        send ()
+      end
+    | _ -> ()
   in
-  (* The thread keeps its core and spins until the reply (§VI.C): no
-     context switch happens during an I/O system call. *)
-  Bg_hw.Collective_net.to_io_node t.machine.Machine.collective ~cn:t.rank
-    ~bytes:(Bytes.length data) ~on_arrival:(fun ~arrival_cycle:_ ->
-      Obs.span_end o h ~now:(Sim.now (sim t));
-      Bg_cio.Ciod.submit t.ciod data)
+  send ()
 
 (* --- boot / reset ------------------------------------------------------ *)
 
@@ -899,6 +1053,9 @@ let destroy_job t =
   Hashtbl.reset t.threads;
   Hashtbl.reset t.procs;
   Hashtbl.reset t.io_pending;
+  Hashtbl.iter (fun _ inf -> cancel_io_timer t inf) t.io_inflight;
+  Hashtbl.reset t.io_inflight;
+  Hashtbl.reset t.io_seq;
   Array.iter
     (fun c ->
       c.current <- None;

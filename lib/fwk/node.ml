@@ -693,7 +693,10 @@ and handle_syscall t (th : thread) req k =
                 { Sysreq.pr_event = r.Upc.event; pr_core = r.Upc.core; pr_count = r.Upc.count })
               readings)))
   | _ when Sysreq.is_file_io req ->
-    (* Local VFS: in-kernel service, Linux-scale cost, then reply. *)
+    (* Local VFS: in-kernel service, Linux-scale cost, then reply. FWK
+       never crosses the collective network, so file I/O cannot be lost;
+       the counter lets chaos tooling confirm which path a run took. *)
+    Obs.incr (obs t) ~rank:t.rank ~subsystem:"cio" ~name:"local_served" ();
     ignore
       (Sim.schedule_in (sim t) io_extra_cost (fun () ->
            if th.state <> Zombie then ret (Bg_cio.Ioproxy.handle p.io req)))

@@ -5,9 +5,25 @@
     §IV.A). The model charges tree-depth hop latency plus serialization on
     the shared I/O-node link, so many compute nodes offloading at once
     queue behind each other — the aggregation the paper credits with
-    keeping filesystem-client counts manageable. *)
+    keeping filesystem-client counts manageable.
+
+    Messages carry their real payload bytes. A seeded fault model — all
+    knobs zero by default — can drop a message, flip one bit of a private
+    copy, deliver a duplicate, or add delay jitter; with every knob at
+    zero the delivery schedule is bit-identical to the lossless model.
+    Faults draw from the simulator's ["collective.faults"] RNG stream, so
+    the same seed produces the same drops on every run. *)
 
 type t
+
+type fault_config = {
+  drop_rate : float;     (** per-delivery probability the message vanishes *)
+  corrupt_rate : float;  (** per-delivery probability of a single bit flip *)
+  dup_rate : float;      (** per-message probability a second copy is sent *)
+  jitter_max : int;      (** extra delivery delay, uniform in [0, jitter_max] cycles *)
+}
+
+val no_faults : fault_config
 
 val create :
   Bg_engine.Sim.t ->
@@ -25,12 +41,31 @@ val tree_depth : t -> int
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
+val fault_config : t -> fault_config
+val set_fault_config : t -> fault_config -> unit
+(** Raises [Invalid_argument] on rates outside [0,1] or negative jitter. *)
+
+val drops : t -> int
+val corruptions : t -> int
+val duplicates : t -> int
+(** Injected-fault counts since creation. *)
+
 val to_io_node :
-  t -> cn:int -> bytes:int -> on_arrival:(arrival_cycle:Bg_engine.Cycles.t -> unit) -> unit
-(** Ship [bytes] from compute node [cn] up to its I/O node. *)
+  t ->
+  cn:int ->
+  payload:bytes ->
+  on_arrival:(payload:bytes -> arrival_cycle:Bg_engine.Cycles.t -> unit) ->
+  unit
+(** Ship [payload] from compute node [cn] up to its I/O node. [on_arrival]
+    fires zero (dropped), one, or two (duplicated) times; the delivered
+    payload may differ from the sent one when corruption fires. *)
 
 val to_compute_node :
-  t -> cn:int -> bytes:int -> on_arrival:(arrival_cycle:Bg_engine.Cycles.t -> unit) -> unit
+  t ->
+  cn:int ->
+  payload:bytes ->
+  on_arrival:(payload:bytes -> arrival_cycle:Bg_engine.Cycles.t -> unit) ->
+  unit
 (** Ship a reply back down to [cn]. *)
 
 val estimate_cycles : t -> bytes:int -> int

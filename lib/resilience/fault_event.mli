@@ -12,8 +12,15 @@ type t =
   | Node_death of { rank : int }  (** the node is gone for good *)
   | Link_failure of { rank : int; dir : int }  (** torus link [dir] (0-5) *)
   | Link_repair of { rank : int; dir : int }
+  | Ciod_crash of { io_node : int; fatal : bool }
+      (** the I/O node's daemon died mid-flight; [fatal] means no restart
+          is coming and the whole pset is lost *)
+  | Ciod_restart of { io_node : int }  (** the daemon came back *)
 
 val rank : t -> int
+(** For CIOD events this is the I/O-node index, not a compute rank. *)
+
+
 val severity : t -> Machine.ras_severity
 val to_message : t -> string
 val of_message : string -> t option

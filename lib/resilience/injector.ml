@@ -6,6 +6,8 @@ type config = {
   death_mean : float;
   link_mean : float;
   link_repair_after : int;
+  ciod_crash_mean : float;
+  ciod_restart_after : int;
   horizon : int;
 }
 
@@ -15,6 +17,8 @@ let default =
     death_mean = 0.;
     link_mean = 0.;
     link_repair_after = 200_000;
+    ciod_crash_mean = 0.;
+    ciod_restart_after = 150_000;
     horizon = max_int;
   }
 
@@ -26,6 +30,7 @@ type t = {
   mutable parity : int;
   mutable deaths : int;
   mutable links : int;
+  mutable ciod_crashes : int;
 }
 
 let machine t = Cnk.Cluster.machine t.cluster
@@ -42,7 +47,7 @@ let publish t ev =
   Machine.ras_emit (machine t) ~rank:(Fault_event.rank ev)
     ~severity:(Fault_event.severity ev)
     ~message:(Fault_event.to_message ev);
-  let total = t.parity + t.deaths + t.links in
+  let total = t.parity + t.deaths + t.links + t.ciod_crashes in
   if total > 0 then
     Obs.set_gauge (obs t) ~subsystem:"resilience" ~name:"mtbf_cycles"
       (Sim.now (sim t) / total)
@@ -86,6 +91,26 @@ let rec apply t ev =
       Bg_hw.Torus.set_link_broken torus ~rank ~dir false;
       publish t ev
     end
+  | Fault_event.Ciod_crash { io_node; fatal } ->
+    let ciod = Cnk.Cluster.ciod t.cluster ~io_node in
+    if Bg_cio.Ciod.alive ciod then begin
+      t.ciod_crashes <- t.ciod_crashes + 1;
+      Obs.incr (obs t) ~subsystem:"resilience" ~name:"ciod_crashes_injected" ();
+      (* publish first, so a fatal crash gang-kills the pset before any
+         retransmission timer wastes cycles re-driving a dead daemon *)
+      publish t ev;
+      Bg_cio.Ciod.crash ciod;
+      if not fatal && t.config.ciod_restart_after > 0 then
+        ignore
+          (Sim.schedule_in (sim t) t.config.ciod_restart_after (fun () ->
+               apply t (Fault_event.Ciod_restart { io_node })))
+    end
+  | Fault_event.Ciod_restart { io_node } ->
+    let ciod = Cnk.Cluster.ciod t.cluster ~io_node in
+    if not (Bg_cio.Ciod.alive ciod) then begin
+      Bg_cio.Ciod.restart ciod;
+      publish t ev
+    end
 
 let inject_now = apply
 
@@ -113,7 +138,16 @@ let choose rng = function
 
 let attach ?(config = default) cluster =
   let t =
-    { cluster; config; log = []; dead = []; parity = 0; deaths = 0; links = 0 }
+    {
+      cluster;
+      config;
+      log = [];
+      dead = [];
+      parity = 0;
+      deaths = 0;
+      links = 0;
+      ciod_crashes = 0;
+    }
   in
   let cores = (machine t).Machine.params.Bg_hw.Params.cores_per_node in
   let n = Machine.nodes (machine t) in
@@ -132,6 +166,10 @@ let attach ?(config = default) cluster =
         | Some rank -> Some (Fault_event.Node_death { rank })));
   stream t "link" config.link_mean (fun rng ->
       Some (Fault_event.Link_failure { rank = Rng.int rng n; dir = Rng.int rng 6 }));
+  stream t "ciod" config.ciod_crash_mean (fun rng ->
+      let io_node = Rng.int rng (Cnk.Cluster.io_node_count t.cluster) in
+      Some
+        (Fault_event.Ciod_crash { io_node; fatal = config.ciod_restart_after <= 0 }));
   t
 
 let injected t = List.rev t.log
@@ -139,3 +177,4 @@ let dead_ranks t = List.sort compare t.dead
 let parity_count t = t.parity
 let death_count t = t.deaths
 let link_count t = t.links
+let ciod_crash_count t = t.ciod_crashes

@@ -18,6 +18,10 @@ type config = {
   death_mean : float;   (** mean cycles between node deaths; 0 = off *)
   link_mean : float;    (** mean cycles between torus link failures; 0 = off *)
   link_repair_after : int;  (** cycles until a broken link is repaired; 0 = never *)
+  ciod_crash_mean : float;  (** mean cycles between CIOD crashes; 0 = off *)
+  ciod_restart_after : int;
+      (** cycles until a crashed CIOD restarts; [<= 0] makes every crash
+          fatal (the daemon never returns and the pset is lost) *)
   horizon : int;  (** absolute cycle after which nothing more is injected *)
 }
 
@@ -40,3 +44,4 @@ val dead_ranks : t -> int list
 val parity_count : t -> int
 val death_count : t -> int
 val link_count : t -> int
+val ciod_crash_count : t -> int

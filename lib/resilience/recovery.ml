@@ -5,10 +5,14 @@ type t = {
   mutable deaths : int;
   mutable parity : int;
   mutable links : int;
+  mutable ciod_events : int;
+  mutable psets_lost : int;
 }
 
 let attach scheduler =
-  let t = { scheduler; deaths = 0; parity = 0; links = 0 } in
+  let t =
+    { scheduler; deaths = 0; parity = 0; links = 0; ciod_events = 0; psets_lost = 0 }
+  in
   let machine = Cnk.Cluster.machine (Bg_control.Scheduler.cluster scheduler) in
   let obs = machine.Machine.obs in
   let is_crash message =
@@ -33,10 +37,28 @@ let attach scheduler =
         t.parity <- t.parity + 1
       | Some (Fault_event.Link_failure _) | Some (Fault_event.Link_repair _) ->
         (* the torus reroutes; note it and move on *)
-        t.links <- t.links + 1);
+        t.links <- t.links + 1
+      | Some (Fault_event.Ciod_crash { io_node; fatal }) ->
+        t.ciod_events <- t.ciod_events + 1;
+        if fatal then begin
+          (* No restart is coming: the pset's compute nodes have lost
+             their only path to the filesystem, so the control system
+             retires the whole pset and reallocates its jobs elsewhere. *)
+          t.psets_lost <- t.psets_lost + 1;
+          Obs.incr obs ~subsystem:"resilience" ~name:"psets_lost" ();
+          let cluster = Bg_control.Scheduler.cluster t.scheduler in
+          Bg_control.Scheduler.pset_failed t.scheduler
+            ~ranks:(Cnk.Cluster.pset_ranks cluster ~io_node)
+        end
+        (* Transient crash: the injector restarts the daemon and the CNK
+           retransmission layer re-drives in-flight requests — no
+           control-system action needed. *)
+      | Some (Fault_event.Ciod_restart _) -> t.ciod_events <- t.ciod_events + 1);
   t
 
 let deaths_handled t = t.deaths
 let parity_seen t = t.parity
 let link_events_seen t = t.links
-let events_seen t = t.deaths + t.parity + t.links
+let ciod_events_seen t = t.ciod_events
+let psets_lost t = t.psets_lost
+let events_seen t = t.deaths + t.parity + t.links + t.ciod_events

@@ -20,5 +20,12 @@ val attach : Bg_control.Scheduler.t -> t
 val deaths_handled : t -> int
 val parity_seen : t -> int
 val link_events_seen : t -> int
+
+val ciod_events_seen : t -> int
+(** CIOD crash and restart events decoded (fatal or not). *)
+
+val psets_lost : t -> int
+(** Fatal CIOD crashes escalated to {!Bg_control.Scheduler.pset_failed}. *)
+
 val events_seen : t -> int
 (** Typed fault events decoded so far (all classes). *)

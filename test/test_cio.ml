@@ -135,8 +135,18 @@ let test_fs_stat () =
 
 let hdr = { Proto.rank = 7; pid = 2; tid = 19 }
 
+let decode_req_exn data =
+  match Proto.decode_request data with
+  | Ok v -> v
+  | Error e -> Alcotest.fail ("decode_request: " ^ Proto.error_message e)
+
+let decode_reply_exn data =
+  match Proto.decode_reply data with
+  | Ok v -> v
+  | Error e -> Alcotest.fail ("decode_reply: " ^ Proto.error_message e)
+
 let roundtrip_req req =
-  let hdr', req' = Proto.decode_request (Proto.encode_request hdr req) in
+  let hdr', req' = decode_req_exn (Proto.encode_request hdr req) in
   Alcotest.(check bool) "header" true (hdr' = hdr);
   req'
 
@@ -177,7 +187,7 @@ let test_proto_reply_roundtrips () =
   in
   List.iter
     (fun reply ->
-      let hdr', reply' = Proto.decode_reply (Proto.encode_reply hdr reply) in
+      let hdr', reply' = decode_reply_exn (Proto.encode_reply hdr reply) in
       Alcotest.(check bool) "header" true (hdr' = hdr);
       Alcotest.(check bool) "reply" true (reply = reply'))
     cases
@@ -210,8 +220,9 @@ let prop_proto_roundtrip =
   QCheck.Test.make ~name:"proto request encode/decode is the identity" ~count:500
     (QCheck.make gen_io_request)
     (fun req ->
-      let _, req' = Proto.decode_request (Proto.encode_request hdr req) in
-      req = req')
+      match Proto.decode_request (Proto.encode_request hdr req) with
+      | Ok (_, req') -> req = req'
+      | Error _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Ioproxy *)
@@ -304,13 +315,13 @@ let test_ciod_round_trip () =
       (Sysreq.Open { path = "out"; flags = Sysreq.o_create_trunc; mode = 0o644 })
   in
   (* Model the uplink transit, then submission. *)
-  Bg_hw.Collective_net.to_io_node machine.Machine.collective ~cn:0
-    ~bytes:(Bytes.length req) ~on_arrival:(fun ~arrival_cycle:_ -> Ciod.submit ciod req);
+  Bg_hw.Collective_net.to_io_node machine.Machine.collective ~cn:0 ~payload:req
+    ~on_arrival:(fun ~payload ~arrival_cycle:_ -> Ciod.submit ciod payload);
   ignore (Sim.run machine.Machine.sim);
   (match !delivered with
   | None -> Alcotest.fail "no reply delivered"
   | Some b ->
-    let hdr', reply = Proto.decode_reply b in
+    let hdr', reply = decode_reply_exn b in
     check_int "tid routed back" 1 hdr'.Proto.tid;
     check_int "fd" 3 (Sysreq.expect_int reply));
   check_int "served" 1 (Ciod.requests_served ciod);
@@ -330,8 +341,8 @@ let test_ciod_many_nodes_one_fs_client () =
       Proto.encode_request { Proto.rank; pid = 1; tid = 1 }
         (Sysreq.Open { path = Printf.sprintf "f%d" rank; flags = Sysreq.o_create_trunc; mode = 0o644 })
     in
-    Bg_hw.Collective_net.to_io_node machine.Machine.collective ~cn:rank
-      ~bytes:(Bytes.length req) ~on_arrival:(fun ~arrival_cycle:_ -> Ciod.submit ciod req)
+    Bg_hw.Collective_net.to_io_node machine.Machine.collective ~cn:rank ~payload:req
+      ~on_arrival:(fun ~payload ~arrival_cycle:_ -> Ciod.submit ciod payload)
   done;
   ignore (Sim.run machine.Machine.sim);
   check_int "all replied" 16 !replies;

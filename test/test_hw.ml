@@ -357,9 +357,9 @@ let test_collective_serializes_shared_uplink () =
   let sim = Sim.create () in
   let c = Collective_net.create sim ~compute_nodes:16 ~nodes_per_io_node:16 () in
   let arrivals = ref [] in
-  let record ~arrival_cycle = arrivals := arrival_cycle :: !arrivals in
-  Collective_net.to_io_node c ~cn:0 ~bytes:10_000 ~on_arrival:record;
-  Collective_net.to_io_node c ~cn:1 ~bytes:10_000 ~on_arrival:record;
+  let record ~payload:_ ~arrival_cycle = arrivals := arrival_cycle :: !arrivals in
+  Collective_net.to_io_node c ~cn:0 ~payload:(Bytes.create 10_000) ~on_arrival:record;
+  Collective_net.to_io_node c ~cn:1 ~payload:(Bytes.create 10_000) ~on_arrival:record;
   ignore (Sim.run sim);
   match List.sort compare !arrivals with
   | [ a1; a2 ] ->
@@ -371,7 +371,8 @@ let test_collective_disabled () =
   let c = Collective_net.create sim ~compute_nodes:4 ~nodes_per_io_node:4 () in
   Collective_net.set_enabled c false;
   Alcotest.check_raises "raises" (Fault.Unavailable "collective") (fun () ->
-      Collective_net.to_io_node c ~cn:0 ~bytes:8 ~on_arrival:(fun ~arrival_cycle:_ -> ()))
+      Collective_net.to_io_node c ~cn:0 ~payload:(Bytes.create 8)
+        ~on_arrival:(fun ~payload:_ ~arrival_cycle:_ -> ()))
 
 (* ------------------------------------------------------------------ *)
 (* Barrier net *)

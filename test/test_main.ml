@@ -4,6 +4,7 @@ let () =
       ("engine", Test_engine.suite);
       ("hw", Test_hw.suite);
       ("cio", Test_cio.suite);
+      ("cio-reliable", Test_cio_reliable.suite);
       ("cnk", Test_cnk.suite);
       ("fwk", Test_fwk.suite);
       ("msg", Test_msg.suite);
