@@ -256,59 +256,70 @@ let service t (f : Frame.t) req =
   depth_gauge t
 
 let submit_reliable t data =
-  if not t.alive then count t "dropped_dead"
-  else
-    match Frame.decode data with
-    | Error Frame.Corrupt -> count t "corrupt_frames"
-    | Error (Frame.Malformed _) -> count t "malformed"
-    | Ok f -> (
-      match f.Frame.kind with
-      | Frame.Ack ->
-        Manifest.retire_reply t.manifest ~rank:f.Frame.rank ~pid:f.Frame.pid
-          ~tid:f.Frame.tid ~seq:f.Frame.seq
-      | Frame.Reply ->
-        (* replies never flow up the tree *)
-        count t "malformed"
-      | Frame.Request -> (
-        match
-          Manifest.last_reply t.manifest ~rank:f.Frame.rank ~pid:f.Frame.pid
-            ~tid:f.Frame.tid
-        with
-        | Some (seq, cached) when seq = f.Frame.seq ->
-          (* Duplicate of an already-executed request: replay the cached
-             reply, do NOT re-execute (a re-run write would double-append). *)
-          t.retransmits_seen <- t.retransmits_seen + 1;
-          count t "retransmit_seen";
-          send_down t ~rank:f.Frame.rank cached
-        | Some (seq, _) when f.Frame.seq < seq ->
-          (* Stale straggler from before the cached request; the sender has
-             long since moved on. *)
+  match Frame.decode data with
+  | Error Frame.Corrupt -> count t "corrupt_frames"
+  | Error (Frame.Malformed _) -> count t "malformed"
+  | Ok f -> (
+    match f.Frame.kind with
+    | Frame.Ack ->
+      Manifest.retire_reply t.manifest ~rank:f.Frame.rank ~pid:f.Frame.pid
+        ~tid:f.Frame.tid ~seq:f.Frame.seq
+    | Frame.Reply ->
+      (* replies never flow up the tree *)
+      count t "malformed"
+    | Frame.Request -> (
+      match
+        Manifest.last_reply t.manifest ~rank:f.Frame.rank ~pid:f.Frame.pid
+          ~tid:f.Frame.tid
+      with
+      | Some (seq, Some cached) when seq = f.Frame.seq ->
+        (* Duplicate of an already-executed request: replay the cached
+           reply, do NOT re-execute (a re-run write would double-append). *)
+        t.retransmits_seen <- t.retransmits_seen + 1;
+        count t "retransmit_seen";
+        send_down t ~rank:f.Frame.rank cached
+      | Some (seq, None) when seq = f.Frame.seq ->
+        (* Executed AND acked: the Ack reclaimed the cached frame but left
+           [seq] behind as a watermark. A request copy the network
+           reordered behind its own Ack lands here and is dropped — the
+           sender is no longer waiting, and re-executing would apply the
+           side effects twice. *)
+        t.retransmits_seen <- t.retransmits_seen + 1;
+        count t "retransmit_seen"
+      | Some (seq, _) when f.Frame.seq < seq ->
+        (* Stale straggler from before the cached request; the sender has
+           long since moved on. *)
+        t.retransmits_seen <- t.retransmits_seen + 1;
+        count t "retransmit_seen"
+      | _ ->
+        if
+          Hashtbl.find_opt t.executing (f.Frame.rank, f.Frame.pid, f.Frame.tid)
+          = Some f.Frame.seq
+        then begin
+          (* Duplicate of a request still being serviced: the reply in
+             flight will answer both copies; executing again would apply
+             the side effects twice. *)
           t.retransmits_seen <- t.retransmits_seen + 1;
           count t "retransmit_seen"
-        | _ ->
-          if
-            Hashtbl.find_opt t.executing (f.Frame.rank, f.Frame.pid, f.Frame.tid)
-            = Some f.Frame.seq
-          then begin
-            (* Duplicate of a request still being serviced: the reply in
-               flight will answer both copies; executing again would apply
-               the side effects twice. *)
-            t.retransmits_seen <- t.retransmits_seen + 1;
-            count t "retransmit_seen"
-          end
-          else if Hashtbl.length t.inflight >= t.config.Reliable.queue_limit then begin
-            (* Bounded worker queue: shed load; the sender's timeout
-               re-drives the request. *)
-            t.queue_rejects <- t.queue_rejects + 1;
-            count t "queue_rejects"
-          end
-          else (
-            match Proto.decode_request f.Frame.payload with
-            | Error _ -> count t "malformed"
-            | Ok (_hdr, req) -> service t f req)))
+        end
+        else if Hashtbl.length t.inflight >= t.config.Reliable.queue_limit then begin
+          (* Bounded worker queue: shed load; the sender's timeout
+             re-drives the request. *)
+          t.queue_rejects <- t.queue_rejects + 1;
+          count t "queue_rejects"
+        end
+        else (
+          match Proto.decode_request f.Frame.payload with
+          | Error _ -> count t "malformed"
+          | Ok (_hdr, req) -> service t f req)))
 
 let submit t data =
-  if t.config.Reliable.enabled then submit_reliable t data else submit_raw t data
+  (* A dead daemon services nothing on either transport: with the
+     reliability layer off a crash must read as message loss, not as a
+     fresh proxy answering EBADF. *)
+  if not t.alive then count t "dropped_dead"
+  else if t.config.Reliable.enabled then submit_reliable t data
+  else submit_raw t data
 
 (* --- crash / restart --------------------------------------------------- *)
 

@@ -13,7 +13,9 @@
     {!Frame}-wrapped and the daemon becomes crash-tolerant: requests are
     sequence-numbered per (rank, pid, tid); a replay cache suppresses
     duplicate execution (a retransmitted [write] must not double-append)
-    by resending the cached reply; positive acks retire cache entries; the
+    by resending the cached reply; positive acks reclaim cached reply
+    bytes while leaving the acked sequence number as a watermark, so even
+    a duplicate reordered behind its own ack is never re-executed; the
     worker queue is bounded; and {!crash}/{!restart} model the daemon
     dying mid-flight and being rebuilt from the job {!Manifest}. *)
 
@@ -45,14 +47,16 @@ val job_end : t -> rank:int -> unit
 
 val submit : t -> bytes -> unit
 (** A marshaled message has arrived at the I/O node (the uplink transit is
-    charged by the caller). In the default mode this is a bare Proto
-    request: decode, queue on a worker, execute, ship the reply; a
-    malformed message raises [Failure]. In reliable mode it is a
-    {!Frame}: CRC failures and malformed frames are dropped silently
-    (counted in the ["ciod"] Obs subsystem; the sender's timeout
-    re-drives), duplicates are answered from the replay cache without
-    re-execution, acks retire cache entries, and anything arriving while
-    the daemon is down is dropped. *)
+    charged by the caller). Anything arriving while the daemon is down is
+    dropped and counted, on either transport — a crashed CIOD reads as
+    message loss, never as a fresh daemon answering. In the default mode
+    the message is a bare Proto request: decode, queue on a worker,
+    execute, ship the reply; a malformed message raises [Failure]. In
+    reliable mode it is a {!Frame}: CRC failures and malformed frames are
+    dropped silently (counted in the ["ciod"] Obs subsystem; the sender's
+    timeout re-drives), duplicates at or below the acked watermark are
+    suppressed, and duplicates of the last executed request are answered
+    from the replay cache without re-execution. *)
 
 val crash : t -> unit
 (** Kill the daemon mid-flight: queued work is cancelled, proxies and all

@@ -1,6 +1,9 @@
 type proc = { rank : int; pid : int }
 
-type cached_reply = { seq : int; frame : bytes }
+(* [frame = None] marks an acked entry: the reply bytes are reclaimed but
+   [seq] stays behind as a watermark, so a request copy the network
+   reordered behind its own Ack is still recognised as a duplicate. *)
+type cached_reply = { seq : int; frame : bytes option }
 
 type t = {
   procs : (proc, unit) Hashtbl.t;
@@ -21,7 +24,7 @@ let record_proxy t ~rank ~pid snap = Hashtbl.replace t.proxies { rank; pid } sna
 let proxy_snapshot t ~rank ~pid = Hashtbl.find_opt t.proxies { rank; pid }
 
 let record_reply t ~rank ~pid ~tid ~seq ~frame =
-  Hashtbl.replace t.replies ({ rank; pid }, tid) { seq; frame }
+  Hashtbl.replace t.replies ({ rank; pid }, tid) { seq; frame = Some frame }
 
 let last_reply t ~rank ~pid ~tid =
   match Hashtbl.find_opt t.replies ({ rank; pid }, tid) with
@@ -30,7 +33,8 @@ let last_reply t ~rank ~pid ~tid =
 
 let retire_reply t ~rank ~pid ~tid ~seq =
   match Hashtbl.find_opt t.replies ({ rank; pid }, tid) with
-  | Some c when c.seq = seq -> Hashtbl.remove t.replies ({ rank; pid }, tid)
+  | Some c when c.seq = seq ->
+    Hashtbl.replace t.replies ({ rank; pid }, tid) { c with frame = None }
   | _ -> ()
 
 let remove_rank t ~rank =

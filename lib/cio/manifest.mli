@@ -25,12 +25,18 @@ val record_reply : t -> rank:int -> pid:int -> tid:int -> seq:int -> frame:bytes
     Threads spin on one outstanding request, so a depth-1 cache per tid
     suffices. *)
 
-val last_reply : t -> rank:int -> pid:int -> tid:int -> (int * bytes) option
-(** [(seq, framed_reply)] of the cached entry, if any. *)
+val last_reply : t -> rank:int -> pid:int -> tid:int -> (int * bytes option) option
+(** [(seq, framed_reply)] of the cached entry, if any. [framed_reply] is
+    [None] once the CNK side has acked [seq]: the frame bytes are gone but
+    the sequence number remains as a watermark (see {!retire_reply}). *)
 
 val retire_reply : t -> rank:int -> pid:int -> tid:int -> seq:int -> unit
-(** Drop the cached entry once the CNK side acks [seq]; a stale seq is a
-    no-op. *)
+(** Ack from the CNK side: reclaim the cached frame bytes for [seq] but
+    keep the entry's sequence number as an acked watermark. The entry must
+    not be removed outright — the collective net can reorder the Ack ahead
+    of a straggling retransmitted copy of the request, and without the
+    watermark that copy would look brand new and be re-executed (a re-run
+    write double-appends). A stale seq is a no-op. *)
 
 val remove_rank : t -> rank:int -> unit
 (** Forget every process, proxy snapshot, and cached reply of [rank]

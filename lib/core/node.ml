@@ -166,6 +166,11 @@ let send_frame_up t ~core frame =
         ~finish:arrival_cycle;
       Bg_cio.Ciod.submit t.ciod payload)
 
+(* Acks are fire-and-forget: a lost Ack merely leaves the cached reply
+   frame resident until this thread's next request overwrites it (or
+   job_end), so the depth-1 cache bounds residency at one frame per live
+   thread. CIOD keeps the acked seq as a watermark, so Ack/duplicate
+   reordering can never cause re-execution. *)
 let send_ack t ~pid ~tid ~seq =
   let frame =
     Frame.encode

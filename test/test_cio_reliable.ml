@@ -159,6 +159,98 @@ let test_ioproxy_snapshot_restore () =
     (Bytes.to_string (Result.get_ok (Fs.read fs inode ~offset:0 ~len:100)))
 
 (* ------------------------------------------------------------------ *)
+(* Manifest: ack keeps the seq watermark, reclaims only the frame *)
+
+let test_manifest_ack_keeps_watermark () =
+  let m = Manifest.create () in
+  Manifest.record_reply m ~rank:0 ~pid:1 ~tid:2 ~seq:5 ~frame:(Bytes.of_string "r5");
+  (match Manifest.last_reply m ~rank:0 ~pid:1 ~tid:2 with
+  | Some (5, Some f) -> Alcotest.(check string) "frame cached" "r5" (Bytes.to_string f)
+  | _ -> Alcotest.fail "expected cached frame at seq 5");
+  (* a stale ack is a no-op *)
+  Manifest.retire_reply m ~rank:0 ~pid:1 ~tid:2 ~seq:4;
+  (match Manifest.last_reply m ~rank:0 ~pid:1 ~tid:2 with
+  | Some (5, Some _) -> ()
+  | _ -> Alcotest.fail "stale ack must not retire");
+  Manifest.retire_reply m ~rank:0 ~pid:1 ~tid:2 ~seq:5;
+  match Manifest.last_reply m ~rank:0 ~pid:1 ~tid:2 with
+  | Some (5, None) -> ()
+  | _ -> Alcotest.fail "ack must keep the seq watermark and drop only the bytes"
+
+(* ------------------------------------------------------------------ *)
+(* Ack reordered ahead of a straggling duplicate: the duplicate must be
+   recognised via the acked-seq watermark, never re-executed. This is the
+   jitter-inversion race: the Ack leaves ~epsilon after a timeout
+   retransmit, so even modest network jitter can deliver it first. *)
+
+let test_ack_before_duplicate_no_reexecution () =
+  let machine = Machine.create ~dims:(2, 1, 1) () in
+  let ciod = Ciod.create machine ~config:Reliable.default_on ~io_node:0 () in
+  let replies = ref 0 in
+  Ciod.register_node ciod ~rank:0 ~deliver:(fun _ -> incr replies);
+  Ciod.job_start ciod ~rank:0 ~pids:[ 1 ];
+  let sim = machine.Machine.sim in
+  let request req ~seq =
+    Frame.encode
+      {
+        Frame.kind = Frame.Request;
+        rank = 0;
+        pid = 1;
+        tid = 1;
+        seq;
+        payload = Proto.encode_request { Proto.rank = 0; pid = 1; tid = 1 } req;
+      }
+  in
+  Ciod.submit ciod
+    (request (Sysreq.Open { path = "f"; flags = Sysreq.o_create_trunc; mode = 0o644 })
+       ~seq:0);
+  ignore (Sim.run sim);
+  let write = request (Sysreq.Write { fd = 3; data = Bytes.of_string "once" }) ~seq:1 in
+  Ciod.submit ciod write;
+  ignore (Sim.run sim);
+  check_int "open + write served" 2 (Ciod.requests_served ciod);
+  check_int "both replied" 2 !replies;
+  (* The Ack for the write overtakes a straggling duplicate of it. *)
+  Ciod.submit ciod
+    (Frame.encode
+       { Frame.kind = Frame.Ack; rank = 0; pid = 1; tid = 1; seq = 1;
+         payload = Bytes.create 0 });
+  Ciod.submit ciod write;
+  ignore (Sim.run sim);
+  check_int "duplicate suppressed by watermark" 2 (Ciod.requests_served ciod);
+  check_int "counted as retransmit" 1 (Ciod.retransmits_seen ciod);
+  check_int "no reply for a sender no longer waiting" 2 !replies;
+  let fs = Ciod.fs ciod in
+  let inode = Result.get_ok (Fs.resolve fs ~cwd:"/" "/f") in
+  Alcotest.(check string) "no double append" "once"
+    (Bytes.to_string (Result.get_ok (Fs.read fs inode ~offset:0 ~len:100)))
+
+(* ------------------------------------------------------------------ *)
+(* Legacy (lossless) transport: a crashed daemon drops submissions
+   instead of servicing them against freshly-reset proxies. *)
+
+let test_legacy_transport_dead_ciod_drops () =
+  let machine = Machine.create ~dims:(2, 1, 1) () in
+  let ciod = Ciod.create machine ~io_node:0 () in
+  let replies = ref 0 in
+  Ciod.register_node ciod ~rank:0 ~deliver:(fun _ -> incr replies);
+  Ciod.job_start ciod ~rank:0 ~pids:[ 1 ];
+  Ciod.crash ciod;
+  let req =
+    Proto.encode_request { Proto.rank = 0; pid = 1; tid = 1 }
+      (Sysreq.Open { path = "f"; flags = Sysreq.o_create_trunc; mode = 0o644 })
+  in
+  Ciod.submit ciod req;
+  ignore (Sim.run machine.Machine.sim);
+  check_int "dead daemon serves nothing" 0 (Ciod.requests_served ciod);
+  check_int "no reply from the dead" 0 !replies;
+  Ciod.restart ciod;
+  Ciod.submit ciod req;
+  ignore (Sim.run machine.Machine.sim);
+  check_int "served after restart" 1 (Ciod.requests_served ciod);
+  check_int "replied after restart" 1 !replies
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end harness *)
 
 let chunk_bytes = 512
@@ -377,6 +469,12 @@ let suite =
     Alcotest.test_case "ioproxy: close_all idempotent" `Quick
       test_ioproxy_close_all_idempotent;
     Alcotest.test_case "ioproxy: snapshot/restore" `Quick test_ioproxy_snapshot_restore;
+    Alcotest.test_case "manifest: ack keeps seq watermark" `Quick
+      test_manifest_ack_keeps_watermark;
+    Alcotest.test_case "ciod: ack before duplicate, no re-execution" `Quick
+      test_ack_before_duplicate_no_reexecution;
+    Alcotest.test_case "ciod: legacy transport drops while dead" `Quick
+      test_legacy_transport_dead_ciod_drops;
     Alcotest.test_case "reliable: faultless e2e" `Quick test_reliable_mode_faultless;
     Alcotest.test_case "reliable: retransmission under 20% drop" `Quick
       test_retransmission_under_drop;
