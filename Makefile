@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples docs csv trace-smoke resilience-smoke attribute-smoke cio-chaos-smoke clean
+.PHONY: all build test bench examples docs csv trace-smoke resilience-smoke attribute-smoke cio-chaos-smoke msg-smoke clean
 
 all: build
 
@@ -54,6 +54,18 @@ cio-chaos-smoke:
 	  | grep digest > /tmp/cio_chaos_smoke_b.txt
 	@cmp /tmp/cio_chaos_smoke_a.txt /tmp/cio_chaos_smoke_b.txt
 	@echo "cio-chaos-smoke OK"
+
+# Table I messaging sweep over the DMA engine, run twice: the tool
+# itself asserts CNK's user-space path beats the FWK's kernel-mediated
+# path at every size and that the 1 kHz tick widens the gap; the two
+# runs must print bit-identical sweep-digest lines.
+msg-smoke:
+	dune exec bin/msg_tool.exe -- --json /tmp/BENCH_msg.json \
+	  | grep digest > /tmp/msg_smoke_a.txt
+	dune exec bin/msg_tool.exe -- \
+	  | grep digest > /tmp/msg_smoke_b.txt
+	@cmp /tmp/msg_smoke_a.txt /tmp/msg_smoke_b.txt
+	@echo "msg-smoke OK"
 
 # Noise-attribution run, twice: the tool asserts FWK's tick+daemon share
 # beats CNK's and that every ledger conserves cycles; the two runs must

@@ -212,8 +212,17 @@ let run_stability () =
     "LINPACK proxy, 36 runs on 8 CNK nodes:\n  mean %.0f cycles, spread %.5f%%, stddev %.6f s\n  (paper: 36 runs, 2.11 s spread over 4h28m = 0.013%%, stddev < 1.14 s)\n"
     s.Stats.mean (Stats.spread_percent s)
     (Cycles.to_seconds (int_of_float s.Stats.stddev));
-  let coll = Bg_msg.Mpi.Coll.create fabric ~participants:8 in
-  let entry, collect = Bg_apps.Allreduce_bench.program ~fabric ~coll ~iterations:5_000 () in
+  (* the allreduce bench rides the user-space DMA path *)
+  let fabric_dma =
+    Bg_msg.Dcmf.make_fabric ~path:Bg_msg.Dcmf.Dma_user (Cnk.Cluster.machine cluster)
+  in
+  for r = 0 to 7 do
+    ignore (Bg_msg.Dcmf.attach fabric_dma ~rank:r)
+  done;
+  let coll = Bg_msg.Mpi.Coll.create fabric_dma ~participants:8 in
+  let entry, collect =
+    Bg_apps.Allreduce_bench.program ~fabric:fabric_dma ~coll ~iterations:5_000 ()
+  in
   Cnk.Cluster.run_job cluster (Job.create ~name:"ar" (Image.executable ~name:"ar" entry));
   let st = collect () in
   Printf.printf
@@ -729,7 +738,12 @@ let run_halo () =
             ~seed:(Int64.of_int (Cnk.Node.rank node + 1))
             ~until:(Sim.now (Cnk.Cluster.sim cluster) + 4_000_000_000))
         (Cnk.Cluster.nodes cluster);
-    let fabric = Bg_msg.Dcmf.make_fabric (Cnk.Cluster.machine cluster) in
+    (* the halo exchange now rides the descriptor-based user-space DMA
+       path, as DCMF does on real CNK *)
+    let fabric =
+      Bg_msg.Dcmf.make_fabric ~path:Bg_msg.Dcmf.Dma_user
+        (Cnk.Cluster.machine cluster)
+    in
     for r = 0 to ranks - 1 do
       ignore (Bg_msg.Dcmf.attach fabric ~rank:r)
     done;
@@ -738,19 +752,21 @@ let run_halo () =
         ~compute_cycles_per_cell:2_000 ()
     in
     Cnk.Cluster.run_job cluster (Job.create ~name:"halo" (Image.executable ~name:"halo" entry));
-    (collect ()).Bg_apps.Halo.wall_cycles
+    let r = collect () in
+    (r.Bg_apps.Halo.wall_cycles, r.Bg_apps.Halo.descriptors)
   in
-  let base = run ~ranks:1 ~inject:false in
-  Printf.printf "%6s %16s %12s %18s %12s\n" "ranks" "quiet cycles" "efficiency"
-    "3pc-noise cycles" "efficiency";
+  let base, _ = run ~ranks:1 ~inject:false in
+  Printf.printf "%6s %16s %12s %18s %12s %8s\n" "ranks" "quiet cycles" "efficiency"
+    "3pc-noise cycles" "efficiency" "descs";
   List.iter
     (fun ranks ->
-      let quiet = run ~ranks ~inject:false in
-      let noisy = run ~ranks ~inject:true in
-      Printf.printf "%6d %16d %11.1f%% %18d %11.1f%%\n" ranks quiet
+      let quiet, descs = run ~ranks ~inject:false in
+      let noisy, _ = run ~ranks ~inject:true in
+      Printf.printf "%6d %16d %11.1f%% %18d %11.1f%% %8d\n" ranks quiet
         (100.0 *. float_of_int base /. float_of_int quiet)
         noisy
-        (100.0 *. float_of_int base /. float_of_int noisy))
+        (100.0 *. float_of_int base /. float_of_int noisy)
+        descs)
     [ 1; 2; 4; 8 ];
   Printf.printf
     "(weak scaling: constant work per rank; every iteration synchronizes with\n\
@@ -920,6 +936,20 @@ let run_micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Table I over the DMA engine: CNK user-space vs FWK kernel-mediated *)
+
+let run_msg () =
+  section "messaging: DMA engine, user-space (CNK) vs kernel-mediated (FWK)";
+  let results = Bg_msgbench.Msgbench.run_all () in
+  Bg_msgbench.Msgbench.pp_table Format.std_formatter results;
+  Format.pp_print_flush Format.std_formatter ();
+  let oc = open_out "BENCH_msg.json" in
+  output_string oc (Bg_msgbench.Msgbench.to_json results);
+  close_out oc;
+  Printf.printf "wrote BENCH_msg.json (digest %s)\n"
+    (Bg_msgbench.Msgbench.digest results)
+
 let experiments =
   [
     ("fwq", run_fwq);
@@ -941,6 +971,7 @@ let experiments =
     ("recovery", run_recovery);
     ("collectives", run_collectives);
     ("halo", run_halo);
+    ("msg", run_msg);
     ("cg", run_cg);
     ("congestion", run_congestion);
     ("micro", run_micro);

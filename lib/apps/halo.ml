@@ -1,4 +1,9 @@
-type report = { iterations : int; checksum : int; wall_cycles : int }
+type report = {
+  iterations : int;
+  checksum : int;
+  wall_cycles : int;
+  descriptors : int;
+}
 
 (* The stencil: cell <- (left + 2*cell + right) / 4, integer arithmetic so
    checksums are exact. Global domain is the concatenation of strips with
@@ -27,7 +32,7 @@ let encode_cell v =
 let decode_cell b = Int64.to_int (Bytes.get_int64_le b 0)
 
 let program ~fabric ~cells_per_rank ~iterations ~compute_cycles_per_cell () =
-  let out = ref { iterations = 0; checksum = 0; wall_cycles = 0 } in
+  let out = ref { iterations = 0; checksum = 0; wall_cycles = 0; descriptors = 0 } in
   let entry () =
     let rank = Bg_rt.Libc.rank () in
     let ctx = Bg_msg.Dcmf.attach fabric ~rank in
@@ -60,7 +65,13 @@ let program ~fabric ~cells_per_rank ~iterations ~compute_cycles_per_cell () =
     done;
     let t1 = Coro.rdtsc () in
     if rank = 0 then
-      out := { iterations; checksum = checksum !strip; wall_cycles = t1 - t0 }
+      out :=
+        {
+          iterations;
+          checksum = checksum !strip;
+          wall_cycles = t1 - t0;
+          descriptors = Bg_msg.Dcmf.injected_descriptors ctx;
+        }
   in
   (entry, fun () -> !out)
 

@@ -11,6 +11,8 @@ type report = {
   iterations : int;
   checksum : int;     (** rank 0's strip checksum after the run *)
   wall_cycles : int;  (** rank 0 wall time *)
+  descriptors : int;
+      (** DMA descriptors rank 0 injected (0 on an abstract fabric) *)
 }
 
 val program :

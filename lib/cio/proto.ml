@@ -283,7 +283,7 @@ let encode_reply hdr reply =
     put_u8 b 7;
     put_int b (Errno.code e)
   | Sysreq.R_map _ | Sysreq.R_uname _ | Sysreq.R_personality _ | Sysreq.R_ranges _
-  | Sysreq.R_perf _ ->
+  | Sysreq.R_perf _ | Sysreq.R_dma_packets _ ->
     invalid_arg "Proto.encode_reply: reply kind never crosses the wire");
   Buffer.to_bytes b
 

@@ -470,7 +470,8 @@ let publish_hw_gauges t =
       (fun (r : Upc.reading) ->
         Obs.set_gauge o ~rank:t.rank ~core:r.Upc.core ~subsystem:"upc"
           ~name:(Upc.event_name r.Upc.event) r.Upc.count)
-      (Upc.snapshot (Chip.upc t.chip))
+      (Upc.snapshot (Chip.upc t.chip));
+  Machine.publish_net_gauges t.machine ~rank:t.rank
 
 let check_job_done t =
   if t.job_active then begin
@@ -828,6 +829,19 @@ and handle_syscall t (th : thread) (req : Sysreq.request) k =
               (fun (r : Upc.reading) ->
                 { Sysreq.pr_event = r.Upc.event; pr_core = r.Upc.core; pr_count = r.Upc.count })
               readings)))
+  | Sysreq.Dma_inject d -> (
+    (* CNK maps the DMA unit into user space, so DCMF never issues
+       these; the handlers exist for ABI completeness (the trap is the
+       only cost — the static TLB map means nothing to translate or
+       pin). *)
+    match Dma.inject (Machine.dma t.machine t.rank) d with
+    | Ok () -> ret Sysreq.R_unit
+    | Error `Fifo_full -> ret (Sysreq.R_err Errno.EAGAIN))
+  | Sysreq.Dma_poll op ->
+    let engine = Machine.dma t.machine t.rank in
+    (match op with
+    | Sysreq.Dma_counter id -> ret (Sysreq.R_int (Dma.counter_value engine ~id))
+    | Sysreq.Dma_recv -> ret (Sysreq.R_dma_packets (Dma.drain_recv engine)))
   | _ when Sysreq.is_file_io req ->
     if not t.io_enabled then ret (Sysreq.R_err Errno.ENOSYS)
     else function_ship t th req ret

@@ -7,6 +7,15 @@ let boot_cycles_full = 18_000_000
 let boot_cycles_stripped = 2_600_000
 let syscall_overhead = 700
 let io_extra_cost = 2_700
+
+(* Kernel-mediated DMA access (paper Table I): every injection must
+   translate the descriptor's user addresses and pin the payload pages
+   before the engine may see it; every counter read or FIFO drain is
+   another trap. These run on the core through the noise model, so the
+   tick scheduler and daemons can preempt an injection midway. *)
+let dma_pin_base_cycles = 1_800
+let dma_pin_page_cycles = 350
+let dma_poll_cycles = 200
 let ctx_switch_cycles = 2_000
 let timeslice = 8_500_000 (* 10 ms *)
 let minor_fault_cycles = 2_500
@@ -99,8 +108,8 @@ let tlb_refills t =
 let stolen_cycles t =
   Array.fold_left (fun acc c -> acc + Noise_model.stolen_cycles c.noise) 0 t.cores
 
-let create ?noise_seed ?(daemons = Noise_model.suse_daemon_set) ?(stripped = false)
-    machine ~rank () =
+let create ?noise_seed ?(daemons = Noise_model.suse_daemon_set) ?tick_interval
+    ?(stripped = false) machine ~rank () =
   let chip = Machine.chip machine rank in
   let seed =
     match noise_seed with
@@ -123,7 +132,7 @@ let create ?noise_seed ?(daemons = Noise_model.suse_daemon_set) ?(stripped = fal
             current = None;
             ready = Queue.create ();
             noise =
-              Noise_model.create ~daemons:(daemons ~core:id)
+              Noise_model.create ?tick_interval ~daemons:(daemons ~core:id)
                 ~rng:(Rng.split root_rng (Printf.sprintf "core%d" id))
                 ();
             penalty = 0;
@@ -325,6 +334,7 @@ let check_job_done t =
     let all = Hashtbl.fold (fun _ p acc -> acc && p.exited) t.procs true in
     if all && Hashtbl.length t.procs > 0 then begin
       t.job_active <- false;
+      Machine.publish_net_gauges t.machine ~rank:t.rank;
       emit t "fwk.job_done" 0;
       match t.on_complete with
       | Some f ->
@@ -692,6 +702,34 @@ and handle_syscall t (th : thread) req k =
               (fun (r : Upc.reading) ->
                 { Sysreq.pr_event = r.Upc.event; pr_core = r.Upc.core; pr_count = r.Upc.count })
               readings)))
+  | Sysreq.Dma_inject d ->
+    let core = t.cores.(th.core_id) in
+    (* pin every page the descriptor references — d.bytes, not just the
+       carried payload, so bulk rDMA pays for its whole buffer *)
+    let pages = 1 + ((d.Dma.bytes + page - 1) / page) in
+    let work = dma_pin_base_cycles + (pages * dma_pin_page_cycles) in
+    let finish, _steal =
+      Noise_model.advance2 core.noise ~start:(Sim.now (sim t)) ~work
+    in
+    ignore
+      (Sim.schedule_at (sim t) finish (fun () ->
+           if th.state <> Zombie then
+             match Dma.inject (Machine.dma t.machine t.rank) d with
+             | Ok () -> ret Sysreq.R_unit
+             | Error `Fifo_full -> ret (Sysreq.R_err Errno.EAGAIN)))
+  | Sysreq.Dma_poll op ->
+    let core = t.cores.(th.core_id) in
+    let finish, _steal =
+      Noise_model.advance2 core.noise ~start:(Sim.now (sim t)) ~work:dma_poll_cycles
+    in
+    ignore
+      (Sim.schedule_at (sim t) finish (fun () ->
+           if th.state <> Zombie then
+             let engine = Machine.dma t.machine t.rank in
+             match op with
+             | Sysreq.Dma_counter id ->
+               ret (Sysreq.R_int (Dma.counter_value engine ~id))
+             | Sysreq.Dma_recv -> ret (Sysreq.R_dma_packets (Dma.drain_recv engine))))
   | _ when Sysreq.is_file_io req ->
     (* Local VFS: in-kernel service, Linux-scale cost, then reply. FWK
        never crosses the collective network, so file I/O cannot be lost;

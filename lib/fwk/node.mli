@@ -27,6 +27,7 @@ type t
 val create :
   ?noise_seed:int64 ->
   ?daemons:(core:int -> Noise_model.daemon list) ->
+  ?tick_interval:int ->
   ?stripped:bool ->
   Machine.t ->
   rank:int ->
@@ -35,7 +36,9 @@ val create :
 (** [noise_seed] seeds the daemon jitter streams; by default it derives
     from the machine instance, modeling the uncontrolled variability that
     makes Linux runs non-reproducible (§III). [daemons] defaults to
-    {!Noise_model.suse_daemon_set}. *)
+    {!Noise_model.suse_daemon_set}. [tick_interval] overrides the 1 kHz
+    timer tick period (a huge value effectively disables the tick
+    scheduler — the messaging benches' quiet baseline). *)
 
 val machine : t -> Machine.t
 val rank : t -> int

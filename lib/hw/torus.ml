@@ -9,9 +9,14 @@ type t = {
   (* per-node DMA injection FIFO: descriptors from one node serialize *)
   inject_busy : (int, Cycles.t) Hashtbl.t;
   broken : (int * int, unit) Hashtbl.t;
+  (* transfers currently crossing each directed link, and the cumulative
+     cycles each link has spent serializing payload *)
+  in_flight : (int * int, int) Hashtbl.t;
+  busy_cycles : (int * int, int) Hashtbl.t;
   mutable enabled : bool;
   mutable transfers : int;
   mutable on_inject : src:int -> unit;
+  mutable on_link_down : rank:int -> dir:int -> in_flight:int -> unit;
 }
 
 let create sim ?(params = Params.bgp) ~dims () =
@@ -24,12 +29,16 @@ let create sim ?(params = Params.bgp) ~dims () =
     link_busy = Hashtbl.create 256;
     inject_busy = Hashtbl.create 64;
     broken = Hashtbl.create 4;
+    in_flight = Hashtbl.create 64;
+    busy_cycles = Hashtbl.create 256;
     enabled = true;
     transfers = 0;
     on_inject = (fun ~src:_ -> ());
+    on_link_down = (fun ~rank:_ ~dir:_ ~in_flight:_ -> ());
   }
 
 let set_inject_hook t f = t.on_inject <- f
+let set_link_down_hook t f = t.on_link_down <- f
 
 let node_count t =
   let x, y, z = t.dims in
@@ -128,9 +137,28 @@ let set_enabled t v = t.enabled <- v
 
 let check_dir dir = if dir < 0 || dir > 5 then invalid_arg "Torus: bad direction"
 
+let link_in_flight t ~rank ~dir =
+  check_dir dir;
+  match Hashtbl.find_opt t.in_flight (rank, dir) with Some n -> n | None -> 0
+
+let link_busy_cycles t ~rank ~dir =
+  check_dir dir;
+  match Hashtbl.find_opt t.busy_cycles (rank, dir) with Some n -> n | None -> 0
+
+let busy_links t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.busy_cycles [] |> List.sort compare
+
+let total_busy_cycles t = Hashtbl.fold (fun _ v acc -> acc + v) t.busy_cycles 0
+
 let set_link_broken t ~rank ~dir v =
   check_dir dir;
-  if v then Hashtbl.replace t.broken (rank, dir) ()
+  if v then begin
+    let was = Hashtbl.mem t.broken (rank, dir) in
+    Hashtbl.replace t.broken (rank, dir) ();
+    (* Severing a link with traffic still crossing it is a RAS-worthy
+       hardware event; the machine layer turns this into a typed fault. *)
+    if not was then t.on_link_down ~rank ~dir ~in_flight:(link_in_flight t ~rank ~dir)
+  end
   else Hashtbl.remove t.broken (rank, dir)
 
 let link_broken t ~rank ~dir =
@@ -145,10 +173,13 @@ let serialization_cycles t bytes =
 
 let transfer t ~src ~dst ~bytes ?(on_arrival = fun ~arrival_cycle:_ -> ()) () =
   if not t.enabled then raise (Fault.Unavailable "torus");
-  (if src <> dst then
-     match route t ~src ~dst with
-     | exception Ring_blocked -> raise (Fault.Unavailable "torus ring severed")
-     | _ -> ());
+  let links =
+    if src = dst then []
+    else
+      match route t ~src ~dst with
+      | exception Ring_blocked -> raise (Fault.Unavailable "torus ring severed")
+      | links -> links
+  in
   if bytes < 0 then invalid_arg "Torus.transfer";
   t.transfers <- t.transfers + 1;
   t.on_inject ~src;
@@ -160,6 +191,10 @@ let transfer t ~src ~dst ~bytes ?(on_arrival = fun ~arrival_cycle:_ -> ()) () =
   in
   let inject_done = inject_start + p.Params.torus_inject_cycles in
   Hashtbl.replace t.inject_busy src inject_done;
+  let bump tbl link by =
+    let v = match Hashtbl.find_opt tbl link with Some v -> v | None -> 0 in
+    Hashtbl.replace tbl link (v + by)
+  in
   let arrival =
     if src = dst then inject_done + p.Params.torus_receive_cycles
     else begin
@@ -173,13 +208,16 @@ let transfer t ~src ~dst ~bytes ?(on_arrival = fun ~arrival_cycle:_ -> ()) () =
             match Hashtbl.find_opt t.link_busy link with Some b -> b | None -> 0
           in
           head := max (!head + p.Params.torus_hop_cycles) busy;
-          Hashtbl.replace t.link_busy link (!head + ser))
-        (route t ~src ~dst);
+          Hashtbl.replace t.link_busy link (!head + ser);
+          bump t.in_flight link 1;
+          bump t.busy_cycles link ser)
+        links;
       !head + ser + p.Params.torus_receive_cycles
     end
   in
   ignore
     (Sim.schedule_at t.sim arrival (fun () ->
+         List.iter (fun link -> bump t.in_flight link (-1)) links;
          Sim.emit t.sim ~label:"torus.arrival" ~value:(Int64.of_int ((src * 65536) + dst));
          on_arrival ~arrival_cycle:arrival))
 

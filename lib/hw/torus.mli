@@ -35,6 +35,24 @@ val set_link_broken : t -> rank:int -> dir:int -> bool -> unit
 val link_broken : t -> rank:int -> dir:int -> bool
 val broken_links : t -> (int * int) list
 
+val set_link_down_hook : t -> (rank:int -> dir:int -> in_flight:int -> unit) -> unit
+(** Called when a link transitions to broken, with the number of
+    transfers still crossing it — the machine layer's RAS feed for
+    "link severed under traffic". Default: no-op. *)
+
+val link_in_flight : t -> rank:int -> dir:int -> int
+(** Transfers whose route crosses this directed link and whose last byte
+    has not yet arrived. *)
+
+val link_busy_cycles : t -> rank:int -> dir:int -> int
+(** Cumulative cycles this directed link has spent serializing payload. *)
+
+val busy_links : t -> ((int * int) * int) list
+(** Every link that ever carried traffic with its busy-cycle total,
+    sorted by (rank, dir). *)
+
+val total_busy_cycles : t -> int
+
 val transfer :
   t ->
   src:int ->

@@ -5,9 +5,13 @@ type event =
   | Torus_packet
   | Barrier_wait
   | Dram_self_refresh
+  | Dma_descriptor
 
 let all_events =
-  [ L1_miss; Tlb_miss; Tlb_refill; Torus_packet; Barrier_wait; Dram_self_refresh ]
+  [
+    L1_miss; Tlb_miss; Tlb_refill; Torus_packet; Barrier_wait; Dram_self_refresh;
+    Dma_descriptor;
+  ]
 
 let event_index = function
   | L1_miss -> 0
@@ -16,8 +20,9 @@ let event_index = function
   | Torus_packet -> 3
   | Barrier_wait -> 4
   | Dram_self_refresh -> 5
+  | Dma_descriptor -> 6
 
-let n_events = 6
+let n_events = 7
 
 let event_name = function
   | L1_miss -> "l1_miss"
@@ -26,6 +31,7 @@ let event_name = function
   | Torus_packet -> "torus_packet"
   | Barrier_wait -> "barrier_wait"
   | Dram_self_refresh -> "dram_self_refresh"
+  | Dma_descriptor -> "dma_descriptor"
 
 let chip_scope = -1
 

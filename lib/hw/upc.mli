@@ -20,6 +20,7 @@ type event =
   | Torus_packet       (** packet injected by this chip's DMA unit *)
   | Barrier_wait       (** this chip arrived at the global barrier *)
   | Dram_self_refresh  (** DRAM entered self-refresh *)
+  | Dma_descriptor     (** descriptor accepted into this chip's injection FIFO *)
 
 val all_events : event list
 (** In fixed counter-bank order. *)

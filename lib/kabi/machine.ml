@@ -8,6 +8,7 @@ type t = {
   torus : Bg_hw.Torus.t;
   collective : Bg_hw.Collective_net.t;
   barrier : Bg_hw.Barrier_net.t;
+  dma : Bg_hw.Dma.t array;
   obs : Bg_obs.Obs.t;
   acct : Bg_obs.Accounting.t;
   mutable ras_subscribers :
@@ -16,7 +17,13 @@ type t = {
 
 let instance_counter = ref 0
 
-let create ?(params = Bg_hw.Params.bgp) ?(seed = 1L) ?nodes_per_io_node ?obs ~dims () =
+let on_ras t f = t.ras_subscribers <- f :: t.ras_subscribers
+
+let ras_emit t ~rank ~severity ~message =
+  List.iter (fun f -> f ~rank ~severity ~message) t.ras_subscribers
+
+let create ?(params = Bg_hw.Params.bgp) ?(seed = 1L) ?nodes_per_io_node ?obs
+    ?dma_fifo_depth ~dims () =
   incr instance_counter;
   let x, y, z = dims in
   let n = x * y * z in
@@ -24,30 +31,50 @@ let create ?(params = Bg_hw.Params.bgp) ?(seed = 1L) ?nodes_per_io_node ?obs ~di
   let nodes_per_io_node =
     match nodes_per_io_node with Some k -> k | None -> if n <= 64 then n else 64
   in
+  let torus = Bg_hw.Torus.create sim ~params ~dims () in
   let t =
     {
       instance = !instance_counter;
       sim;
       params;
       chips = Array.init n (fun id -> Bg_hw.Chip.create ~params ~id ());
-      torus = Bg_hw.Torus.create sim ~params ~dims ();
+      torus;
       collective =
         Bg_hw.Collective_net.create sim ~params ~compute_nodes:n ~nodes_per_io_node ();
       barrier = Bg_hw.Barrier_net.create sim ~params ~participants:n ();
+      dma = Bg_hw.Dma.create_group sim torus ?injection_depth:dma_fifo_depth ();
       obs = (match obs with Some o -> o | None -> Bg_obs.Obs.create ());
       acct = Bg_obs.Accounting.create ();
       ras_subscribers = [];
     }
   in
   (* Per-chip UPC feeds that need the rank-to-chip mapping: torus packet
-     injections and barrier arrivals land on the injecting/arriving
-     chip's counter unit. *)
+     injections, barrier arrivals and DMA descriptor injections land on
+     the injecting/arriving chip's counter unit. *)
   Bg_hw.Torus.set_inject_hook t.torus (fun ~src ->
       if src >= 0 && src < n then
         Bg_hw.Upc.record (Bg_hw.Chip.upc t.chips.(src)) Bg_hw.Upc.Torus_packet 1);
   Bg_hw.Barrier_net.set_arrive_hook t.barrier (fun ~rank ->
       if rank >= 0 && rank < n then
         Bg_hw.Upc.record (Bg_hw.Chip.upc t.chips.(rank)) Bg_hw.Upc.Barrier_wait 1);
+  Array.iteri
+    (fun rank engine ->
+      Bg_hw.Dma.set_inject_hook engine (fun ~bytes ->
+          Bg_hw.Upc.record (Bg_hw.Chip.upc t.chips.(rank)) Bg_hw.Upc.Dma_descriptor 1;
+          Bg_obs.Obs.incr t.obs ~rank ~subsystem:"dma" ~name:"injected" ();
+          Bg_obs.Obs.incr t.obs ~rank ~subsystem:"dma" ~name:"injected_bytes" ~by:bytes ());
+      Bg_hw.Dma.set_deliver_hook engine (fun ~bytes ->
+          Bg_obs.Obs.incr t.obs ~rank ~subsystem:"dma" ~name:"delivered" ();
+          Bg_obs.Obs.incr t.obs ~rank ~subsystem:"dma" ~name:"delivered_bytes" ~by:bytes ()))
+    t.dma;
+  (* A link severed while transfers are crossing it is a hardware fault
+     the RAS stream must carry; the message matches what
+     Bg_resilience.Fault_event.of_message parses into Link_failure, so
+     Recovery consumes it without knowing about the torus. *)
+  Bg_hw.Torus.set_link_down_hook t.torus (fun ~rank ~dir ~in_flight ->
+      if in_flight > 0 then
+        ras_emit t ~rank ~severity:Ras_error
+          ~message:(Printf.sprintf "FAULT link rank=%d dir=%d" rank dir));
   t
 
 let obs t = t.obs
@@ -55,12 +82,34 @@ let acct t = t.acct
 
 let nodes t = Array.length t.chips
 let chip t i = t.chips.(i)
+let dma t i = t.dma.(i)
 let sim t = t.sim
 
-let on_ras t f = t.ras_subscribers <- f :: t.ras_subscribers
-
-let ras_emit t ~rank ~severity ~message =
-  List.iter (fun f -> f ~rank ~severity ~message) t.ras_subscribers
+(* Surface a rank's DMA-engine and torus-link state into the metrics
+   registry (kernels call this at job end, tools at collection time).
+   Purely observational: no-ops while the collector is disabled. *)
+let publish_net_gauges t ~rank =
+  let o = t.obs in
+  if Bg_obs.Obs.enabled o then begin
+    let e = t.dma.(rank) in
+    let s = Bg_hw.Dma.stats e in
+    Bg_obs.Obs.set_gauge o ~rank ~subsystem:"dma" ~name:"inj_fifo_occupancy"
+      (Bg_hw.Dma.injection_occupancy e);
+    Bg_obs.Obs.set_gauge o ~rank ~subsystem:"dma" ~name:"rcv_fifo_occupancy"
+      (Bg_hw.Dma.reception_occupancy e);
+    Bg_obs.Obs.set_gauge o ~rank ~subsystem:"dma" ~name:"inject_stalls"
+      s.Bg_hw.Dma.inject_stalls;
+    Bg_obs.Obs.set_gauge o ~rank ~subsystem:"dma" ~name:"recv_backpressure"
+      s.Bg_hw.Dma.recv_backpressure;
+    Bg_obs.Obs.set_gauge o ~rank ~subsystem:"dma" ~name:"dropped" s.Bg_hw.Dma.dropped;
+    for dir = 0 to 5 do
+      let busy = Bg_hw.Torus.link_busy_cycles t.torus ~rank ~dir in
+      if busy > 0 then
+        Bg_obs.Obs.set_gauge o ~rank ~subsystem:"torus"
+          ~name:(Printf.sprintf "link%d_busy_cycles" dir)
+          busy
+    done
+  end
 
 let ras_severity_to_string = function
   | Ras_info -> "INFO"

@@ -13,6 +13,9 @@ type t = {
   torus : Bg_hw.Torus.t;
   collective : Bg_hw.Collective_net.t;
   barrier : Bg_hw.Barrier_net.t;
+  dma : Bg_hw.Dma.t array;
+      (** per-chip torus DMA engines, indexed by rank; inert until
+          something injects a descriptor *)
   obs : Bg_obs.Obs.t;
       (** the machine's observability collector; disabled unless turned
           on with [Bg_obs.Obs.set_enabled] (or passed in at {!create}) *)
@@ -29,18 +32,27 @@ val create :
   ?seed:int64 ->
   ?nodes_per_io_node:int ->
   ?obs:Bg_obs.Obs.t ->
+  ?dma_fifo_depth:int ->
   dims:int * int * int ->
   unit ->
   t
 (** Build a machine with [x*y*z] nodes. [nodes_per_io_node] defaults to the
     whole machine sharing one I/O node when small (<= 64 nodes), else 64.
-    [obs] defaults to a fresh, disabled collector. *)
+    [obs] defaults to a fresh, disabled collector. [dma_fifo_depth]
+    overrides the DMA injection-FIFO depth (mainly to provoke
+    stall-on-full in tests). *)
 
 val nodes : t -> int
 val chip : t -> int -> Bg_hw.Chip.t
+val dma : t -> int -> Bg_hw.Dma.t
 val sim : t -> Bg_engine.Sim.t
 val obs : t -> Bg_obs.Obs.t
 val acct : t -> Bg_obs.Accounting.t
+
+val publish_net_gauges : t -> rank:int -> unit
+(** Push the rank's DMA FIFO occupancy/stall counters and per-link torus
+    busy-cycle totals into the metrics registry; no-op while the
+    collector is disabled. *)
 
 (** {1 RAS events}
 

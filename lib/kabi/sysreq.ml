@@ -56,6 +56,10 @@ type perf_op = Perf_start | Perf_stop | Perf_freeze | Perf_read
 
 type perf_reading = { pr_event : Bg_hw.Upc.event; pr_core : int; pr_count : int }
 
+type dma_poll_op =
+  | Dma_counter of int  (** read a completion counter: remaining bytes *)
+  | Dma_recv            (** drain the reception FIFO *)
+
 type request =
   | Getpid
   | Gettid
@@ -81,6 +85,8 @@ type request =
   | Query_vtop of int
   | Query_dirty of { clear : bool }
   | Query_perf of perf_op
+  | Dma_inject of Bg_hw.Dma.descriptor
+  | Dma_poll of dma_poll_op
   | Uname
   | Get_personality
   | Gettimeofday
@@ -116,6 +122,7 @@ type reply =
   | R_personality of personality
   | R_ranges of (int * int) list
   | R_perf of perf_reading list
+  | R_dma_packets of Bg_hw.Dma.packet list
   | R_err of Errno.t
 
 exception Syscall_error of Errno.t
@@ -133,6 +140,7 @@ let expect_uname = function R_uname u -> u | r -> err r
 let expect_personality = function R_personality p -> p | r -> err r
 let expect_ranges = function R_ranges r -> r | r -> err r
 let expect_perf = function R_perf r -> r | r -> err r
+let expect_dma_packets = function R_dma_packets p -> p | r -> err r
 
 let is_file_io = function
   | Open _ | Close _ | Read _ | Write _ | Pread _ | Pwrite _ | Lseek _ | Fstat _
@@ -142,8 +150,8 @@ let is_file_io = function
   | Getpid | Gettid | Get_rank | Clone _ | Set_tid_address _ | Exit_thread _
   | Exit_group _ | Sigaction _ | Tgkill _ | Sched_yield | Futex_wait _
   | Futex_wake _ | Brk _ | Mmap _ | Munmap _ | Mprotect _ | Shm_open _
-  | Query_map | Query_vtop _ | Query_dirty _ | Query_perf _ | Uname
-  | Get_personality | Gettimeofday ->
+  | Query_map | Query_vtop _ | Query_dirty _ | Query_perf _ | Dma_inject _
+  | Dma_poll _ | Uname | Get_personality | Gettimeofday ->
     false
 
 let request_name = function
@@ -168,6 +176,8 @@ let request_name = function
   | Query_vtop _ -> "query_vtop"
   | Query_dirty _ -> "query_dirty"
   | Query_perf _ -> "query_perf"
+  | Dma_inject _ -> "dma_inject"
+  | Dma_poll _ -> "dma_poll"
   | Uname -> "uname"
   | Get_personality -> "get_personality"
   | Gettimeofday -> "gettimeofday"
@@ -243,6 +253,15 @@ let pp_request ppf r =
       | Perf_stop -> "stop"
       | Perf_freeze -> "freeze"
       | Perf_read -> "read")
+  | Dma_inject d ->
+    Format.fprintf ppf "dma_inject(%s dst=%d tag=%d %d bytes ctr=%d)"
+      (match d.Bg_hw.Dma.kind with
+      | Bg_hw.Dma.Eager -> "eager"
+      | Bg_hw.Dma.Rdma_put -> "put"
+      | Bg_hw.Dma.Rdma_get -> "get")
+      d.Bg_hw.Dma.dst d.Bg_hw.Dma.tag d.Bg_hw.Dma.bytes d.Bg_hw.Dma.counter
+  | Dma_poll (Dma_counter id) -> Format.fprintf ppf "dma_poll(counter=%d)" id
+  | Dma_poll Dma_recv -> Format.fprintf ppf "dma_poll(recv)"
   | Open { path; flags; mode } ->
     Format.fprintf ppf "open(%S, %a, 0o%o)" path pp_flags flags mode
   | Close fd -> Format.fprintf ppf "close(%d)" fd
@@ -296,4 +315,5 @@ let pp_reply ppf = function
     Format.fprintf ppf "<%d ranges, %d bytes>" (List.length ranges)
       (List.fold_left (fun acc (_, l) -> acc + l) 0 ranges)
   | R_perf readings -> Format.fprintf ppf "<%d perf readings>" (List.length readings)
+  | R_dma_packets pkts -> Format.fprintf ppf "<%d dma packets>" (List.length pkts)
   | R_err e -> Format.fprintf ppf "-%s" (Errno.to_string e)

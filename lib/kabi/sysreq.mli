@@ -84,6 +84,10 @@ type perf_op =
 type perf_reading = { pr_event : Bg_hw.Upc.event; pr_core : int; pr_count : int }
 (** [pr_core] is {!Bg_hw.Upc.chip_scope} for chip-wide events. *)
 
+type dma_poll_op =
+  | Dma_counter of int  (** read a completion counter: remaining bytes *)
+  | Dma_recv            (** drain the reception FIFO *)
+
 type request =
   (* process / thread *)
   | Getpid
@@ -119,6 +123,16 @@ type request =
       (** control/read the chip's UPC ({!Bg_hw.Upc}). Handled locally by
           both kernels, never function-shipped; replies with {!R_perf}
           on [Perf_read], [R_unit] otherwise. *)
+  (* DMA — the kernel-mediated messaging path (paper Table I). CNK maps
+     the DMA unit into user space so DCMF never issues these; a
+     Linux-class kernel must trap, translate and pin on every injection
+     and poll through the kernel to reach the reception FIFO. *)
+  | Dma_inject of Bg_hw.Dma.descriptor
+      (** append to the chip's injection FIFO; [R_unit], or
+          [R_err EAGAIN] when the FIFO is full (stall-on-full) *)
+  | Dma_poll of dma_poll_op
+      (** [Dma_counter id] replies [R_int remaining]; [Dma_recv] replies
+          {!R_dma_packets} with everything drained *)
   (* info *)
   | Uname
   | Get_personality
@@ -156,6 +170,7 @@ type reply =
   | R_personality of personality
   | R_ranges of (int * int) list  (** [(addr, len)] ranges, ascending *)
   | R_perf of perf_reading list   (** non-zero counters, fixed order *)
+  | R_dma_packets of Bg_hw.Dma.packet list  (** drained reception FIFO, oldest first *)
   | R_err of Errno.t
 
 exception Syscall_error of Errno.t
@@ -172,6 +187,7 @@ val expect_uname : reply -> uname_info
 val expect_personality : reply -> personality
 val expect_ranges : reply -> (int * int) list
 val expect_perf : reply -> perf_reading list
+val expect_dma_packets : reply -> Bg_hw.Dma.packet list
 
 val is_file_io : request -> bool
 (** True for the requests CNK function-ships to the I/O node. *)

@@ -12,22 +12,50 @@
     put/get/eager move them into the peer's registered buffers, so tests
     can assert integrity end to end.
 
+    {b Messaging paths.} A fabric is created on one of three paths:
+
+    - {!Abstract} (the default): the pre-DMA model — transfers go to
+      {!Bg_hw.Torus} directly with lumped software costs. Kept so every
+      existing caller is bit-identical to before.
+    - {!Dma_user}: the CNK story. Descriptors are injected into the
+      chip's {!Bg_hw.Dma} injection FIFO with a few user-mode stores;
+      completion counters and the reception FIFO are polled as plain
+      memory. No syscalls anywhere on the critical path.
+    - {!Dma_kernel}: the FWK story. The same descriptors, but every
+      injection is a [Dma_inject] syscall (trap + translate + pin) and
+      every counter read or FIFO drain is a [Dma_poll] syscall —
+      preemptible by the tick scheduler. This is the kernel-mediated
+      column of the paper's Table I.
+
     Completion handling: operations return {!handle}s whose completion is
     stamped with the hardware arrival cycle plus the receive-side software
-    cost; {!wait} spins (DCMF on CNK polls — there is nothing to yield
-    to). *)
+    cost (abstract path) or latched off the DMA byte-decrement counter
+    (DMA paths); {!wait} spins (DCMF on CNK polls — there is nothing to
+    yield to). *)
+
+type path =
+  | Abstract    (** lumped-cost torus transfers, no descriptors *)
+  | Dma_user    (** CNK: memory-mapped injection/polling, user cycles only *)
+  | Dma_kernel  (** FWK: every injection/poll is a syscall *)
 
 type fabric
 type ctx
 type handle
 
-val make_fabric : Machine.t -> fabric
+val make_fabric : ?path:path -> Machine.t -> fabric
+(** [path] defaults to [Abstract], which preserves the exact behaviour
+    (and simulation digests) of the pre-DMA messaging layer. *)
+
 val machine : fabric -> Machine.t
+val fabric_path : fabric -> path
 val fabric_of : ctx -> fabric
 val attach : fabric -> rank:int -> ctx
-(** One context per rank; re-attaching returns the same context. *)
+(** One context per rank; re-attaching returns the same context. On a DMA
+    fabric this also wires the rank's engine read/write hooks so remote
+    gets stream out of the registered buffers and landings route back. *)
 
 val rank : ctx -> int
+val path_of : ctx -> path
 val node_count : ctx -> int
 
 val register : ctx -> tag:int -> bytes:int -> unit
@@ -42,7 +70,8 @@ val put : ctx -> dst:int -> tag:int -> data:bytes -> handle
 
 val put_with_ack : ctx -> dst:int -> tag:int -> data:bytes -> handle
 (** Put whose completion waits for the hardware ack packet to return —
-    the building block of ARMCI's blocking put. *)
+    the building block of ARMCI's blocking put. On the DMA paths the ack
+    is a small get fenced behind the put in the same injection FIFO. *)
 
 val get : ctx -> src:int -> tag:int -> handle
 (** One-sided get of the peer's registered buffer; completes when the data
@@ -53,10 +82,25 @@ val fetched : handle -> bytes
 
 val send_eager : ctx -> dst:int -> tag:int -> data:bytes -> handle
 (** Two-sided eager active message; completes (remotely) after the
-    receive-side dispatch handler runs. *)
+    receive-side dispatch handler runs. On the DMA paths the payload is
+    copied into the memory FIFO (per-byte sender cost) and again on
+    drain (per-byte receiver cost) — which is why large messages go
+    rendezvous. *)
 
 val try_recv_eager : ctx -> tag:int -> (int * bytes) option
-(** Dequeue an arrived eager message with this tag: (src, payload). *)
+(** Dequeue an arrived eager message with this tag: (src, payload). On a
+    DMA fabric this first drains the reception FIFO — directly in user
+    mode, via a [Dma_poll] syscall in kernel mode. *)
+
+val send_rendezvous : ctx -> dst:int -> tag:int -> data:bytes -> unit
+(** Rendezvous send: RTS packet out, the receiver pulls the payload with
+    an rDMA-get (zero-copy), FIN packet back. Blocks (spinning) until the
+    FIN arrives, so the source buffer can be reused on return. Requires a
+    concurrently running {!recv_rendezvous} on [dst]. *)
+
+val recv_rendezvous : ctx -> src:int -> tag:int -> bytes
+(** Receiver side of {!send_rendezvous}: waits for the matching RTS,
+    pulls the data with a get, sends FIN, returns the payload. *)
 
 val put_large : ctx -> dst:int -> tag:int -> bytes:int -> contiguous:bool -> handle
 (** Bulk transfer for the Fig 8 bandwidth experiment. [contiguous] streams
@@ -70,7 +114,14 @@ val completion_cycle : handle -> Bg_engine.Cycles.t
 
 val wait : handle -> unit
 (** Spin (adaptive-interval polling) inside the calling coroutine until
-    the handle completes. *)
+    the handle completes. On [Dma_kernel] each poll is a syscall. *)
 
 val barrier_via_hw : ctx -> unit
 (** Enter the global barrier network and spin until released. *)
+
+val dma_stats : ctx -> Bg_hw.Dma.stats option
+(** This rank's engine counters ([None] if the rank has no engine). *)
+
+val injected_descriptors : ctx -> int
+(** Descriptors this rank has injected so far (0 on an abstract fabric —
+    handy for app-level reports). *)

@@ -17,3 +17,21 @@ let remote_ack_bytes = 16
 let small_packet_bytes = 32
 let paged_fragment_bytes = 4096
 let paged_fragment_sw = 600
+
+(* --- descriptor-based DMA path --------------------------------------
+   On CNK the injection FIFOs and completion counters are memory-mapped,
+   so the whole injection path is a handful of user-mode stores; on the
+   FWK these costs are replaced by the Dma_inject/Dma_poll syscalls
+   (trap + translate + pin, see Bg_fwk.Node). *)
+
+let dma_user_inject_sw = 90   (* build a descriptor + store to mapped FIFO *)
+let dma_stall_retry_sw = 120  (* backpressure spin quantum when FIFO is full *)
+let dma_recv_dispatch_sw = 120 (* per-packet user-space dispatch on drain *)
+
+let dma_copy_cycles bytes = bytes
+(* memcpy at ~1 B/cycle into (send) and out of (receive) the memory
+   FIFOs. Eager pays this on both sides; rendezvous streams straight
+   from the source buffer (zero-copy), which is what produces the
+   eager/rendezvous crossover around ~1.2 KB. *)
+
+let rndv_fin_bytes = 1        (* FIN is a bare header packet *)

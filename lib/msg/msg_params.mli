@@ -53,3 +53,26 @@ val paged_fragment_bytes : int
 
 val paged_fragment_sw : int
 (** Per-fragment software cost (descriptor + pin) on the paged path. *)
+
+(** {2 Descriptor-based DMA path}
+
+    Costs of driving {!Bg_hw.Dma} from user space (CNK maps the FIFOs and
+    counters into the application). The FWK equivalents are syscall costs
+    in {!Bg_fwk.Node}. *)
+
+val dma_user_inject_sw : int
+(** Build a descriptor and store it to the memory-mapped injection FIFO. *)
+
+val dma_stall_retry_sw : int
+(** Spin quantum while the injection FIFO is full (stall-on-full). *)
+
+val dma_recv_dispatch_sw : int
+(** Per-packet dispatch when draining the reception FIFO. *)
+
+val dma_copy_cycles : int -> int
+(** Cycles to memcpy [bytes] into or out of a memory FIFO (~1 B/cycle).
+    Eager pays this on both sides; rendezvous is zero-copy — the source
+    of the eager/rendezvous crossover. *)
+
+val rndv_fin_bytes : int
+(** Size of the rendezvous FIN packet. *)

@@ -1,0 +1,67 @@
+(** The Table I messaging harness: one two-rank sweep, three kernels.
+
+    Runs the same DCMF put / eager / rendezvous latency sweep and bulk
+    bandwidth measurement over the descriptor-based DMA engine on:
+
+    - {!Cnk_user}: CNK with the injection FIFOs, completion counters and
+      reception FIFO memory-mapped into the application ([Dma_user]);
+    - {!Fwk_quiet}: the FWK routing every injection and poll through
+      [Dma_inject]/[Dma_poll] syscalls, tick scheduler disabled — the
+      best case a Linux-class kernel can offer ([Dma_kernel]);
+    - {!Fwk_tick}: the same kernel-mediated path with the 1 kHz tick
+      enabled, which preempts the injection path mid-measurement.
+
+    All cells are seeded and deterministic: {!digest} over two identical
+    runs must match. *)
+
+type cell = Cnk_user | Fwk_quiet | Fwk_tick
+
+val cell_name : cell -> string
+
+val layers : string list
+(** ["dcmf_put"; "dcmf_eager"; "dcmf_rndv"] *)
+
+type result = {
+  cell : cell;
+  sizes : int list;
+  reps : int;                             (** repetitions summed per point *)
+  latency : (string * int * int) list;
+      (** (layer, bytes, one-way cycles summed over [reps]) *)
+  bandwidth : (string * int * int) list;  (** (mode, bytes, transfer cycles) *)
+  descriptors : int;                      (** rank 0 injections over the run *)
+  wall : int;
+      (** rank 0's cycles across the whole sweep, first barrier to last —
+          absorbs every tick preemption, so the quiet/tick gap metric is
+          robust to per-sample interleaving wobble *)
+}
+
+val default_sizes : int list
+
+val default_reps : int
+(** Chosen so the FWK sweep spans several 1 kHz tick periods. *)
+
+val bw_bytes : int
+
+val run_cnk : ?sizes:int list -> ?reps:int -> unit -> result
+val run_fwk : ?sizes:int list -> ?reps:int -> tick:bool -> unit -> result
+val run_all : ?sizes:int list -> ?reps:int -> unit -> result list
+(** [CNK; FWK quiet; FWK tick], in that order. *)
+
+val find_latency : result -> layer:string -> bytes:int -> int option
+
+val crossover : result -> int option
+(** Smallest size at which rendezvous beats eager, if any. *)
+
+val total_latency : result -> int
+(** Sum of all measured one-way latencies. The gap-widening check uses
+    {!field-wall} instead: the latency sum is quantized by the
+    receiver's poll loop, so tick cost landing between samples can hide
+    there. *)
+
+val digest : result list -> string
+(** FNV-1a over every measured value; bit-stable across identical runs. *)
+
+val us_of_cycles : int -> float
+val mb_s_of : bytes:int -> cycles:int -> float
+val pp_table : Format.formatter -> result list -> unit
+val to_json : result list -> string

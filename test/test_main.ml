@@ -8,6 +8,7 @@ let () =
       ("cnk", Test_cnk.suite);
       ("fwk", Test_fwk.suite);
       ("msg", Test_msg.suite);
+      ("dma", Test_dma.suite);
       ("apps", Test_apps.suite);
       ("experiments", Test_experiments.suite);
       ("affinity", Test_affinity.suite);
