@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples docs csv trace-smoke resilience-smoke attribute-smoke cio-chaos-smoke msg-smoke clean
+.PHONY: all build test bench examples docs csv trace-smoke resilience-smoke attribute-smoke cio-chaos-smoke msg-smoke causal-smoke clean
 
 all: build
 
@@ -80,6 +80,20 @@ attribute-smoke:
 	@cmp /tmp/attribute_smoke_a.txt /tmp/attribute_smoke_b.txt
 	@test -s /tmp/attr_smoke_cnk.folded && test -s /tmp/attr_smoke_fwk.folded
 	@echo "attribute-smoke OK"
+
+# Causal critical-path run on the seeded 32-node allreduce, twice: the
+# tool itself asserts the FWK critical path blames a strictly larger
+# tick+daemon share than CNK's and that attribution tiles the path
+# exactly; the two runs must print bit-identical causal digest lines.
+causal-smoke:
+	dune exec bin/trace_tool.exe -- critical-path --nodes 32 \
+	  --chrome-trace /tmp/causal_smoke_flow.json \
+	  | grep digest > /tmp/causal_smoke_a.txt
+	dune exec bin/trace_tool.exe -- critical-path --nodes 32 \
+	  | grep digest > /tmp/causal_smoke_b.txt
+	@cmp /tmp/causal_smoke_a.txt /tmp/causal_smoke_b.txt
+	@grep -q '"ph":"s"' /tmp/causal_smoke_flow.json
+	@echo "causal-smoke OK"
 
 clean:
 	dune clean

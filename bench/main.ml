@@ -950,6 +950,64 @@ let run_msg () =
   Printf.printf "wrote BENCH_msg.json (digest %s)\n"
     (Bg_msgbench.Msgbench.digest results)
 
+(* ------------------------------------------------------------------ *)
+(* Observability overhead: the zero-cost-by-default claim, measured *)
+
+let run_obs () =
+  section "obs: collection overhead (off / spans / spans+causal)";
+  (* One seeded syscall-heavy CNK job per cell (every pwrite is a
+     function-shipped span plus causal nodes and edges). The collectors
+     are passive, so all three cells process the identical architectural
+     event stream — the trace-record count is the (deterministic) work
+     measure and wall time is the only thing that moves. *)
+  let cell ~name ~spans ~causal =
+    let t0 = Unix.gettimeofday () in
+    let cluster = Cnk.Cluster.create ~dims:(1, 1, 1) ~seed:1L () in
+    let machine = Cnk.Cluster.machine cluster in
+    Bg_obs.Obs.set_enabled machine.Machine.obs spans;
+    Bg_obs.Causal.set_enabled (Machine.causal machine) causal;
+    Cnk.Cluster.boot_all cluster;
+    let entry () =
+      let fd = Bg_rt.Libc.openf ~flags:Sysreq.o_create_trunc "/bench_obs.dat" in
+      let block = Bytes.make 64 'b' in
+      for i = 0 to 1_999 do
+        ignore (Bg_rt.Libc.pwrite fd block ~offset:(i * 64))
+      done;
+      Bg_rt.Libc.close fd
+    in
+    Cnk.Cluster.run_job cluster (Job.create ~name:"iobench" (Image.executable ~name:"iobench" entry));
+    let wall = Unix.gettimeofday () -. t0 in
+    let events = Bg_engine.Trace.count (Bg_engine.Sim.trace (Cnk.Cluster.sim cluster)) in
+    let spans_n = Bg_obs.Obs.span_count machine.Machine.obs in
+    let causal_n = Bg_obs.Causal.node_count (Machine.causal machine) in
+    let eps = float_of_int events /. wall in
+    Printf.printf "  %-14s %8d events  %6.3f s  %12.0f events/s  (%d spans, %d causal nodes)\n%!"
+      name events wall eps spans_n causal_n;
+    (name, events, wall, eps, spans_n, causal_n)
+  in
+  let cells =
+    [
+      cell ~name:"off" ~spans:false ~causal:false;
+      cell ~name:"spans" ~spans:true ~causal:false;
+      cell ~name:"spans+causal" ~spans:true ~causal:true;
+    ]
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"experiment\":\"obs\",\"workload\":\"cnk pwrite x2000\",\"cells\":[";
+  List.iteri
+    (fun i (name, events, wall, eps, spans_n, causal_n) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"events\":%d,\"wall_s\":%.6f,\"events_per_sec\":%.0f,\"spans\":%d,\"causal_nodes\":%d}"
+           name events wall eps spans_n causal_n))
+    cells;
+  Buffer.add_string buf "]}";
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_obs.json\n"
+
 let experiments =
   [
     ("fwq", run_fwq);
@@ -975,6 +1033,7 @@ let experiments =
     ("cg", run_cg);
     ("congestion", run_congestion);
     ("micro", run_micro);
+    ("obs", run_obs);
   ]
 
 let () =

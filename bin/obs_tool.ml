@@ -75,6 +75,17 @@ let summarize obs =
     (Obs.span_count obs)
     (List.length (Obs.spans obs))
     (Obs.dropped_spans obs) (Obs.open_count obs);
+  if Obs.dropped_spans obs > 0 then begin
+    Printf.printf
+      "WARNING: span ring overflow — %d span(s) evicted; raise ?ring_spans or \
+       narrow instrumentation (per-scope obs/dropped_spans counters below)\n"
+      (Obs.dropped_spans obs);
+    List.iter
+      (fun m ->
+        if m.Obs.key.Obs.subsystem = "obs" && m.Obs.key.Obs.name = "dropped_spans"
+        then Format.printf "  %a@." Obs.pp_metric m)
+      (Obs.snapshot obs)
+  end;
   Printf.printf "span categories: %s\n" (String.concat ", " (categories obs));
   Printf.printf "span digest: %s\n" (Bg_engine.Fnv.to_hex (Obs.digest obs));
   let metrics = Obs.snapshot obs in

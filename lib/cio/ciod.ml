@@ -235,6 +235,26 @@ let service t (f : Frame.t) req =
         let p = proxy t ~rank:f.Frame.rank ~pid:f.Frame.pid in
         let reply = Ioproxy.handle p req in
         let hdr = { Proto.rank = f.Frame.rank; pid = f.Frame.pid; tid = f.Frame.tid } in
+        (* Causal: one service node per EXECUTION, linked from the
+           request context the frame carried. Duplicate frames never
+           reach here (the suppression branches in [submit_reliable]
+           record nothing), so at-most-once shows exactly one
+           request->reply edge per seq. The service node rides the reply
+           frame down so the CNK side can hang the delivery off it. *)
+        let causal = t.machine.Machine.causal in
+        let service_ctx =
+          let module C = Bg_obs.Causal in
+          if C.enabled causal then begin
+            let s =
+              C.mint causal ~chain:false ~cat:"cio"
+                ~name:("service." ^ Sysreq.request_name req)
+                ~rank:f.Frame.rank ~core:(worker_tid_base + worker) ~now:finish ()
+            in
+            C.link causal C.Request_reply ~src:f.Frame.ctx ~dst:s;
+            s
+          end
+          else Bg_obs.Causal.none
+        in
         let framed =
           Frame.encode
             {
@@ -243,6 +263,7 @@ let service t (f : Frame.t) req =
               pid = f.Frame.pid;
               tid = f.Frame.tid;
               seq = f.Frame.seq;
+              ctx = service_ctx;
               payload = Proto.encode_reply hdr reply;
             }
         in

@@ -20,6 +20,9 @@ type t = {
   pid : int;
   tid : int;
   seq : int;  (** per-(rank,pid,tid) sequence number, assigned by the CNK side *)
+  ctx : int;  (** opaque causal context ([Bg_obs.Causal.ctx]); 0 = none. Rides
+                  the wire so a retransmission — a byte-for-byte resend of the
+                  encoded frame — carries the {e same} context as the original. *)
   payload : bytes;  (** Proto-encoded message; empty for [Ack] *)
 }
 

@@ -35,6 +35,17 @@ type t = {
 
 let obs t = (Cnk.Cluster.machine t.cluster).Machine.obs
 let now t = Sim.now (Cnk.Cluster.sim t.cluster)
+
+(* Job lifecycle in the causal graph: submit, start and finish live on
+   the control-system scope (rank -1), one lane per job id. Program-order
+   chaining on that lane links them Parent_child automatically. *)
+let causal_mark t ~jid name =
+  let g = (Cnk.Cluster.machine t.cluster).Machine.causal in
+  if Bg_obs.Causal.enabled g then
+    ignore
+      (Bg_obs.Causal.mint g ~cat:"scheduler"
+         ~name:(Printf.sprintf "job.%d.%s" jid name)
+         ~rank:Obs.node_scope ~core:jid ~now:(now t) ())
 let cluster t = t.cluster
 let partition t = t.partition
 
@@ -77,6 +88,7 @@ let submit_factory t ?walltime_cycles ?(restart_limit = 0) ~shape factory =
   Hashtbl.replace t.jobs jid pending;
   t.outstanding <- t.outstanding + 1;
   Obs.incr (obs t) ~subsystem:"scheduler" ~name:"jobs_submitted" ();
+  causal_mark t ~jid "submit";
   jid
 
 let submit t ?walltime_cycles ~shape job =
@@ -129,6 +141,7 @@ and start t pending alloc =
       ~name:(Printf.sprintf "job.%d" pending.jid)
       ~rank:Obs.node_scope ~core:pending.jid ~now:start_cycle
   in
+  causal_mark t ~jid:pending.jid "start";
   Hashtbl.replace t.states pending.jid (Running alloc.Partition.ranks);
   Hashtbl.replace t.running pending.jid (pending, alloc);
   let job = pending.factory ~ranks:alloc.Partition.ranks in
@@ -177,6 +190,7 @@ and finish t pending alloc job_span =
   Partition.release t.partition alloc.Partition.id;
   Hashtbl.remove t.running pending.jid;
   Obs.span_end o job_span ~now:(now t);
+  causal_mark t ~jid:pending.jid "finish";
   let failed =
     List.exists
       (fun rank ->

@@ -2,6 +2,7 @@ open Bg_engine
 open Bg_hw
 module Obs = Bg_obs.Obs
 module Accounting = Bg_obs.Accounting
+module Causal = Bg_obs.Causal
 module Frame = Bg_cio.Frame
 module Reliable = Bg_cio.Reliable
 
@@ -126,6 +127,16 @@ let emit t label value =
 
 let obs t = t.machine.Machine.obs
 let acct t = t.machine.Machine.acct
+let causal t = t.machine.Machine.causal
+
+(* Mint a causal node on this rank, program-order chained unless said
+   otherwise. Returns [Causal.none] (and records nothing) when causal
+   collection is off — carriers then ship context 0. *)
+let causal_mint ?chain t ~cat ~name ~core =
+  let c = causal t in
+  if Causal.enabled c then
+    Causal.mint c ?chain ~cat ~name ~rank:t.rank ~core ~now:(Sim.now (sim t)) ()
+  else Causal.none
 
 let acct_switch t ~core state =
   Accounting.switch (acct t) ~rank:t.rank ~core ~now:(Sim.now t.machine.Machine.sim) state
@@ -174,7 +185,8 @@ let send_frame_up t ~core frame =
 let send_ack t ~pid ~tid ~seq =
   let frame =
     Frame.encode
-      { Frame.kind = Frame.Ack; rank = t.rank; pid; tid; seq; payload = Bytes.create 0 }
+      { Frame.kind = Frame.Ack; rank = t.rank; pid; tid; seq; ctx = Causal.none;
+        payload = Bytes.create 0 }
   in
   cio_count t "acks";
   Bg_hw.Collective_net.to_io_node t.machine.Machine.collective ~cn:t.rank ~payload:frame
@@ -195,6 +207,13 @@ let deliver_reliable t reply_bytes =
       | Ok (_hdr, reply) ->
         cancel_io_timer t inf;
         Hashtbl.remove t.io_inflight f.Frame.tid;
+        (* Causal: the reply frame carries CIOD's service node; hang the
+           delivery off it. A replayed cached reply carries the same
+           node, so duplicates collapse onto one service execution. *)
+        let r =
+          causal_mint t ~cat:"cio" ~name:"reply.deliver" ~core:inf.io_core
+        in
+        Causal.link (causal t) Causal.Send_recv ~src:f.Frame.ctx ~dst:r;
         send_ack t ~pid:inf.io_pid ~tid:f.Frame.tid ~seq:f.Frame.seq;
         inf.io_ret reply)
     | _ ->
@@ -652,19 +671,32 @@ let rec step_thread t (th : thread) (s : Coro.step) =
    never return, so they get no span. *)
 and instrument_syscall t (th : thread) req k =
   let o = obs t in
-  if not (Obs.enabled o) then k
+  let c = causal t in
+  if not (Obs.enabled o || Causal.enabled c) then k
   else
     match req with
     | Sysreq.Exit_thread _ | Sysreq.Exit_group _ -> k
     | _ ->
       let name = Sysreq.request_name req in
       let start = Sim.now (sim t) in
-      let h = Obs.span_begin o ~cat:"syscall" ~name ~rank:t.rank ~core:th.core_id ~now:start in
+      let h =
+        if Obs.enabled o then
+          Some (Obs.span_begin o ~cat:"syscall" ~name ~rank:t.rank ~core:th.core_id ~now:start)
+        else None
+      in
+      (* Causal: entry and exit are program-order chained on this core's
+         lane, so whatever the syscall caused in between (a function
+         ship, a DMA injection) hangs between two anchors. *)
+      ignore (causal_mint t ~cat:"syscall" ~name:(name ^ ".entry") ~core:th.core_id);
       fun reply ->
         let now = Sim.now (sim t) in
-        Obs.span_end o h ~now;
-        Obs.observe_cycles o ~rank:t.rank ~subsystem:"syscall" ~name (now - start);
-        Obs.incr o ~rank:t.rank ~core:th.core_id ~subsystem:"syscall" ~name ();
+        (match h with
+        | Some h ->
+          Obs.span_end o h ~now;
+          Obs.observe_cycles o ~rank:t.rank ~subsystem:"syscall" ~name (now - start);
+          Obs.incr o ~rank:t.rank ~core:th.core_id ~subsystem:"syscall" ~name ()
+        | None -> ());
+        ignore (causal_mint t ~cat:"syscall" ~name:(name ^ ".exit") ~core:th.core_id);
         k reply
 
 (* Charge trap-to-reply to [Syscall] in the cycle ledger. Exit syscalls
@@ -868,10 +900,17 @@ and reposition_main_guard t (th : thread) =
     else begin
       t.ipis <- t.ipis + 1;
       emit t "cnk.ipi" main.core_id;
+      let send_ctx = causal_mint t ~cat:"ipi" ~name:"ipi.send" ~core:th.core_id in
       let core = t.cores.(main.core_id) in
       ignore
         (Sim.schedule_in (sim t) ipi_latency (fun () ->
              core.pending_ipi <- core.pending_ipi + ipi_handler_cycles;
+             (* Causal: cross-core interrupt — the sender caused the
+                handler to run on the main thread's core. *)
+             let recv_ctx =
+               causal_mint t ~cat:"ipi" ~name:"ipi.handle" ~core:main.core_id
+             in
+             Causal.link (causal t) Causal.Parent_child ~src:send_ctx ~dst:recv_ctx;
              if main.state <> Zombie then program_guard t main lo hi))
     end
 
@@ -977,6 +1016,17 @@ and function_ship t (th : thread) req ret =
   else begin
     let hdr = { Bg_cio.Proto.rank = t.rank; pid = th.proc.pid; tid = th.tid } in
     let data = Bg_cio.Proto.encode_request hdr req in
+    (* Causal, legacy transport: bare Proto bytes have no context field,
+       so the context rides the reply closure instead of the wire. *)
+    let q = causal_mint t ~cat:"cio" ~name:"ship.request" ~core:th.core_id in
+    let ret =
+      if q = Causal.none then ret
+      else
+        fun reply ->
+          let r = causal_mint t ~cat:"cio" ~name:"reply.deliver" ~core:th.core_id in
+          Causal.link (causal t) Causal.Request_reply ~src:q ~dst:r;
+          ret reply
+    in
     Hashtbl.replace t.io_pending th.tid ret;
     emit t "cnk.fship" th.tid;
     let o = obs t in
@@ -1008,10 +1058,15 @@ and function_ship_reliable t (th : thread) req ret =
   let payload = Bg_cio.Proto.encode_request hdr req in
   let seq = Option.value (Hashtbl.find_opt t.io_seq th.tid) ~default:0 in
   Hashtbl.replace t.io_seq th.tid (seq + 1);
+  (* Causal: the request context is baked into the encoded frame, and
+     retransmission resends [io_frame] byte-for-byte — so every copy of
+     this request carries the SAME context, and CIOD records one
+     request->reply edge no matter how many copies arrive. *)
+  let q = causal_mint t ~cat:"cio" ~name:"ship.request" ~core:th.core_id in
   let frame =
     Frame.encode
       { Frame.kind = Frame.Request; rank = t.rank; pid = th.proc.pid; tid = th.tid; seq;
-        payload }
+        ctx = q; payload }
   in
   let inf =
     {

@@ -2,6 +2,7 @@ open Bg_engine
 open Bg_hw
 module Obs = Bg_obs.Obs
 module Accounting = Bg_obs.Accounting
+module Causal = Bg_obs.Causal
 
 let boot_cycles_full = 18_000_000
 let boot_cycles_stripped = 2_600_000
@@ -158,6 +159,13 @@ let emit t label value =
 
 let obs t = t.machine.Machine.obs
 let acct t = t.machine.Machine.acct
+let causal t = t.machine.Machine.causal
+
+let causal_mint ?chain t ~cat ~name ~core =
+  let c = causal t in
+  if Causal.enabled c then
+    Causal.mint c ?chain ~cat ~name ~rank:t.rank ~core ~now:(Sim.now (sim t)) ()
+  else Causal.none
 
 let acct_switch t ~core state =
   Accounting.switch (acct t) ~rank:t.rank ~core ~now:(Sim.now t.machine.Machine.sim) state
@@ -444,19 +452,29 @@ let rec step_thread t (th : thread) (s : Coro.step) =
    side by side is the paper's Table II in live form. *)
 and instrument_syscall t (th : thread) req k =
   let o = obs t in
-  if not (Obs.enabled o) then k
+  let c = causal t in
+  if not (Obs.enabled o || Causal.enabled c) then k
   else
     match req with
     | Sysreq.Exit_thread _ | Sysreq.Exit_group _ -> k
     | _ ->
       let name = Sysreq.request_name req in
       let start = Sim.now (sim t) in
-      let h = Obs.span_begin o ~cat:"syscall" ~name ~rank:t.rank ~core:th.core_id ~now:start in
+      let h =
+        if Obs.enabled o then
+          Some (Obs.span_begin o ~cat:"syscall" ~name ~rank:t.rank ~core:th.core_id ~now:start)
+        else None
+      in
+      ignore (causal_mint t ~cat:"syscall" ~name:(name ^ ".entry") ~core:th.core_id);
       fun reply ->
         let now = Sim.now (sim t) in
-        Obs.span_end o h ~now;
-        Obs.observe_cycles o ~rank:t.rank ~subsystem:"syscall" ~name (now - start);
-        Obs.incr o ~rank:t.rank ~core:th.core_id ~subsystem:"syscall" ~name ();
+        (match h with
+        | Some h ->
+          Obs.span_end o h ~now;
+          Obs.observe_cycles o ~rank:t.rank ~subsystem:"syscall" ~name (now - start);
+          Obs.incr o ~rank:t.rank ~core:th.core_id ~subsystem:"syscall" ~name ()
+        | None -> ());
+        ignore (causal_mint t ~cat:"syscall" ~name:(name ^ ".exit") ~core:th.core_id);
         k reply
 
 (* Charge trap-to-reply to [Syscall] in the cycle ledger; same contract

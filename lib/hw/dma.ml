@@ -23,15 +23,16 @@ type descriptor = {
   bytes : int;
   counter : int;
   arm_bytes : int;
+  ctx : int;
 }
 
-let descriptor ?(payload = Bytes.empty) ?(counter = -1) ?arm_bytes ~kind ~dst ~tag ~bytes
-    () =
+let descriptor ?(payload = Bytes.empty) ?(counter = -1) ?arm_bytes ?(ctx = 0) ~kind ~dst
+    ~tag ~bytes () =
   if bytes < 0 then invalid_arg "Dma.descriptor: negative size";
   let arm_bytes = match arm_bytes with Some a -> a | None -> bytes in
-  { kind; dst; tag; payload; bytes; counter; arm_bytes }
+  { kind; dst; tag; payload; bytes; counter; arm_bytes; ctx }
 
-type packet = { pkt_src : int; pkt_tag : int; pkt_payload : bytes }
+type packet = { pkt_src : int; pkt_tag : int; pkt_payload : bytes; pkt_ctx : int }
 
 type stats = {
   mutable injected : int;
@@ -62,6 +63,7 @@ type t = {
   mutable write_hook : tag:int -> data:bytes -> unit;
   mutable on_inject : bytes:int -> unit;
   mutable on_deliver : bytes:int -> unit;
+  mutable on_counter_done : id:int -> ctx:int -> unit;
 }
 
 let create_group sim torus ?(injection_depth = default_injection_depth)
@@ -96,6 +98,7 @@ let create_group sim torus ?(injection_depth = default_injection_depth)
           write_hook = (fun ~tag:_ ~data:_ -> ());
           on_inject = (fun ~bytes:_ -> ());
           on_deliver = (fun ~bytes:_ -> ());
+          on_counter_done = (fun ~id:_ ~ctx:_ -> ());
         })
   in
   Array.iter (fun e -> e.peers <- engines) engines;
@@ -111,6 +114,7 @@ let set_read_hook t f = t.read_hook <- f
 let set_write_hook t f = t.write_hook <- f
 let set_inject_hook t f = t.on_inject <- f
 let set_deliver_hook t f = t.on_deliver <- f
+let set_counter_done_hook t f = t.on_counter_done <- f
 
 let set_counter t ~id v =
   if id < 0 then invalid_arg "Dma.set_counter";
@@ -123,15 +127,17 @@ let counter_value t ~id =
 
 let counter_done_at t ~id = Hashtbl.find_opt t.done_at id
 
-let decrement t ~id ~by =
+let decrement ?(ctx = 0) t ~id ~by =
   if id >= 0 then
     match Hashtbl.find_opt t.counters id with
     | None -> ()
     | Some v ->
       let v' = max 0 (v - by) in
       Hashtbl.replace t.counters id v';
-      if v' = 0 && not (Hashtbl.mem t.done_at id) then
-        Hashtbl.replace t.done_at id (Sim.now t.sim)
+      if v' = 0 && not (Hashtbl.mem t.done_at id) then begin
+        Hashtbl.replace t.done_at id (Sim.now t.sim);
+        t.on_counter_done ~id ~ctx
+      end
 
 let wire_bytes d = d.bytes + header_bytes
 
@@ -152,10 +158,11 @@ let rec deliver_eager src_engine target d =
   end
   else begin
     Queue.push
-      { pkt_src = src_engine.rank; pkt_tag = d.tag; pkt_payload = d.payload }
+      { pkt_src = src_engine.rank; pkt_tag = d.tag; pkt_payload = d.payload;
+        pkt_ctx = d.ctx }
       target.rcv;
     mark_delivered target ~bytes:d.bytes;
-    decrement src_engine ~id:d.counter ~by:d.bytes
+    decrement ~ctx:d.ctx src_engine ~id:d.counter ~by:d.bytes
   end
 
 let launch t d =
@@ -167,7 +174,7 @@ let launch t d =
         ~on_arrival:(fun ~arrival_cycle:_ ->
           if Bytes.length d.payload > 0 then target.write_hook ~tag:d.tag ~data:d.payload;
           mark_delivered target ~bytes:d.bytes;
-          decrement t ~id:d.counter ~by:d.bytes)
+          decrement ~ctx:d.ctx t ~id:d.counter ~by:d.bytes)
         ()
     with Fault.Unavailable _ -> t.stats.dropped <- t.stats.dropped + 1)
   | Eager -> (
@@ -191,7 +198,7 @@ let launch t d =
                      ~on_arrival:(fun ~arrival_cycle:_ ->
                        t.write_hook ~tag:d.tag ~data;
                        mark_delivered t ~bytes:(Bytes.length data);
-                       decrement t ~id:d.counter ~by:d.bytes)
+                       decrement ~ctx:d.ctx t ~id:d.counter ~by:d.bytes)
                      ()
                  with Fault.Unavailable _ -> t.stats.dropped <- t.stats.dropped + 1)))
         ()

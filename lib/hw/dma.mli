@@ -27,12 +27,16 @@ type descriptor = private {
   bytes : int;         (** payload size on the wire; for [Rdma_get], bytes to pull *)
   counter : int;       (** completion counter id on the injecting chip; -1 = none *)
   arm_bytes : int;     (** added to the counter at inject; defaults to [bytes] *)
+  ctx : int;           (** opaque causal context riding the descriptor; 0 = none.
+                           The engine never interprets it — it is copied into the
+                           delivered packet and echoed by the counter-done hook. *)
 }
 
 val descriptor :
   ?payload:bytes ->
   ?counter:int ->
   ?arm_bytes:int ->
+  ?ctx:int ->
   kind:kind ->
   dst:int ->
   tag:int ->
@@ -43,8 +47,9 @@ val descriptor :
     counter: arm the full total on the first descriptor and 0 on the
     rest, so the counter cannot transiently hit zero mid-transfer. *)
 
-type packet = { pkt_src : int; pkt_tag : int; pkt_payload : bytes }
-(** One reception-FIFO entry (an arrived eager packet). *)
+type packet = { pkt_src : int; pkt_tag : int; pkt_payload : bytes; pkt_ctx : int }
+(** One reception-FIFO entry (an arrived eager packet). [pkt_ctx] is the
+    injecting descriptor's causal context, carried verbatim. *)
 
 type stats = {
   mutable injected : int;            (** descriptors accepted into the FIFO *)
@@ -108,6 +113,11 @@ val set_write_hook : t -> (tag:int -> data:bytes -> unit) -> unit
 
 val set_inject_hook : t -> (bytes:int -> unit) -> unit
 val set_deliver_hook : t -> (bytes:int -> unit) -> unit
+
+val set_counter_done_hook : t -> (id:int -> ctx:int -> unit) -> unit
+(** Fired synchronously the moment a completion counter latches zero,
+    with the context of the descriptor whose last byte landed. Wired by
+    {!Machine} into the causal tracer. Default: no-op. *)
 
 val desc_process_cycles : int
 val get_turnaround_cycles : int

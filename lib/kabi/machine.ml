@@ -11,6 +11,7 @@ type t = {
   dma : Bg_hw.Dma.t array;
   obs : Bg_obs.Obs.t;
   acct : Bg_obs.Accounting.t;
+  causal : Bg_obs.Causal.t;
   mutable ras_subscribers :
     (rank:int -> severity:ras_severity -> message:string -> unit) list;
 }
@@ -22,7 +23,7 @@ let on_ras t f = t.ras_subscribers <- f :: t.ras_subscribers
 let ras_emit t ~rank ~severity ~message =
   List.iter (fun f -> f ~rank ~severity ~message) t.ras_subscribers
 
-let create ?(params = Bg_hw.Params.bgp) ?(seed = 1L) ?nodes_per_io_node ?obs
+let create ?(params = Bg_hw.Params.bgp) ?(seed = 1L) ?nodes_per_io_node ?obs ?causal
     ?dma_fifo_depth ~dims () =
   incr instance_counter;
   let x, y, z = dims in
@@ -45,6 +46,10 @@ let create ?(params = Bg_hw.Params.bgp) ?(seed = 1L) ?nodes_per_io_node ?obs
       dma = Bg_hw.Dma.create_group sim torus ?injection_depth:dma_fifo_depth ();
       obs = (match obs with Some o -> o | None -> Bg_obs.Obs.create ());
       acct = Bg_obs.Accounting.create ();
+      causal =
+        (match causal with
+        | Some c -> c
+        | None -> Bg_obs.Causal.create ~seed:(Int64.to_int seed) ());
       ras_subscribers = [];
     }
   in
@@ -65,7 +70,19 @@ let create ?(params = Bg_hw.Params.bgp) ?(seed = 1L) ?nodes_per_io_node ?obs
           Bg_obs.Obs.incr t.obs ~rank ~subsystem:"dma" ~name:"injected_bytes" ~by:bytes ());
       Bg_hw.Dma.set_deliver_hook engine (fun ~bytes ->
           Bg_obs.Obs.incr t.obs ~rank ~subsystem:"dma" ~name:"delivered" ();
-          Bg_obs.Obs.incr t.obs ~rank ~subsystem:"dma" ~name:"delivered_bytes" ~by:bytes ()))
+          Bg_obs.Obs.incr t.obs ~rank ~subsystem:"dma" ~name:"delivered_bytes" ~by:bytes ());
+      (* Causal: a byte-decrement counter latching zero is the hardware's
+         completion notification — link it back to the injection that
+         armed it, via the context the descriptor carried. *)
+      Bg_hw.Dma.set_counter_done_hook engine (fun ~id ~ctx ->
+          if Bg_obs.Causal.enabled t.causal && ctx <> Bg_obs.Causal.none then begin
+            let dst =
+              Bg_obs.Causal.mint t.causal ~chain:false ~cat:"dma"
+                ~name:(Printf.sprintf "counter%d.zero" id)
+                ~rank ~core:0 ~now:(Bg_engine.Sim.now t.sim) ()
+            in
+            Bg_obs.Causal.link t.causal Bg_obs.Causal.Inject_complete ~src:ctx ~dst
+          end))
     t.dma;
   (* A link severed while transfers are crossing it is a hardware fault
      the RAS stream must carry; the message matches what
@@ -79,6 +96,7 @@ let create ?(params = Bg_hw.Params.bgp) ?(seed = 1L) ?nodes_per_io_node ?obs
 
 let obs t = t.obs
 let acct t = t.acct
+let causal t = t.causal
 
 let nodes t = Array.length t.chips
 let chip t i = t.chips.(i)

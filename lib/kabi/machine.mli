@@ -22,6 +22,11 @@ type t = {
   acct : Bg_obs.Accounting.t;
       (** the machine's cycle-accounting ledger; disabled unless turned
           on with [Bg_obs.Accounting.set_enabled] *)
+  causal : Bg_obs.Causal.t;
+      (** the machine's causal-event graph; disabled unless turned on
+          with [Bg_obs.Causal.set_enabled] (or passed in at {!create}).
+          Seeded from the simulation seed, so same-seed runs mint
+          identical node ids. *)
   mutable ras_subscribers :
     (rank:int -> severity:ras_severity -> message:string -> unit) list;
       (** use {!on_ras} / {!ras_emit} rather than touching this directly *)
@@ -32,6 +37,7 @@ val create :
   ?seed:int64 ->
   ?nodes_per_io_node:int ->
   ?obs:Bg_obs.Obs.t ->
+  ?causal:Bg_obs.Causal.t ->
   ?dma_fifo_depth:int ->
   dims:int * int * int ->
   unit ->
@@ -48,6 +54,7 @@ val dma : t -> int -> Bg_hw.Dma.t
 val sim : t -> Bg_engine.Sim.t
 val obs : t -> Bg_obs.Obs.t
 val acct : t -> Bg_obs.Accounting.t
+val causal : t -> Bg_obs.Causal.t
 
 val publish_net_gauges : t -> rank:int -> unit
 (** Push the rank's DMA FIFO occupancy/stall counters and per-link torus

@@ -21,7 +21,7 @@ type ctx = {
   rank : int;
   engine : Dma.t option;                       (* this rank's DMA engine *)
   buffers : (int, bytes) Hashtbl.t;            (* tag -> registered buffer *)
-  eager_inbox : (int * int * bytes) Queue.t;   (* (tag, src, payload) *)
+  eager_inbox : (int * int * bytes * int) Queue.t;  (* (tag, src, payload, causal ctx) *)
   landings : (int, bytes -> unit) Hashtbl.t;   (* tag -> one-shot get landing *)
   mutable next_counter : int;
   mutable next_rdv : int;
@@ -43,6 +43,29 @@ let make_fabric ?(path = Abstract) machine =
 
 let machine f = f.machine
 let fabric_path f = f.path
+
+(* Causal hooks: sends mint a node whose id rides the carrier (the DMA
+   descriptor on the real paths, the inbox entry on the abstract one);
+   the matching receive links a Send_recv edge back to it. All no-ops
+   while the machine's causal collector is disabled. *)
+let causal_of c = Machine.causal c.fabric.machine
+
+let causal_mint c ~cat ~name =
+  let g = causal_of c in
+  if Bg_obs.Causal.enabled g then
+    Bg_obs.Causal.mint g ~cat ~name ~rank:c.rank ~core:0
+      ~now:(Sim.now c.fabric.machine.Machine.sim) ()
+  else Bg_obs.Causal.none
+
+let causal_recv c ~name ~src_ctx =
+  let g = causal_of c in
+  if Bg_obs.Causal.enabled g && src_ctx <> Bg_obs.Causal.none then begin
+    let r =
+      Bg_obs.Causal.mint g ~cat:"msg" ~name ~rank:c.rank ~core:0
+        ~now:(Sim.now c.fabric.machine.Machine.sim) ()
+    in
+    Bg_obs.Causal.link g Bg_obs.Causal.Send_recv ~src:src_ctx ~dst:r
+  end
 let fabric_of c = c.fabric
 let rank c = c.rank
 let path_of c = c.fabric.path
@@ -225,7 +248,8 @@ let put c ~dst ~tag ~data =
     let id = fresh_counter c in
     let d =
       Dma.descriptor ~kind:Dma.Rdma_put ~dst ~tag ~payload:data
-        ~bytes:(Bytes.length data) ~counter:id ()
+        ~bytes:(Bytes.length data) ~counter:id
+        ~ctx:(causal_mint c ~cat:"dma" ~name:"inject.put") ()
     in
     inject_paced c d;
     counter_handle c id
@@ -250,7 +274,8 @@ let put_with_ack c ~dst ~tag ~data =
     let idp = fresh_counter c in
     let d =
       Dma.descriptor ~kind:Dma.Rdma_put ~dst ~tag ~payload:data
-        ~bytes:(Bytes.length data) ~counter:idp ()
+        ~bytes:(Bytes.length data) ~counter:idp
+        ~ctx:(causal_mint c ~cat:"dma" ~name:"inject.put") ()
     in
     inject_paced c d;
     (* The ack round: a small get chases the put through the same
@@ -261,7 +286,8 @@ let put_with_ack c ~dst ~tag ~data =
     Hashtbl.replace c.landings probe_tag (fun _ -> ());
     let g =
       Dma.descriptor ~kind:Dma.Rdma_get ~dst ~tag:probe_tag
-        ~bytes:Msg_params.remote_ack_bytes ~counter:ida ()
+        ~bytes:Msg_params.remote_ack_bytes ~counter:ida
+        ~ctx:(causal_mint c ~cat:"dma" ~name:"inject.fence") ()
     in
     inject_paced c g;
     counter_handle c ida
@@ -303,7 +329,8 @@ let get c ~src ~tag =
     Hashtbl.replace c.landings tag (fun data -> h.data <- Some data);
     let d =
       Dma.descriptor ~kind:Dma.Rdma_get ~dst:src ~tag
-        ~bytes:(max 1 remote_bytes) ~counter:id ()
+        ~bytes:(max 1 remote_bytes) ~counter:id
+        ~ctx:(causal_mint c ~cat:"dma" ~name:"inject.get") ()
     in
     inject_paced c d;
     h
@@ -311,6 +338,7 @@ let get c ~src ~tag =
 (* --- two-sided eager ------------------------------------------------- *)
 
 let send_eager c ~dst ~tag ~data =
+  let send_ctx = causal_mint c ~cat:"msg" ~name:"send_eager" in
   match c.fabric.path with
   | Abstract ->
     let h = fresh_handle () in
@@ -323,7 +351,7 @@ let send_eager c ~dst ~tag ~data =
            is usable *)
         ignore
           (Sim.schedule_in (sim c) Msg_params.eager_recv_handler (fun () ->
-               Queue.push (tag, c.rank, data) p.eager_inbox;
+               Queue.push (tag, c.rank, data, send_ctx) p.eager_inbox;
                finish h ~at:(arrival_cycle + Msg_params.eager_recv_handler) ())))
       ();
     h
@@ -334,7 +362,8 @@ let send_eager c ~dst ~tag ~data =
     Coro.consume (Msg_params.eager_send_sw + Msg_params.dma_copy_cycles bytes);
     let id = fresh_counter c in
     let d =
-      Dma.descriptor ~kind:Dma.Eager ~dst ~tag ~payload:data ~bytes ~counter:id ()
+      Dma.descriptor ~kind:Dma.Eager ~dst ~tag ~payload:data ~bytes ~counter:id
+        ~ctx:send_ctx ()
     in
     inject_paced c d;
     counter_handle c id
@@ -348,7 +377,8 @@ let drain_reception c =
     Coro.consume
       (Msg_params.dma_recv_dispatch_sw
       + Msg_params.dma_copy_cycles (Bytes.length p.Dma.pkt_payload));
-    Queue.push (p.Dma.pkt_tag, p.Dma.pkt_src, p.Dma.pkt_payload) c.eager_inbox
+    Queue.push (p.Dma.pkt_tag, p.Dma.pkt_src, p.Dma.pkt_payload, p.Dma.pkt_ctx)
+      c.eager_inbox
   in
   match c.fabric.path with
   | Abstract -> ()
@@ -363,9 +393,12 @@ let try_recv_eager c ~tag =
   let n = Queue.length c.eager_inbox in
   let found = ref None in
   for _ = 1 to n do
-    let (t, src, data) = Queue.pop c.eager_inbox in
-    if !found = None && t = tag then found := Some (src, data)
-    else Queue.push (t, src, data) c.eager_inbox
+    let (t, src, data, sctx) = Queue.pop c.eager_inbox in
+    if !found = None && t = tag then begin
+      causal_recv c ~name:"recv_eager" ~src_ctx:sctx;
+      found := Some (src, data)
+    end
+    else Queue.push (t, src, data, sctx) c.eager_inbox
   done;
   !found
 
@@ -407,8 +440,9 @@ let recv_rendezvous c ~src ~tag =
     match try_recv_eager c ~tag:chan with
     | Some (_, p) when Int64.to_int (Bytes.get_int64_le p 0) = tag -> p
     | Some (_, p) ->
-      (* an RTS for a different user tag: rotate it to the back *)
-      Queue.push (chan, src, p) c.eager_inbox;
+      (* an RTS for a different user tag: rotate it to the back (its
+         receive edge was already recorded at the match above) *)
+      Queue.push (chan, src, p, Bg_obs.Causal.none) c.eager_inbox;
       Coro.consume interval;
       await (min 2_000 (interval * 2))
     | None ->
@@ -467,10 +501,11 @@ let put_large c ~dst ~tag ~bytes ~contiguous =
     h
   | Dma_user | Dma_kernel ->
     let id = fresh_counter c in
+    let lctx = causal_mint c ~cat:"dma" ~name:"inject.put_large" in
     if contiguous then begin
       Coro.consume Msg_params.put_sw;
       inject_paced c
-        (Dma.descriptor ~kind:Dma.Rdma_put ~dst ~tag ~bytes ~counter:id ())
+        (Dma.descriptor ~kind:Dma.Rdma_put ~dst ~tag ~bytes ~counter:id ~ctx:lctx ())
     end
     else begin
       (* Same fragmentation story, now with real descriptors: one per
@@ -486,7 +521,7 @@ let put_large c ~dst ~tag ~bytes ~contiguous =
           (Msg_params.paged_fragment_sw + int_of_float (float_of_int len /. 1.2));
         inject_paced c
           (Dma.descriptor ~kind:Dma.Rdma_put ~dst ~tag ~bytes:len ~counter:id
-             ~arm_bytes:(if i = 0 then bytes else 0) ())
+             ~arm_bytes:(if i = 0 then bytes else 0) ~ctx:lctx ())
       done
     end;
     counter_handle c id

@@ -127,7 +127,12 @@ let sendrecv t ~dst ~send_tag data ~src ~recv_tag =
 let barrier t = Dcmf.barrier_via_hw t.dcmf
 
 module Coll = struct
-  type waiter = { mutable done_ : bool; mutable result : float; mutable pdata : bytes }
+  type waiter = {
+    w_rank : int;
+    mutable done_ : bool;
+    mutable result : float;
+    mutable pdata : bytes;
+  }
 
   type coll = {
     machine : Machine.t;
@@ -138,7 +143,45 @@ module Coll = struct
     mutable first_arrival : Cycles.t;
     mutable waiters : waiter list;
     mutable last_latency : int;
+    mutable contrib_ctxs : int list;  (* causal contribute nodes, this round *)
   }
+
+  (* Causal shape of one round: every rank's [contribute] node feeds a
+     single rankless "complete" node (the combine happens in the network,
+     not on any core), which fans out to a "deliver" node per waiter. A
+     backward latest-predecessor walk from any deliver therefore passes
+     through the LAST contributor — the straggler — by construction. *)
+  let causal_contribute c ~rank =
+    let g = Machine.causal c.machine in
+    if Bg_obs.Causal.enabled g then begin
+      let n =
+        Bg_obs.Causal.mint g ~cat:"coll" ~name:"contribute" ~rank ~core:0
+          ~now:(Sim.now c.machine.Machine.sim) ()
+      in
+      if n <> Bg_obs.Causal.none then c.contrib_ctxs <- n :: c.contrib_ctxs
+    end
+
+  let causal_complete c ~ctxs ~completion waiters =
+    let g = Machine.causal c.machine in
+    if Bg_obs.Causal.enabled g then begin
+      (* rank -1 is the control/network scope: attribution charges the
+         contribute->complete and complete->deliver legs to the network *)
+      let x =
+        Bg_obs.Causal.mint g ~chain:false ~cat:"coll" ~name:"complete" ~rank:(-1)
+          ~core:0 ~now:completion ()
+      in
+      List.iter
+        (fun src -> Bg_obs.Causal.link g Bg_obs.Causal.Send_recv ~src ~dst:x)
+        (List.rev ctxs);
+      List.iter
+        (fun w ->
+          let d =
+            Bg_obs.Causal.mint g ~cat:"coll" ~name:"deliver" ~rank:w.w_rank ~core:0
+              ~now:completion ()
+          in
+          Bg_obs.Causal.link g Bg_obs.Causal.Send_recv ~src:x ~dst:d)
+        (List.rev waiters)
+    end
 
   let create fabric ~participants =
     {
@@ -150,6 +193,7 @@ module Coll = struct
       first_arrival = 0;
       waiters = [];
       last_latency = 0;
+      contrib_ctxs = [];
     }
 
   let tree_round_trip c =
@@ -166,12 +210,13 @@ module Coll = struct
      [acc] and/or [payload]); when the last arrives, results are delivered
      to every waiter [delay] cycles later. Rounds never overlap because
      every caller blocks until delivery. *)
-  let round c ~contribute ~delay_of =
+  let round c ~rank ~contribute ~delay_of =
     Coro.consume 200;
     let sim = c.machine.Machine.sim in
-    let w = { done_ = false; result = 0.0; pdata = Bytes.empty } in
+    let w = { w_rank = rank; done_ = false; result = 0.0; pdata = Bytes.empty } in
     if c.count = 0 then c.first_arrival <- Sim.now sim;
     contribute ();
+    causal_contribute c ~rank;
     c.count <- c.count + 1;
     c.waiters <- w :: c.waiters;
     if c.count = c.participants then begin
@@ -180,12 +225,15 @@ module Coll = struct
       let completion = Sim.now sim + delay in
       c.last_latency <- completion - c.first_arrival;
       let waiters = c.waiters in
+      let ctxs = c.contrib_ctxs in
       c.acc <- 0.0;
       c.payload <- Bytes.empty;
       c.count <- 0;
       c.waiters <- [];
+      c.contrib_ctxs <- [];
       ignore
         (Sim.schedule_at sim completion (fun () ->
+             causal_complete c ~ctxs ~completion waiters;
              List.iter
                (fun w ->
                  w.result <- result;
@@ -202,8 +250,12 @@ module Coll = struct
     spin 60;
     w
 
-  let allreduce_sum c _t v =
-    let w = round c ~contribute:(fun () -> c.acc <- c.acc +. v) ~delay_of:(fun () -> tree_round_trip c) in
+  let allreduce_sum c t v =
+    let w =
+      round c ~rank:(rank t)
+        ~contribute:(fun () -> c.acc <- c.acc +. v)
+        ~delay_of:(fun () -> tree_round_trip c)
+    in
     w.result
 
   let last_latency_cycles c = c.last_latency
@@ -236,9 +288,8 @@ module Coll = struct
       latency + int_of_float (moved *. float_of_int bytes /. bw)
 
   let allreduce_vector c t route ~elements v =
-    ignore t;
     let w =
-      round c
+      round c ~rank:(rank t)
         ~contribute:(fun () -> c.acc <- c.acc +. v)
         ~delay_of:(fun () -> estimate_vector_cycles c route ~elements)
     in
@@ -268,7 +319,7 @@ module Coll = struct
        association list encoded via the acc/payload machinery: simplest is
        a per-coll scratch table rebuilt each round *)
     let w =
-      round c
+      round c ~rank:me
         ~contribute:(fun () ->
           let prev =
             if Bytes.length c.payload = 0 then []
@@ -283,7 +334,7 @@ module Coll = struct
   let bcast c t ~root data =
     let me = rank t in
     let w =
-      round c
+      round c ~rank:me
         ~contribute:(fun () -> if me = root then c.payload <- Bytes.copy data)
         ~delay_of:(fun () -> tree_one_way c)
     in
@@ -292,7 +343,7 @@ module Coll = struct
   let reduce_sum c t ~root v =
     let me = rank t in
     let w =
-      round c
+      round c ~rank:me
         ~contribute:(fun () -> c.acc <- c.acc +. v)
         ~delay_of:(fun () -> tree_one_way c)
     in

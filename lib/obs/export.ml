@@ -29,7 +29,7 @@ let pid_of_rank rank = if rank = Obs.node_scope then 0xFFFF else rank
 let rank_label rank =
   if rank = Obs.node_scope then "control system" else Printf.sprintf "rank %d" rank
 
-let chrome_trace obs =
+let chrome_trace ?causal obs =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   let first = ref true in
@@ -67,6 +67,36 @@ let chrome_trace obs =
       | Obs.Counter v | Obs.Gauge v -> emit v
       | Obs.Timer _ -> ())
     (Obs.snapshot obs);
+  (* flow events ("s"/"f" pairs sharing an id): one arrow per causal
+     edge, from the source node's (pid, tid, ts) to the destination's.
+     Every string field — name, cat, and the id itself — goes through
+     [json_escape]; edge kinds and categories are library-controlled
+     today, but instrumentation names flow in from callers. *)
+  (match causal with
+  | None -> ()
+  | Some g ->
+    List.iteri
+      (fun i (e : Causal.edge) ->
+        match (Causal.find g e.Causal.src, Causal.find g e.Causal.dst) with
+        | Some sn, Some dn ->
+          let name = json_escape (Causal.kind_name e.Causal.kind) in
+          let cat = json_escape "causal" in
+          let id = json_escape (Printf.sprintf "0x%x" i) in
+          let flow ph extra (n : Causal.node) =
+            if not (Hashtbl.mem ranks n.Causal.rank) then
+              Hashtbl.add ranks n.Causal.rank ();
+            sep ();
+            Buffer.add_string b
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",%s\"id\":\"%s\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d}"
+                 name cat ph extra id
+                 (Cycles.to_us n.Causal.at)
+                 (pid_of_rank n.Causal.rank) n.Causal.core)
+          in
+          flow "s" "" sn;
+          flow "f" "\"bp\":\"e\"," dn
+        | _ -> ())
+      (Causal.edges g));
   let labelled = Hashtbl.fold (fun r () acc -> r :: acc) ranks [] |> List.sort compare in
   List.iter
     (fun rank ->

@@ -5,12 +5,16 @@
     scripted analysis, and a dependency-free JSON syntax checker so the
     smoke tests can validate emitted traces in-process. *)
 
-val chrome_trace : Obs.t -> string
+val chrome_trace : ?causal:Causal.t -> Obs.t -> string
 (** The retained spans as a catapult JSON object: one ["ph":"X"]
     (complete) event per span with [ts]/[dur] in microseconds,
     [pid] = rank and [tid] = core; one ["ph":"C"] counter event per
     counter/gauge metric (end-of-run value, plotted as a track); plus
-    process-name metadata rows. *)
+    process-name metadata rows. With [?causal], each edge of the graph
+    additionally becomes a flow-event pair (["ph":"s"] at the source,
+    ["ph":"f"]/["bp":"e"] at the destination, shared [id]) so Perfetto
+    draws an arrow per causal edge; the flow [name]/[cat]/[id] strings
+    go through {!json_escape} like every other string field. *)
 
 val metrics_csv : Obs.t -> string
 (** [subsystem,name,rank,core,kind,count,value,mean,min,max,sum,p50,p90,

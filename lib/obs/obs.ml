@@ -130,6 +130,15 @@ let depth_for t scope =
 let push_span t ~cat ~name ~rank ~core ~start ~finish ~depth =
   let ring = ring_for t (rank, core) in
   let i = ring.written mod ring.cap in
+  (* Ring wraparound overwrites the oldest span. That loss used to be
+     visible only through arithmetic on [written]; count it as a
+     first-class per-scope metric so exports and tools can warn. *)
+  if ring.written >= ring.cap then begin
+    let key = { subsystem = "obs"; name = "dropped_spans"; rank; core } in
+    match Hashtbl.find_opt t.counters key with
+    | Some r -> Stdlib.incr r
+    | None -> Hashtbl.add t.counters key (ref 1)
+  end;
   ring.cats.(i) <- cat;
   ring.names.(i) <- name;
   ring.starts.(i) <- start;

@@ -21,6 +21,7 @@ let sample_frame =
     pid = 2;
     tid = 35;
     seq = 7;
+    ctx = 0;
     payload = Bytes.of_string "function-shipped request body";
   }
 
@@ -198,6 +199,7 @@ let test_ack_before_duplicate_no_reexecution () =
         pid = 1;
         tid = 1;
         seq;
+        ctx = 0;
         payload = Proto.encode_request { Proto.rank = 0; pid = 1; tid = 1 } req;
       }
   in
@@ -213,7 +215,7 @@ let test_ack_before_duplicate_no_reexecution () =
   (* The Ack for the write overtakes a straggling duplicate of it. *)
   Ciod.submit ciod
     (Frame.encode
-       { Frame.kind = Frame.Ack; rank = 0; pid = 1; tid = 1; seq = 1;
+       { Frame.kind = Frame.Ack; rank = 0; pid = 1; tid = 1; seq = 1; ctx = 0;
          payload = Bytes.create 0 });
   Ciod.submit ciod write;
   ignore (Sim.run sim);

@@ -17,5 +17,6 @@ let () =
       ("properties", Test_properties.suite);
       ("control", Test_control.suite);
       ("obs", Test_obs.suite);
+      ("causal", Test_causal.suite);
       ("resilience", Test_resilience.suite);
     ]
