@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples docs csv trace-smoke resilience-smoke attribute-smoke cio-chaos-smoke msg-smoke causal-smoke clean
+.PHONY: all build test bench examples docs csv trace-smoke resilience-smoke attribute-smoke cio-chaos-smoke msg-smoke causal-smoke snap-smoke clean
 
 all: build
 
@@ -94,6 +94,20 @@ causal-smoke:
 	@cmp /tmp/causal_smoke_a.txt /tmp/causal_smoke_b.txt
 	@grep -q '"ph":"s"' /tmp/causal_smoke_flow.json
 	@echo "causal-smoke OK"
+
+# Snapshot/restore selftest, run twice: the tool itself proves the
+# restore-continuation invariant on both kernels (snapshot mid-run,
+# replay-restore with byte verification, continue, digests must equal
+# the uninterrupted run's) and bisects a seeded glitch on each scenario
+# down to its exact event; the two runs' output must be bit-identical.
+snap-smoke:
+	dune exec bin/bisect_tool.exe -- --selftest > /tmp/snap_smoke_a.txt
+	dune exec bin/bisect_tool.exe -- --selftest > /tmp/snap_smoke_b.txt
+	@cmp /tmp/snap_smoke_a.txt /tmp/snap_smoke_b.txt
+	@grep -q "restore cnk_io" /tmp/snap_smoke_a.txt
+	@grep -q "restore fwk_noise" /tmp/snap_smoke_a.txt
+	@grep -q "selftest ok" /tmp/snap_smoke_a.txt
+	@echo "snap-smoke OK"
 
 clean:
 	dune clean

@@ -1008,6 +1008,80 @@ let run_obs () =
   close_out oc;
   Printf.printf "wrote BENCH_obs.json\n"
 
+let run_snap () =
+  section "snap: snapshot size, capture/restore cost, bisect probe speedup";
+  (* Snapshot cost vs machine size: the cnk_io scenario at 1..8 nodes,
+     captured halfway through its run, then restored (deterministic
+     replay to the cursor + byte verification of every region). *)
+  let module Snaprun = Bg_snaprun.Snaprun in
+  let scn name =
+    match Snaprun.find name with Some s -> s | None -> failwith ("no scenario " ^ name)
+  in
+  let cnk = scn "cnk_io" in
+  let cells =
+    List.map
+      (fun nodes ->
+        let knobs = [ ("nodes", string_of_int nodes) ] in
+        let ref_inst = cnk.Snaprun.build ~seed:1L ~knobs in
+        let final = Snaprun.run_until_quiet ref_inst in
+        let cursor = final / 2 in
+        let inst = cnk.Snaprun.build ~seed:1L ~knobs in
+        ignore (Snaprun.run_to inst ~events:cursor);
+        let t0 = Unix.gettimeofday () in
+        let file = Snaprun.snapshot_of cnk inst ~knobs in
+        let capture_s = Unix.gettimeofday () -. t0 in
+        let bytes = Bytes.length (Bg_snap.Snap.encode file) in
+        let t1 = Unix.gettimeofday () in
+        (match Snaprun.restore cnk file with
+        | Ok _ -> ()
+        | Error e -> failwith ("bench snap: restore failed: " ^ e));
+        let restore_s = Unix.gettimeofday () -. t1 in
+        Printf.printf
+          "  %d node(s): %6d bytes  capture %.4f s  replay-restore %.4f s (cursor %d/%d)\n%!"
+          nodes bytes capture_s restore_s cursor final;
+        (nodes, bytes, capture_s, restore_s, cursor, final))
+      [ 1; 2; 4; 8 ]
+  in
+  (* Bisect-probe economics on a long FWQ run: a probe replays only to
+     its cursor, so early-divergence probes cost a fraction of a full
+     cold run — the property that makes the binary search cheap. *)
+  let fwk = scn "fwk_noise" in
+  let quanta = 4_000 in
+  let knobs = [ ("quanta", string_of_int quanta) ] in
+  let t0 = Unix.gettimeofday () in
+  let ref_inst = fwk.Snaprun.build ~seed:1L ~knobs in
+  let final = Snaprun.run_until_quiet ref_inst in
+  let full_s = Unix.gettimeofday () -. t0 in
+  let cursor = final / 10 in
+  let _, file, _ = Snaprun.snapshot_at fwk ~seed:1L ~knobs ~events:cursor in
+  let t1 = Unix.gettimeofday () in
+  (match Snaprun.restore fwk file with
+  | Ok _ -> ()
+  | Error e -> failwith ("bench snap: fwk restore failed: " ^ e));
+  let probe_s = Unix.gettimeofday () -. t1 in
+  let speedup = if probe_s > 0. then full_s /. probe_s else 0. in
+  Printf.printf
+    "  FWQ x%d: cold run %.4f s (%d events); probe to 10%% cursor %.4f s — %.1fx\n%!"
+    quanta full_s final probe_s speedup;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"experiment\":\"snap\",\"cells\":[";
+  List.iteri
+    (fun i (nodes, bytes, capture_s, restore_s, cursor, final) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"nodes\":%d,\"snapshot_bytes\":%d,\"capture_s\":%.6f,\"restore_s\":%.6f,\"cursor\":%d,\"final_events\":%d}"
+           nodes bytes capture_s restore_s cursor final))
+    cells;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"fastforward\":{\"workload\":\"fwk_noise quanta=%d\",\"full_run_s\":%.6f,\"final_events\":%d,\"probe_cursor\":%d,\"probe_s\":%.6f,\"speedup\":%.2f}}"
+       quanta full_s final cursor probe_s speedup);
+  let oc = open_out "BENCH_snap.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_snap.json\n"
+
 let experiments =
   [
     ("fwq", run_fwq);
@@ -1034,6 +1108,7 @@ let experiments =
     ("congestion", run_congestion);
     ("micro", run_micro);
     ("obs", run_obs);
+    ("snap", run_snap);
   ]
 
 let () =

@@ -384,3 +384,45 @@ let queue_rejects t = t.queue_rejects
 let crashes t = t.crashes
 let queue_depth t = Hashtbl.length t.inflight
 let proxy_count t = Hashtbl.length t.proxies
+
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  w_i t.io_node;
+  Buffer.add_uint8 b (if t.alive then 1 else 0);
+  w_i t.served;
+  w_i t.retransmits_seen;
+  w_i t.queue_rejects;
+  w_i t.crashes;
+  w_i t.inflight_next;
+  w_i (Array.length t.worker_busy);
+  Array.iter w_i t.worker_busy;
+  let inflight = Hashtbl.fold (fun k _ acc -> k :: acc) t.inflight [] |> List.sort compare in
+  w_i (List.length inflight);
+  List.iter w_i inflight;
+  let executing =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.executing [] |> List.sort compare
+  in
+  w_i (List.length executing);
+  List.iter
+    (fun ((rank, pid, tid), seq) ->
+      w_i rank;
+      w_i pid;
+      w_i tid;
+      w_i seq)
+    executing;
+  let proxies =
+    Hashtbl.fold (fun k p acc -> (k, p) :: acc) t.proxies []
+    |> List.sort (fun (k, _) (k', _) -> compare k k')
+  in
+  w_i (List.length proxies);
+  List.iter
+    (fun ((rank, pid), p) ->
+      w_i rank;
+      w_i pid;
+      Ioproxy.capture p b)
+    proxies;
+  let ranks = Hashtbl.fold (fun r _ acc -> r :: acc) t.deliver [] |> List.sort compare in
+  w_i (List.length ranks);
+  List.iter w_i ranks;
+  Manifest.capture t.manifest b;
+  Fs.capture t.fs b

@@ -74,3 +74,7 @@ val queue_rejects : t -> int
 val crashes : t -> int
 val queue_depth : t -> int
 val proxy_count : t -> int
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state — worker queues, in-flight service
+    shapes, proxies, manifest, and the filesystem — into [b]. *)

@@ -242,3 +242,43 @@ let canonicalize t ~cwd path =
     | Error e -> Error e
     | Ok i ->
       if is_dir t i then Ok ("/" ^ String.concat "/" comps) else Error Errno.ENOTDIR)
+
+let inode_id (i : inode) : int = i
+
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  let w_s s =
+    w_i (String.length s);
+    Buffer.add_string b s
+  in
+  w_i t.next;
+  let nodes =
+    Hashtbl.fold (fun i d acc -> (i, d) :: acc) t.nodes []
+    |> List.sort (fun (i, _) (j, _) -> compare i j)
+  in
+  w_i (List.length nodes);
+  List.iter
+    (fun (i, d) ->
+      w_i i;
+      match d with
+      | File f ->
+        Buffer.add_uint8 b 0;
+        w_i f.perm;
+        w_i f.len;
+        (* content digest, not content: file bytes can be large and a
+           divergence check only needs inequality to show through *)
+        Buffer.add_int64_le b
+          (Bg_engine.Fnv.add_bytes Bg_engine.Fnv.empty (Bytes.sub f.data 0 f.len))
+      | Dir d ->
+        Buffer.add_uint8 b 1;
+        w_i d.dperm;
+        let entries =
+          Hashtbl.fold (fun n i acc -> (n, i) :: acc) d.entries [] |> List.sort compare
+        in
+        w_i (List.length entries);
+        List.iter
+          (fun (n, i) ->
+            w_s n;
+            w_i i)
+          entries)
+    nodes

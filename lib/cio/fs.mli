@@ -59,3 +59,10 @@ val rename : t -> cwd:string -> src:string -> dst:string -> (unit, Errno.t) resu
 val canonicalize : t -> cwd:string -> string -> (string, Errno.t) result
 (** Absolute canonical path if the target exists and is a directory —
     used by chdir/getcwd. *)
+
+val inode_id : inode -> int
+(** Stable integer identity of an inode (snapshot capture). *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Inodes
+    and directory entries are sorted; file contents appear as digests. *)

@@ -172,6 +172,56 @@ let snapshot t =
     snap_fds = List.sort (fun a b -> compare a.snap_fd b.snap_fd) fds;
   }
 
+let w_flags b (f : Sysreq.open_flags) =
+  let w_b v = Buffer.add_uint8 b (if v then 1 else 0) in
+  w_b f.Sysreq.rd;
+  w_b f.Sysreq.wr;
+  w_b f.Sysreq.creat;
+  w_b f.Sysreq.trunc;
+  w_b f.Sysreq.append;
+  w_b f.Sysreq.excl
+
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  let w_s s =
+    w_i (String.length s);
+    Buffer.add_string b s
+  in
+  w_i t.rank;
+  w_i t.pid;
+  w_s t.cwd;
+  w_i t.next_fd;
+  Buffer.add_uint8 b (if t.closed then 1 else 0);
+  let fds =
+    Hashtbl.fold (fun fd o acc -> (fd, o) :: acc) t.fds []
+    |> List.sort (fun (i, _) (j, _) -> compare i j)
+  in
+  w_i (List.length fds);
+  List.iter
+    (fun (fd, o) ->
+      w_i fd;
+      w_i (Fs.inode_id o.inode);
+      w_flags b o.flags;
+      w_i o.offset)
+    fds
+
+let capture_snapshot snap b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  let w_s s =
+    w_i (String.length s);
+    Buffer.add_string b s
+  in
+  w_s snap.snap_cwd;
+  w_i snap.snap_next_fd;
+  w_i (List.length snap.snap_fds);
+  List.iter
+    (fun s ->
+      w_i s.snap_fd;
+      w_i (Fs.inode_id s.snap_inode);
+      w_flags b s.snap_flags;
+      w_i s.snap_offset)
+    snap.snap_fds
+
 let restore fs ~rank ~pid snap =
   let t = create fs ~rank ~pid in
   t.cwd <- snap.snap_cwd;

@@ -43,3 +43,10 @@ type snapshot
 
 val snapshot : t -> snapshot
 val restore : Fs.t -> rank:int -> pid:int -> snapshot -> t
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state (cwd, fd table, offsets) into [b],
+    little-endian, fds sorted. *)
+
+val capture_snapshot : snapshot -> Buffer.t -> unit
+(** Same codec for an already-taken crash-recovery snapshot. *)

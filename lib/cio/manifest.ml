@@ -37,6 +37,45 @@ let retire_reply t ~rank ~pid ~tid ~seq =
     Hashtbl.replace t.replies ({ rank; pid }, tid) { c with frame = None }
   | _ -> ()
 
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  let procs = procs t in
+  w_i (List.length procs);
+  List.iter
+    (fun (rank, pid) ->
+      w_i rank;
+      w_i pid)
+    procs;
+  let proxies =
+    Hashtbl.fold (fun p s acc -> ((p.rank, p.pid), s) :: acc) t.proxies []
+    |> List.sort (fun (k, _) (k', _) -> compare k k')
+  in
+  w_i (List.length proxies);
+  List.iter
+    (fun ((rank, pid), snap) ->
+      w_i rank;
+      w_i pid;
+      Ioproxy.capture_snapshot snap b)
+    proxies;
+  let replies =
+    Hashtbl.fold (fun (p, tid) c acc -> ((p.rank, p.pid, tid), c) :: acc) t.replies []
+    |> List.sort (fun (k, _) (k', _) -> compare k k')
+  in
+  w_i (List.length replies);
+  List.iter
+    (fun ((rank, pid, tid), c) ->
+      w_i rank;
+      w_i pid;
+      w_i tid;
+      w_i c.seq;
+      match c.frame with
+      | None -> Buffer.add_uint8 b 0
+      | Some frame ->
+        Buffer.add_uint8 b 1;
+        w_i (Bytes.length frame);
+        Buffer.add_int64_le b (Bg_engine.Fnv.add_bytes Bg_engine.Fnv.empty frame))
+    replies
+
 let remove_rank t ~rank =
   let drop_if tbl key (p : proc) = if p.rank = rank then Hashtbl.remove tbl key in
   let proc_keys = Hashtbl.fold (fun p () acc -> p :: acc) t.procs [] in

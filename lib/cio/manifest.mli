@@ -41,3 +41,7 @@ val retire_reply : t -> rank:int -> pid:int -> tid:int -> seq:int -> unit
 val remove_rank : t -> rank:int -> unit
 (** Forget every process, proxy snapshot, and cached reply of [rank]
     (job teardown). *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, sorted; cached
+    reply frames appear as length + digest. *)

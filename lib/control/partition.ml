@@ -96,3 +96,29 @@ let down_nodes t =
   let acc = ref [] in
   Array.iteri (fun r d -> if d then acc := r :: !acc) t.down;
   List.rev !acc
+
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  let x, y, z = t.dims in
+  w_i x;
+  w_i y;
+  w_i z;
+  w_i t.next_id;
+  Array.iter (fun o -> Buffer.add_uint8 b (if o then 1 else 0)) t.occupied;
+  Array.iter (fun d -> Buffer.add_uint8 b (if d then 1 else 0)) t.down;
+  let live = allocated t in
+  w_i (List.length live);
+  List.iter
+    (fun a ->
+      w_i a.id;
+      let bx, by, bz = a.base in
+      let sx, sy, sz = a.shape in
+      w_i bx;
+      w_i by;
+      w_i bz;
+      w_i sx;
+      w_i sy;
+      w_i sz;
+      w_i (List.length a.ranks);
+      List.iter w_i a.ranks)
+    live

@@ -39,3 +39,7 @@ val is_down : t -> rank:int -> bool
 
 val down_nodes : t -> int list
 (** Ranks currently marked down, ascending. *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state (occupancy, down set, live
+    allocations) into [b], little-endian. *)

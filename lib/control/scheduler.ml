@@ -298,3 +298,51 @@ let restarts t jid =
   | None -> invalid_arg "Scheduler.restarts: unknown job"
 
 let completed_order t = List.rev t.done_order
+
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  w_i t.next_id;
+  w_i t.outstanding;
+  Buffer.add_uint8 b (if t.backfill then 1 else 0);
+  w_i (List.length t.queue);
+  List.iter
+    (fun p ->
+      w_i p.jid;
+      w_i p.restarts;
+      w_i p.submitted)
+    t.queue;
+  let states =
+    Hashtbl.fold (fun jid s acc -> (jid, s) :: acc) t.states []
+    |> List.sort (fun (i, _) (j, _) -> compare i j)
+  in
+  w_i (List.length states);
+  List.iter
+    (fun (jid, s) ->
+      w_i jid;
+      match s with
+      | Queued -> Buffer.add_uint8 b 0
+      | Running ranks ->
+        Buffer.add_uint8 b 1;
+        w_i (List.length ranks);
+        List.iter w_i ranks
+      | Completed c ->
+        Buffer.add_uint8 b 2;
+        w_i c
+      | Failed c ->
+        Buffer.add_uint8 b 3;
+        w_i c)
+    states;
+  let running =
+    Hashtbl.fold (fun jid (_, a) acc -> (jid, a.Partition.id) :: acc) t.running []
+    |> List.sort compare
+  in
+  w_i (List.length running);
+  List.iter
+    (fun (jid, aid) ->
+      w_i jid;
+      w_i aid)
+    running;
+  let done_order = List.rev t.done_order in
+  w_i (List.length done_order);
+  List.iter w_i done_order;
+  Partition.capture t.partition b

@@ -84,3 +84,7 @@ val completed_order : t -> job_id list
 val cluster : t -> Cnk.Cluster.t
 val partition : t -> Partition.t
 (** The live allocator — exposed for the resilience layer and tests. *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state (queue, job states, running set,
+    completion order, partition) into [b], little-endian, sorted. *)

@@ -46,3 +46,17 @@ let waiting t ~pid ~addr =
   match Hashtbl.find_opt t.queues (pid, addr) with Some q -> List.length !q | None -> 0
 
 let total_waiting t = Hashtbl.fold (fun _ q acc -> acc + List.length !q) t.queues 0
+
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  let queues =
+    Hashtbl.fold (fun k q acc -> (k, !q) :: acc) t.queues [] |> List.sort compare
+  in
+  w_i (List.length queues);
+  List.iter
+    (fun ((pid, addr), tids) ->
+      w_i pid;
+      w_i addr;
+      w_i (List.length tids);
+      List.iter w_i tids)
+    queues

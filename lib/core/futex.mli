@@ -21,3 +21,8 @@ val remove : t -> tid:int -> bool
 
 val waiting : t -> pid:int -> addr:int -> int
 val total_waiting : t -> int
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Hashtable
+    contents are sorted before writing; closures are captured by shape
+    only (presence, tids, sequence numbers). *)

@@ -154,3 +154,29 @@ let dirty_ranges t =
   coalesce [] pages
 
 let dirty_bytes t = Hashtbl.length t.dirty * dirty_grain
+
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  w_i t.base;
+  w_i t.limit;
+  w_i t.stack_lo;
+  w_i t.break_;
+  w_i (List.length t.mapped);
+  List.iter
+    (fun (addr, len) ->
+      w_i addr;
+      w_i len)
+    t.mapped;
+  (match t.last_mprotect with
+  | None -> Buffer.add_uint8 b 0
+  | Some (addr, len) ->
+    Buffer.add_uint8 b 1;
+    w_i addr;
+    w_i len);
+  let ranges = dirty_ranges t in
+  w_i (List.length ranges);
+  List.iter
+    (fun (addr, len) ->
+      w_i addr;
+      w_i len)
+    ranges

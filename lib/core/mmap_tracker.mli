@@ -66,3 +66,8 @@ val clear_dirty : t -> unit
 
 val dirty_bytes : t -> int
 (** Number of dirty bytes ([4 KiB] × dirty page count). *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Hashtable
+    contents are sorted before writing; closures are captured by shape
+    only (presence, tids, sequence numbers). *)

@@ -1348,3 +1348,135 @@ let scan_state t =
   let h = Fnv.add_int h t.ipis in
   let h = Fnv.add_int h (live_threads t) in
   Fnv.add_int h (Sim.now (sim t))
+
+(* Snapshot capture. Thread resume closures and in-flight I/O
+   continuations cannot be serialized; their *shapes* (which tids hold
+   one, pending timers, sequence numbers) are captured so a replayed run
+   can be byte-verified against this state. *)
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  let w_b v = Buffer.add_uint8 b (if v then 1 else 0) in
+  let w_opt = function
+    | None -> Buffer.add_uint8 b 0
+    | Some v ->
+      Buffer.add_uint8 b 1;
+      w_i v
+  in
+  let w_s s =
+    w_i (String.length s);
+    Buffer.add_string b s
+  in
+  w_i t.rank;
+  w_b t.booted;
+  w_b t.job_active;
+  w_b t.io_enabled;
+  w_i t.next_pid;
+  w_i t.next_tid;
+  w_i t.syscalls;
+  w_i t.ipis;
+  let faults = List.rev t.faults in
+  w_i (List.length faults);
+  List.iter
+    (fun (code, msg) ->
+      w_i code;
+      w_s msg)
+    faults;
+  let codes = List.rev t.exit_codes in
+  w_i (List.length codes);
+  List.iter
+    (fun (pid, code) ->
+      w_i pid;
+      w_i code)
+    codes;
+  let procs =
+    Hashtbl.fold (fun pid p acc -> (pid, p) :: acc) t.procs []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  w_i (List.length procs);
+  List.iter
+    (fun (pid, p) ->
+      w_i pid;
+      w_b p.exited;
+      w_i p.exit_code;
+      w_i (List.length p.threads);
+      w_i (List.length p.cores);
+      List.iter w_i p.cores;
+      Mmap_tracker.capture p.tracker b)
+    procs;
+  let threads =
+    Hashtbl.fold (fun tid th acc -> (tid, th) :: acc) t.threads []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  w_i (List.length threads);
+  List.iter
+    (fun (tid, th) ->
+      w_i tid;
+      w_i th.proc.pid;
+      w_i th.core_id;
+      w_b th.is_main;
+      w_i
+        (match th.state with Running -> 0 | Ready -> 1 | Blocked -> 2 | Zombie -> 3);
+      w_b (th.resume <> None);
+      w_opt th.clear_child_tid;
+      w_i (List.length th.pending_sigs);
+      List.iter w_i th.pending_sigs;
+      (match th.guard with
+      | None -> Buffer.add_uint8 b 0
+      | Some (lo, hi) ->
+        Buffer.add_uint8 b 1;
+        w_i lo;
+        w_i hi);
+      w_opt th.guard_slot;
+      w_b th.futex_eintr)
+    threads;
+  Array.iter
+    (fun c ->
+      w_opt (Option.map (fun th -> th.tid) c.current);
+      w_i (Queue.length c.ready);
+      Queue.iter (fun th -> w_i th.tid) c.ready;
+      w_i c.pending_penalty;
+      w_i c.pending_ipi;
+      w_i c.next_dac_slot;
+      w_opt c.remote_pid;
+      w_opt c.mapped_pid)
+    t.cores;
+  let sorted_keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare in
+  let pending = sorted_keys t.io_pending in
+  w_i (List.length pending);
+  List.iter w_i pending;
+  let inflight =
+    Hashtbl.fold (fun tid inf acc -> (tid, inf) :: acc) t.io_inflight []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  w_i (List.length inflight);
+  List.iter
+    (fun (tid, (inf : io_inflight)) ->
+      w_i tid;
+      w_i inf.io_seq;
+      w_i inf.io_pid;
+      w_i inf.io_core;
+      w_i inf.io_attempts;
+      w_b (inf.io_timer <> None);
+      Buffer.add_int64_le b (Fnv.add_bytes Fnv.empty inf.io_frame))
+    inflight;
+  let seqs =
+    Hashtbl.fold (fun tid s acc -> (tid, s) :: acc) t.io_seq [] |> List.sort compare
+  in
+  w_i (List.length seqs);
+  List.iter
+    (fun (tid, s) ->
+      w_i tid;
+      w_i s)
+    seqs;
+  Futex.capture t.futex b;
+  let regions = Persist.regions t.persist in
+  w_i (List.length regions);
+  List.iter
+    (fun (r : Persist.region) ->
+      w_s r.Persist.name;
+      w_i r.Persist.va;
+      w_i r.Persist.pa;
+      w_i r.Persist.bytes;
+      w_s r.Persist.owner)
+    regions;
+  Chip.capture t.chip b

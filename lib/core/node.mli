@@ -140,3 +140,8 @@ val add_core_penalty : t -> core:int -> cycles:int -> unit
 (** Charge interference cycles to a core, paid at its next consume. CNK
     itself never does this; it is the hook {!Bg_noise.Injection} uses for
     Ferreira-style kernel-level noise-injection studies (§V.A). *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Hashtable
+    contents are sorted before writing; closures are captured by shape
+    only (presence, tids, sequence numbers). *)

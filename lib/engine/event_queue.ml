@@ -91,3 +91,13 @@ let rec peek_time q =
 
 let is_empty q = Hashtbl.length q.alive = 0
 let length q = Hashtbl.length q.alive
+
+let next_seq q = q.next_seq
+
+let live q =
+  let out = ref [] in
+  for i = 0 to q.size - 1 do
+    let e = q.heap.(i) in
+    if Hashtbl.mem q.alive e.seq then out := (e.time, e.seq) :: !out
+  done;
+  List.sort compare !out

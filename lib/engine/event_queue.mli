@@ -29,3 +29,10 @@ val is_empty : 'a t -> bool
 
 val length : 'a t -> int
 (** Number of live (non-cancelled) events. *)
+
+val next_seq : 'a t -> int
+(** Sequence number the next {!add} will receive. *)
+
+val live : 'a t -> (Cycles.t * int) list
+(** Sorted [(time, seq)] pairs of every live event — the queue's shape,
+    without the (unserializable) payloads. Used by snapshot capture. *)

@@ -6,6 +6,8 @@ let mix z =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let create seed = { state = seed; seed }
+let state t = t.state
+let seed t = t.seed
 
 let next_int64 t =
   t.state <- Int64.add t.state 0x9e3779b97f4a7c15L;

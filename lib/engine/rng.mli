@@ -12,6 +12,12 @@ type t
 val create : int64 -> t
 (** [create seed] makes a fresh stream. *)
 
+val state : t -> int64
+(** Current position of the stream (snapshot capture). *)
+
+val seed : t -> int64
+(** Seed the stream was created with. *)
+
 val split : t -> string -> t
 (** [split t label] derives an independent child stream from [t]'s seed and
     [label], without perturbing [t]'s own sequence. Deterministic: the same

@@ -8,6 +8,7 @@ type t = {
   streams : (string, Rng.t) Hashtbl.t;
   seed : int64;
   mutable halt_reason : string option;
+  mutable fired : int;
 }
 
 let create ?(seed = 1L) ?(keep_trace_records = false) () =
@@ -19,6 +20,7 @@ let create ?(seed = 1L) ?(keep_trace_records = false) () =
     streams = Hashtbl.create 16;
     seed;
     halt_reason = None;
+    fired = 0;
   }
 
 let now t = t.clock
@@ -40,6 +42,7 @@ let step t =
   | None -> false
   | Some (time, thunk) ->
     t.clock <- time;
+    t.fired <- t.fired + 1;
     thunk ();
     true
 
@@ -85,3 +88,44 @@ let rng t name =
     let stream = Rng.split t.root_rng name in
     Hashtbl.add t.streams name stream;
     stream
+
+let events_fired t = t.fired
+
+(* --- snapshot capture -------------------------------------------------- *)
+
+let w_i64 = Buffer.add_int64_le
+let w_i b v = w_i64 b (Int64.of_int v)
+
+let w_s b s =
+  w_i b (String.length s);
+  Buffer.add_string b s
+
+let capture t b =
+  w_i b t.clock;
+  w_i64 b t.seed;
+  w_i b t.fired;
+  w_i64 b (Trace.digest t.trace);
+  w_i b (Trace.count t.trace);
+  w_i b (Trace.last_cycle t.trace);
+  w_i64 b (Rng.state t.root_rng);
+  let streams =
+    Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.streams []
+    |> List.sort compare
+  in
+  w_i b (List.length streams);
+  List.iter
+    (fun (name, s) ->
+      w_s b name;
+      w_i64 b (Rng.state s);
+      w_i64 b (Rng.seed s))
+    streams;
+  (* queue shape: payload thunks are closures, so only (time, seq) pairs
+     and the allocation cursor are captured — replay rebuilds the thunks *)
+  w_i b (Event_queue.next_seq t.queue);
+  let live = Event_queue.live t.queue in
+  w_i b (List.length live);
+  List.iter
+    (fun (time, seq) ->
+      w_i b time;
+      w_i b seq)
+    live

@@ -53,3 +53,14 @@ val rng : t -> string -> Rng.t
 (** [rng t name] returns the named RNG stream, creating it (deterministically
     from the seed and [name]) on first use. Subsequent calls return the same
     stream, preserving its position. *)
+
+val events_fired : t -> int
+(** Total events fired since creation, across every {!run} and {!step}
+    call. The snapshot cursor: deterministic replay of the same scenario
+    reaches identical machine state at the same count. *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize the simulator's own state — clock, seed, event cursor,
+    trace digest, RNG stream positions, and the (time, seq) shape of the
+    live event queue — little-endian, for a snapshot region. Event
+    payloads are closures and are not captured; restore is by replay. *)

@@ -110,3 +110,23 @@ let fragmentation t =
     match largest_free_order t with
     | None -> 0.0
     | Some o -> 1.0 -. (float_of_int (1 lsl o) /. float_of_int free)
+
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  w_i t.total;
+  Array.iteri
+    (fun o l ->
+      let addrs = Hashtbl.fold (fun a () acc -> a :: acc) l [] |> List.sort compare in
+      w_i o;
+      w_i (List.length addrs);
+      List.iter w_i addrs)
+    t.free_lists;
+  let allocs =
+    Hashtbl.fold (fun a o acc -> (a, o) :: acc) t.allocated [] |> List.sort compare
+  in
+  w_i (List.length allocs);
+  List.iter
+    (fun (a, o) ->
+      w_i a;
+      w_i o)
+    allocs

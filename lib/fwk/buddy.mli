@@ -38,3 +38,7 @@ val largest_free_order : t -> int option
 val fragmentation : t -> float
 (** 1 - largest_free_block/free_bytes; 0 when all free memory is one
     block, approaching 1 under heavy fragmentation. *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state (free lists, allocations) into [b],
+    little-endian, addresses sorted. *)

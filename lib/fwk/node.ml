@@ -245,18 +245,20 @@ let rec resolve_page t (th : thread) access va =
 (* Drop one resident file-backed page (clean by construction: the vma
    snapshot is the backing store) and hand its frame to the caller. *)
 and reclaim_file_page t (p : proc) =
+  (* victim = lowest file-backed vpage: hash iteration order would make
+     the evicted page (and so every downstream fault) run-dependent *)
   let victim =
     Hashtbl.fold
       (fun vpage frame acc ->
-        match acc with
-        | Some _ -> acc
-        | None ->
-          if
-            List.exists
-              (fun (base, len, _) -> vpage >= base && vpage < base + len)
-              p.file_vmas
-          then Some (vpage, frame)
-          else None)
+        if
+          List.exists
+            (fun (base, len, _) -> vpage >= base && vpage < base + len)
+            p.file_vmas
+        then
+          match acc with
+          | Some (v, _) when v <= vpage -> acc
+          | _ -> Some (vpage, frame)
+        else acc)
       p.page_table None
   in
   match victim with
@@ -845,3 +847,101 @@ let churn t ~allocations ~seed =
       | _ -> ()
     end
   done
+
+(* Snapshot capture: closures (thread resume continuations) are captured
+   by shape only; file contents and frame payloads by digest. *)
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  let w_b v = Buffer.add_uint8 b (if v then 1 else 0) in
+  let w_opt = function
+    | None -> Buffer.add_uint8 b 0
+    | Some v ->
+      Buffer.add_uint8 b 1;
+      w_i v
+  in
+  let w_s s =
+    w_i (String.length s);
+    Buffer.add_string b s
+  in
+  w_i t.rank;
+  w_b t.booted;
+  w_b t.job_active;
+  w_b t.stripped;
+  w_i t.next_pid;
+  w_i t.next_tid;
+  w_i t.minor_faults;
+  w_i t.major_faults;
+  w_i t.reclaims;
+  let faults = List.rev t.faults in
+  w_i (List.length faults);
+  List.iter
+    (fun (code, msg) ->
+      w_i code;
+      w_s msg)
+    faults;
+  let procs =
+    Hashtbl.fold (fun pid p acc -> (pid, p) :: acc) t.procs []
+    |> List.sort (fun (i, _) (j, _) -> compare i j)
+  in
+  w_i (List.length procs);
+  List.iter
+    (fun (pid, p) ->
+      w_i pid;
+      w_b p.exited;
+      w_i p.text_end;
+      w_i (List.length p.threads);
+      let pages =
+        Hashtbl.fold (fun vp f acc -> (vp, f) :: acc) p.page_table []
+        |> List.sort compare
+      in
+      w_i (List.length pages);
+      List.iter
+        (fun (vp, f) ->
+          w_i vp;
+          w_i f)
+        pages;
+      w_i (List.length p.file_vmas);
+      List.iter
+        (fun (base, len, contents) ->
+          w_i base;
+          w_i len;
+          Buffer.add_int64_le b (Fnv.add_bytes Fnv.empty contents))
+        p.file_vmas;
+      let wp = Hashtbl.fold (fun vp () acc -> vp :: acc) p.write_protected [] in
+      let wp = List.sort compare wp in
+      w_i (List.length wp);
+      List.iter w_i wp;
+      Bg_cio.Ioproxy.capture p.io b;
+      Cnk.Mmap_tracker.capture p.tracker b)
+    procs;
+  let threads =
+    Hashtbl.fold (fun tid th acc -> (tid, th) :: acc) t.threads []
+    |> List.sort (fun (i, _) (j, _) -> compare i j)
+  in
+  w_i (List.length threads);
+  List.iter
+    (fun (tid, th) ->
+      w_i tid;
+      w_i th.proc.pid;
+      w_i th.core_id;
+      w_i
+        (match th.state with Running -> 0 | Ready -> 1 | Blocked -> 2 | Zombie -> 3);
+      w_b (th.resume <> None);
+      w_i th.slice_left;
+      w_opt th.clear_child_tid;
+      w_i (List.length th.pending_sigs);
+      List.iter w_i th.pending_sigs;
+      w_b th.futex_eintr)
+    threads;
+  Array.iter
+    (fun c ->
+      w_opt (Option.map (fun th -> th.tid) c.current);
+      w_i (Queue.length c.ready);
+      Queue.iter (fun th -> w_i th.tid) c.ready;
+      w_i c.penalty;
+      Noise_model.capture c.noise b)
+    t.cores;
+  Buddy.capture t.buddy b;
+  Cnk.Futex.capture t.futex b;
+  Bg_cio.Fs.capture t.fs b;
+  Chip.capture t.chip b

@@ -81,3 +81,8 @@ val try_alloc_contiguous : t -> bytes:int -> bool
 
 val churn : t -> allocations:int -> seed:int64 -> unit
 (** Fragment physical memory with a deterministic alloc/free pattern. *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Hashtable
+    contents are sorted before writing; closures are captured by shape
+    only (presence, tids, queue order). *)

@@ -129,3 +129,18 @@ let advance2 t ~start ~work =
 let advance t ~start ~work = fst (advance2 t ~start ~work)
 
 let stolen_cycles t = t.stolen
+
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  w_i t.tick_interval;
+  w_i t.tick_cost;
+  w_i t.next_tick;
+  w_i t.stolen;
+  Buffer.add_int64_le b (Rng.state t.rng);
+  w_i (List.length t.sources);
+  List.iter
+    (fun (s : source) ->
+      w_i (String.length s.daemon.daemon_name);
+      Buffer.add_string b s.daemon.daemon_name;
+      Buffer.add_int64_le b (Int64.bits_of_float s.next_at))
+    t.sources

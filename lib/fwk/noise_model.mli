@@ -64,3 +64,7 @@ val advance2 : t -> start:Bg_engine.Cycles.t -> work:int -> Bg_engine.Cycles.t *
 
 val stolen_cycles : t -> int
 (** Total interference charged so far. *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state (tick phase, daemon phases, RNG
+    position, stolen-cycle total) into [b], little-endian. *)

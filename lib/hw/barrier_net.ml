@@ -32,6 +32,15 @@ let set_enabled t v = t.enabled <- v
 let generation t = t.generation
 let waiting t = List.length t.waiters
 
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  w_i t.participants;
+  w_i t.generation;
+  Buffer.add_uint8 b (if t.enabled then 1 else 0);
+  let ranks = List.map (fun w -> w.rank) t.waiters |> List.sort compare in
+  w_i (List.length ranks);
+  List.iter w_i ranks
+
 let arrive t ~rank ~on_release =
   if not t.enabled then raise (Fault.Unavailable "barrier");
   if rank < 0 || rank >= t.participants then invalid_arg "Barrier_net.arrive";

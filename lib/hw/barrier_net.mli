@@ -29,3 +29,7 @@ val waiting : t -> int
 val set_arrive_hook : t -> (rank:int -> unit) -> unit
 (** Called on every {!arrive} with the arriving rank — the UPC's
     barrier-wait feed. Default: no-op. *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Hashtable
+    contents are sorted before writing, so the bytes are deterministic. *)

@@ -46,3 +46,10 @@ let imbalance t =
 
 let mapping t = t.mapping
 let banks t = t.banks
+
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  w_i t.line_bytes;
+  w_i t.banks;
+  w_i (match t.mapping with Modulo_line -> 0 | Xor_fold -> 1 | Fixed bank -> 2 + bank);
+  Array.iter w_i t.counts

@@ -33,3 +33,7 @@ val banks : t -> int
 val set_access_hook : t -> (unit -> unit) -> unit
 (** Called on every {!access} — the UPC's L1-miss feed (an access that
     reaches an L2 bank missed L1 by definition here). Default: no-op. *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Hashtable
+    contents are sorted before writing, so the bytes are deterministic. *)

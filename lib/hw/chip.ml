@@ -102,6 +102,53 @@ let reset t =
 
 let reset_count t = t.reset_count
 
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  let w_i64 = Buffer.add_int64_le b in
+  let w_s s =
+    w_i (String.length s);
+    Buffer.add_string b s
+  in
+  w_i t.id;
+  w_i t.reset_count;
+  w_i (Array.length t.cores);
+  Array.iter
+    (fun c ->
+      w_i c.retired;
+      w_i (Dac.violations c.dac);
+      for slot = 0 to Dac.registers - 1 do
+        match Dac.get c.dac ~slot with
+        | None -> Buffer.add_uint8 b 0
+        | Some w ->
+          Buffer.add_uint8 b 1;
+          w_i w.Dac.lo;
+          w_i w.Dac.hi;
+          Buffer.add_uint8 b (if w.Dac.on_store then 1 else 0);
+          Buffer.add_uint8 b (if w.Dac.on_load then 1 else 0)
+      done;
+      Tlb.capture c.tlb b)
+    t.cores;
+  Cache.capture t.l2 b;
+  Upc.capture t.upc b;
+  w_i64 (Dram.digest t.dram);
+  Buffer.add_uint8 b (if Dram.in_self_refresh t.dram then 1 else 0);
+  w_i64 (Memory.digest t.boot_sram);
+  let units =
+    Hashtbl.fold (fun u s acc -> (unit_name u, s) :: acc) t.units []
+    |> List.sort compare
+  in
+  w_i (List.length units);
+  List.iter
+    (fun (name, status) ->
+      w_s name;
+      match (status : Fault.status) with
+      | Fault.Working -> Buffer.add_uint8 b 0
+      | Fault.Broken why ->
+        Buffer.add_uint8 b 1;
+        w_s why
+      | Fault.Absent -> Buffer.add_uint8 b 2)
+    units
+
 let scan_state t =
   let open Bg_engine in
   let h = Fnv.add_int Fnv.empty t.id in

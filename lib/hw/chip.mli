@@ -57,3 +57,7 @@ val reset_count : t -> int
 val scan_state : t -> Bg_engine.Fnv.t
 (** Digest of the architectural state a logic scan would capture: core
     retired counters, TLB geometry, DAC programming, DRAM digest. *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Hashtable
+    contents are sorted before writing, so the bytes are deterministic. *)

@@ -140,6 +140,23 @@ let ship t busy idx ~payload ~on_arrival =
     end
   end
 
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  let w_f v = Buffer.add_int64_le b (Int64.bits_of_float v) in
+  w_i t.compute_nodes;
+  w_i t.nodes_per_io_node;
+  Buffer.add_uint8 b (if t.enabled then 1 else 0);
+  w_i (Array.length t.up_busy);
+  Array.iter w_i t.up_busy;
+  Array.iter w_i t.down_busy;
+  w_f t.faults.drop_rate;
+  w_f t.faults.corrupt_rate;
+  w_f t.faults.dup_rate;
+  w_i t.faults.jitter_max;
+  w_i t.drops;
+  w_i t.corruptions;
+  w_i t.duplicates
+
 let to_io_node t ~cn ~payload ~on_arrival =
   let io = io_node_of t ~cn in
   Sim.emit t.sim ~label:"collective.up" ~value:(Int64.of_int cn);

@@ -70,3 +70,7 @@ val to_compute_node :
 
 val estimate_cycles : t -> bytes:int -> int
 (** Contention-free one-way cost. *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Hashtable
+    contents are sorted before writing, so the bytes are deterministic. *)

@@ -237,6 +237,59 @@ let inject t d =
     Ok ()
   end
 
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  let w_raw x =
+    w_i (Bytes.length x);
+    Buffer.add_bytes b x
+  in
+  w_i t.rank;
+  w_i t.inj_depth;
+  w_i t.rcv_depth;
+  Buffer.add_uint8 b (if t.pumping then 1 else 0);
+  w_i t.stats.injected;
+  w_i t.stats.delivered;
+  w_i t.stats.bytes_injected;
+  w_i t.stats.bytes_delivered;
+  w_i t.stats.inject_stalls;
+  w_i t.stats.recv_backpressure;
+  w_i t.stats.dropped;
+  w_i (Queue.length t.inj);
+  Queue.iter
+    (fun d ->
+      w_i (match d.kind with Eager -> 0 | Rdma_put -> 1 | Rdma_get -> 2);
+      w_i d.dst;
+      w_i d.tag;
+      w_i d.bytes;
+      w_i d.counter;
+      w_i d.arm_bytes;
+      w_i d.ctx;
+      w_raw d.payload)
+    t.inj;
+  w_i (Queue.length t.rcv);
+  Queue.iter
+    (fun p ->
+      w_i p.pkt_src;
+      w_i p.pkt_tag;
+      w_i p.pkt_ctx;
+      w_raw p.pkt_payload)
+    t.rcv;
+  let sorted tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare in
+  let counters = sorted t.counters in
+  w_i (List.length counters);
+  List.iter
+    (fun (id, v) ->
+      w_i id;
+      w_i v)
+    counters;
+  let done_at = sorted t.done_at in
+  w_i (List.length done_at);
+  List.iter
+    (fun (id, c) ->
+      w_i id;
+      w_i c)
+    done_at
+
 let drain_recv t =
   let out = ref [] in
   while not (Queue.is_empty t.rcv) do

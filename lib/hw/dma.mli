@@ -123,3 +123,7 @@ val desc_process_cycles : int
 val get_turnaround_cycles : int
 val recv_retry_cycles : int
 val header_bytes : int
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Hashtable
+    contents are sorted before writing, so the bytes are deterministic. *)

@@ -85,6 +85,23 @@ let translate t access addr =
            addr)
 
 let flush t = t.entries <- []
+
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  let w_b v = Buffer.add_uint8 b (if v then 1 else 0) in
+  w_i t.capacity;
+  w_i t.evictions;
+  w_i t.misses;
+  w_i (List.length t.entries);
+  List.iter
+    (fun e ->
+      w_i e.vaddr;
+      w_i e.paddr;
+      w_i (Page_size.bytes e.size);
+      w_b e.perm.read;
+      w_b e.perm.write;
+      w_b e.perm.execute)
+    t.entries
 let entries t = t.entries
 let entry_count t = List.length t.entries
 let evictions t = t.evictions

@@ -57,3 +57,7 @@ val set_miss_hook : t -> (unit -> unit) -> unit
 
 val set_refill_hook : t -> (unit -> unit) -> unit
 (** Called on every successful {!install}; the UPC feed. Default: no-op. *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Hashtable
+    contents are sorted before writing, so the bytes are deterministic. *)

@@ -231,3 +231,40 @@ let estimate_cycles t ~src ~dst ~bytes =
     + p.Params.torus_receive_cycles
 
 let transfers_started t = t.transfers
+
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  let sorted tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare in
+  let w_link_tbl tbl =
+    let rows = sorted tbl in
+    w_i (List.length rows);
+    List.iter
+      (fun ((rank, dir), v) ->
+        w_i rank;
+        w_i dir;
+        w_i v)
+      rows
+  in
+  let x, y, z = t.dims in
+  w_i x;
+  w_i y;
+  w_i z;
+  Buffer.add_uint8 b (if t.enabled then 1 else 0);
+  w_i t.transfers;
+  w_link_tbl t.link_busy;
+  (let rows = sorted t.inject_busy in
+   w_i (List.length rows);
+   List.iter
+     (fun (rank, v) ->
+       w_i rank;
+       w_i v)
+     rows);
+  (let rows = sorted t.broken in
+   w_i (List.length rows);
+   List.iter
+     (fun ((rank, dir), ()) ->
+       w_i rank;
+       w_i dir)
+     rows);
+  w_link_tbl t.in_flight;
+  w_link_tbl t.busy_cycles

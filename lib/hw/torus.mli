@@ -72,3 +72,7 @@ val transfers_started : t -> int
 val set_inject_hook : t -> (src:int -> unit) -> unit
 (** Called once per {!transfer} with the injecting rank — the UPC's
     torus-packet feed. Default: no-op. *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Hashtable
+    contents are sorted before writing, so the bytes are deterministic. *)

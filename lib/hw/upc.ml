@@ -93,6 +93,17 @@ let snapshot t = readings_of_array t t.counts
 
 let frozen_snapshot t = Option.map (readings_of_array t) t.frozen
 
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  w_i t.cores;
+  Buffer.add_uint8 b (if t.running then 1 else 0);
+  Array.iter w_i t.counts;
+  match t.frozen with
+  | None -> Buffer.add_uint8 b 0
+  | Some a ->
+    Buffer.add_uint8 b 1;
+    Array.iter w_i a
+
 let digest t =
   let open Bg_engine in
   let h = Array.fold_left Fnv.add_int Fnv.empty t.counts in

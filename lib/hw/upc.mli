@@ -64,3 +64,7 @@ val frozen_snapshot : t -> reading list option
 
 val digest : t -> Bg_engine.Fnv.t
 (** FNV fold over live and frozen counters, for determinism checks. *)
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Hashtable
+    contents are sorted before writing, so the bytes are deterministic. *)

@@ -134,3 +134,94 @@ let ras_severity_to_string = function
   | Ras_warn -> "WARN"
   | Ras_error -> "ERROR"
 
+
+(* --- whole-machine snapshot ------------------------------------------- *)
+
+(* Region payloads come from the per-layer [capture] functions; this
+   module decides the region split. Kernel layers above (cnk, fwk, cio,
+   control) append their own regions via [extra]. *)
+let capture t =
+  let region layer fill =
+    let b = Buffer.create 1024 in
+    fill b;
+    { Bg_snap.Snap.layer; layer_version = 1; payload = Buffer.to_bytes b }
+  in
+  [
+    region "engine.sim" (fun b -> Bg_engine.Sim.capture t.sim b);
+    region "hw.chips" (fun b ->
+        Array.iter (fun c -> Bg_hw.Chip.capture c b) t.chips);
+    region "hw.torus" (fun b -> Bg_hw.Torus.capture t.torus b);
+    region "hw.collective" (fun b -> Bg_hw.Collective_net.capture t.collective b);
+    region "hw.barrier" (fun b -> Bg_hw.Barrier_net.capture t.barrier b);
+    region "hw.dma" (fun b -> Array.iter (fun e -> Bg_hw.Dma.capture e b) t.dma);
+    region "obs.spans" (fun b -> Bg_obs.Obs.capture t.obs b);
+    region "obs.acct" (fun b -> Bg_obs.Accounting.capture t.acct b);
+    region "obs.causal" (fun b -> Bg_obs.Causal.capture t.causal b);
+  ]
+
+let snapshot t ~scenario ~knobs ?(extra = []) () =
+  {
+    Bg_snap.Snap.format_version = Bg_snap.Snap.format_version;
+    scenario;
+    knobs;
+    seed = Bg_engine.Sim.seed t.sim;
+    events = Bg_engine.Sim.events_fired t.sim;
+    clock = Bg_engine.Sim.now t.sim;
+    regions = capture t @ extra;
+  }
+
+let verify t ?(extra = []) (file : Bg_snap.Snap.file) =
+  let live =
+    {
+      file with
+      Bg_snap.Snap.seed = Bg_engine.Sim.seed t.sim;
+      events = Bg_engine.Sim.events_fired t.sim;
+      clock = Bg_engine.Sim.now t.sim;
+      regions = capture t @ extra;
+    }
+  in
+  match Bg_snap.Snap.diff file live with
+  | Some m -> Error m
+  | None ->
+    if Bg_engine.Sim.seed t.sim <> file.Bg_snap.Snap.seed then
+      Error { Bg_snap.Snap.m_layer = "engine.sim"; m_offset = 0 }
+    else Ok ()
+
+type restore_error =
+  | Cursor_passed of { fired : int; wanted : int }
+  | Queue_drained of { fired : int; wanted : int }
+  | Restore_mismatch of Bg_snap.Snap.mismatch
+
+let restore_error_to_string = function
+  | Cursor_passed { fired; wanted } ->
+    Printf.sprintf "machine already past the cursor (%d fired, snapshot at %d)" fired
+      wanted
+  | Queue_drained { fired; wanted } ->
+    Printf.sprintf "event queue drained at %d events, snapshot cursor is %d" fired wanted
+  | Restore_mismatch m ->
+    Printf.sprintf "replayed state diverges from the snapshot in region %s at byte %d"
+      m.Bg_snap.Snap.m_layer m.Bg_snap.Snap.m_offset
+
+(* Restore is replay: the caller rebuilds the scenario (same seed, same
+   knobs, same construction order) on this machine, then [restore] pumps
+   the simulator to the snapshot's event cursor and byte-verifies every
+   captured region. Event payloads are closures, so there is no way to
+   install state directly; determinism makes replay exact, and the
+   verification proves it. *)
+let restore t ?(extra = fun () -> []) (file : Bg_snap.Snap.file) =
+  let wanted = file.Bg_snap.Snap.events in
+  let fired () = Bg_engine.Sim.events_fired t.sim in
+  if fired () > wanted then Error (Cursor_passed { fired = fired (); wanted })
+  else begin
+    let rec pump () =
+      if fired () >= wanted then Ok ()
+      else if Bg_engine.Sim.step t.sim then pump ()
+      else Error (Queue_drained { fired = fired (); wanted })
+    in
+    match pump () with
+    | Error e -> Error e
+    | Ok () -> (
+      match verify t ~extra:(extra ()) file with
+      | Ok () -> Ok ()
+      | Error m -> Error (Restore_mismatch m))
+  end

@@ -73,3 +73,48 @@ val on_ras : t -> (rank:int -> severity:ras_severity -> message:string -> unit) 
 
 val ras_emit : t -> rank:int -> severity:ras_severity -> message:string -> unit
 val ras_severity_to_string : ras_severity -> string
+
+(** {1 Snapshot / restore}
+
+    The machine-level half of the [lib/snap] subsystem: [capture] turns
+    live state into named snapshot regions, [snapshot] wraps them in a
+    {!Bg_snap.Snap.file}, and [restore] replays a rebuilt scenario to the
+    snapshot's event cursor and byte-verifies it. Kernel layers add
+    their own regions through [extra]. *)
+
+val capture : t -> Bg_snap.Snap.region list
+(** One region per machine layer: ["engine.sim"], ["hw.chips"],
+    ["hw.torus"], ["hw.collective"], ["hw.barrier"], ["hw.dma"],
+    ["obs.spans"], ["obs.acct"], ["obs.causal"]. *)
+
+val snapshot :
+  t ->
+  scenario:string ->
+  knobs:(string * string) list ->
+  ?extra:Bg_snap.Snap.region list ->
+  unit ->
+  Bg_snap.Snap.file
+(** Capture the machine at its current event cursor. [extra] appends
+    kernel-layer regions (CNK/FWK node state, CIOD, scheduler). *)
+
+val verify :
+  t -> ?extra:Bg_snap.Snap.region list -> Bg_snap.Snap.file -> (unit, Bg_snap.Snap.mismatch) result
+(** Byte-compare a fresh capture against [file]'s regions. *)
+
+type restore_error =
+  | Cursor_passed of { fired : int; wanted : int }
+  | Queue_drained of { fired : int; wanted : int }
+  | Restore_mismatch of Bg_snap.Snap.mismatch
+
+val restore_error_to_string : restore_error -> string
+
+val restore :
+  t -> ?extra:(unit -> Bg_snap.Snap.region list) -> Bg_snap.Snap.file -> (unit, restore_error) result
+(** Replay-based restore: with the scenario already rebuilt on this
+    machine (same seed, same knobs, same construction order — the
+    machine must not have fired past the cursor), pump the simulator
+    one event at a time to the snapshot's event count, then verify
+    every region byte-for-byte. [extra] is consulted after the replay
+    for kernel-layer regions. Event payloads are closures, so direct
+    state installation is impossible; determinism makes replay exact
+    and verification proves it (gem5-checkpoint style). *)

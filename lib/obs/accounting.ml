@@ -178,6 +178,24 @@ let digest t =
       List.fold_left (fun h st -> Fnv.add_int h (cycles e st)) h all_states)
     Fnv.empty (entries t)
 
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  Buffer.add_uint8 b (if t.enabled then 1 else 0);
+  let ledgers =
+    Hashtbl.fold (fun k l acc -> (k, l) :: acc) t.ledgers []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  w_i (List.length ledgers);
+  List.iter
+    (fun ((rank, core), l) ->
+      w_i rank;
+      w_i core;
+      w_i l.first;
+      w_i l.since;
+      w_i (state_index l.state);
+      Array.iter w_i l.totals)
+    ledgers
+
 let pp_entry ppf e =
   Format.fprintf ppf
     "rank%d/core%d: elapsed=%d app=%d syscall=%d interrupt=%d daemon=%d \

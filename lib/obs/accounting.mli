@@ -98,3 +98,7 @@ val digest : t -> Bg_engine.Fnv.t
 (** FNV fold over all entries, for run-to-run determinism checks. *)
 
 val pp_entry : Format.formatter -> entry -> unit
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Hashtable
+    contents are sorted before writing, so the bytes are deterministic. *)

@@ -147,6 +147,29 @@ let last_matching t ~cat ~name =
 
 let digest t = t.digest
 
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  Buffer.add_uint8 b (if t.enabled then 1 else 0);
+  w_i t.seed;
+  w_i t.max_nodes;
+  w_i t.n_nodes;
+  w_i t.n_edges;
+  w_i t.minted;
+  w_i t.dropped;
+  Buffer.add_int64_le b t.digest;
+  (* nodes and edges are already folded into the digest; only the
+     per-scope chaining tails add restart-relevant state beyond it *)
+  let tails =
+    Hashtbl.fold (fun k id acc -> (k, id) :: acc) t.tails [] |> List.sort compare
+  in
+  w_i (List.length tails);
+  List.iter
+    (fun ((rank, core), id) ->
+      w_i rank;
+      w_i core;
+      w_i id)
+    tails
+
 (* --- critical path ----------------------------------------------------- *)
 
 (* Follow the latest-arriving predecessor backward: at each node, the

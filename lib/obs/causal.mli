@@ -119,3 +119,7 @@ val attribute_path : t -> Accounting.t -> node list -> attribution
     [network + sum ledger = total], exactly. *)
 
 val pp_attribution : Format.formatter -> attribution -> unit
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Hashtable
+    contents are sorted before writing, so the bytes are deterministic. *)

@@ -357,6 +357,84 @@ let snapshot t =
     t.timers;
   List.sort (fun a b -> compare_key a.key b.key) !out
 
+let capture t b =
+  let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
+  let w_i64 = Buffer.add_int64_le b in
+  let w_f v = w_i64 (Int64.bits_of_float v) in
+  let w_s s =
+    w_i (String.length s);
+    Buffer.add_string b s
+  in
+  Buffer.add_uint8 b (if t.enabled then 1 else 0);
+  w_i t.ring_capacity;
+  w_i t.next_handle;
+  w_i t.completed;
+  w_i64 t.digest;
+  let sp = spans t in
+  w_i (List.length sp);
+  List.iter
+    (fun s ->
+      w_s s.cat;
+      w_s s.name;
+      w_i s.rank;
+      w_i s.core;
+      w_i s.start;
+      w_i s.finish;
+      w_i s.depth;
+      w_i s.seq)
+    sp;
+  let opens =
+    Hashtbl.fold (fun h o acc -> (h, o) :: acc) t.opens [] |> List.sort compare
+  in
+  w_i (List.length opens);
+  List.iter
+    (fun (h, o) ->
+      w_i h;
+      w_s o.o_cat;
+      w_s o.o_name;
+      w_i o.o_rank;
+      w_i o.o_core;
+      w_i o.o_start;
+      w_i o.o_depth)
+    opens;
+  let depths =
+    Hashtbl.fold (fun k d acc -> (k, !d) :: acc) t.depths [] |> List.sort compare
+  in
+  w_i (List.length depths);
+  List.iter
+    (fun ((rank, core), d) ->
+      w_i rank;
+      w_i core;
+      w_i d)
+    depths;
+  let ms = snapshot t in
+  w_i (List.length ms);
+  List.iter
+    (fun m ->
+      w_s m.key.subsystem;
+      w_s m.key.name;
+      w_i m.key.rank;
+      w_i m.key.core;
+      match m.value with
+      | Counter v ->
+        Buffer.add_uint8 b 0;
+        w_i v
+      | Gauge v ->
+        Buffer.add_uint8 b 1;
+        w_i v
+      | Timer x ->
+        Buffer.add_uint8 b 2;
+        w_i x.n;
+        w_f x.mean;
+        w_f x.min;
+        w_f x.max;
+        w_f x.sum;
+        w_f x.p50;
+        w_f x.p90;
+        w_f x.p99;
+        w_f x.p999)
+    ms
+
 let reset t =
   Hashtbl.reset t.rings;
   Hashtbl.reset t.opens;

@@ -179,3 +179,7 @@ val snapshot : t -> metric list
     deterministic order regardless of hash-table internals. *)
 
 val pp_metric : Format.formatter -> metric -> unit
+
+val capture : t -> Buffer.t -> unit
+(** Serialize snapshot-relevant state, little-endian, into [b]. Hashtable
+    contents are sorted before writing, so the bytes are deterministic. *)

@@ -93,14 +93,10 @@ let write_delta spec ~idx ~v ~base =
            let a' = max a lo and e = min (a + l) hi in
            if a' < e then Some (a', e - a') else None)
   in
-  let count = List.length ranges in
-  let head = Bytes.create (8 * (1 + (2 * count))) in
-  Bytes.set_int64_le head 0 (Int64.of_int count);
-  List.iteri
-    (fun i (a, l) ->
-      Bytes.set_int64_le head (8 * (1 + (2 * i))) (Int64.of_int a);
-      Bytes.set_int64_le head (8 * (2 + (2 * i))) (Int64.of_int l))
-    ranges;
+  (* Bg_snap.Snap.Sparse owns the delta wire format; the write sequence
+     (one header write, then <=16 KiB data writes) is unchanged so CIO
+     service timing — and with it the resilience digests — stays put. *)
+  let head = Bg_snap.Snap.Sparse.encode_header ranges in
   let fd = Libc.openf ~flags:rw_create (delta_path spec idx v) in
   let total = ref (Libc.write fd head) in
   List.iter
@@ -122,21 +118,21 @@ let apply_delta spec ~idx ~v =
     let size = (Libc.fstat fd).Sysreq.st_size in
     let data = Libc.read fd ~len:size in
     Libc.close fd;
-    if Bytes.length data >= 8 then begin
-      let word i = Int64.to_int (Bytes.get_int64_le data (8 * i)) in
-      let count = word 0 in
-      let doff = ref (8 * (1 + (2 * count))) in
-      for i = 0 to count - 1 do
-        let a = word (1 + (2 * i)) and l = word (2 + (2 * i)) in
-        let off = ref 0 in
-        while !off < l do
-          let n = min chunk (l - !off) in
-          Coro.store ~addr:(a + !off) (Bytes.sub data (!doff + !off) n);
-          off := !off + n
-        done;
-        doff := !doff + l
-      done
-    end
+    (* a truncated or malformed delta is skipped, never a raise *)
+    (match Bg_snap.Snap.Sparse.decode_header data with
+    | Error _ -> ()
+    | Ok (ranges, data_off) ->
+      let doff = ref data_off in
+      List.iter
+        (fun (a, l) ->
+          let off = ref 0 in
+          while !off < l do
+            let n = min chunk (l - !off) in
+            Coro.store ~addr:(a + !off) (Bytes.sub data (!doff + !off) n);
+            off := !off + n
+          done;
+          doff := !doff + l)
+        ranges)
 
 (* Restore the newest committed version: full base image, then every delta
    up to it. Returns (version, step) — (0, 0) means start fresh. *)

@@ -19,4 +19,5 @@ let () =
       ("obs", Test_obs.suite);
       ("causal", Test_causal.suite);
       ("resilience", Test_resilience.suite);
+      ("snap", Test_snap.suite);
     ]
