@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples docs csv trace-smoke resilience-smoke attribute-smoke cio-chaos-smoke msg-smoke causal-smoke snap-smoke clean
+.PHONY: all build test bench examples docs csv trace-smoke resilience-smoke attribute-smoke cio-chaos-smoke msg-smoke causal-smoke snap-smoke health-smoke clean
 
 all: build
 
@@ -108,6 +108,22 @@ snap-smoke:
 	@grep -q "restore fwk_noise" /tmp/snap_smoke_a.txt
 	@grep -q "selftest ok" /tmp/snap_smoke_a.txt
 	@echo "snap-smoke OK"
+
+# Seeded ciod-crash chaos run through the machine health service, twice:
+# the tool itself asserts alerts fired, Recovery consumed them, and the
+# postmortem bundle is valid JSON naming the failing io_node and the
+# implicated series; the two runs must print bit-identical digest lines
+# and byte-identical postmortem bundles.
+health-smoke:
+	dune exec bin/health_tool.exe -- --seed 1 --postmortem /tmp/health_smoke_a.json \
+	  | grep digest > /tmp/health_smoke_a.txt
+	dune exec bin/health_tool.exe -- --seed 1 --postmortem /tmp/health_smoke_b.json --quiet \
+	  | grep digest > /tmp/health_smoke_b.txt
+	@cmp /tmp/health_smoke_a.txt /tmp/health_smoke_b.txt
+	@cmp /tmp/health_smoke_a.json /tmp/health_smoke_b.json
+	@grep -q '"schema":"bg-health-postmortem-v1"' /tmp/health_smoke_a.json
+	@grep -q 'io=1' /tmp/health_smoke_a.json
+	@echo "health-smoke OK"
 
 clean:
 	dune clean

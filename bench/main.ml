@@ -1008,6 +1008,87 @@ let run_obs () =
   close_out oc;
   Printf.printf "wrote BENCH_obs.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* Health-service overhead: windowed sampling and alert evaluation *)
+
+let run_health () =
+  section "health: sampling overhead (off / sampling / sampling+alerts)";
+  (* Same seeded pwrite workload as the obs experiment, so the two JSON
+     files are directly comparable: the health tick is passive, all
+     three cells process the identical architectural event stream, and
+     the acceptance bar is that windowed sampling costs less than the
+     spans+causal collectors measured in BENCH_obs.json. *)
+  let rules =
+    List.map
+      (fun s ->
+        match Bg_obs.Health.parse_rule s with
+        | Ok r -> r
+        | Error e -> failwith ("bench health: bad rule: " ^ e))
+      [
+        "retransmit_rate: cio.retransmits rate >= 10 warn";
+        "ras_errors: ras.error value >= 1 error";
+        "dma_stall: dma.inject_stalls value > 0 warn";
+        "span_loss: obs.dropped_spans delta > 0 info";
+      ]
+  in
+  let cell ~name ~health ~rules =
+    let t0 = Unix.gettimeofday () in
+    let cluster = Cnk.Cluster.create ~dims:(1, 1, 1) ~seed:1L () in
+    let machine = Cnk.Cluster.machine cluster in
+    Bg_obs.Obs.set_enabled machine.Machine.obs true;
+    let svc =
+      if health then Some (Machine.attach_health ~window:100_000 ~rules machine)
+      else None
+    in
+    Cnk.Cluster.boot_all cluster;
+    let entry () =
+      let fd = Bg_rt.Libc.openf ~flags:Sysreq.o_create_trunc "/bench_obs.dat" in
+      let block = Bytes.make 64 'b' in
+      for i = 0 to 1_999 do
+        ignore (Bg_rt.Libc.pwrite fd block ~offset:(i * 64))
+      done;
+      Bg_rt.Libc.close fd
+    in
+    Cnk.Cluster.run_job cluster (Job.create ~name:"iobench" (Image.executable ~name:"iobench" entry));
+    let wall = Unix.gettimeofday () -. t0 in
+    let events = Bg_engine.Trace.count (Bg_engine.Sim.trace (Cnk.Cluster.sim cluster)) in
+    let windows, alerts =
+      match svc with
+      | None -> (0, 0)
+      | Some h ->
+        ( Bg_obs.Timeseries.windows_sampled h.Machine.h_ts,
+          Bg_obs.Health.alert_count h.Machine.h_svc )
+    in
+    let eps = float_of_int events /. wall in
+    Printf.printf
+      "  %-16s %8d events  %6.3f s  %12.0f events/s  (%d windows, %d alerts)\n%!"
+      name events wall eps windows alerts;
+    (name, events, wall, eps, windows, alerts)
+  in
+  let cells =
+    [
+      cell ~name:"off" ~health:false ~rules:[];
+      cell ~name:"sampling" ~health:true ~rules:[];
+      cell ~name:"sampling+alerts" ~health:true ~rules;
+    ]
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "{\"experiment\":\"health\",\"workload\":\"cnk pwrite x2000\",\"cells\":[";
+  List.iteri
+    (fun i (name, events, wall, eps, windows, alerts) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"events\":%d,\"wall_s\":%.6f,\"events_per_sec\":%.0f,\"windows\":%d,\"alerts\":%d}"
+           name events wall eps windows alerts))
+    cells;
+  Buffer.add_string buf "]}";
+  let oc = open_out "BENCH_health.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_health.json\n"
+
 let run_snap () =
   section "snap: snapshot size, capture/restore cost, bisect probe speedup";
   (* Snapshot cost vs machine size: the cnk_io scenario at 1..8 nodes,
@@ -1108,6 +1189,7 @@ let experiments =
     ("congestion", run_congestion);
     ("micro", run_micro);
     ("obs", run_obs);
+    ("health", run_health);
     ("snap", run_snap);
   ]
 

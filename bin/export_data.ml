@@ -10,7 +10,8 @@
      results/noise_scaling.csv
      results/collectives.csv
      results/obs_metrics.csv       (instrumented CNK FWQ run)
-     results/obs_trace.json        (Chrome trace-event of the same run) *)
+     results/obs_trace.json        (Chrome trace-event of the same run)
+     results/health_series.csv     (windowed health-service rollups) *)
 
 open Cmdliner
 module Noise = Bg_noise
@@ -121,6 +122,37 @@ let export_obs dir samples =
   Bg_obs.Export.to_file ~path:trace (Bg_obs.Export.chrome_trace obs);
   Printf.printf "wrote %s\n%!" trace
 
+(* The same instrumented run through the machine health service: every
+   windowed rollup point the sampler pushed, one row per point — the
+   raw series behind a health dashboard. *)
+let export_health dir samples =
+  let module Ts = Bg_obs.Timeseries in
+  let cluster = Cnk.Cluster.create ~dims:(1, 1, 1) () in
+  let machine = Cnk.Cluster.machine cluster in
+  let h = Machine.attach_health ~window:100_000 machine in
+  Cnk.Cluster.boot_all cluster;
+  let sched = Bg_control.Scheduler.create cluster in
+  let entry, _ = Bg_apps.Fwq.program ~samples ~threads:4 () in
+  ignore
+    (Bg_control.Scheduler.submit sched ~shape:(1, 1, 1)
+       (Job.create ~name:"fwq" (Image.executable ~name:"fwq" entry)));
+  Bg_control.Scheduler.drain sched;
+  let ts = h.Machine.h_ts in
+  let rows =
+    List.concat_map
+      (fun (id : Ts.id) ->
+        let k = id.Ts.key in
+        List.map
+          (fun (p : Ts.point) ->
+            Printf.sprintf "%s,%s,%d,%d,%s,%d,%d,%.17g" k.Bg_obs.Obs.subsystem
+              k.Bg_obs.Obs.name k.Bg_obs.Obs.rank k.Bg_obs.Obs.core
+              (Ts.kind_name id.Ts.kind) p.Ts.window p.Ts.at p.Ts.v)
+          (Ts.points ts id))
+      (Ts.ids ts)
+  in
+  write_csv dir "health_series.csv"
+    "subsystem,name,rank,core,kind,window,at_cycle,value" rows
+
 let export_table1 dir =
   (* static decomposition straight from the calibration constants *)
   let rows =
@@ -144,6 +176,7 @@ let run out samples =
   export_collectives out;
   export_table1 out;
   export_obs out (min samples 2_000);
+  export_health out (min samples 2_000);
   Printf.printf "all series exported to %s/\n" out
 
 let cmd =

@@ -1,3 +1,10 @@
+(* The service node's view of the machine RAS stream, backed by the
+   queryable Bg_obs.Rasdb — severity/component/rank indexes and windowed
+   rate queries instead of ad-hoc ring scans. The legacy event API is
+   kept; richer queries go through [db]. *)
+
+module Rasdb = Bg_obs.Rasdb
+
 type event = {
   cycle : Bg_engine.Cycles.t;
   rank : int;
@@ -5,60 +12,49 @@ type event = {
   message : string;
 }
 
-(* The log is a fixed-capacity ring: a RAS storm (every node reporting the
-   same parity error) must not grow the service node's memory without
-   bound. Totals stay exact — only old event records are overwritten. *)
-type t = {
-  machine : Machine.t;
-  capacity : int;
-  ring : event option array;
-  mutable written : int;  (* events ever logged, including overwritten *)
-  severity_counts : int array;  (* indexed by severity_index, never reset *)
-}
+type t = { db : Rasdb.t }
 
-let severity_index = function
-  | Machine.Ras_info -> 0
-  | Machine.Ras_warn -> 1
-  | Machine.Ras_error -> 2
+let machine_severity = function
+  | Rasdb.Info -> Machine.Ras_info
+  | Rasdb.Warn -> Machine.Ras_warn
+  | Rasdb.Error -> Machine.Ras_error
 
 let attach ?(capacity = 4096) machine =
-  if capacity <= 0 then invalid_arg "Ras.attach: capacity must be positive";
-  let t =
-    {
-      machine;
-      capacity;
-      ring = Array.make capacity None;
-      written = 0;
-      severity_counts = Array.make 3 0;
-    }
-  in
+  let db = Rasdb.create ~capacity () in
   Machine.on_ras machine (fun ~rank ~severity ~message ->
-      let e =
-        { cycle = Bg_engine.Sim.now machine.Machine.sim; rank; severity; message }
-      in
-      t.ring.(t.written mod t.capacity) <- Some e;
-      t.written <- t.written + 1;
-      t.severity_counts.(severity_index severity) <-
-        t.severity_counts.(severity_index severity) + 1);
-  t
+      ignore
+        (Rasdb.add db
+           ~cycle:(Bg_engine.Sim.now machine.Machine.sim)
+           ~rank
+           ~severity:(Machine.rasdb_severity severity)
+           ~message ());
+      (* One source of truth: the database's exact per-severity totals
+         are mirrored into the metrics registry as ras.* gauges. *)
+      Rasdb.publish_gauges db (Machine.obs machine));
+  { db }
 
-let dropped t = max 0 (t.written - t.capacity)
+let db t = t.db
 
-let events t =
-  let retained = min t.written t.capacity in
-  let first = t.written - retained in
-  List.init retained (fun i ->
-      match t.ring.((first + i) mod t.capacity) with
-      | Some e -> e
-      | None -> assert false)
+let event_of_record (r : Rasdb.record) =
+  {
+    cycle = r.Rasdb.cycle;
+    rank = r.Rasdb.rank;
+    severity = machine_severity r.Rasdb.severity;
+    message = r.Rasdb.message;
+  }
+
+let events t = List.map event_of_record (Rasdb.records t.db ())
+let dropped t = Rasdb.dropped t.db
 
 let count t ?severity () =
   match severity with
-  | None -> t.written
-  | Some s -> t.severity_counts.(severity_index s)
+  | None -> Rasdb.count t.db
+  | Some s -> Rasdb.severity_count t.db (Machine.rasdb_severity s)
 
-let by_rank t ~rank = List.filter (fun e -> e.rank = rank) (events t)
-let errors t = List.filter (fun e -> e.severity = Machine.Ras_error) (events t)
+let by_rank t ~rank = List.map event_of_record (Rasdb.records t.db ~rank ())
+
+let errors t =
+  List.map event_of_record (Rasdb.records t.db ~severity:Rasdb.Error ())
 
 let pp ppf t =
   if dropped t > 0 then

@@ -5,7 +5,14 @@
     rank attached, and answers the queries an operator would run: events
     by severity, by rank, the error count that would page someone. This
     is the machinery behind the paper's "diagnosing problems across
-    100,000s of nodes". *)
+    100,000s of nodes".
+
+    Since the health-service work the log is a thin view over a
+    {!Bg_obs.Rasdb}: the database carries the severity/component/rank
+    indexes and windowed rate queries ({!db}), and its exact
+    per-severity totals are mirrored into the metrics registry as
+    [ras.info] / [ras.warn] / [ras.error] / [ras.total] /
+    [ras.dropped] gauges whenever the machine's collector is enabled. *)
 
 type event = {
   cycle : Bg_engine.Cycles.t;
@@ -21,6 +28,10 @@ val attach : ?capacity:int -> Machine.t -> t
     retains at most [capacity] events (default 4096) in a ring — a RAS
     storm overwrites the oldest records instead of growing without
     bound. Counts stay exact even when records are dropped. *)
+
+val db : t -> Bg_obs.Rasdb.t
+(** The backing database, for component/rank indexes, windowed rate
+    queries and the insertion digest. *)
 
 val events : t -> event list
 (** Retained events, oldest first (at most [capacity] of them). *)

@@ -16,6 +16,7 @@ type pending = {
   walltime : int option;
   restart_limit : int;
   mutable restarts : int;
+  first_submitted : Cycles.t;  (* original submission, for turnaround timing *)
   mutable submitted : Cycles.t;  (* (re)submission cycle, for queue-wait timing *)
   mutable failed_at : Cycles.t option;  (* when RAS declared the incarnation dead *)
 }
@@ -79,6 +80,7 @@ let submit_factory t ?walltime_cycles ?(restart_limit = 0) ~shape factory =
       walltime = walltime_cycles;
       restart_limit;
       restarts = 0;
+      first_submitted = now t;
       submitted = now t;
       failed_at = None;
     }
@@ -222,6 +224,10 @@ and finish t pending alloc job_span =
     t.done_order <- pending.jid :: t.done_order;
     t.outstanding <- t.outstanding - 1;
     Obs.incr o ~subsystem:"scheduler" ~name:"jobs_completed" ();
+    (* Turnaround: original submission to final disposition, across any
+       restarts — the series the health service trends per window. *)
+    Obs.observe_cycles o ~subsystem:"scheduler" ~name:"turnaround_cycles"
+      (now t - pending.first_submitted);
     try_start t
   end
 

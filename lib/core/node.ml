@@ -142,6 +142,7 @@ let acct_switch t ~core state =
   Accounting.switch (acct t) ~rank:t.rank ~core ~now:(Sim.now t.machine.Machine.sim) state
 
 let ras t severity message =
+  Obs.incr (obs t) ~rank:t.rank ~subsystem:"kernel" ~name:"ras_emitted" ();
   Machine.ras_emit t.machine ~rank:t.rank ~severity ~message
 
 (* --- reliable CIO transport (CNK side) ------------------------------- *)

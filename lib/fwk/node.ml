@@ -158,6 +158,13 @@ let emit t label value =
   Sim.emit (sim t) ~label ~value:(Int64.of_int ((t.rank * 1_000_000) + value))
 
 let obs t = t.machine.Machine.obs
+
+(* FWK's RAS reporting mirrors CNK's wording so the service node's
+   database reads uniformly across kernels; the counter gives the
+   health service a per-kernel emission series. *)
+let ras t severity message =
+  Obs.incr (obs t) ~rank:t.rank ~subsystem:"kernel" ~name:"ras_emitted" ();
+  Machine.ras_emit t.machine ~rank:t.rank ~severity ~message
 let acct t = t.machine.Machine.acct
 let causal t = t.machine.Machine.causal
 
@@ -395,6 +402,8 @@ let deliver_signals t (th : thread) =
         true
       | None ->
         t.faults <- (th.tid, Printf.sprintf "unhandled signal %d" signo) :: t.faults;
+        ras t Machine.Ras_error
+          (Printf.sprintf "tid %d killed by unhandled signal %d" th.tid signo);
         thread_exit t th signo;
         false)
     pending
@@ -414,6 +423,8 @@ let rec step_thread t (th : thread) (s : Coro.step) =
     | Coro.Finished -> thread_exit t th 0
     | Coro.Crashed e ->
       t.faults <- (th.tid, Printexc.to_string e) :: t.faults;
+      ras t Machine.Ras_error
+        (Printf.sprintf "tid %d crashed: %s" th.tid (Printexc.to_string e));
       thread_exit t th 1
     | Coro.Rdtsc k -> step_thread t th (k (Sim.now (sim t)))
     | Coro.Yield k ->
@@ -508,6 +519,7 @@ and on_fault t (th : thread) reason continue =
     continue ()
   | None ->
     t.faults <- (th.tid, reason) :: t.faults;
+    ras t Machine.Ras_error (Printf.sprintf "tid %d segv: %s" th.tid reason);
     thread_exit t th sigsegv
 
 (* Preemptive, noisy consume: split at time-slice boundaries when other

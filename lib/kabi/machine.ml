@@ -1,5 +1,11 @@
 type ras_severity = Ras_info | Ras_warn | Ras_error
 
+type health_service = {
+  h_ts : Bg_obs.Timeseries.t;
+  h_db : Bg_obs.Rasdb.t;
+  h_svc : Bg_obs.Health.t;
+}
+
 type t = {
   instance : int;
   sim : Bg_engine.Sim.t;
@@ -12,6 +18,7 @@ type t = {
   obs : Bg_obs.Obs.t;
   acct : Bg_obs.Accounting.t;
   causal : Bg_obs.Causal.t;
+  mutable health : health_service option;
   mutable ras_subscribers :
     (rank:int -> severity:ras_severity -> message:string -> unit) list;
 }
@@ -50,6 +57,7 @@ let create ?(params = Bg_hw.Params.bgp) ?(seed = 1L) ?nodes_per_io_node ?obs ?ca
         (match causal with
         | Some c -> c
         | None -> Bg_obs.Causal.create ~seed:(Int64.to_int seed) ());
+      health = None;
       ras_subscribers = [];
     }
   in
@@ -133,6 +141,89 @@ let ras_severity_to_string = function
   | Ras_info -> "INFO"
   | Ras_warn -> "WARN"
   | Ras_error -> "ERROR"
+
+let rasdb_severity = function
+  | Ras_info -> Bg_obs.Rasdb.Info
+  | Ras_warn -> Bg_obs.Rasdb.Warn
+  | Ras_error -> Bg_obs.Rasdb.Error
+
+(* --- machine health service -------------------------------------------- *)
+
+let health t = t.health
+
+(* Which series a fault class implicates in its postmortem bundle: the
+   counters an operator would pull first for that component. *)
+let implicated_series ~component ~rank:_ =
+  match component with
+  | "ciod_crash" | "ciod_restart" ->
+      [ ("cio", "retransmits"); ("cio", "eio"); ("cio", "ship_requests");
+        ("ras", "error") ]
+  | "link" ->
+      [ ("dma", "inject_stalls"); ("dma", "dropped"); ("torus", "links_down");
+        ("ras", "error") ]
+  | "parity" -> [ ("resilience", "parity_faults"); ("ras", "error") ]
+  | _ -> [ ("ras", "error") ]
+
+let attach_health ?window ?ring ?db_capacity ?recorder ?(rules = []) t =
+  match t.health with
+  | Some h -> h
+  | None ->
+      (* Sampling a disabled registry would roll up nothing. *)
+      Bg_obs.Obs.set_enabled t.obs true;
+      let ts = Bg_obs.Timeseries.create ?window ?capacity:ring t.obs in
+      let db = Bg_obs.Rasdb.create ?capacity:db_capacity () in
+      let svc =
+        Bg_obs.Health.create ?recorder ~causal:t.causal ~ts ~db ~rules ()
+      in
+      (* Every RAS event — typed faults, kernel messages, health alerts —
+         lands in the database; severity totals mirror into the metrics
+         registry so rasdb, obs_tool and alert rules read one source of
+         truth. *)
+      on_ras t (fun ~rank ~severity ~message ->
+          ignore
+            (Bg_obs.Rasdb.add db ~cycle:(Bg_engine.Sim.now t.sim) ~rank
+               ~severity:(rasdb_severity severity) ~message ());
+          Bg_obs.Rasdb.publish_gauges db t.obs);
+      Bg_obs.Health.set_emit svc (fun a ->
+          let severity =
+            match a.Bg_obs.Health.severity with
+            | Bg_obs.Rasdb.Info -> Ras_info
+            | Bg_obs.Rasdb.Warn -> Ras_warn
+            | Bg_obs.Rasdb.Error -> Ras_error
+          in
+          ras_emit t ~rank:a.Bg_obs.Health.rank ~severity
+            ~message:
+              (Bg_obs.Health.Event.to_message (Bg_obs.Health.Event.of_alert a)));
+      (* Restore in this repo is replay (see the snapshot section below):
+         the snapshot reference a postmortem can carry is the replay
+         cursor, not a file. *)
+      Bg_obs.Health.set_snap_provider svc (fun () ->
+          Printf.sprintf "replay:seed=%Ld,events=%d,clock=%d"
+            (Bg_engine.Sim.seed t.sim)
+            (Bg_engine.Sim.events_fired t.sim)
+            (Bg_engine.Sim.now t.sim));
+      Bg_obs.Health.set_implicate svc implicated_series;
+      (* The sampling probe: refresh hardware-derived gauges (DMA FIFOs,
+         torus links, UPC readings) so every window edge sees current
+         levels. Reads state, writes only gauges — passive. *)
+      Bg_obs.Timeseries.add_probe ts (fun ~now:_ ->
+          for rank = 0 to nodes t - 1 do
+            publish_net_gauges t ~rank;
+            List.iter
+              (fun (r : Bg_hw.Upc.reading) ->
+                Bg_obs.Obs.set_gauge t.obs ~rank ~core:r.Bg_hw.Upc.core
+                  ~subsystem:"upc"
+                  ~name:(Bg_hw.Upc.event_name r.Bg_hw.Upc.event)
+                  r.Bg_hw.Upc.count)
+              (Bg_hw.Upc.snapshot (Bg_hw.Chip.upc t.chips.(rank)))
+          done;
+          Bg_obs.Obs.set_gauge t.obs ~subsystem:"torus" ~name:"links_down"
+            (List.length (Bg_hw.Torus.broken_links t.torus));
+          Bg_obs.Rasdb.publish_gauges db t.obs);
+      Bg_obs.Timeseries.arm ts t.sim;
+      let h = { h_ts = ts; h_db = db; h_svc = svc } in
+      t.health <- Some h;
+      h
 
 
 (* --- whole-machine snapshot ------------------------------------------- *)

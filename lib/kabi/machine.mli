@@ -5,6 +5,12 @@
 
 type ras_severity = Ras_info | Ras_warn | Ras_error
 
+type health_service = {
+  h_ts : Bg_obs.Timeseries.t;  (** windowed rollups over [obs] *)
+  h_db : Bg_obs.Rasdb.t;  (** every RAS event, indexed and queryable *)
+  h_svc : Bg_obs.Health.t;  (** alert rules + flight recorder *)
+}
+
 type t = {
   instance : int;  (** unique per machine created in this OS process *)
   sim : Bg_engine.Sim.t;
@@ -27,6 +33,8 @@ type t = {
           with [Bg_obs.Causal.set_enabled] (or passed in at {!create}).
           Seeded from the simulation seed, so same-seed runs mint
           identical node ids. *)
+  mutable health : health_service option;
+      (** the machine health service; [None] until {!attach_health} *)
   mutable ras_subscribers :
     (rank:int -> severity:ras_severity -> message:string -> unit) list;
       (** use {!on_ras} / {!ras_emit} rather than touching this directly *)
@@ -60,6 +68,36 @@ val publish_net_gauges : t -> rank:int -> unit
 (** Push the rank's DMA FIFO occupancy/stall counters and per-link torus
     busy-cycle totals into the metrics registry; no-op while the
     collector is disabled. *)
+
+(** {1 Machine health service}
+
+    The service-node layer the paper's §VI says CNK leans on: RAS
+    events stream into a queryable database, the metrics registry rolls
+    up into cycle-windowed time series, alert rules watch the series,
+    and a flight recorder captures a postmortem bundle on fatal faults
+    and firing alerts. Attaching it enables the [obs] collector but is
+    otherwise digest-passive: same-seed simulation/span/causal digests
+    are byte-identical with the service attached or not. *)
+
+val attach_health :
+  ?window:Bg_engine.Cycles.t ->
+  ?ring:int ->
+  ?db_capacity:int ->
+  ?recorder:Bg_obs.Health.recorder_config ->
+  ?rules:Bg_obs.Health.rule list ->
+  t ->
+  health_service
+(** Build and wire the health service: subscribe the {!Bg_obs.Rasdb} to
+    the machine RAS stream (mirroring severity totals into [ras.*]
+    gauges), register the hardware-gauge sampling probe (DMA FIFOs,
+    torus link state, UPC readings), route firing alerts back onto the
+    RAS stream as typed [HEALTH] events, and arm the sampling tick
+    (every [window] cycles, default 100_000). Idempotent: a second call
+    returns the existing service. *)
+
+val health : t -> health_service option
+
+val rasdb_severity : ras_severity -> Bg_obs.Rasdb.severity
 
 (** {1 RAS events}
 

@@ -1,0 +1,237 @@
+(* Cycle-windowed rollups over the Obs metrics registry. See the .mli
+   for the passivity contract: the sampling tick reads the registry and
+   writes only into this module's own rings, so same-seed architectural
+   /span/causal digests are unchanged by sampling. *)
+
+open Bg_engine
+
+type kind = Delta | Level | P50 | P99
+
+let kind_name = function
+  | Delta -> "delta"
+  | Level -> "level"
+  | P50 -> "p50"
+  | P99 -> "p99"
+
+let kind_ord = function Delta -> 0 | Level -> 1 | P50 -> 2 | P99 -> 3
+
+type id = { key : Obs.key; kind : kind }
+
+type point = { window : int; at : Cycles.t; v : float }
+
+type series = {
+  windows : int array;
+  ats : int array;
+  values : float array;
+  mutable written : int;  (** points ever pushed into this series *)
+}
+
+type t = {
+  obs : Obs.t;
+  window : Cycles.t;
+  capacity : int;
+  max_series : int;
+  series : (id, series) Hashtbl.t;
+  counter_prev : (Obs.key, int) Hashtbl.t;
+  timer_prev : (Obs.key, int array) Hashtbl.t;
+  mutable probes : (now:Cycles.t -> unit) list;  (* reversed reg. order *)
+  mutable consumers : (window:int -> now:Cycles.t -> unit) list;
+  mutable windows_sampled : int;
+  mutable dropped_points : int;
+  mutable dropped_series : int;
+  mutable digest : Fnv.t;
+  mutable armed : bool;
+}
+
+let create ?(window = 100_000) ?(capacity = 64) ?(max_series = 4096) obs =
+  if window <= 0 then invalid_arg "Timeseries.create: window must be positive";
+  if capacity <= 0 then invalid_arg "Timeseries.create: capacity must be positive";
+  {
+    obs;
+    window;
+    capacity;
+    max_series;
+    series = Hashtbl.create 256;
+    counter_prev = Hashtbl.create 256;
+    timer_prev = Hashtbl.create 64;
+    probes = [];
+    consumers = [];
+    windows_sampled = 0;
+    dropped_points = 0;
+    dropped_series = 0;
+    digest = Fnv.empty;
+    armed = false;
+  }
+
+let window_cycles t = t.window
+let obs t = t.obs
+let add_probe t f = t.probes <- f :: t.probes
+let on_window t f = t.consumers <- f :: t.consumers
+let windows_sampled t = t.windows_sampled
+let dropped_points t = t.dropped_points
+let dropped_series t = t.dropped_series
+let digest t = t.digest
+
+let find_or_create t id =
+  match Hashtbl.find_opt t.series id with
+  | Some s -> Some s
+  | None ->
+      if Hashtbl.length t.series >= t.max_series then begin
+        t.dropped_series <- t.dropped_series + 1;
+        None
+      end
+      else begin
+        let s =
+          {
+            windows = Array.make t.capacity 0;
+            ats = Array.make t.capacity 0;
+            values = Array.make t.capacity 0.;
+            written = 0;
+          }
+        in
+        Hashtbl.replace t.series id s;
+        Some s
+      end
+
+let fold_point t id ~window ~at v =
+  let h = t.digest in
+  let h = Fnv.add_string h id.key.Obs.subsystem in
+  let h = Fnv.add_string h id.key.Obs.name in
+  let h = Fnv.add_int h id.key.Obs.rank in
+  let h = Fnv.add_int h id.key.Obs.core in
+  let h = Fnv.add_int h (kind_ord id.kind) in
+  let h = Fnv.add_int h window in
+  let h = Fnv.add_int h at in
+  let h = Fnv.add_int64 h (Int64.bits_of_float v) in
+  t.digest <- h
+
+let push t id ~window ~at v =
+  match find_or_create t id with
+  | None -> ()
+  | Some s ->
+      let slot = s.written mod t.capacity in
+      if s.written >= t.capacity then t.dropped_points <- t.dropped_points + 1;
+      s.windows.(slot) <- window;
+      s.ats.(slot) <- at;
+      s.values.(slot) <- v;
+      s.written <- s.written + 1;
+      fold_point t id ~window ~at v
+
+(* Percentile over a window's worth of histogram bin-count deltas,
+   mirroring Stats.Histogram.percentile's smallest-value-with-coverage
+   semantics (linear interpolation inside the answering bin). *)
+let delta_percentile ~lo ~width counts p =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.
+  else begin
+    let target = p *. float_of_int total in
+    let bins = Array.length counts in
+    let rec go i acc =
+      if i >= bins then lo +. (width *. float_of_int bins)
+      else
+        let acc' = acc + counts.(i) in
+        if counts.(i) > 0 && float_of_int acc' >= target then
+          let frac = (target -. float_of_int acc) /. float_of_int counts.(i) in
+          lo +. (width *. (float_of_int i +. frac))
+        else go (i + 1) acc'
+    in
+    go 0 0
+  end
+
+let sample t ~now =
+  List.iter (fun f -> f ~now) (List.rev t.probes);
+  let window = t.windows_sampled in
+  List.iter
+    (fun (m : Obs.metric) ->
+      let key = m.Obs.key in
+      match m.Obs.value with
+      | Obs.Counter c ->
+          let prev =
+            Option.value ~default:0 (Hashtbl.find_opt t.counter_prev key)
+          in
+          Hashtbl.replace t.counter_prev key c;
+          push t { key; kind = Delta } ~window ~at:now (float_of_int (c - prev))
+      | Obs.Gauge g ->
+          push t { key; kind = Level } ~window ~at:now (float_of_int g)
+      | Obs.Timer _ -> (
+          match
+            Obs.timer_histogram t.obs ~rank:key.Obs.rank ~core:key.Obs.core
+              ~subsystem:key.Obs.subsystem ~name:key.Obs.name ()
+          with
+          | None -> ()
+          | Some h ->
+              let counts = Stats.Histogram.counts h in
+              let bins = Array.length counts in
+              let prev =
+                match Hashtbl.find_opt t.timer_prev key with
+                | Some p when Array.length p = bins -> p
+                | _ -> Array.make bins 0
+              in
+              let delta = Array.init bins (fun i -> counts.(i) - prev.(i)) in
+              Hashtbl.replace t.timer_prev key (Array.copy counts);
+              let lo = Stats.Histogram.bin_lo h 0 in
+              let width =
+                if bins >= 2 then Stats.Histogram.bin_lo h 1 -. lo else 1.
+              in
+              let pc p = delta_percentile ~lo ~width delta p in
+              push t { key; kind = P50 } ~window ~at:now (pc 0.5);
+              push t { key; kind = P99 } ~window ~at:now (pc 0.99)))
+    (Obs.snapshot t.obs);
+  t.windows_sampled <- t.windows_sampled + 1;
+  List.iter (fun f -> f ~window ~now) (List.rev t.consumers)
+
+let rec tick t sim () =
+  t.armed <- false;
+  sample t ~now:(Sim.now sim);
+  (* Re-arm only while the run is still live: a finished simulation must
+     not be kept ticking forever by its own health sampler. *)
+  if Sim.pending sim > 0 then arm t sim
+
+and arm t sim =
+  if not t.armed then begin
+    t.armed <- true;
+    ignore (Sim.schedule_in sim t.window (tick t sim))
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Queries *)
+
+let compare_id a b =
+  let tup (k : Obs.key) = (k.Obs.subsystem, k.Obs.name, k.Obs.rank, k.Obs.core) in
+  let c = compare (tup a.key) (tup b.key) in
+  if c <> 0 then c else compare (kind_ord a.kind) (kind_ord b.kind)
+
+let ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.series []
+  |> List.sort compare_id
+
+let points t id =
+  match Hashtbl.find_opt t.series id with
+  | None -> []
+  | Some s ->
+      let n = min s.written t.capacity in
+      let first = s.written - n in
+      List.init n (fun i ->
+          let slot = (first + i) mod t.capacity in
+          { window = s.windows.(slot); at = s.ats.(slot); v = s.values.(slot) })
+
+let latest t id =
+  match points t id with [] -> None | ps -> Some (List.nth ps (List.length ps - 1))
+
+let sum_last t id n =
+  let ps = points t id in
+  let len = List.length ps in
+  List.fold_left
+    (fun (i, acc) p -> (i + 1, if i >= len - n then acc +. p.v else acc))
+    (0, 0.) ps
+  |> snd
+
+let series_matching t ~subsystem ~name =
+  Hashtbl.fold
+    (fun id _ acc ->
+      if String.equal id.key.Obs.subsystem subsystem
+         && String.equal id.key.Obs.name name
+      then id :: acc
+      else acc)
+    t.series []
+  |> List.sort compare_id

@@ -1,0 +1,95 @@
+(** Cycle-windowed time-series rollups over the {!Obs} metrics registry.
+
+    The machine health service samples the registry once per fixed-width
+    cycle window and stores, per metric key, a bounded ring of rollup
+    points:
+
+    - {b Delta} — counter increase over the window,
+    - {b Level} — gauge value at the window edge,
+    - {b P50}/{b P99} — timer percentiles over {e only the samples that
+      landed in the window} (computed from histogram bin-count deltas,
+      resolution one bin width).
+
+    Sampling is driven by a simulator tick ({!arm}), but the tick thunk
+    is {e passive}: it never writes the architectural {!Trace}, never
+    draws randomness, never records spans and never mints causal ids —
+    so same-seed simulation/span/causal digests are bit-identical with
+    sampling on or off. Rings are bounded (oldest point overwritten,
+    counted in {!dropped_points}); the stream of pushed points folds
+    into an FNV digest so the series themselves are
+    reproducibility-checkable. *)
+
+type t
+
+type kind = Delta | Level | P50 | P99
+
+val kind_name : kind -> string
+(** ["delta"], ["level"], ["p50"], ["p99"]. *)
+
+type id = { key : Obs.key; kind : kind }
+(** One series: a metric key plus the rollup kind derived from it. *)
+
+type point = {
+  window : int;  (** window index, 0-based from sampler creation *)
+  at : Bg_engine.Cycles.t;  (** cycle stamp of the window edge *)
+  v : float;
+}
+
+val create :
+  ?window:Bg_engine.Cycles.t ->
+  ?capacity:int ->
+  ?max_series:int ->
+  Obs.t ->
+  t
+(** Roll [obs] up every [window] cycles (default 100_000), retaining
+    [capacity] points per series (default 64), with at most
+    [max_series] distinct series (default 4096; excess series are
+    dropped and counted). *)
+
+val window_cycles : t -> Bg_engine.Cycles.t
+val obs : t -> Obs.t
+
+val add_probe : t -> (now:Bg_engine.Cycles.t -> unit) -> unit
+(** Register a producer invoked at the start of every sample (before the
+    registry is read) — e.g. publishing hardware gauges. Probes must be
+    passive in the same sense as the sampler itself. *)
+
+val on_window : t -> (window:int -> now:Bg_engine.Cycles.t -> unit) -> unit
+(** Register a consumer invoked after each window's points are pushed —
+    the health service evaluates its alert rules here. *)
+
+val sample : t -> now:Bg_engine.Cycles.t -> unit
+(** Take one sample immediately (probes, rollups, callbacks). Normally
+    called by the armed tick; exposed for tests and tools. *)
+
+val arm : t -> Bg_engine.Sim.t -> unit
+(** Schedule the sampling tick every {!window_cycles} on [sim]. The tick
+    re-arms itself only while the simulator has other pending events, so
+    sampling never keeps a finished run alive. Arming twice is a no-op
+    while a tick is outstanding. *)
+
+(** {1 Queries} *)
+
+val ids : t -> id list
+(** Every live series, sorted by (subsystem, name, rank, core, kind). *)
+
+val points : t -> id -> point list
+(** Retained points, oldest first; [[]] for unknown series. *)
+
+val latest : t -> id -> point option
+
+val sum_last : t -> id -> int -> float
+(** Sum of [v] over the last [n] retained points. *)
+
+val series_matching : t -> subsystem:string -> name:string -> id list
+(** All series over any (rank, core) scope for one metric name, sorted. *)
+
+val windows_sampled : t -> int
+val dropped_points : t -> int
+(** Points overwritten by ring wraparound, summed over series. *)
+
+val dropped_series : t -> int
+(** Series discarded because [max_series] was reached. *)
+
+val digest : t -> Bg_engine.Fnv.t
+(** FNV over every point ever pushed, in push order. *)

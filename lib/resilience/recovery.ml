@@ -7,11 +7,13 @@ type t = {
   mutable links : int;
   mutable ciod_events : int;
   mutable psets_lost : int;
+  mutable alerts : int;
 }
 
 let attach scheduler =
   let t =
-    { scheduler; deaths = 0; parity = 0; links = 0; ciod_events = 0; psets_lost = 0 }
+    { scheduler; deaths = 0; parity = 0; links = 0; ciod_events = 0;
+      psets_lost = 0; alerts = 0 }
   in
   let machine = Cnk.Cluster.machine (Bg_control.Scheduler.cluster scheduler) in
   let obs = machine.Machine.obs in
@@ -27,7 +29,18 @@ let attach scheduler =
   in
   Machine.on_ras machine (fun ~rank ~severity:_ ~message ->
       match Fault_event.of_message message with
-      | None -> if is_crash message then Bg_control.Scheduler.job_crashed t.scheduler ~rank
+      | None -> (
+          (* Not a typed fault: a health-service alert (typed HEALTH
+             event) is advisory — count it so operators and tests can
+             see the control system received it; the kernel's own
+             crash wording still gang-kills the job. *)
+          match Bg_obs.Health.Event.of_message message with
+          | Some (Bg_obs.Health.Event.Alert _) ->
+            t.alerts <- t.alerts + 1;
+            Obs.incr obs ~subsystem:"resilience" ~name:"alerts_seen" ()
+          | None ->
+            if is_crash message then
+              Bg_control.Scheduler.job_crashed t.scheduler ~rank)
       | Some (Fault_event.Node_death { rank }) ->
         t.deaths <- t.deaths + 1;
         Obs.incr obs ~subsystem:"resilience" ~name:"deaths_handled" ();
@@ -61,4 +74,5 @@ let parity_seen t = t.parity
 let link_events_seen t = t.links
 let ciod_events_seen t = t.ciod_events
 let psets_lost t = t.psets_lost
+let alerts_seen t = t.alerts
 let events_seen t = t.deaths + t.parity + t.links + t.ciod_events

@@ -29,3 +29,8 @@ val psets_lost : t -> int
 
 val events_seen : t -> int
 (** Typed fault events decoded so far (all classes). *)
+
+val alerts_seen : t -> int
+(** Typed [HEALTH] alert events received from the machine health
+    service ({!Bg_obs.Health.Event}); advisory — counted and mirrored
+    into the [resilience.alerts_seen] metric, no scheduling action. *)

@@ -17,6 +17,7 @@ let () =
       ("properties", Test_properties.suite);
       ("control", Test_control.suite);
       ("obs", Test_obs.suite);
+      ("health", Test_health.suite);
       ("causal", Test_causal.suite);
       ("resilience", Test_resilience.suite);
       ("snap", Test_snap.suite);

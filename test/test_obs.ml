@@ -368,6 +368,53 @@ let test_chrome_trace_counter_events () =
   in
   check_bool "has ph:C rows" true (contains json "\"ph\":\"C\"")
 
+let test_dropped_spans_counter_row () =
+  (* Span loss from ring wraparound must be visible in the trace viewer:
+     the per-scope obs.dropped_spans counter gets its own ph:"C" row. *)
+  let o = Obs.create ~ring_capacity:4 ~enabled:true () in
+  for i = 0 to 9 do
+    Obs.span_record o ~cat:"t" ~name:"s" ~rank:2 ~core:1 ~start:(i * 10)
+      ~finish:((i * 10) + 5)
+  done;
+  check_int "six spans overwritten" 6 (Obs.dropped_spans o);
+  check_int "mirrored as a counter" 6
+    (Obs.counter_value o ~rank:2 ~core:1 ~subsystem:"obs" ~name:"dropped_spans" ());
+  let json = Export.chrome_trace o in
+  (match Export.validate_json json with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("trace broke the JSON: " ^ e));
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "dropped_spans has a counter row" true
+    (contains json "\"name\":\"obs.dropped_spans[c1]\",\"ph\":\"C\"")
+
+let test_reset_clears_state () =
+  (* Obs.reset must drop everything: retained and dropped spans, open
+     handles, depth state, metrics and the digest — so a reused
+     collector can't leak one run's loss accounting into the next. *)
+  let o = Obs.create ~ring_capacity:4 ~enabled:true () in
+  for i = 0 to 9 do
+    Obs.span_record o ~cat:"t" ~name:"s" ~rank:0 ~core:0 ~start:i ~finish:(i + 1)
+  done;
+  let open_h = Obs.span_begin o ~cat:"t" ~name:"open" ~rank:0 ~core:0 ~now:99 in
+  Obs.incr o ~subsystem:"x" ~name:"c" ();
+  check_bool "precondition: losses recorded" true (Obs.dropped_spans o > 0);
+  check_int "precondition: one open span" 1 (Obs.open_count o);
+  Obs.reset o;
+  check_int "dropped_spans cleared" 0 (Obs.dropped_spans o);
+  check_int "dropped_spans counter cleared" 0
+    (Obs.counter_value o ~subsystem:"obs" ~name:"dropped_spans" ());
+  check_int "open spans cleared" 0 (Obs.open_count o);
+  check_int "span count cleared" 0 (Obs.span_count o);
+  check_int "metrics cleared" 0 (List.length (Obs.snapshot o));
+  check_bool "digest cleared" true (Fnv.equal (Obs.digest o) Fnv.empty);
+  (* a stale handle from before the reset must be ignored, not revive *)
+  Obs.span_end o open_h ~now:120;
+  check_int "stale handle ignored" 0 (Obs.span_count o)
+
 (* ------------------------------------------------------------------ *)
 (* Query_perf syscall, on both kernels *)
 
@@ -447,6 +494,10 @@ let suite =
     Alcotest.test_case "collapsed stacks: golden output" `Quick test_collapsed_stacks_golden;
     Alcotest.test_case "collapsed stacks: well-formed from run" `Quick test_collapsed_stacks_from_run;
     Alcotest.test_case "chrome trace: counter events" `Quick test_chrome_trace_counter_events;
+    Alcotest.test_case "chrome trace: dropped_spans counter row" `Quick
+      test_dropped_spans_counter_row;
+    Alcotest.test_case "reset clears spans, losses, metrics" `Quick
+      test_reset_clears_state;
     Alcotest.test_case "query_perf syscall on CNK" `Quick test_perf_syscall_cnk;
     Alcotest.test_case "query_perf syscall on FWK" `Quick test_perf_syscall_fwk;
   ]
