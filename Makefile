@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples docs csv trace-smoke resilience-smoke attribute-smoke cio-chaos-smoke msg-smoke causal-smoke snap-smoke health-smoke clean
+.PHONY: all build test bench examples docs csv trace-smoke resilience-smoke attribute-smoke cio-chaos-smoke msg-smoke causal-smoke snap-smoke health-smoke heal-smoke clean
 
 all: build
 
@@ -124,6 +124,22 @@ health-smoke:
 	@grep -q '"schema":"bg-health-postmortem-v1"' /tmp/health_smoke_a.json
 	@grep -q 'io=1' /tmp/health_smoke_a.json
 	@echo "health-smoke OK"
+
+# Compound-fault chaos run through the self-healing policy engine, run
+# twice: the tool itself asserts every job's state matches its
+# fault-free twin byte for byte, spares/drain/rebuild/degradation all
+# fired, and a submit offered while Critical was refused; the two
+# same-seed runs must print bit-identical digest lines (policy decision
+# timeline, sim trace, scheduler state).
+heal-smoke:
+	dune exec bin/heal_tool.exe -- --seed 1 --timeline-csv /tmp/heal_timeline.csv --quiet \
+	  | grep digest > /tmp/heal_smoke_a.txt
+	dune exec bin/heal_tool.exe -- --seed 1 --quiet \
+	  | grep digest > /tmp/heal_smoke_b.txt
+	@cmp /tmp/heal_smoke_a.txt /tmp/heal_smoke_b.txt
+	@grep -q 'pset_rebuilt' /tmp/heal_timeline.csv
+	@grep -q 'admission closed' /tmp/heal_timeline.csv
+	@echo "heal-smoke OK"
 
 clean:
 	dune clean

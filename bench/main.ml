@@ -1163,6 +1163,106 @@ let run_snap () =
   close_out oc;
   Printf.printf "wrote BENCH_snap.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* recover: closed-loop recovery cost — the classic immediate policy vs
+   the self-healing engine (backoff + spare substitution) on the same
+   fault campaign. MTTR and checkpoint savings quantify the loop. *)
+
+let run_recover () =
+  let module Ctl = Bg_control in
+  let module Res = Bg_resilience in
+  section "recover: classic immediate recovery vs self-healing policy engine";
+  let mk_spec name steps =
+    {
+      Res.Ckpt.name;
+      steps;
+      step_cycles = 20_000;
+      state_bytes = 8 * 1024;
+      ckpt_every = 4;
+      full_every = 2;
+      strategy = Res.Ckpt.Parity_inplace;
+    }
+  in
+  let cell ~name ~policy =
+    let t0 = Unix.gettimeofday () in
+    let cluster = Cnk.Cluster.create ~dims:(4, 1, 1) ~seed:1L () in
+    let machine = Cnk.Cluster.machine cluster in
+    Bg_obs.Obs.set_enabled machine.Machine.obs true;
+    Cnk.Cluster.boot_all cluster;
+    let fabric = Bg_msg.Dcmf.make_fabric machine in
+    let sched = Ctl.Scheduler.create cluster in
+    if policy then
+      Ctl.Partition.set_spare (Ctl.Scheduler.partition sched) ~rank:3 true;
+    let inj = Res.Injector.attach cluster in
+    if policy then ignore (Res.Policy.attach sched)
+    else ignore (Res.Recovery.attach sched);
+    let jobs =
+      List.init 6 (fun i ->
+          let spec = mk_spec (Printf.sprintf "rb%d" i) (24 + (i mod 3 * 4)) in
+          let factory, collect = Res.Ckpt.job_factory ~fabric spec in
+          let jid =
+            Ctl.Scheduler.submit_factory sched ~restart_limit:3 ~shape:(1, 1, 1)
+              factory
+          in
+          (jid, spec, collect))
+    in
+    let sim = Cnk.Cluster.sim cluster in
+    let death cycle rank =
+      ignore
+        (Sim.schedule_at sim cycle (fun () ->
+             Res.Injector.inject_now inj (Res.Fault_event.Node_death { rank })))
+    in
+    death 2_600_000 0;
+    death 3_400_000 1;
+    Ctl.Scheduler.drain sched;
+    let restarts, restored, scratch =
+      List.fold_left
+        (fun (r, got, s) (jid, spec, collect) ->
+          let n = Ctl.Scheduler.restarts sched jid in
+          if n = 0 then (r, got, s)
+          else
+            List.fold_left
+              (fun (r, got, s) (o : Res.Ckpt.outcome) ->
+                (r, got + o.Res.Ckpt.restored_step, s + spec.Res.Ckpt.steps))
+              (r + n, got, s) (collect ()))
+        (0, 0, 0) jobs
+    in
+    let mttr_p50, mttr_p99 =
+      match
+        Bg_obs.Obs.timer_histogram machine.Machine.obs ~subsystem:"scheduler"
+          ~name:"recovery_latency_cycles" ()
+      with
+      | None -> (0., 0.)
+      | Some h ->
+        (Stats.Histogram.percentile h 0.5, Stats.Histogram.percentile h 0.99)
+    in
+    let makespan = Sim.now sim in
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.printf
+      "  %-8s makespan %9d  restarts %d  restored/scratch %3d/%3d steps  MTTR p50 %8.0f p99 %8.0f  (%.3f s)\n%!"
+      name makespan restarts restored scratch mttr_p50 mttr_p99 wall;
+    (name, makespan, restarts, restored, scratch, mttr_p50, mttr_p99, wall)
+  in
+  let classic = cell ~name:"classic" ~policy:false in
+  let healing = cell ~name:"policy" ~policy:true in
+  let cells = [ classic; healing ] in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "{\"experiment\":\"recover\",\"workload\":\"6 ckpt jobs, 2 node deaths\",\"cells\":[";
+  List.iteri
+    (fun i (name, makespan, restarts, restored, scratch, p50, p99, wall) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"makespan_cycles\":%d,\"restarts\":%d,\"restored_steps\":%d,\"scratch_steps\":%d,\"mttr_p50_cycles\":%.0f,\"mttr_p99_cycles\":%.0f,\"wall_s\":%.6f}"
+           name makespan restarts restored scratch p50 p99 wall))
+    cells;
+  Buffer.add_string buf "]}";
+  let oc = open_out "BENCH_recover.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_recover.json\n"
+
 let experiments =
   [
     ("fwq", run_fwq);
@@ -1191,6 +1291,7 @@ let experiments =
     ("obs", run_obs);
     ("health", run_health);
     ("snap", run_snap);
+    ("recover", run_recover);
   ]
 
 let () =

@@ -11,7 +11,8 @@
      results/collectives.csv
      results/obs_metrics.csv       (instrumented CNK FWQ run)
      results/obs_trace.json        (Chrome trace-event of the same run)
-     results/health_series.csv     (windowed health-service rollups) *)
+     results/health_series.csv     (windowed health-service rollups)
+     results/recovery_timeline.csv (self-healing policy decisions) *)
 
 open Cmdliner
 module Noise = Bg_noise
@@ -153,6 +154,44 @@ let export_health dir samples =
   write_csv dir "health_series.csv"
     "subsystem,name,rank,core,kind,window,at_cycle,value" rows
 
+(* The self-healing control plane's decision timeline under a small
+   chaos scenario: one checkpointing job, one node death, a spare in the
+   pool — every policy decision as a (cycle, action) row, the series
+   behind an MTTR/recovery storyboard. *)
+let export_recovery_timeline dir =
+  let module Ctl = Bg_control in
+  let module Res = Bg_resilience in
+  let module Sim = Bg_engine.Sim in
+  let cluster = Cnk.Cluster.create ~dims:(4, 1, 1) ~seed:1L () in
+  Cnk.Cluster.boot_all cluster;
+  let fabric = Bg_msg.Dcmf.make_fabric (Cnk.Cluster.machine cluster) in
+  let sched = Ctl.Scheduler.create cluster in
+  Ctl.Partition.set_spare (Ctl.Scheduler.partition sched) ~rank:3 true;
+  let inj = Res.Injector.attach cluster in
+  let policy = Res.Policy.attach sched in
+  let spec =
+    {
+      Res.Ckpt.name = "export";
+      steps = 30;
+      step_cycles = 20_000;
+      state_bytes = 4096;
+      ckpt_every = 2;
+      full_every = 1;
+      strategy = Res.Ckpt.Parity_inplace;
+    }
+  in
+  let factory, _ = Res.Ckpt.job_factory ~fabric spec in
+  ignore
+    (Ctl.Scheduler.submit_factory sched ~restart_limit:3 ~shape:(2, 1, 1) factory);
+  ignore
+    (Sim.schedule_at (Cnk.Cluster.sim cluster) 2_600_000 (fun () ->
+         Res.Injector.inject_now inj (Res.Fault_event.Node_death { rank = 0 })));
+  Ctl.Scheduler.drain sched;
+  write_csv dir "recovery_timeline.csv" "cycle,action"
+    (List.map
+       (fun (cycle, line) -> Printf.sprintf "%d,%s" cycle line)
+       (Res.Policy.timeline policy))
+
 let export_table1 dir =
   (* static decomposition straight from the calibration constants *)
   let rows =
@@ -177,6 +216,7 @@ let run out samples =
   export_table1 out;
   export_obs out (min samples 2_000);
   export_health out (min samples 2_000);
+  export_recovery_timeline out;
   Printf.printf "all series exported to %s/\n" out
 
 let cmd =

@@ -27,6 +27,8 @@ type t = {
   mutable retransmits_seen : int;
   mutable queue_rejects : int;
   mutable crashes : int;
+  mutable restarts : int;
+  mutable restart_subscribers : (unit -> unit) list;
 }
 
 (* Linux-side service cost: syscall entry + VFS + wakeup of the proxy. *)
@@ -53,6 +55,8 @@ let create machine ?fs ?(config = Reliable.off) ~io_node () =
     retransmits_seen = 0;
     queue_rejects = 0;
     crashes = 0;
+    restarts = 0;
+    restart_subscribers = [];
   }
 
 let fs t = t.fs
@@ -375,8 +379,13 @@ let restart t =
           | None -> Ioproxy.create t.fs ~rank ~pid
         in
         Hashtbl.replace t.proxies (rank, pid) p)
-      (Manifest.procs t.manifest)
+      (Manifest.procs t.manifest);
+    t.restarts <- t.restarts + 1;
+    List.iter (fun f -> f ()) t.restart_subscribers
   end
+
+let on_restart t f = t.restart_subscribers <- f :: t.restart_subscribers
+let restarts t = t.restarts
 
 let requests_served t = t.served
 let retransmits_seen t = t.retransmits_seen

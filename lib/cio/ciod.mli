@@ -68,10 +68,17 @@ val restart : t -> unit
     snapshots, so descriptors, offsets and cwd resume as of the last
     executed request. No-op while alive. *)
 
+val on_restart : t -> (unit -> unit) -> unit
+(** Subscribe to daemon restarts (control-system initiated or injector
+    auto-restart alike): [f] runs after the proxies are rebuilt. The
+    self-healing policy uses this to clear a pending escalation when a
+    daemon comes back by any path. *)
+
 val requests_served : t -> int
 val retransmits_seen : t -> int
 val queue_rejects : t -> int
 val crashes : t -> int
+val restarts : t -> int
 val queue_depth : t -> int
 val proxy_count : t -> int
 

@@ -9,6 +9,8 @@ type t = {
   dims : int * int * int;
   occupied : bool array;  (* indexed by rank *)
   down : bool array;      (* RAS marked the node dead; never allocate *)
+  spare : bool array;     (* held in reserve; activated by [substitute] *)
+  mutable substitutions : int;
   mutable live : allocation list;
   mutable next_id : int;
 }
@@ -20,6 +22,8 @@ let create ~dims =
     dims;
     occupied = Array.make (x * y * z) false;
     down = Array.make (x * y * z) false;
+    spare = Array.make (x * y * z) false;
+    substitutions = 0;
     live = [];
     next_id = 1;
   }
@@ -51,7 +55,10 @@ let allocate t ~shape =
            for bx = 0 to x - sx do
              if !found = None then begin
                let ranks = box_ranks t (bx, by, bz) shape in
-               if List.for_all (fun r -> not t.occupied.(r) && not t.down.(r)) ranks
+               if
+                 List.for_all
+                   (fun r -> (not t.occupied.(r)) && (not t.down.(r)) && not t.spare.(r))
+                   ranks
                then begin
                  found := Some ((bx, by, bz), ranks);
                  raise Exit
@@ -80,7 +87,9 @@ let release t id =
 
 let free_nodes t =
   let free = ref 0 in
-  Array.iteri (fun r o -> if (not o) && not t.down.(r) then incr free) t.occupied;
+  Array.iteri
+    (fun r o -> if (not o) && (not t.down.(r)) && not t.spare.(r) then incr free)
+    t.occupied;
   !free
 
 let allocated t = List.rev t.live
@@ -97,6 +106,38 @@ let down_nodes t =
   Array.iteri (fun r d -> if d then acc := r :: !acc) t.down;
   List.rev !acc
 
+(* -- spare pool ------------------------------------------------------
+
+   Spares sit outside the allocatable pool until a node death spends
+   one: [substitute] returns the lowest-ranked spare to the pool so the
+   next allocation finds a full-strength machine even though the dead
+   rank never comes back. *)
+
+let set_spare t ~rank flag =
+  if rank < 0 || rank >= Array.length t.spare then invalid_arg "Partition.set_spare";
+  if flag && (t.occupied.(rank) || t.down.(rank)) then
+    invalid_arg "Partition.set_spare: rank is occupied or down";
+  t.spare.(rank) <- flag
+
+let spare_ranks t =
+  let acc = ref [] in
+  Array.iteri (fun r s -> if s then acc := r :: !acc) t.spare;
+  List.rev !acc
+
+let substitutions t = t.substitutions
+
+let substitute t ~dead:_ =
+  let rec find r =
+    if r >= Array.length t.spare then None
+    else if t.spare.(r) && not t.down.(r) then begin
+      t.spare.(r) <- false;
+      t.substitutions <- t.substitutions + 1;
+      Some r
+    end
+    else find (r + 1)
+  in
+  find 0
+
 let capture t b =
   let w_i v = Buffer.add_int64_le b (Int64.of_int v) in
   let x, y, z = t.dims in
@@ -104,8 +145,10 @@ let capture t b =
   w_i y;
   w_i z;
   w_i t.next_id;
+  w_i t.substitutions;
   Array.iter (fun o -> Buffer.add_uint8 b (if o then 1 else 0)) t.occupied;
   Array.iter (fun d -> Buffer.add_uint8 b (if d then 1 else 0)) t.down;
+  Array.iter (fun s -> Buffer.add_uint8 b (if s then 1 else 0)) t.spare;
   let live = allocated t in
   w_i (List.length live);
   List.iter

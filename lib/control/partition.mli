@@ -40,6 +40,22 @@ val is_down : t -> rank:int -> bool
 val down_nodes : t -> int list
 (** Ranks currently marked down, ascending. *)
 
+val set_spare : t -> rank:int -> bool -> unit
+(** Hold a free node in reserve: spares are skipped by {!allocate} (and
+    excluded from {!free_nodes}) until {!substitute} activates them.
+    Raises [Invalid_argument] when reserving an occupied or down rank. *)
+
+val spare_ranks : t -> int list
+(** Ranks currently held as spares, ascending. *)
+
+val substitute : t -> dead:int -> int option
+(** Spend one spare to cover a dead node: the lowest-ranked live spare
+    re-enters the allocatable pool and is returned. [None] when the
+    spare pool is exhausted — the machine shrinks instead. *)
+
+val substitutions : t -> int
+(** How many spares have been activated so far. *)
+
 val capture : t -> Buffer.t -> unit
 (** Serialize snapshot-relevant state (occupancy, down set, live
     allocations) into [b], little-endian. *)

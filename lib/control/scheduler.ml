@@ -9,9 +9,12 @@ type job_state =
   | Completed of Cycles.t
   | Failed of Cycles.t
 
+type job_class = Batch | Backfill_class
+
 type pending = {
   jid : job_id;
   shape : int * int * int;
+  cls : job_class;
   factory : ranks:int list -> Job.t;
   walltime : int option;
   restart_limit : int;
@@ -32,6 +35,11 @@ type t = {
   mutable next_id : int;
   mutable done_order : job_id list;
   mutable outstanding : int;
+  (* self-healing control plane (all inert until a policy engine sets them) *)
+  mutable restart_policy : (jid:job_id -> attempt:int -> int) option;
+  mutable shape_cap : (int * int * int) option;
+  mutable admission : bool;  (* false = degraded tier 3: reject new submits *)
+  mutable rejected : int;
 }
 
 let obs t = (Cnk.Cluster.machine t.cluster).Machine.obs
@@ -64,9 +72,14 @@ let create ?(backfill = false) cluster =
     next_id = 1;
     done_order = [];
     outstanding = 0;
+    restart_policy = None;
+    shape_cap = None;
+    admission = true;
+    rejected = 0;
   }
 
-let submit_factory t ?walltime_cycles ?(restart_limit = 0) ~shape factory =
+let submit_factory t ?walltime_cycles ?(restart_limit = 0) ?(cls = Batch) ~shape
+    factory =
   let x, y, z = Bg_hw.Torus.dims (Cnk.Cluster.machine t.cluster).Machine.torus in
   let sx, sy, sz = shape in
   if sx > x || sy > y || sz > z then failwith "Scheduler.submit: job can never fit";
@@ -76,6 +89,7 @@ let submit_factory t ?walltime_cycles ?(restart_limit = 0) ~shape factory =
     {
       jid;
       shape;
+      cls;
       factory;
       walltime = walltime_cycles;
       restart_limit;
@@ -96,13 +110,41 @@ let submit_factory t ?walltime_cycles ?(restart_limit = 0) ~shape factory =
 let submit t ?walltime_cycles ~shape job =
   submit_factory t ?walltime_cycles ~shape (fun ~ranks:_ -> job)
 
+(* Admission-controlled front door: under degraded tier 3 the submit is
+   refused outright (counted), instead of joining a queue the machine
+   cannot drain. *)
+let offer_factory t ?walltime_cycles ?restart_limit ?cls ~shape factory =
+  if t.admission then
+    Ok (submit_factory t ?walltime_cycles ?restart_limit ?cls ~shape factory)
+  else begin
+    t.rejected <- t.rejected + 1;
+    Obs.incr (obs t) ~subsystem:"scheduler" ~name:"jobs_rejected" ();
+    Error `Admission_closed
+  end
+
+let set_admission t open_ = t.admission <- open_
+let admission_open t = t.admission
+let rejected_count t = t.rejected
+let set_shape_cap t cap = t.shape_cap <- cap
+let shape_cap t = t.shape_cap
+
+(* Under a shape cap (degraded tier 2) large jobs wait even if space is
+   free: a shrunken machine stops handing out its biggest blocks. *)
+let within_cap t (sx, sy, sz) =
+  match t.shape_cap with
+  | None -> true
+  | Some (cx, cy, cz) -> sx <= cx && sy <= cy && sz <= cz
+
 (* Try to start queued jobs; FIFO unless backfill is on, in which case
    later jobs may start past a blocked head. *)
 let rec try_start t =
   match t.queue with
   | [] -> ()
   | head :: rest -> (
-    match Partition.allocate t.partition ~shape:head.shape with
+    match
+      if within_cap t head.shape then Partition.allocate t.partition ~shape:head.shape
+      else Error "blocked by shape cap"
+    with
     | Ok alloc ->
       t.queue <- rest;
       start t head alloc;
@@ -113,7 +155,10 @@ let rec try_start t =
         let rec pick acc = function
           | [] -> ()
           | p :: more -> (
-            match Partition.allocate t.partition ~shape:p.shape with
+            match
+              if within_cap t p.shape then Partition.allocate t.partition ~shape:p.shape
+              else Error "blocked by shape cap"
+            with
             | Ok alloc ->
               t.queue <- head :: List.rev_append acc more;
               Obs.incr (obs t) ~subsystem:"scheduler" ~name:"backfill_started" ();
@@ -203,18 +248,30 @@ and finish t pending alloc job_span =
   in
   if failed && pending.restarts < pending.restart_limit then begin
     pending.restarts <- pending.restarts + 1;
-    pending.submitted <- now t;
     Hashtbl.replace t.states pending.jid Queued;
-    (* requeue at the head: recovery preempts the waiting line *)
-    t.queue <- pending :: t.queue;
-    Obs.incr o ~subsystem:"scheduler" ~name:"jobs_restarted" ();
     let machine = Cnk.Cluster.machine t.cluster in
-    Machine.ras_emit machine
-      ~rank:(List.hd alloc.Partition.ranks)
-      ~severity:Machine.Ras_info
-      ~message:
-        (Printf.sprintf "SCHED restart job=%d attempt=%d" pending.jid pending.restarts);
-    try_start t
+    let requeue () =
+      pending.submitted <- now t;
+      (* requeue at the head: recovery preempts the waiting line *)
+      t.queue <- pending :: t.queue;
+      Obs.incr o ~subsystem:"scheduler" ~name:"jobs_restarted" ();
+      Machine.ras_emit machine
+        ~rank:(List.hd alloc.Partition.ranks)
+        ~severity:Machine.Ras_info
+        ~message:
+          (Printf.sprintf "SCHED restart job=%d attempt=%d" pending.jid
+             pending.restarts);
+      try_start t
+    in
+    (* A recovery policy may hold the retry back (deterministic backoff:
+       the delay is a pure function of (job, attempt)); the default is
+       the classic immediate requeue. *)
+    match t.restart_policy with
+    | None -> requeue ()
+    | Some f ->
+      let delay = f ~jid:pending.jid ~attempt:pending.restarts in
+      if delay <= 0 then requeue ()
+      else ignore (Sim.schedule_in (Cnk.Cluster.sim t.cluster) delay requeue)
   end
   else begin
     let state =
@@ -258,9 +315,20 @@ let kill_spanning t ~rank =
       (fun r -> Cnk.Node.kill_job (Cnk.Cluster.node t.cluster r))
       alloc.Partition.ranks
 
+let mark_up t ~rank =
+  if Partition.is_down t.partition ~rank then begin
+    Partition.set_down t.partition ~rank false;
+    Obs.incr (obs t) ~subsystem:"scheduler" ~name:"nodes_revived" ()
+  end
+
+(* Idempotent: RAS streams replay, retransmit and duplicate — the second
+   death notice for an already-down rank must not kill whatever job has
+   since been reallocated over different hardware. *)
 let node_failed t ~rank =
-  mark_down t ~rank;
-  kill_spanning t ~rank
+  if not (Partition.is_down t.partition ~rank) then begin
+    mark_down t ~rank;
+    kill_spanning t ~rank
+  end
 
 (* An unrecoverable I/O node takes its whole pset with it (the compute
    nodes it served have no other path to the filesystem): every member is
@@ -275,10 +343,33 @@ let pset_failed t ~ranks =
         (Printf.sprintf "SCHED pset_lost ranks=%s"
            (String.concat "," (List.map string_of_int ranks)))
   | [] -> ());
+  (* no allocation can span an already-down rank, so only freshly-downed
+     members can carry a job — killing just those makes a replayed pset
+     event a no-op instead of a stray gang kill *)
+  let fresh = List.filter (fun rank -> not (Partition.is_down t.partition ~rank)) ranks in
   List.iter (fun rank -> mark_down t ~rank) ranks;
-  List.iter (fun rank -> kill_spanning t ~rank) ranks
+  List.iter (fun rank -> kill_spanning t ~rank) fresh
 
 let job_crashed t ~rank = kill_spanning t ~rank
+
+(* Graceful degradation tier 1: queued backfill-class jobs are shed —
+   declared Failed without ever running — so a sick machine spends its
+   remaining capacity on the batch jobs users are waiting on. *)
+let shed_backfill t =
+  let shed, keep = List.partition (fun p -> p.cls = Backfill_class) t.queue in
+  t.queue <- keep;
+  List.iter
+    (fun p ->
+      Hashtbl.replace t.states p.jid (Failed (now t));
+      t.done_order <- p.jid :: t.done_order;
+      t.outstanding <- t.outstanding - 1;
+      Obs.incr (obs t) ~subsystem:"scheduler" ~name:"jobs_shed" ();
+      causal_mark t ~jid:p.jid "shed")
+    shed;
+  List.map (fun p -> p.jid) shed
+
+let set_restart_policy t f = t.restart_policy <- f
+let kick t = try_start t
 
 let drain t =
   try_start t;
@@ -310,12 +401,21 @@ let capture t b =
   w_i t.next_id;
   w_i t.outstanding;
   Buffer.add_uint8 b (if t.backfill then 1 else 0);
+  Buffer.add_uint8 b (if t.admission then 1 else 0);
+  w_i t.rejected;
+  (match t.shape_cap with
+  | None -> w_i (-1)
+  | Some (cx, cy, cz) ->
+    w_i cx;
+    w_i cy;
+    w_i cz);
   w_i (List.length t.queue);
   List.iter
     (fun p ->
       w_i p.jid;
       w_i p.restarts;
-      w_i p.submitted)
+      w_i p.submitted;
+      Buffer.add_uint8 b (match p.cls with Batch -> 0 | Backfill_class -> 1))
     t.queue;
   let states =
     Hashtbl.fold (fun jid s acc -> (jid, s) :: acc) t.states []

@@ -21,7 +21,14 @@ type job_state =
   | Completed of Bg_engine.Cycles.t  (** completion cycle *)
   | Failed of Bg_engine.Cycles.t
       (** a job with a restart budget exhausted it (jobs without one
-          always report [Completed], matching classic batch semantics) *)
+          always report [Completed], matching classic batch semantics);
+          also the terminal state of a shed backfill job *)
+
+type job_class =
+  | Batch  (** the default: users are waiting on it *)
+  | Backfill_class
+      (** opportunistic filler — first to be shed when the machine
+          degrades (see {!shed_backfill}) *)
 
 type t
 
@@ -40,6 +47,7 @@ val submit_factory :
   t ->
   ?walltime_cycles:int ->
   ?restart_limit:int ->
+  ?cls:job_class ->
   shape:int * int * int ->
   (ranks:int list -> Job.t) ->
   job_id
@@ -47,7 +55,48 @@ val submit_factory :
     actually allocated — required for restart after a node death, when the
     replacement partition has different members. [restart_limit] (default
     0) bounds how many times a failed incarnation (nonzero exit on any
-    member node) is requeued before the job is declared [Failed]. *)
+    member node) is requeued before the job is declared [Failed].
+    [cls] (default [Batch]) marks shed priority under degradation. *)
+
+val offer_factory :
+  t ->
+  ?walltime_cycles:int ->
+  ?restart_limit:int ->
+  ?cls:job_class ->
+  shape:int * int * int ->
+  (ranks:int list -> Job.t) ->
+  (job_id, [ `Admission_closed ]) result
+(** The admission-controlled front door: like {!submit_factory} while
+    admission is open, [Error `Admission_closed] (counted in
+    [scheduler.jobs_rejected]) once a recovery policy has closed it. *)
+
+val set_admission : t -> bool -> unit
+(** Degradation tier 3: close (or reopen) the front door for new
+    {!offer_factory} submits. Direct {!submit_factory} calls bypass it. *)
+
+val admission_open : t -> bool
+val rejected_count : t -> int
+
+val set_shape_cap : t -> (int * int * int) option -> unit
+(** Degradation tier 2: jobs whose shape exceeds the cap stay queued —
+    even when space is free — until the cap is lifted. *)
+
+val shape_cap : t -> (int * int * int) option
+
+val shed_backfill : t -> job_id list
+(** Degradation tier 1: drop every queued [Backfill_class] job (each is
+    declared [Failed] without running, counted in [scheduler.jobs_shed]).
+    Returns the shed ids. Running jobs are never shed. *)
+
+val set_restart_policy : t -> (jid:job_id -> attempt:int -> int) option -> unit
+(** Let a recovery policy delay restarts: the callback returns the
+    backoff (cycles) before a failed incarnation is requeued; [<= 0]
+    requeues immediately (the default behavior when unset). The delay
+    must be a pure function of its arguments to keep runs replayable. *)
+
+val kick : t -> unit
+(** Try to start queued jobs now — for policy engines that just revived
+    capacity (spare substitution, pset rebuild, shape-cap lift). *)
 
 val drain : t -> unit
 (** Start whatever fits, then run the simulation, starting queued jobs as
@@ -59,10 +108,16 @@ val node_failed : t -> rank:int -> unit
 (** RAS recovery entry point: mark [rank] down for future allocations and
     kill the running job that spans it (every member node, in the same
     cycle — survivors would otherwise block forever on a dead peer). The
-    job is requeued if it has restart budget left. *)
+    job is requeued if it has restart budget left. Idempotent: a replayed
+    or duplicated death notice for an already-down rank is a no-op, so it
+    can never kill a job since reallocated onto different hardware. *)
 
 val mark_down : t -> rank:int -> unit
 (** Mark a node down without touching running jobs. *)
+
+val mark_up : t -> rank:int -> unit
+(** Return a node to the allocation pool (pset rebuild); no-op when the
+    rank is not down. *)
 
 val pset_failed : t -> ranks:int list -> unit
 (** An I/O node died for good: emit one RAS event, mark every compute

@@ -57,25 +57,44 @@ let expected_digest spec ~rank_index =
    only after a barrier confirmed every rank's file is durable. *)
 
 let full_name spec idx v = Printf.sprintf "%s.r%d.f%d" spec.name idx v
-let delta_path spec idx v = Printf.sprintf "/ckpt/%s.r%d.d%d" spec.name idx v
+let delta_name spec idx v = Printf.sprintf "%s.r%d.d%d" spec.name idx v
+let delta_path spec idx v = "/ckpt/" ^ delta_name spec idx v
 let commit_prefix spec = spec.name ^ ".c"
 let is_full spec v = spec.full_every <= 1 || v mod spec.full_every = 1
+let full_base spec v = if spec.full_every <= 1 then v else v - ((v - 1) mod spec.full_every)
 let rw_create = { Sysreq.o_rdwr with Sysreq.creat = true; trunc = true }
 
-let newest_committed spec =
+(* A commit marker only names a version; this rank can restore it only if
+   the same directory listing also shows the full base image and every
+   delta from there up. The cross-check is pure logic over the one
+   readdir the old code already did — so a kill that lands between the
+   commit phases (data files durable, marker not yet / marker durable
+   but a later run's data lost) degrades to the newest whole version
+   instead of a torn restore. Newest first. *)
+let committed_versions spec ~idx =
   match Libc.readdir "/ckpt" with
-  | exception Sysreq.Syscall_error _ -> 0
+  | exception Sysreq.Syscall_error _ -> []
   | names ->
+    let have = Hashtbl.create 64 in
+    List.iter (fun n -> Hashtbl.replace have n ()) names;
     let p = commit_prefix spec in
     let pl = String.length p in
-    List.fold_left
-      (fun acc n ->
-        if String.length n > pl && String.sub n 0 pl = p then
-          match int_of_string_opt (String.sub n pl (String.length n - pl)) with
-          | Some v when acc < v -> v
-          | _ -> acc
-        else acc)
-      0 names
+    let marks =
+      List.filter_map
+        (fun n ->
+          if String.length n > pl && String.sub n 0 pl = p then
+            int_of_string_opt (String.sub n pl (String.length n - pl))
+          else None)
+        names
+    in
+    let restorable v =
+      let vf = full_base spec v in
+      Hashtbl.mem have (full_name spec idx vf)
+      &&
+      let rec deltas w = w > v || (Hashtbl.mem have (delta_name spec idx w) && deltas (w + 1)) in
+      deltas (vf + 1)
+    in
+    List.sort (fun a b -> compare b a) (List.filter restorable marks)
 
 let write_commit spec ~v ~step =
   let b = Bytes.create 16 in
@@ -111,46 +130,61 @@ let write_delta spec ~idx ~v ~base =
   Libc.close fd;
   !total
 
-let apply_delta spec ~idx ~v =
+(* Validate before touching memory: a truncated body or a range outside
+   this rank's state region returns [false] with the image untouched, so
+   the caller can fall back to an older version instead of resuming on a
+   half-applied delta. *)
+let apply_delta spec ~idx ~v ~base =
   match Libc.openf ~flags:Sysreq.o_rdonly (delta_path spec idx v) with
-  | exception Sysreq.Syscall_error _ -> ()
-  | fd ->
+  | exception Sysreq.Syscall_error _ -> false
+  | fd -> (
     let size = (Libc.fstat fd).Sysreq.st_size in
     let data = Libc.read fd ~len:size in
     Libc.close fd;
-    (* a truncated or malformed delta is skipped, never a raise *)
-    (match Bg_snap.Snap.Sparse.decode_header data with
-    | Error _ -> ()
+    match Bg_snap.Snap.Sparse.decode_header data with
+    | Error _ -> false
     | Ok (ranges, data_off) ->
-      let doff = ref data_off in
-      List.iter
-        (fun (a, l) ->
-          let off = ref 0 in
-          while !off < l do
-            let n = min chunk (l - !off) in
-            Coro.store ~addr:(a + !off) (Bytes.sub data (!doff + !off) n);
-            off := !off + n
-          done;
-          doff := !doff + l)
-        ranges)
+      let need = List.fold_left (fun acc (_, l) -> acc + l) data_off ranges in
+      if
+        need > Bytes.length data
+        || List.exists
+             (fun (a, l) -> l < 0 || a < base || a + l > base + spec.state_bytes)
+             ranges
+      then false
+      else begin
+        let doff = ref data_off in
+        List.iter
+          (fun (a, l) ->
+            let off = ref 0 in
+            while !off < l do
+              let n = min chunk (l - !off) in
+              Coro.store ~addr:(a + !off) (Bytes.sub data (!doff + !off) n);
+              off := !off + n
+            done;
+            doff := !doff + l)
+          ranges;
+        true
+      end)
 
-(* Restore the newest committed version: full base image, then every delta
-   up to it. Returns (version, step) — (0, 0) means start fresh. *)
+(* Restore the newest committed-and-whole version: full base image, then
+   every delta up to it; fall back down the version list if a file that
+   passed the listing cross-check still fails to restore (corrupt header,
+   truncated body). Returns (version, step) — (0, 0) means start fresh. *)
 let try_restore spec ~idx ~base =
-  match newest_committed spec with
-  | 0 -> (0, 0)
-  | v -> (
-    let vf = if spec.full_every <= 1 then v else v - ((v - 1) mod spec.full_every) in
-    match
-      Bg_apps.Checkpoint.restore ~name:(full_name spec idx vf)
-        ~regions:[ (base, spec.state_bytes) ]
-    with
-    | Ok () ->
-      for w = vf + 1 to v do
-        apply_delta spec ~idx ~v:w
-      done;
-      (v, Libc.peek base)
-    | Error _ -> (0, 0))
+  let rec attempt = function
+    | [] -> (0, 0)
+    | v :: rest -> (
+      let vf = full_base spec v in
+      match
+        Bg_apps.Checkpoint.restore ~name:(full_name spec idx vf)
+          ~regions:[ (base, spec.state_bytes) ]
+      with
+      | Ok () ->
+        let rec deltas w = w > v || (apply_delta spec ~idx ~v:w ~base && deltas (w + 1)) in
+        if deltas (vf + 1) then (v, Libc.peek base) else attempt rest
+      | Error _ -> attempt rest)
+  in
+  attempt (committed_versions spec ~idx)
 
 let job_factory ~fabric spec =
   if spec.state_bytes < 128 then invalid_arg "Ckpt.job_factory: state_bytes < 128";
@@ -178,7 +212,23 @@ let job_factory ~fabric spec =
       let base = Libc.sbrk spec.state_bytes in
       let regions = [ (base, spec.state_bytes) ] in
       let version, start_step = try_restore spec ~idx ~base in
-      (* restoring dirtied the whole image; deltas restart from here *)
+      if version = 0 then begin
+        (* Fresh start: scrub the region, as CNK scrubs memory between
+           jobs — on a busy machine this heap hosted someone else's job a
+           moment ago, and untouched slots must read as zero, not as the
+           previous tenant's state. (A successful restore rewrites the
+           whole region, so only the fresh path scrubs.) *)
+        let zeros = Bytes.make chunk '\000' in
+        let off = ref 0 in
+        while !off < spec.state_bytes do
+          let n = min chunk (spec.state_bytes - !off) in
+          Coro.store ~addr:(base + !off)
+            (if n = chunk then zeros else Bytes.sub zeros 0 n);
+          off := !off + n
+        done
+      end;
+      (* restoring (or scrubbing) dirtied the whole image; deltas restart
+         from here *)
       ignore (Libc.query_dirty ~clear:true);
       if start_step > 0 then Obs.incr obs ~subsystem:"resilience" ~name:"restores" ();
       let hit = ref false and redos = ref 0 in

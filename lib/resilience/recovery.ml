@@ -1,5 +1,11 @@
 module Obs = Bg_obs.Obs
 
+(* The actuator of the self-healing control plane: every state-changing
+   action the control system can take against a fault lives here, as an
+   idempotent function with its own counter. [attach] wires the classic
+   immediate policy (act the moment the event arrives); {!Policy} makes
+   the same moves through budgets, backoff and escalation ladders. *)
+
 type t = {
   scheduler : Bg_control.Scheduler.t;
   mutable deaths : int;
@@ -8,26 +14,133 @@ type t = {
   mutable ciod_events : int;
   mutable psets_lost : int;
   mutable alerts : int;
+  mutable substitutions : int;
+  (* RAS streams replay and duplicate: acting twice on the same fault
+     would kill a job since reallocated onto healthy hardware. *)
+  dead_seen : (int, unit) Hashtbl.t;
+  psets_seen : (int, unit) Hashtbl.t;
 }
 
-let attach scheduler =
-  let t =
-    { scheduler; deaths = 0; parity = 0; links = 0; ciod_events = 0;
-      psets_lost = 0; alerts = 0 }
+let create scheduler =
+  {
+    scheduler;
+    deaths = 0;
+    parity = 0;
+    links = 0;
+    ciod_events = 0;
+    psets_lost = 0;
+    alerts = 0;
+    substitutions = 0;
+    dead_seen = Hashtbl.create 16;
+    psets_seen = Hashtbl.create 16;
+  }
+
+let machine t = Cnk.Cluster.machine (Bg_control.Scheduler.cluster t.scheduler)
+let obs t = (machine t).Machine.obs
+let scheduler t = t.scheduler
+
+let is_crash_message message =
+  (* the kernel's own RAS wording for a dying thread — gang-kill the job
+     so no surviving rank blocks on a dead peer *)
+  let has sub =
+    let n = String.length sub and m = String.length message in
+    let rec at i = i + n <= m && (String.sub message i n = sub || at (i + 1)) in
+    at 0
   in
-  let machine = Cnk.Cluster.machine (Bg_control.Scheduler.cluster scheduler) in
-  let obs = machine.Machine.obs in
-  let is_crash message =
-    (* the kernel's own RAS wording for a dying thread — gang-kill the job
-       so no surviving rank blocks on a dead peer *)
-    let has sub =
-      let n = String.length sub and m = String.length message in
-      let rec at i = i + n <= m && (String.sub message i n = sub || at (i + 1)) in
-      at 0
-    in
-    has "killed by unhandled signal" || has "crashed:"
+  has "killed by unhandled signal" || has "crashed:"
+
+(* -- actuator actions ------------------------------------------------ *)
+
+let node_death t ~rank =
+  if Hashtbl.mem t.dead_seen rank then false
+  else begin
+    Hashtbl.replace t.dead_seen rank ();
+    t.deaths <- t.deaths + 1;
+    Obs.incr (obs t) ~subsystem:"resilience" ~name:"deaths_handled" ();
+    Bg_control.Scheduler.node_failed t.scheduler ~rank;
+    true
+  end
+
+let substitute t ~dead =
+  match
+    Bg_control.Partition.substitute (Bg_control.Scheduler.partition t.scheduler) ~dead
+  with
+  | None -> None
+  | Some spare ->
+    t.substitutions <- t.substitutions + 1;
+    Obs.incr (obs t) ~subsystem:"resilience" ~name:"substitutions" ();
+    Machine.ras_emit (machine t) ~rank:spare ~severity:Machine.Ras_info
+      ~message:(Printf.sprintf "HEAL substitute dead=%d spare=%d" dead spare);
+    Some spare
+
+let crash_kill t ~rank = Bg_control.Scheduler.job_crashed t.scheduler ~rank
+
+let fatal_ciod t ~io_node =
+  if Hashtbl.mem t.psets_seen io_node then false
+  else begin
+    Hashtbl.replace t.psets_seen io_node ();
+    t.psets_lost <- t.psets_lost + 1;
+    Obs.incr (obs t) ~subsystem:"resilience" ~name:"psets_lost" ();
+    let cluster = Bg_control.Scheduler.cluster t.scheduler in
+    Bg_control.Scheduler.pset_failed t.scheduler
+      ~ranks:(Cnk.Cluster.pset_ranks cluster ~io_node);
+    true
+  end
+
+let restart_ciod t ~io_node =
+  let cluster = Bg_control.Scheduler.cluster t.scheduler in
+  let ciod = Cnk.Cluster.ciod cluster ~io_node in
+  if Bg_cio.Ciod.alive ciod then false
+  else begin
+    Bg_cio.Ciod.restart ciod;
+    (* mirror the injector's wording so rasdb and Recovery consumers see
+       one typed event regardless of who brought the daemon back *)
+    Machine.ras_emit (machine t) ~rank:io_node ~severity:Machine.Ras_info
+      ~message:(Fault_event.to_message (Fault_event.Ciod_restart { io_node }));
+    true
+  end
+
+let rebuild_pset t ~io_node =
+  let cluster = Bg_control.Scheduler.cluster t.scheduler in
+  let revived =
+    List.filter
+      (fun rank ->
+        (* only ranks the drain took down come back: a rank that died on
+           its own stays dead through the rebuild *)
+        (not (Hashtbl.mem t.dead_seen rank))
+        && Bg_control.Partition.is_down
+             (Bg_control.Scheduler.partition t.scheduler)
+             ~rank)
+      (Cnk.Cluster.pset_ranks cluster ~io_node)
   in
-  Machine.on_ras machine (fun ~rank ~severity:_ ~message ->
+  List.iter (fun rank -> Bg_control.Scheduler.mark_up t.scheduler ~rank) revived;
+  ignore (restart_ciod t ~io_node);
+  Hashtbl.remove t.psets_seen io_node;
+  if revived <> [] then begin
+    Obs.incr (obs t) ~subsystem:"resilience" ~name:"psets_rebuilt" ();
+    Machine.ras_emit (machine t)
+      ~rank:(List.hd revived)
+      ~severity:Machine.Ras_info
+      ~message:
+        (Printf.sprintf "HEAL pset_rebuilt io=%d ranks=%s" io_node
+           (String.concat "," (List.map string_of_int revived)))
+  end;
+  revived
+
+(* -- bookkeeping for the fault classes that need no action ----------- *)
+
+let note_parity t = t.parity <- t.parity + 1
+let note_link t = t.links <- t.links + 1
+let note_ciod t = t.ciod_events <- t.ciod_events + 1
+
+let note_alert t =
+  t.alerts <- t.alerts + 1;
+  Obs.incr (obs t) ~subsystem:"resilience" ~name:"alerts_seen" ()
+
+(* -- the classic immediate policy ------------------------------------ *)
+
+let subscribe t =
+  Machine.on_ras (machine t) (fun ~rank ~severity:_ ~message ->
       match Fault_event.of_message message with
       | None -> (
           (* Not a typed fault: a health-service alert (typed HEALTH
@@ -35,38 +148,29 @@ let attach scheduler =
              see the control system received it; the kernel's own
              crash wording still gang-kills the job. *)
           match Bg_obs.Health.Event.of_message message with
-          | Some (Bg_obs.Health.Event.Alert _) ->
-            t.alerts <- t.alerts + 1;
-            Obs.incr obs ~subsystem:"resilience" ~name:"alerts_seen" ()
-          | None ->
-            if is_crash message then
-              Bg_control.Scheduler.job_crashed t.scheduler ~rank)
-      | Some (Fault_event.Node_death { rank }) ->
-        t.deaths <- t.deaths + 1;
-        Obs.incr obs ~subsystem:"resilience" ~name:"deaths_handled" ();
-        Bg_control.Scheduler.node_failed t.scheduler ~rank
+          | Some (Bg_obs.Health.Event.Alert _) -> note_alert t
+          | None -> if is_crash_message message then crash_kill t ~rank)
+      | Some (Fault_event.Node_death { rank }) -> ignore (node_death t ~rank)
       | Some (Fault_event.L1_parity _) ->
         (* CNK's in-place recovery: nothing for the control system to do *)
-        t.parity <- t.parity + 1
+        note_parity t
       | Some (Fault_event.Link_failure _) | Some (Fault_event.Link_repair _) ->
         (* the torus reroutes; note it and move on *)
-        t.links <- t.links + 1
+        note_link t
       | Some (Fault_event.Ciod_crash { io_node; fatal }) ->
-        t.ciod_events <- t.ciod_events + 1;
-        if fatal then begin
-          (* No restart is coming: the pset's compute nodes have lost
-             their only path to the filesystem, so the control system
-             retires the whole pset and reallocates its jobs elsewhere. *)
-          t.psets_lost <- t.psets_lost + 1;
-          Obs.incr obs ~subsystem:"resilience" ~name:"psets_lost" ();
-          let cluster = Bg_control.Scheduler.cluster t.scheduler in
-          Bg_control.Scheduler.pset_failed t.scheduler
-            ~ranks:(Cnk.Cluster.pset_ranks cluster ~io_node)
-        end
-        (* Transient crash: the injector restarts the daemon and the CNK
+        note_ciod t;
+        (* No restart is coming: the pset's compute nodes have lost
+           their only path to the filesystem, so the control system
+           retires the whole pset and reallocates its jobs elsewhere.
+           Transient crash: the injector restarts the daemon and the CNK
            retransmission layer re-drives in-flight requests — no
            control-system action needed. *)
-      | Some (Fault_event.Ciod_restart _) -> t.ciod_events <- t.ciod_events + 1);
+        if fatal then ignore (fatal_ciod t ~io_node)
+      | Some (Fault_event.Ciod_restart _) -> note_ciod t)
+
+let attach scheduler =
+  let t = create scheduler in
+  subscribe t;
   t
 
 let deaths_handled t = t.deaths
@@ -75,4 +179,5 @@ let link_events_seen t = t.links
 let ciod_events_seen t = t.ciod_events
 let psets_lost t = t.psets_lost
 let alerts_seen t = t.alerts
+let substitutions t = t.substitutions
 let events_seen t = t.deaths + t.parity + t.links + t.ciod_events

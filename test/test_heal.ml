@@ -1,0 +1,547 @@
+(* Tests for the self-healing control plane: the {!Bg_resilience.Policy}
+   decision engine over the {!Bg_resilience.Recovery} actuator — retry
+   with deterministic backoff, spare-node substitution, the CIOD
+   restart/drain/rebuild ladder, graceful-degradation tiers — plus the
+   replay-safety properties the closed loop depends on: idempotent death
+   handling, torn-checkpoint immunity at the two-phase commit boundary,
+   and fault-stream fuzzing (shuffled / duplicated / truncated). *)
+
+open Bg_engine
+open Bg_kabi
+module Ctl = Bg_control
+module Res = Bg_resilience
+module Obs = Bg_obs.Obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let capture_hex sched =
+  let b = Buffer.create 256 in
+  Ctl.Scheduler.capture sched b;
+  Fnv.to_hex (Fnv.add_bytes Fnv.empty (Buffer.to_bytes b))
+
+let ckpt_spec ?(name = "heal") ?(steps = 30) ?(ckpt_every = 2)
+    ?(state_bytes = 4096) ?(full_every = 1) () =
+  {
+    Res.Ckpt.name;
+    steps;
+    step_cycles = 20_000;
+    state_bytes;
+    ckpt_every;
+    full_every;
+    strategy = Res.Ckpt.Parity_inplace;
+  }
+
+let check_digest spec (o : Res.Ckpt.outcome) =
+  check_bool "state digest matches the host mirror" true
+    (Fnv.equal o.Res.Ckpt.state_digest
+       (Res.Ckpt.expected_digest spec ~rank_index:o.Res.Ckpt.rank_index))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite 1: duplicated / replayed death notices are no-ops *)
+
+let test_node_failed_idempotent () =
+  let cluster = Cnk.Cluster.create ~dims:(4, 1, 1) () in
+  Cnk.Cluster.boot_all cluster;
+  let sim = Cnk.Cluster.sim cluster in
+  let fabric = Bg_msg.Dcmf.make_fabric (Cnk.Cluster.machine cluster) in
+  let sched = Ctl.Scheduler.create cluster in
+  let inj = Res.Injector.attach cluster in
+  let recov = Res.Recovery.attach sched in
+  let spec = ckpt_spec () in
+  let factory, outcomes = Res.Ckpt.job_factory ~fabric spec in
+  let jid = Ctl.Scheduler.submit_factory sched ~restart_limit:3 ~shape:(2, 1, 1) factory in
+  let death () = Res.Injector.inject_now inj (Res.Fault_event.Node_death { rank = 0 }) in
+  (* the same death notice lands twice in one burst, then is replayed
+     later — after the job has been requeued onto different hardware;
+     a non-idempotent path would gang-kill the relocated incarnation *)
+  ignore
+    (Sim.schedule_at sim 2_600_000 (fun () ->
+         death ();
+         death ()));
+  ignore (Sim.schedule_at sim 3_600_000 death);
+  Ctl.Scheduler.drain sched;
+  check_int "one death handled, not three" 1 (Res.Recovery.deaths_handled recov);
+  check_int "one restart" 1 (Ctl.Scheduler.restarts sched jid);
+  (match Ctl.Scheduler.state sched jid with
+  | Ctl.Scheduler.Completed _ -> ()
+  | _ -> Alcotest.fail "job did not complete");
+  Alcotest.(check (list int))
+    "only rank 0 down" [ 0 ]
+    (Ctl.Partition.down_nodes (Ctl.Scheduler.partition sched));
+  let outcomes = outcomes () in
+  check_int "both logical ranks finished" 2 (List.length outcomes);
+  List.iter
+    (fun (o : Res.Ckpt.outcome) ->
+      check_bool "clear of the dead node" true (o.Res.Ckpt.machine_rank <> 0);
+      check_digest spec o)
+    outcomes
+
+let test_mark_down_replay_safe () =
+  let cluster = Cnk.Cluster.create ~dims:(4, 1, 1) () in
+  Cnk.Cluster.boot_all cluster;
+  let sched = Ctl.Scheduler.create cluster in
+  let pristine = capture_hex sched in
+  Ctl.Scheduler.mark_down sched ~rank:2;
+  let once = capture_hex sched in
+  Ctl.Scheduler.mark_down sched ~rank:2;
+  check_str "second mark_down changes nothing" once (capture_hex sched);
+  (* node_failed on an already-down rank: no job to kill, no state change *)
+  Ctl.Scheduler.node_failed sched ~rank:2;
+  check_str "replayed node_failed changes nothing" once (capture_hex sched);
+  Ctl.Scheduler.mark_up sched ~rank:2;
+  check_str "mark_up restores the pristine pool" pristine (capture_hex sched);
+  Ctl.Scheduler.mark_up sched ~rank:2;
+  check_str "mark_up of an up rank is a no-op" pristine (capture_hex sched)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite 2: a kill landing anywhere across the checkpoint window —
+   including between the data-write barrier and the commit marker —
+   must leave no torn state behind.  Sweep kill cycles across the
+   job's checkpointing phase; every incarnation must restore only a
+   fully committed version and finish byte-identical to the mirror. *)
+
+let test_commit_boundary_kill () =
+  let spec =
+    ckpt_spec ~name:"torn" ~steps:20 ~ckpt_every:2 ~state_bytes:16_384
+      ~full_every:2 ()
+  in
+  let restored_any = ref false in
+  List.iter
+    (fun kill_cycle ->
+      let cluster = Cnk.Cluster.create ~dims:(2, 1, 1) () in
+      Cnk.Cluster.boot_all cluster;
+      let sim = Cnk.Cluster.sim cluster in
+      let fabric = Bg_msg.Dcmf.make_fabric (Cnk.Cluster.machine cluster) in
+      let sched = Ctl.Scheduler.create cluster in
+      let inj = Res.Injector.attach cluster in
+      ignore (Res.Recovery.attach sched);
+      let factory, outcomes = Res.Ckpt.job_factory ~fabric spec in
+      let jid =
+        Ctl.Scheduler.submit_factory sched ~restart_limit:4 ~shape:(1, 1, 1) factory
+      in
+      ignore
+        (Sim.schedule_at sim kill_cycle (fun () ->
+             Res.Injector.inject_now inj (Res.Fault_event.Node_death { rank = 0 })));
+      Ctl.Scheduler.drain sched;
+      (match Ctl.Scheduler.state sched jid with
+      | Ctl.Scheduler.Completed _ -> ()
+      | _ ->
+        Alcotest.fail (Printf.sprintf "kill@%d: job did not complete" kill_cycle));
+      match outcomes () with
+      | [ o ] ->
+        check_digest spec o;
+        (* a restore can only land on a committed version: a multiple of
+           ckpt_every steps, never a half-written one *)
+        check_int
+          (Printf.sprintf "kill@%d: restored step on a commit boundary" kill_cycle)
+          0
+          (o.Res.Ckpt.restored_step mod spec.Res.Ckpt.ckpt_every);
+        if Ctl.Scheduler.restarts sched jid > 0 && o.Res.Ckpt.restored_step > 0 then
+          restored_any := true
+      | _ -> Alcotest.fail "outcome count")
+    [
+      2_150_000;
+      2_200_000;
+      2_250_000;
+      2_300_000;
+      2_350_000;
+      2_400_000;
+      2_450_000;
+      2_500_000;
+      2_550_000;
+    ];
+  check_bool "sweep exercised at least one mid-checkpoint restore" true !restored_any
+
+(* ------------------------------------------------------------------ *)
+(* Satellite 3: fuzz the actuator with shuffled / duplicated /
+   truncated fault sequences.  Counters stay monotone, nothing
+   escapes, and the final scheduler/allocator state is a function of
+   the fault SET — not of arrival order or multiplicity. *)
+
+type fop = Death of int | Fatal of int | Parity | Link
+
+let fuzz_run ops =
+  let cluster = Cnk.Cluster.create ~dims:(4, 2, 1) ~nodes_per_io_node:4 () in
+  Cnk.Cluster.boot_all cluster;
+  let sched = Ctl.Scheduler.create cluster in
+  let recov = Res.Recovery.create sched in
+  let prev = ref (0, 0, 0) in
+  List.iter
+    (fun op ->
+      (try
+         match op with
+         | Death rank -> ignore (Res.Recovery.node_death recov ~rank)
+         | Fatal io_node -> ignore (Res.Recovery.fatal_ciod recov ~io_node)
+         | Parity -> Res.Recovery.note_parity recov
+         | Link -> Res.Recovery.note_link recov
+       with exn ->
+         Alcotest.fail ("exception escaped the actuator: " ^ Printexc.to_string exn));
+      let cur =
+        ( Res.Recovery.deaths_handled recov,
+          Res.Recovery.psets_lost recov,
+          Res.Recovery.parity_seen recov + Res.Recovery.link_events_seen recov )
+      in
+      let a, b, c = !prev and a', b', c' = cur in
+      check_bool "counters monotone" true (a' >= a && b' >= b && c' >= c);
+      prev := cur)
+    ops;
+  let deaths, psets, _ = !prev in
+  (capture_hex sched, deaths, psets)
+
+let test_fuzz_fault_set () =
+  let base =
+    [ Death 1; Parity; Fatal 0; Link; Death 2; Death 5; Fatal 1; Death 1; Fatal 0 ]
+  in
+  let shuffled =
+    [ Fatal 1; Death 5; Link; Death 1; Fatal 0; Death 2; Fatal 0; Parity; Death 1 ]
+  in
+  let duplicated = base @ base in
+  let ref_digest, ref_deaths, ref_psets = fuzz_run base in
+  List.iter
+    (fun (label, ops) ->
+      let digest, deaths, psets = fuzz_run ops in
+      check_str (label ^ ": same final scheduler state") ref_digest digest;
+      check_int (label ^ ": same deaths handled") ref_deaths deaths;
+      check_int (label ^ ": same psets lost") ref_psets psets)
+    [ ("reversed", List.rev base); ("shuffled", shuffled); ("duplicated", duplicated) ];
+  (* a truncated stream is the fault set of its prefix *)
+  let prefix = [ Death 1; Parity; Fatal 0; Link ] in
+  let d1, _, _ = fuzz_run prefix in
+  let d2, _, _ = fuzz_run (List.rev prefix) in
+  check_str "truncated: state is a function of the prefix set" d1 d2
+
+(* ------------------------------------------------------------------ *)
+(* Policy engine: duplicated fault stream end to end, and same-seed
+   timeline determinism *)
+
+let policy_scenario ~seed ~dup () =
+  let cluster = Cnk.Cluster.create ~dims:(4, 1, 1) ~seed () in
+  Cnk.Cluster.boot_all cluster;
+  let sim = Cnk.Cluster.sim cluster in
+  let fabric = Bg_msg.Dcmf.make_fabric (Cnk.Cluster.machine cluster) in
+  let sched = Ctl.Scheduler.create cluster in
+  let inj = Res.Injector.attach cluster in
+  let policy = Res.Policy.attach sched in
+  let spec = ckpt_spec ~name:"dup" () in
+  let factory, outcomes = Res.Ckpt.job_factory ~fabric spec in
+  let jid = Ctl.Scheduler.submit_factory sched ~restart_limit:3 ~shape:(2, 1, 1) factory in
+  let death () = Res.Injector.inject_now inj (Res.Fault_event.Node_death { rank = 0 }) in
+  ignore
+    (Sim.schedule_at sim 2_600_000 (fun () ->
+         death ();
+         if dup then death ()));
+  if dup then ignore (Sim.schedule_at sim 3_600_000 death);
+  Ctl.Scheduler.drain sched;
+  (match Ctl.Scheduler.state sched jid with
+  | Ctl.Scheduler.Completed _ -> ()
+  | _ -> Alcotest.fail "job did not complete");
+  let out_digest =
+    List.fold_left
+      (fun acc (o : Res.Ckpt.outcome) ->
+        check_digest spec o;
+        Fnv.add_int64 acc o.Res.Ckpt.state_digest)
+      Fnv.empty (outcomes ())
+  in
+  ( Res.Recovery.deaths_handled (Res.Policy.recovery policy),
+    Ctl.Scheduler.restarts sched jid,
+    Fnv.to_hex out_digest,
+    capture_hex sched,
+    Fnv.to_hex (Res.Policy.timeline_digest policy) )
+
+let test_policy_duplicate_stream () =
+  let clean = policy_scenario ~seed:5L ~dup:false () in
+  let noisy = policy_scenario ~seed:5L ~dup:true () in
+  let d1, r1, o1, s1, t1 = clean and d2, r2, o2, s2, t2 = noisy in
+  check_int "duplicates handled once" d1 d2;
+  check_int "duplicates cause no extra restart" r1 r2;
+  check_str "application state unchanged by duplicates" o1 o2;
+  check_str "scheduler state unchanged by duplicates" s1 s2;
+  check_str "decision timeline unchanged by duplicates" t1 t2
+
+let test_same_seed_timeline () =
+  let a = policy_scenario ~seed:9L ~dup:true () in
+  let b = policy_scenario ~seed:9L ~dup:true () in
+  let _, _, oa, sa, ta = a and _, _, ob, sb, tb = b in
+  check_str "same-seed decision timelines are byte-identical" ta tb;
+  check_str "same-seed scheduler state is byte-identical" sa sb;
+  check_str "same-seed application state is byte-identical" oa ob
+
+(* ------------------------------------------------------------------ *)
+(* Tentpole: deterministic exponential backoff, capped; budget
+   exhaustion ends in Failed *)
+
+let backoff_config =
+  {
+    Res.Policy.default with
+    Res.Policy.retry_backoff_base = 10_000;
+    retry_backoff_mult = 3;
+    retry_backoff_cap = 50_000;
+  }
+
+let crashy_scenario ~restart_limit ~crashes =
+  let cluster = Cnk.Cluster.create ~dims:(2, 1, 1) () in
+  Cnk.Cluster.boot_all cluster;
+  let sim = Cnk.Cluster.sim cluster in
+  let fabric = Bg_msg.Dcmf.make_fabric (Cnk.Cluster.machine cluster) in
+  let sched = Ctl.Scheduler.create cluster in
+  let policy = Res.Policy.attach ~config:backoff_config sched in
+  let spec = ckpt_spec ~name:"crashy" ~steps:100 ~ckpt_every:10 () in
+  let factory, outcomes = Res.Ckpt.job_factory ~fabric spec in
+  let jid = Ctl.Scheduler.submit_factory sched ~restart_limit ~shape:(1, 1, 1) factory in
+  List.iter
+    (fun cycle ->
+      ignore
+        (Sim.schedule_at sim cycle (fun () -> Ctl.Scheduler.job_crashed sched ~rank:0)))
+    crashes;
+  Ctl.Scheduler.drain sched;
+  (sched, policy, jid, spec, outcomes)
+
+let backoff_delays policy =
+  List.filter_map
+    (fun (_, line) ->
+      try Some (Scanf.sscanf line "backoff jid=%d attempt=%d delay=%d" (fun _ _ d -> d))
+      with Scanf.Scan_failure _ | End_of_file -> None)
+    (Res.Policy.timeline policy)
+
+let test_backoff_determinism () =
+  let sched, policy, jid, spec, outcomes =
+    crashy_scenario ~restart_limit:3 ~crashes:[ 3_000_000; 6_000_000; 9_000_000 ]
+  in
+  (match Ctl.Scheduler.state sched jid with
+  | Ctl.Scheduler.Completed _ -> ()
+  | _ -> Alcotest.fail "job did not survive its restart budget");
+  check_int "three delayed retries" 3 (Res.Policy.retries_delayed policy);
+  Alcotest.(check (list int))
+    "exponential schedule, capped: base*mult^(n-1) up to the cap"
+    [ 10_000; 30_000; 50_000 ] (backoff_delays policy);
+  match outcomes () with
+  | [ o ] ->
+    check_digest spec o;
+    check_bool "final incarnation resumed from a checkpoint" true
+      (o.Res.Ckpt.restored_step > 0)
+  | _ -> Alcotest.fail "outcome count"
+
+let test_budget_exhaustion () =
+  let sched, policy, jid, _, _ =
+    crashy_scenario ~restart_limit:1 ~crashes:[ 3_000_000; 6_000_000 ]
+  in
+  (match Ctl.Scheduler.state sched jid with
+  | Ctl.Scheduler.Failed _ -> ()
+  | _ -> Alcotest.fail "exhausted budget must end in Failed");
+  check_int "one retry was granted" 1 (Res.Policy.retries_delayed policy);
+  check_int "one restart spent" 1 (Ctl.Scheduler.restarts sched jid)
+
+(* ------------------------------------------------------------------ *)
+(* Tentpole: spare-node substitution restores capacity in-window *)
+
+let test_spare_substitution () =
+  let cluster = Cnk.Cluster.create ~dims:(4, 1, 1) () in
+  Cnk.Cluster.boot_all cluster;
+  let sim = Cnk.Cluster.sim cluster in
+  let fabric = Bg_msg.Dcmf.make_fabric (Cnk.Cluster.machine cluster) in
+  let sched = Ctl.Scheduler.create cluster in
+  Ctl.Partition.set_spare (Ctl.Scheduler.partition sched) ~rank:3 true;
+  let inj = Res.Injector.attach cluster in
+  let policy = Res.Policy.attach sched in
+  let spec = ckpt_spec ~name:"spare" () in
+  let factory, outcomes = Res.Ckpt.job_factory ~fabric spec in
+  let jid = Ctl.Scheduler.submit_factory sched ~restart_limit:2 ~shape:(2, 1, 1) factory in
+  ignore
+    (Sim.schedule_at sim 2_600_000 (fun () ->
+         Res.Injector.inject_now inj (Res.Fault_event.Node_death { rank = 0 })));
+  Ctl.Scheduler.drain sched;
+  (match Ctl.Scheduler.state sched jid with
+  | Ctl.Scheduler.Completed _ -> ()
+  | _ -> Alcotest.fail "job did not complete");
+  let part = Ctl.Scheduler.partition sched in
+  check_int "the spare was spent" 1 (Ctl.Partition.substitutions part);
+  Alcotest.(check (list int)) "spare pool now empty" [] (Ctl.Partition.spare_ranks part);
+  check_bool "substitution recorded on the timeline" true
+    (List.exists
+       (fun (_, line) -> line = "substitute dead=0 spare=3")
+       (Res.Policy.timeline policy));
+  List.iter
+    (fun (o : Res.Ckpt.outcome) ->
+      check_digest spec o;
+      check_bool "resumed from a committed checkpoint" true
+        (o.Res.Ckpt.restored_step > 0);
+      check_bool "relaunched clear of the dead node" true (o.Res.Ckpt.machine_rank <> 0))
+    (outcomes ())
+
+(* ------------------------------------------------------------------ *)
+(* Tentpole: graceful-degradation tier walk, gauge included *)
+
+let degrade_config =
+  {
+    Res.Policy.default with
+    Res.Policy.degraded_after = 2;
+    critical_after = 3;
+    recovery_cooldown = 400_000;
+    shape_cap_degraded = Some (1, 1, 1);
+  }
+
+let test_degradation_tiers () =
+  let cluster = Cnk.Cluster.create ~dims:(4, 1, 1) () in
+  let obs = Machine.obs (Cnk.Cluster.machine cluster) in
+  Obs.set_enabled obs true;
+  Cnk.Cluster.boot_all cluster;
+  let sim = Cnk.Cluster.sim cluster in
+  let sched = Ctl.Scheduler.create ~backfill:true cluster in
+  let inj = Res.Injector.attach cluster in
+  let policy = Res.Policy.attach ~config:degrade_config sched in
+  let consume_job name cycles ~ranks:_ =
+    Job.create ~name (Image.executable ~name (fun () -> Coro.consume cycles))
+  in
+  let _main =
+    Ctl.Scheduler.submit_factory sched ~shape:(1, 1, 1) (consume_job "main" 5_000_000)
+  in
+  (* queued backfill that can never start while main holds a node — the
+     machine sheds it the moment it degrades *)
+  let filler =
+    Ctl.Scheduler.submit_factory sched ~cls:Ctl.Scheduler.Backfill_class
+      ~shape:(4, 1, 1) (consume_job "filler" 10_000)
+  in
+  let capped = ref None in
+  let gauge () = Obs.gauge_value obs ~subsystem:"policy" ~name:"health_state" () in
+  let link rank dir =
+    Res.Injector.inject_now inj (Res.Fault_event.Link_failure { rank; dir })
+  in
+  let at cycle f = ignore (Sim.schedule_at sim cycle f) in
+  at 2_000_000 (fun () ->
+      link 1 0;
+      link 2 1);
+  at 2_050_000 (fun () ->
+      check_bool "two pressure events: Degraded" true
+        (Res.Policy.health policy = Res.Policy.Degraded);
+      check_bool "gauge mirrors Degraded" true (gauge () = Some 1);
+      check_int "backfill shed on entering Degraded" 1 (Res.Policy.jobs_shed policy);
+      (match Ctl.Scheduler.state sched filler with
+      | Ctl.Scheduler.Failed _ -> ()
+      | _ -> Alcotest.fail "shed backfill must be Failed");
+      (* a batch job over the cap queues even though space is free *)
+      capped :=
+        Some
+          (Ctl.Scheduler.submit_factory sched ~shape:(2, 1, 1)
+             (consume_job "capped" 100_000)));
+  at 2_100_000 (fun () -> link 3 2);
+  at 2_150_000 (fun () ->
+      check_bool "third pressure event: Critical" true
+        (Res.Policy.health policy = Res.Policy.Critical);
+      check_bool "gauge mirrors Critical" true (gauge () = Some 2);
+      check_bool "admission closed while Critical" true
+        (not (Ctl.Scheduler.admission_open sched));
+      match
+        Ctl.Scheduler.offer_factory sched ~shape:(1, 1, 1) (consume_job "refused" 10)
+      with
+      | Error `Admission_closed -> ()
+      | Ok _ -> Alcotest.fail "offer accepted while Critical");
+  at 2_300_000 (fun () ->
+      match !capped with
+      | Some jid when Ctl.Scheduler.state sched jid = Ctl.Scheduler.Queued -> ()
+      | Some _ -> Alcotest.fail "capped job ran under the shape cap"
+      | None -> Alcotest.fail "capped job never submitted");
+  Ctl.Scheduler.drain sched;
+  (* quiet cooldowns stepped the machine back down, one tier at a time *)
+  check_bool "back to Healthy" true (Res.Policy.health policy = Res.Policy.Healthy);
+  check_bool "gauge back to 0" true (gauge () = Some 0);
+  check_bool "admission reopened" true (Ctl.Scheduler.admission_open sched);
+  check_bool "shape cap lifted" true (Ctl.Scheduler.shape_cap sched = None);
+  check_int "four transitions: up two tiers, down two tiers" 4
+    (Res.Policy.transitions policy);
+  check_int "the refused offer was counted" 1 (Ctl.Scheduler.rejected_count sched);
+  (match !capped with
+  | Some jid -> (
+    match Ctl.Scheduler.state sched jid with
+    | Ctl.Scheduler.Completed _ -> ()
+    | _ -> Alcotest.fail "capped job must run once the cap lifts")
+  | None -> Alcotest.fail "capped job never submitted")
+
+(* ------------------------------------------------------------------ *)
+(* Tentpole: CIOD escalation ladder — restart within budget, then
+   drain the pset, rebuild it after quarantine *)
+
+let ladder_config =
+  {
+    Res.Policy.default with
+    Res.Policy.retry_backoff_base = 10_000;
+    ciod_restart_budget = 1;
+    ciod_restart_backoff = 20_000;
+    ciod_crash_window = 1_000_000;
+    pset_rebuild_after = 200_000;
+  }
+
+let test_ciod_ladder () =
+  let cluster =
+    Cnk.Cluster.create ~dims:(4, 1, 1) ~nodes_per_io_node:2
+      ~cio:Bg_cio.Reliable.default_on ()
+  in
+  Cnk.Cluster.boot_all cluster;
+  let sim = Cnk.Cluster.sim cluster in
+  let fabric = Bg_msg.Dcmf.make_fabric (Cnk.Cluster.machine cluster) in
+  let sched = Ctl.Scheduler.create cluster in
+  let inj = Res.Injector.attach cluster in
+  let policy = Res.Policy.attach ~config:ladder_config sched in
+  let spec = ckpt_spec ~name:"ladder" ~steps:40 () in
+  let factory, outcomes = Res.Ckpt.job_factory ~fabric spec in
+  let jid = Ctl.Scheduler.submit_factory sched ~restart_limit:3 ~shape:(2, 1, 1) factory in
+  let fatal cycle =
+    ignore
+      (Sim.schedule_at sim cycle (fun () ->
+           Res.Injector.inject_now inj
+             (Res.Fault_event.Ciod_crash { io_node = 0; fatal = true })))
+  in
+  fatal 2_400_000;
+  (* within budget: restarted *)
+  fatal 2_600_000;
+  (* budget blown: drained *)
+  Ctl.Scheduler.drain sched;
+  check_int "first fatal spent the restart budget" 1 (Res.Policy.ciod_restarts policy);
+  check_int "second fatal drained the pset" 1 (Res.Policy.psets_drained policy);
+  check_int "exactly one pset lost" 1
+    (Res.Recovery.psets_lost (Res.Policy.recovery policy));
+  check_int "quarantine expired: pset rebuilt" 1 (Res.Policy.psets_rebuilt policy);
+  (match Ctl.Scheduler.state sched jid with
+  | Ctl.Scheduler.Completed _ -> ()
+  | _ -> Alcotest.fail "job did not complete");
+  check_int "one restart (the drain), not one per crash" 1
+    (Ctl.Scheduler.restarts sched jid);
+  Alcotest.(check (list int))
+    "rebuild returned the drained ranks to the pool" []
+    (Ctl.Partition.down_nodes (Ctl.Scheduler.partition sched));
+  List.iter
+    (fun (o : Res.Ckpt.outcome) ->
+      check_digest spec o;
+      check_bool "relaunched on the surviving pset" true (o.Res.Ckpt.machine_rank >= 2);
+      check_bool "resumed from a committed checkpoint" true
+        (o.Res.Ckpt.restored_step > 0))
+    (outcomes ())
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "duplicated death notices are no-ops" `Quick
+      test_node_failed_idempotent;
+    Alcotest.test_case "mark_down / node_failed / mark_up replay-safe" `Quick
+      test_mark_down_replay_safe;
+    Alcotest.test_case "kill sweep across the commit boundary never tears state"
+      `Quick test_commit_boundary_kill;
+    Alcotest.test_case "fuzz: final state is a function of the fault set" `Quick
+      test_fuzz_fault_set;
+    Alcotest.test_case "policy: duplicated fault stream changes nothing" `Quick
+      test_policy_duplicate_stream;
+    Alcotest.test_case "policy: same seed, byte-identical timeline" `Quick
+      test_same_seed_timeline;
+    Alcotest.test_case "policy: deterministic exponential backoff, capped" `Quick
+      test_backoff_determinism;
+    Alcotest.test_case "policy: exhausted restart budget ends in Failed" `Quick
+      test_budget_exhaustion;
+    Alcotest.test_case "policy: spare substitution restores capacity" `Quick
+      test_spare_substitution;
+    Alcotest.test_case "policy: degradation tier walk with gauge" `Quick
+      test_degradation_tiers;
+    Alcotest.test_case "policy: ciod restart -> drain -> rebuild ladder" `Quick
+      test_ciod_ladder;
+  ]

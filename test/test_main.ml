@@ -20,5 +20,6 @@ let () =
       ("health", Test_health.suite);
       ("causal", Test_causal.suite);
       ("resilience", Test_resilience.suite);
+      ("heal", Test_heal.suite);
       ("snap", Test_snap.suite);
     ]
