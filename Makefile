@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples docs csv trace-smoke resilience-smoke attribute-smoke cio-chaos-smoke msg-smoke causal-smoke snap-smoke health-smoke heal-smoke clean
+.PHONY: all build test bench examples docs csv trace-smoke resilience-smoke attribute-smoke cio-chaos-smoke msg-smoke causal-smoke snap-smoke health-smoke heal-smoke sched-smoke clean
 
 all: build
 
@@ -140,6 +140,22 @@ heal-smoke:
 	@grep -q 'pset_rebuilt' /tmp/heal_timeline.csv
 	@grep -q 'admission closed' /tmp/heal_timeline.csv
 	@echo "heal-smoke OK"
+
+# Multi-tenant policy sweep (FCFS / EASY / gang / fair-share over
+# torus-aware placement, faults injected mid-queue), run twice: the
+# tool itself asserts arrival conservation, the utilization and
+# slowdown shape claims, gang co-scheduling, backfill shedding under
+# degradation, and a same-seed FCFS twin; the two runs must print
+# bit-identical per-policy digest lines (SLO report, sim trace,
+# scheduler state).
+sched-smoke:
+	dune exec bin/sched_tool.exe -- --seed 1 --slo-csv /tmp/sched_slo_smoke.csv --quiet \
+	  | grep digest > /tmp/sched_smoke_a.txt
+	dune exec bin/sched_tool.exe -- --seed 1 --quiet \
+	  | grep digest > /tmp/sched_smoke_b.txt
+	@cmp /tmp/sched_smoke_a.txt /tmp/sched_smoke_b.txt
+	@grep -q '^fair,' /tmp/sched_slo_smoke.csv
+	@echo "sched-smoke OK"
 
 clean:
 	dune clean

@@ -12,7 +12,9 @@
      results/obs_metrics.csv       (instrumented CNK FWQ run)
      results/obs_trace.json        (Chrome trace-event of the same run)
      results/health_series.csv     (windowed health-service rollups)
-     results/recovery_timeline.csv (self-healing policy decisions) *)
+     results/recovery_timeline.csv (self-healing policy decisions)
+     results/sched_slo.csv         (per-tenant SLO bill, one row per
+                                    tenant per scheduling policy) *)
 
 open Cmdliner
 module Noise = Bg_noise
@@ -192,6 +194,35 @@ let export_recovery_timeline dir =
        (fun (cycle, line) -> Printf.sprintf "%d,%s" cycle line)
        (Res.Policy.timeline policy))
 
+let export_sched_slo dir =
+  let module W = Bg_sched.Workload in
+  let module Svc = Bg_sched.Service in
+  let module Strat = Bg_sched.Strategy in
+  let module Slo = Bg_sched.Slo in
+  (* one small seeded stream per policy; every tenant's SLO bill lands
+     as CSV rows keyed (policy, seed, tenant) *)
+  let rows_for kind =
+    let cluster =
+      Cnk.Cluster.create ~dims:(4, 4, 4) ~seed:1L ~nodes_per_io_node:8 ()
+    in
+    let machine = Cnk.Cluster.machine cluster in
+    Bg_obs.Obs.set_enabled machine.Machine.obs true;
+    Cnk.Cluster.boot_all cluster;
+    let specs =
+      W.generate ~seed:1L (W.mixed_tenants ~tenants:8 ~jobs_per_tenant:8)
+    in
+    let svc = Svc.create ~kind cluster specs in
+    Svc.run svc;
+    let strat = Svc.strategy svc in
+    Slo.csv_rows
+      (Slo.collect machine.Machine.obs ~tenants:(Svc.tenants_of specs)
+         ~policy:(Strat.kind_name kind) ~seed:1 ~total_nodes:64
+         ~makespan:(Svc.makespan svc) ~backfilled:(Strat.backfilled strat)
+         ~gangs_started:(Strat.gangs_started strat) ())
+  in
+  write_csv dir "sched_slo.csv" Slo.csv_header
+    (List.concat_map rows_for Strat.all_kinds)
+
 let export_table1 dir =
   (* static decomposition straight from the calibration constants *)
   let rows =
@@ -217,6 +248,7 @@ let run out samples =
   export_obs out (min samples 2_000);
   export_health out (min samples 2_000);
   export_recovery_timeline out;
+  export_sched_slo out;
   Printf.printf "all series exported to %s/\n" out
 
 let cmd =

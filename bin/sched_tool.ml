@@ -1,0 +1,286 @@
+(* sched_tool — the control system as a service: sweep pluggable
+   scheduling policies over one multi-tenant job stream and bill every
+   tenant against its SLOs (paper §V.B: the control system owns job
+   launch, placement and recovery; this tool exercises that ownership
+   at job-stream scale).
+
+     dune exec bin/sched_tool.exe -- --seed 1
+
+   One seeded open-arrival workload — a thousand-plus jobs from dozens
+   of tenants (batch, communication-heavy, gang-scheduled interactive,
+   opportunistic filler) — replays on a 64-node machine under each
+   policy in turn: FCFS, EASY backfill, gang co-scheduling, weighted
+   fair-share, all layered over torus-aware congestion-scored placement
+   of the communication-heavy jobs. Mid-stream, an injector lands node
+   deaths and a fatal CIOD crash while the queue is loaded, and the
+   recovery policy walks the machine through its degradation tiers —
+   shedding backfill, capping shapes, closing admission — before
+   recovering.
+
+   The tool asserts the shape of the results: every arrival is
+   accounted for (completed + failed + shed + refused = offered), EASY
+   reaches at least FCFS utilization while actually backfilling, gang
+   units co-schedule, fair-share keeps the per-tenant p99 queue-wait
+   spread no wider than FCFS, walltime runaways are killed, and a
+   same-seed FCFS twin run reproduces both the SLO digest and the sim
+   trace digest bit-for-bit. Per-policy SLO tables and digest lines are
+   printed for `make sched-smoke` to compare across two runs. *)
+
+open Cmdliner
+module Obs = Bg_obs.Obs
+module Res = Bg_resilience
+module Ctl = Bg_control
+module Fnv = Bg_engine.Fnv
+module Sim = Bg_engine.Sim
+module Workload = Bg_sched.Workload
+module Strategy = Bg_sched.Strategy
+module Service = Bg_sched.Service
+module Slo = Bg_sched.Slo
+
+let dims = (4, 4, 4) (* 64 nodes; eight psets of 8 *)
+let total_nodes = 64
+let spares = [ 62; 63 ]
+let burst1 = 2_000_000
+let burst2 = 4_500_000
+
+let policy_config =
+  {
+    Res.Policy.default with
+    Res.Policy.spare_substitution = true;
+    degraded_after = 2;
+    critical_after = 6;
+    recovery_cooldown = 1_500_000;
+    shape_cap_degraded = Some (2, 2, 2);
+  }
+
+type run_result = {
+  kind : Strategy.kind;
+  slo : Slo.report;
+  slo_digest : string;
+  sim_digest : string;
+  sched_digest : string;
+  offered : int;
+  refused : int;
+  shed : int;
+  walltime_kills : int;
+  backfilled : int;
+  gangs : int;
+  transitions : int;
+  substitutions : int;
+}
+
+let scenario ~seed ~tenants ~jobs_per_tenant ~faults kind =
+  let cluster = Cnk.Cluster.create ~dims ~seed ~nodes_per_io_node:8 () in
+  let machine = Cnk.Cluster.machine cluster in
+  let sim = Cnk.Cluster.sim cluster in
+  let obs = Machine.obs machine in
+  Obs.set_enabled obs true;
+  Cnk.Cluster.boot_all cluster;
+  let specs =
+    Workload.generate ~seed (Workload.mixed_tenants ~tenants ~jobs_per_tenant)
+  in
+  let svc = Service.create ~kind cluster specs in
+  let sched = Service.scheduler svc in
+  List.iter
+    (fun rank -> Ctl.Partition.set_spare (Ctl.Scheduler.partition sched) ~rank true)
+    spares;
+  let inj = Res.Injector.attach cluster in
+  let policy = Res.Policy.attach ~config:policy_config sched in
+  if faults then begin
+    let at cycle f = ignore (Sim.schedule_at sim cycle f) in
+    let inject e = Res.Injector.inject_now inj e in
+    (* two bursts while the queue is loaded: enough pressure inside one
+       cooldown window to walk Healthy -> Degraded (shed backfill, cap
+       shapes) and touch Critical (close admission) *)
+    at burst1 (fun () ->
+        inject (Res.Fault_event.Node_death { rank = 9 });
+        inject (Res.Fault_event.Link_failure { rank = 0; dir = 0 }));
+    at burst2 (fun () ->
+        inject (Res.Fault_event.Node_death { rank = 27 });
+        inject (Res.Fault_event.Link_failure { rank = 13; dir = 2 });
+        inject (Res.Fault_event.Ciod_crash { io_node = 3; fatal = true }))
+  end;
+  Service.run svc;
+  let strategy = Service.strategy svc in
+  let slo =
+    Slo.collect obs
+      ~tenants:(Service.tenants_of specs)
+      ~policy:(Strategy.kind_name kind)
+      ~seed:(Int64.to_int seed) ~total_nodes ~makespan:(Service.makespan svc)
+      ~backfilled:(Strategy.backfilled strategy)
+      ~gangs_started:(Strategy.gangs_started strategy)
+      ()
+  in
+  let sched_digest =
+    let b = Buffer.create 4096 in
+    Ctl.Scheduler.capture sched b;
+    Fnv.to_hex (Fnv.add_bytes Fnv.empty (Buffer.to_bytes b))
+  in
+  {
+    kind;
+    slo;
+    slo_digest = Fnv.to_hex (Slo.digest slo);
+    sim_digest = Fnv.to_hex (Bg_engine.Trace.digest (Sim.trace sim));
+    sched_digest;
+    offered = Service.offered svc;
+    refused = Service.refused svc;
+    shed = Res.Policy.jobs_shed policy;
+    walltime_kills =
+      Obs.counter_value obs ~subsystem:"scheduler" ~name:"walltime_kills" ();
+    backfilled = Strategy.backfilled strategy;
+    gangs = Strategy.gangs_started strategy;
+    transitions = Res.Policy.transitions policy;
+    substitutions = Res.Recovery.substitutions (Res.Policy.recovery policy);
+  }
+
+let require ok msg = if not ok then failwith ("sched_tool: " ^ msg)
+
+let find results kind =
+  List.find (fun r -> r.kind = kind) results
+
+let run seed tenants jobs_per_tenant no_faults slo_csv quiet =
+  let faults = not no_faults in
+  require (tenants >= 2) "need at least two tenants";
+  let results =
+    List.map
+      (fun kind -> scenario ~seed ~tenants ~jobs_per_tenant ~faults kind)
+      Strategy.all_kinds
+  in
+  (* same-seed twin: the whole sweep is a pure function of the seed *)
+  let twin = scenario ~seed ~tenants ~jobs_per_tenant ~faults Strategy.Fcfs in
+  let fcfs = find results Strategy.Fcfs in
+  let easy = find results Strategy.Easy in
+  let gang = find results Strategy.Gang in
+  let fair = find results Strategy.Fair in
+  (* -- conservation: every arrival ends somewhere we can point to -- *)
+  List.iter
+    (fun r ->
+      require
+        (r.offered = tenants * jobs_per_tenant)
+        (Printf.sprintf "%s offered %d of %d arrivals"
+           (Strategy.kind_name r.kind) r.offered (tenants * jobs_per_tenant));
+      require
+        (r.slo.Slo.completed_total + r.slo.Slo.failed_total + r.shed + r.refused
+        = r.offered)
+        (Printf.sprintf "%s lost jobs: completed=%d failed=%d shed=%d refused=%d of %d"
+           (Strategy.kind_name r.kind) r.slo.Slo.completed_total
+           r.slo.Slo.failed_total r.shed r.refused r.offered);
+      require
+        (r.slo.Slo.completed_total * 10 >= r.offered * 9)
+        (Printf.sprintf "%s completed only %d of %d" (Strategy.kind_name r.kind)
+           r.slo.Slo.completed_total r.offered))
+    results;
+  (* -- policy shape claims -- *)
+  require
+    (easy.slo.Slo.utilization_milli >= fcfs.slo.Slo.utilization_milli)
+    (Printf.sprintf "EASY utilization %d < FCFS %d" easy.slo.Slo.utilization_milli
+       fcfs.slo.Slo.utilization_milli);
+  require (easy.backfilled > 0) "EASY never backfilled";
+  require (gang.gangs > 0) "gang strategy never co-scheduled a unit";
+  require
+    (Slo.max_slowdown_p99 fair.slo <= Slo.max_slowdown_p99 fcfs.slo +. 1e-9)
+    (Printf.sprintf
+       "fair-share worst tenant slowdown %.0f exceeds FCFS %.0f"
+       (Slo.max_slowdown_p99 fair.slo)
+       (Slo.max_slowdown_p99 fcfs.slo));
+  List.iter
+    (fun r ->
+      require (r.walltime_kills > 0)
+        (Printf.sprintf "%s: no runaway was walltime-killed"
+           (Strategy.kind_name r.kind)))
+    results;
+  if faults then begin
+    List.iter
+      (fun r ->
+        require (r.transitions >= 2)
+          (Printf.sprintf "%s: health state never walked the tiers"
+             (Strategy.kind_name r.kind));
+        require (r.substitutions > 0)
+          (Printf.sprintf "%s: no spare was substituted" (Strategy.kind_name r.kind)))
+      results;
+    (* FCFS leaves filler queued behind its blocked head, so entering
+       Degraded must visibly shed it; work-conserving policies may have
+       drained the backfill already *)
+    require (fcfs.shed > 0) "degradation never shed backfill under FCFS"
+  end;
+  (* -- determinism: twin run reproduces every digest -- *)
+  require (String.equal twin.slo_digest fcfs.slo_digest)
+    "same-seed FCFS twin diverged in SLO digest";
+  require (String.equal twin.sim_digest fcfs.sim_digest)
+    "same-seed FCFS twin diverged in sim trace digest";
+  require (String.equal twin.sched_digest fcfs.sched_digest)
+    "same-seed FCFS twin diverged in scheduler state digest";
+  if not quiet then begin
+    List.iter
+      (fun r ->
+        Format.printf "%a" Slo.pp_table r.slo;
+        Printf.printf
+          "%s: refused=%d shed=%d walltime_kills=%d backfilled=%d gangs=%d \
+           transitions=%d substitutions=%d\n\n"
+          (Strategy.kind_name r.kind) r.refused r.shed r.walltime_kills
+          r.backfilled r.gangs r.transitions r.substitutions)
+      results;
+    Printf.printf "%-6s %8s %12s %12s %13s %10s\n" "policy" "util%" "max_wait_p99"
+      "p99_spread" "max_slow_p99" "makespan";
+    List.iter
+      (fun r ->
+        Printf.printf "%-6s %8.1f %12.0f %12.2f %13.0f %10d\n"
+          (Strategy.kind_name r.kind)
+          (Slo.utilization_pct r.slo)
+          (Slo.max_wait_p99 r.slo)
+          (Slo.wait_p99_spread r.slo)
+          (Slo.max_slowdown_p99 r.slo)
+          r.slo.Slo.makespan)
+      results;
+    print_newline ()
+  end;
+  (match slo_csv with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Slo.csv_header ^ "\n");
+    List.iter
+      (fun r -> List.iter (fun row -> output_string oc (row ^ "\n")) (Slo.csv_rows r.slo))
+      results;
+    close_out oc;
+    Printf.printf "wrote %s\n" path);
+  List.iter
+    (fun r ->
+      Printf.printf "%s digest: slo=%s sim=%s sched=%s\n"
+        (Strategy.kind_name r.kind) r.slo_digest r.sim_digest r.sched_digest)
+    results;
+  let combined =
+    List.fold_left
+      (fun acc r ->
+        Fnv.add_string (Fnv.add_string (Fnv.add_string acc r.slo_digest) r.sim_digest)
+          r.sched_digest)
+      Fnv.empty results
+  in
+  Printf.printf "combined digest: %s\n" (Fnv.to_hex combined)
+
+let cmd =
+  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Simulation seed.") in
+  let tenants =
+    Arg.(value & opt int 52 & info [ "tenants" ] ~doc:"Number of tenants.")
+  in
+  let jobs_per_tenant =
+    Arg.(value & opt int 20 & info [ "jobs-per-tenant" ] ~doc:"Jobs per tenant.")
+  in
+  let no_faults =
+    Arg.(value & flag & info [ "no-faults" ] ~doc:"Skip the fault bursts.")
+  in
+  let slo_csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo-csv" ] ~doc:"Write the per-tenant SLO report as CSV.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print the digest lines.")
+  in
+  Cmd.v
+    (Cmd.info "sched_tool"
+       ~doc:"Sweep multi-tenant scheduling policies and bill per-tenant SLOs")
+    Term.(const run $ seed $ tenants $ jobs_per_tenant $ no_faults $ slo_csv $ quiet)
+
+let () = exit (Cmd.eval cmd)

@@ -41,42 +41,76 @@ let box_ranks t (bx, by, bz) (sx, sy, sz) =
     (List.init sz Fun.id)
   |> List.sort compare
 
-let allocate t ~shape =
+let rank_free t r = (not t.occupied.(r)) && (not t.down.(r)) && not t.spare.(r)
+
+let box_in_bounds t (bx, by, bz) (sx, sy, sz) =
+  let x, y, z = t.dims in
+  bx >= 0 && by >= 0 && bz >= 0 && bx + sx <= x && by + sy <= y && bz + sz <= z
+
+let free_box t ~base ~shape =
+  box_in_bounds t base shape && List.for_all (rank_free t) (box_ranks t base shape)
+
+let ranks_of_box t ~base ~shape =
+  if not (box_in_bounds t base shape) then invalid_arg "Partition.ranks_of_box"
+  else box_ranks t base shape
+
+let free_bases t ~shape =
+  let x, y, z = t.dims in
+  let sx, sy, sz = shape in
+  if sx <= 0 || sy <= 0 || sz <= 0 || sx > x || sy > y || sz > z then []
+  else begin
+    let acc = ref [] in
+    for bz = z - sz downto 0 do
+      for by = y - sy downto 0 do
+        for bx = x - sx downto 0 do
+          if free_box t ~base:(bx, by, bz) ~shape then acc := (bx, by, bz) :: !acc
+        done
+      done
+    done;
+    !acc
+  end
+
+let commit t base shape ranks =
+  List.iter (fun r -> t.occupied.(r) <- true) ranks;
+  let a = { id = t.next_id; base; shape; ranks } in
+  t.next_id <- t.next_id + 1;
+  t.live <- a :: t.live;
+  Ok a
+
+let allocate ?base t ~shape =
   let x, y, z = t.dims in
   let sx, sy, sz = shape in
   if sx <= 0 || sy <= 0 || sz <= 0 then Error "bad shape"
   else if sx > x || sy > y || sz > z then Error "shape exceeds the machine"
-  else begin
-    (* first fit over base coordinates, z-major like rank order *)
-    let found = ref None in
-    (try
-       for bz = 0 to z - sz do
-         for by = 0 to y - sy do
-           for bx = 0 to x - sx do
-             if !found = None then begin
-               let ranks = box_ranks t (bx, by, bz) shape in
-               if
-                 List.for_all
-                   (fun r -> (not t.occupied.(r)) && (not t.down.(r)) && not t.spare.(r))
-                   ranks
-               then begin
-                 found := Some ((bx, by, bz), ranks);
-                 raise Exit
+  else
+    match base with
+    | Some b ->
+      (* placement-directed: the caller (a torus-aware placer) already
+         chose the box; allocate exactly there or fail *)
+      if free_box t ~base:b ~shape then commit t b shape (box_ranks t b shape)
+      else Error "requested base not free"
+    | None -> begin
+      (* first fit over base coordinates, z-major like rank order *)
+      let found = ref None in
+      (try
+         for bz = 0 to z - sz do
+           for by = 0 to y - sy do
+             for bx = 0 to x - sx do
+               if !found = None then begin
+                 let ranks = box_ranks t (bx, by, bz) shape in
+                 if List.for_all (rank_free t) ranks then begin
+                   found := Some ((bx, by, bz), ranks);
+                   raise Exit
+                 end
                end
-             end
+             done
            done
          done
-       done
-     with Exit -> ());
-    match !found with
-    | None -> Error "no free partition of that shape"
-    | Some (base, ranks) ->
-      List.iter (fun r -> t.occupied.(r) <- true) ranks;
-      let a = { id = t.next_id; base; shape; ranks } in
-      t.next_id <- t.next_id + 1;
-      t.live <- a :: t.live;
-      Ok a
-  end
+       with Exit -> ());
+      match !found with
+      | None -> Error "no free partition of that shape"
+      | Some (base, ranks) -> commit t base shape ranks
+    end
 
 let release t id =
   match List.find_opt (fun a -> a.id = id) t.live with

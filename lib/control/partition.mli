@@ -17,10 +17,26 @@ type t
 
 val create : dims:int * int * int -> t
 
-val allocate : t -> shape:int * int * int -> (allocation, string) result
+val allocate :
+  ?base:int * int * int -> t -> shape:int * int * int -> (allocation, string) result
 (** First-fit placement of an axis-aligned box ([shape] must fit within
     the machine dims; no wraparound). Fails when no box of that shape is
-    free. *)
+    free. With [?base] the box is placed exactly there (or the call
+    fails) — the hook a torus-aware placer uses to pin a job onto the
+    least-congested free region it scored. *)
+
+val free_box : t -> base:int * int * int -> shape:int * int * int -> bool
+(** Is the axis-aligned box at [base] entirely free (in bounds, no
+    member occupied, down, or held as spare)? *)
+
+val free_bases : t -> shape:int * int * int -> (int * int * int) list
+(** Every base coordinate where [shape] could be allocated right now,
+    in z-major (rank) order. Empty for impossible shapes. *)
+
+val ranks_of_box : t -> base:int * int * int -> shape:int * int * int -> int list
+(** Member ranks of the box, ascending — for scoring a candidate
+    placement before committing to it. Raises [Invalid_argument] when
+    the box exceeds the machine. *)
 
 val release : t -> int -> unit
 (** Free an allocation by id; unknown ids raise [Invalid_argument]. *)

@@ -15,6 +15,9 @@ type pending = {
   jid : job_id;
   shape : int * int * int;
   cls : job_class;
+  tenant : int option;  (* SLO accounting scope; None = anonymous *)
+  gang : int option;  (* co-scheduling group: all members start together *)
+  est_cycles : int option;  (* user runtime estimate, for reservations *)
   factory : ranks:int list -> Job.t;
   walltime : int option;
   restart_limit : int;
@@ -24,17 +27,45 @@ type pending = {
   mutable failed_at : Cycles.t option;  (* when RAS declared the incarnation dead *)
 }
 
+type job_info = {
+  info_jid : job_id;
+  info_shape : int * int * int;
+  info_cls : job_class;
+  info_tenant : int option;
+  info_gang : int option;
+  info_est : int option;
+  info_walltime : int option;
+  info_submitted : Cycles.t;
+  info_restarts : int;
+}
+
+type running_info = {
+  run_info : job_info;
+  run_ranks : int list;
+  run_started : Cycles.t;
+}
+
 type t = {
   cluster : Cnk.Cluster.t;
   partition : Partition.t;
   backfill : bool;
-  mutable queue : pending list;  (* FIFO, head first *)
+  queue : pending Jobq.t;  (* FIFO, head first; O(1) append/remove *)
   states : (job_id, job_state) Hashtbl.t;
   jobs : (job_id, pending) Hashtbl.t;  (* every job ever submitted *)
-  running : (job_id, pending * Partition.allocation) Hashtbl.t;
+  running : (job_id, pending * Partition.allocation * Cycles.t * Obs.handle) Hashtbl.t;
+  reported : (job_id, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* ranks whose completion event arrived for the live incarnation *)
+  tenant_usage : (int, int) Hashtbl.t;  (* tenant -> busy node-cycles *)
   mutable next_id : int;
   mutable done_order : job_id list;
   mutable outstanding : int;
+  mutable scan_visits : int;  (* queue nodes examined by start scans *)
+  mutable duplicate_completions : int;
+  (* pluggable strategy: replaces the built-in FIFO/backfill pick *)
+  mutable dispatch : (unit -> unit) option;
+  mutable in_dispatch : bool;
+  mutable on_start : (job_id -> ranks:int list -> unit) list;
+  mutable on_done : (job_id -> job_state -> unit) list;
   (* self-healing control plane (all inert until a policy engine sets them) *)
   mutable restart_policy : (jid:job_id -> attempt:int -> int) option;
   mutable shape_cap : (int * int * int) option;
@@ -65,21 +96,29 @@ let create ?(backfill = false) cluster =
     cluster;
     partition = Partition.create ~dims;
     backfill;
-    queue = [];
+    queue = Jobq.create ();
     states = Hashtbl.create 16;
     jobs = Hashtbl.create 16;
     running = Hashtbl.create 16;
+    reported = Hashtbl.create 16;
+    tenant_usage = Hashtbl.create 16;
     next_id = 1;
     done_order = [];
     outstanding = 0;
+    scan_visits = 0;
+    duplicate_completions = 0;
+    dispatch = None;
+    in_dispatch = false;
+    on_start = [];
+    on_done = [];
     restart_policy = None;
     shape_cap = None;
     admission = true;
     rejected = 0;
   }
 
-let submit_factory t ?walltime_cycles ?(restart_limit = 0) ?(cls = Batch) ~shape
-    factory =
+let submit_factory t ?walltime_cycles ?(restart_limit = 0) ?(cls = Batch) ?tenant
+    ?gang ?est_cycles ~shape factory =
   let x, y, z = Bg_hw.Torus.dims (Cnk.Cluster.machine t.cluster).Machine.torus in
   let sx, sy, sz = shape in
   if sx > x || sy > y || sz > z then failwith "Scheduler.submit: job can never fit";
@@ -90,6 +129,9 @@ let submit_factory t ?walltime_cycles ?(restart_limit = 0) ?(cls = Batch) ~shape
       jid;
       shape;
       cls;
+      tenant;
+      gang;
+      est_cycles;
       factory;
       walltime = walltime_cycles;
       restart_limit;
@@ -99,7 +141,7 @@ let submit_factory t ?walltime_cycles ?(restart_limit = 0) ?(cls = Batch) ~shape
       failed_at = None;
     }
   in
-  t.queue <- t.queue @ [ pending ];
+  Jobq.append t.queue ~key:jid pending;
   Hashtbl.replace t.states jid Queued;
   Hashtbl.replace t.jobs jid pending;
   t.outstanding <- t.outstanding + 1;
@@ -113,12 +155,18 @@ let submit t ?walltime_cycles ~shape job =
 (* Admission-controlled front door: under degraded tier 3 the submit is
    refused outright (counted), instead of joining a queue the machine
    cannot drain. *)
-let offer_factory t ?walltime_cycles ?restart_limit ?cls ~shape factory =
+let offer_factory t ?walltime_cycles ?restart_limit ?cls ?tenant ?gang ?est_cycles
+    ~shape factory =
   if t.admission then
-    Ok (submit_factory t ?walltime_cycles ?restart_limit ?cls ~shape factory)
+    Ok
+      (submit_factory t ?walltime_cycles ?restart_limit ?cls ?tenant ?gang
+         ?est_cycles ~shape factory)
   else begin
     t.rejected <- t.rejected + 1;
     Obs.incr (obs t) ~subsystem:"scheduler" ~name:"jobs_rejected" ();
+    (match tenant with
+    | Some tid -> Obs.incr (obs t) ~rank:tid ~subsystem:"sched" ~name:"jobs_rejected" ()
+    | None -> ());
     Error `Admission_closed
   end
 
@@ -127,6 +175,39 @@ let admission_open t = t.admission
 let rejected_count t = t.rejected
 let set_shape_cap t cap = t.shape_cap <- cap
 let shape_cap t = t.shape_cap
+let scan_visits t = t.scan_visits
+let duplicate_completions t = t.duplicate_completions
+let pending_count t = Jobq.length t.queue
+let set_dispatch t f = t.dispatch <- f
+let on_job_start t f = t.on_start <- t.on_start @ [ f ]
+let on_job_done t f = t.on_done <- t.on_done @ [ f ]
+
+let tenant_usage t tid =
+  match Hashtbl.find_opt t.tenant_usage tid with Some v -> v | None -> 0
+
+let info_of (p : pending) =
+  {
+    info_jid = p.jid;
+    info_shape = p.shape;
+    info_cls = p.cls;
+    info_tenant = p.tenant;
+    info_gang = p.gang;
+    info_est = p.est_cycles;
+    info_walltime = p.walltime;
+    info_submitted = p.submitted;
+    info_restarts = p.restarts;
+  }
+
+let pending_info t =
+  List.rev (Jobq.fold t.queue ~init:[] ~f:(fun acc _ p -> info_of p :: acc))
+
+let running_info t =
+  Hashtbl.fold
+    (fun _ (p, alloc, started, _) acc ->
+      { run_info = info_of p; run_ranks = alloc.Partition.ranks; run_started = started }
+      :: acc)
+    t.running []
+  |> List.sort (fun a b -> compare a.run_info.info_jid b.run_info.info_jid)
 
 (* Under a shape cap (degraded tier 2) large jobs wait even if space is
    free: a shrunken machine stops handing out its biggest blocks. *)
@@ -135,38 +216,63 @@ let within_cap t (sx, sy, sz) =
   | None -> true
   | Some (cx, cy, cz) -> sx <= cx && sy <= cy && sz <= cz
 
+(* The SLO bounded-slowdown floor: shorter runtimes do not inflate the
+   metric without bound (Feitelson's tau). *)
+let slowdown_tau = 10_000
+
 (* Try to start queued jobs; FIFO unless backfill is on, in which case
-   later jobs may start past a blocked head. *)
+   later jobs may start past a blocked head. A pluggable dispatch
+   strategy, when installed, replaces this pick logic entirely. *)
 let rec try_start t =
-  match t.queue with
-  | [] -> ()
-  | head :: rest -> (
+  match t.dispatch with
+  | Some f ->
+    if not t.in_dispatch then begin
+      (* strategies drive starts themselves; guard against re-entry when
+         a start they trigger re-kicks the scheduler *)
+      t.in_dispatch <- true;
+      Fun.protect ~finally:(fun () -> t.in_dispatch <- false) f
+    end
+  | None -> try_start_builtin t
+
+and try_start_builtin t =
+  match Jobq.peek t.queue with
+  | None -> ()
+  | Some (head_jid, head) -> (
+    t.scan_visits <- t.scan_visits + 1;
     match
       if within_cap t head.shape then Partition.allocate t.partition ~shape:head.shape
       else Error "blocked by shape cap"
     with
     | Ok alloc ->
-      t.queue <- rest;
+      ignore (Jobq.remove t.queue head_jid);
       start t head alloc;
-      try_start t
+      try_start_builtin t
     | Error _ ->
       if t.backfill then begin
         (* find the first later job that fits *)
-        let rec pick acc = function
-          | [] -> ()
-          | p :: more -> (
-            match
-              if within_cap t p.shape then Partition.allocate t.partition ~shape:p.shape
-              else Error "blocked by shape cap"
-            with
-            | Ok alloc ->
-              t.queue <- head :: List.rev_append acc more;
-              Obs.incr (obs t) ~subsystem:"scheduler" ~name:"backfill_started" ();
-              start t p alloc;
-              try_start t
-            | Error _ -> pick (p :: acc) more)
-        in
-        pick [] rest
+        let picked = ref None in
+        (try
+           Jobq.iter t.queue (fun jid p ->
+               if jid <> head_jid && !picked = None then begin
+                 t.scan_visits <- t.scan_visits + 1;
+                 match
+                   if within_cap t p.shape then
+                     Partition.allocate t.partition ~shape:p.shape
+                   else Error "blocked by shape cap"
+                 with
+                 | Ok alloc ->
+                   picked := Some (p, alloc);
+                   raise Exit
+                 | Error _ -> ()
+               end)
+         with Exit -> ());
+        match !picked with
+        | None -> ()
+        | Some (p, alloc) ->
+          ignore (Jobq.remove t.queue p.jid);
+          Obs.incr (obs t) ~subsystem:"scheduler" ~name:"backfill_started" ();
+          start t p alloc;
+          try_start_builtin t
       end)
 
 and start t pending alloc =
@@ -177,6 +283,12 @@ and start t pending alloc =
   Obs.incr o ~subsystem:"scheduler" ~name:"jobs_started" ();
   Obs.observe_cycles o ~subsystem:"scheduler" ~name:"queue_wait_cycles"
     (start_cycle - pending.submitted);
+  (match pending.tenant with
+  | Some tid ->
+    Obs.observe_cycles o ~rank:tid ~hi:(float_of_int (1 lsl 26)) ~subsystem:"sched"
+      ~name:"queue_wait_cycles"
+      (start_cycle - pending.submitted)
+  | None -> ());
   (match pending.failed_at with
   | Some failed when pending.restarts > 0 ->
     Obs.observe_cycles o ~subsystem:"scheduler" ~name:"recovery_latency_cycles"
@@ -190,15 +302,14 @@ and start t pending alloc =
   in
   causal_mark t ~jid:pending.jid "start";
   Hashtbl.replace t.states pending.jid (Running alloc.Partition.ranks);
-  Hashtbl.replace t.running pending.jid (pending, alloc);
+  Hashtbl.replace t.running pending.jid (pending, alloc, start_cycle, job_span);
+  Hashtbl.replace t.reported pending.jid
+    (Hashtbl.create (List.length alloc.Partition.ranks));
   let job = pending.factory ~ranks:alloc.Partition.ranks in
-  let remaining = ref (List.length alloc.Partition.ranks) in
   List.iter
     (fun rank ->
       let node = Cnk.Cluster.node t.cluster rank in
-      Cnk.Node.on_job_complete node (fun () ->
-          decr remaining;
-          if !remaining = 0 then finish t pending alloc job_span))
+      Cnk.Node.on_job_complete node (fun () -> member_completed t pending.jid ~rank))
     alloc.Partition.ranks;
   List.iter
     (fun rank ->
@@ -206,6 +317,7 @@ and start t pending alloc =
       | Ok () -> ()
       | Error e -> failwith (Printf.sprintf "launch on rank %d: %s" rank e))
     alloc.Partition.ranks;
+  List.iter (fun f -> f pending.jid ~ranks:alloc.Partition.ranks) t.on_start;
   match pending.walltime with
   | None -> ()
   | Some limit ->
@@ -229,64 +341,169 @@ and start t pending alloc =
                alloc.Partition.ranks
            | _ -> ()))
 
+(* The per-member completion event. The control network replays and
+   duplicates, so this is idempotent at both granularities: a second
+   event for a (job, rank) that already reported is dropped (counted),
+   and an event for a job that is no longer running is dropped too. *)
+and member_completed t jid ~rank =
+  match Hashtbl.find_opt t.running jid with
+  | None ->
+    t.duplicate_completions <- t.duplicate_completions + 1;
+    Obs.incr (obs t) ~subsystem:"scheduler" ~name:"duplicate_completions" ()
+  | Some (pending, alloc, started, span) ->
+    let seen =
+      match Hashtbl.find_opt t.reported jid with
+      | Some s -> s
+      | None ->
+        let s = Hashtbl.create 8 in
+        Hashtbl.replace t.reported jid s;
+        s
+    in
+    if Hashtbl.mem seen rank || not (List.mem rank alloc.Partition.ranks) then begin
+      t.duplicate_completions <- t.duplicate_completions + 1;
+      Obs.incr (obs t) ~subsystem:"scheduler" ~name:"duplicate_completions" ()
+    end
+    else begin
+      Hashtbl.replace seen rank ();
+      if Hashtbl.length seen = List.length alloc.Partition.ranks then
+        finish t pending alloc started span
+    end
+
 (* Every member node reported completion: decide between terminal states
    and a restart. A job failed if any process on any member node exited
    nonzero (a crash, a kill after a node death, or a walltime kill). *)
-and finish t pending alloc job_span =
-  let o = obs t in
-  Partition.release t.partition alloc.Partition.id;
-  Hashtbl.remove t.running pending.jid;
-  Obs.span_end o job_span ~now:(now t);
-  causal_mark t ~jid:pending.jid "finish";
-  let failed =
-    List.exists
-      (fun rank ->
-        List.exists
-          (fun (_, code) -> code <> 0)
-          (Cnk.Node.exit_codes (Cnk.Cluster.node t.cluster rank)))
-      alloc.Partition.ranks
-  in
-  if failed && pending.restarts < pending.restart_limit then begin
-    pending.restarts <- pending.restarts + 1;
-    Hashtbl.replace t.states pending.jid Queued;
-    let machine = Cnk.Cluster.machine t.cluster in
-    let requeue () =
-      pending.submitted <- now t;
-      (* requeue at the head: recovery preempts the waiting line *)
-      t.queue <- pending :: t.queue;
-      Obs.incr o ~subsystem:"scheduler" ~name:"jobs_restarted" ();
-      Machine.ras_emit machine
-        ~rank:(List.hd alloc.Partition.ranks)
-        ~severity:Machine.Ras_info
-        ~message:
-          (Printf.sprintf "SCHED restart job=%d attempt=%d" pending.jid
-             pending.restarts);
+and finish t pending alloc started span =
+  if Hashtbl.mem t.running pending.jid then begin
+    let o = obs t in
+    Partition.release t.partition alloc.Partition.id;
+    Hashtbl.remove t.running pending.jid;
+    Hashtbl.remove t.reported pending.jid;
+    Obs.span_end o span ~now:(now t);
+    causal_mark t ~jid:pending.jid "finish";
+    (match pending.tenant with
+    | Some tid ->
+      let busy = (now t - started) * List.length alloc.Partition.ranks in
+      Hashtbl.replace t.tenant_usage tid (tenant_usage t tid + busy);
+      Obs.incr o ~rank:tid ~subsystem:"sched" ~name:"busy_node_cycles" ~by:busy ();
+      Obs.incr o ~subsystem:"sched" ~name:"busy_node_cycles" ~by:busy ()
+    | None -> ());
+    let failed =
+      List.exists
+        (fun rank ->
+          List.exists
+            (fun (_, code) -> code <> 0)
+            (Cnk.Node.exit_codes (Cnk.Cluster.node t.cluster rank)))
+        alloc.Partition.ranks
+    in
+    if failed && pending.restarts < pending.restart_limit then begin
+      pending.restarts <- pending.restarts + 1;
+      Hashtbl.replace t.states pending.jid Queued;
+      let machine = Cnk.Cluster.machine t.cluster in
+      let requeue () =
+        pending.submitted <- now t;
+        (* requeue at the head: recovery preempts the waiting line *)
+        Jobq.push_front t.queue ~key:pending.jid pending;
+        Obs.incr o ~subsystem:"scheduler" ~name:"jobs_restarted" ();
+        Machine.ras_emit machine
+          ~rank:(List.hd alloc.Partition.ranks)
+          ~severity:Machine.Ras_info
+          ~message:
+            (Printf.sprintf "SCHED restart job=%d attempt=%d" pending.jid
+               pending.restarts);
+        try_start t
+      in
+      (* A recovery policy may hold the retry back (deterministic backoff:
+         the delay is a pure function of (job, attempt)); the default is
+         the classic immediate requeue. *)
+      match t.restart_policy with
+      | None -> requeue ()
+      | Some f ->
+        let delay = f ~jid:pending.jid ~attempt:pending.restarts in
+        if delay <= 0 then requeue ()
+        else ignore (Sim.schedule_in (Cnk.Cluster.sim t.cluster) delay requeue)
+    end
+    else begin
+      let state =
+        if failed && pending.restart_limit > 0 then Failed (now t) else Completed (now t)
+      in
+      Hashtbl.replace t.states pending.jid state;
+      t.done_order <- pending.jid :: t.done_order;
+      t.outstanding <- t.outstanding - 1;
+      Obs.incr o ~subsystem:"scheduler" ~name:"jobs_completed" ();
+      (* Turnaround: original submission to final disposition, across any
+         restarts — the series the health service trends per window. *)
+      let turnaround = now t - pending.first_submitted in
+      Obs.observe_cycles o ~subsystem:"scheduler" ~name:"turnaround_cycles" turnaround;
+      (match pending.tenant with
+      | Some tid ->
+        Obs.observe_cycles o ~rank:tid ~hi:(float_of_int (1 lsl 26))
+          ~subsystem:"sched" ~name:"turnaround_cycles" turnaround;
+        (* bounded slowdown, in milli-units: turnaround over max(run, tau) *)
+        let run = max (now t - started) 1 in
+        let slowdown = turnaround * 1000 / max run slowdown_tau in
+        Obs.observe_cycles o ~rank:tid ~hi:65536. ~subsystem:"sched"
+          ~name:"bounded_slowdown_milli" (max slowdown 1000);
+        Obs.incr o ~rank:tid ~subsystem:"sched"
+          ~name:(match state with Failed _ -> "jobs_failed" | _ -> "jobs_completed")
+          ()
+      | None -> ());
+      List.iter (fun f -> f pending.jid state) t.on_done;
       try_start t
-    in
-    (* A recovery policy may hold the retry back (deterministic backoff:
-       the delay is a pure function of (job, attempt)); the default is
-       the classic immediate requeue. *)
-    match t.restart_policy with
-    | None -> requeue ()
-    | Some f ->
-      let delay = f ~jid:pending.jid ~attempt:pending.restarts in
-      if delay <= 0 then requeue ()
-      else ignore (Sim.schedule_in (Cnk.Cluster.sim t.cluster) delay requeue)
+    end
   end
-  else begin
-    let state =
-      if failed && pending.restart_limit > 0 then Failed (now t) else Completed (now t)
-    in
-    Hashtbl.replace t.states pending.jid state;
-    t.done_order <- pending.jid :: t.done_order;
-    t.outstanding <- t.outstanding - 1;
-    Obs.incr o ~subsystem:"scheduler" ~name:"jobs_completed" ();
-    (* Turnaround: original submission to final disposition, across any
-       restarts — the series the health service trends per window. *)
-    Obs.observe_cycles o ~subsystem:"scheduler" ~name:"turnaround_cycles"
-      (now t - pending.first_submitted);
-    try_start t
-  end
+
+(* Placement-directed start of one specific queued job, for pluggable
+   strategies: allocate (at [base] if the placer chose one, reshaped to
+   [shape] if it picked a different box of the same volume) and launch.
+   Not finding the job queued, or failing the shape cap or allocation,
+   is an [Error] and leaves the queue untouched. *)
+let reserve t ?base ?shape jid =
+  match Jobq.find t.queue jid with
+  | None -> Error "not queued"
+  | Some p ->
+    let sx, sy, sz = p.shape in
+    let shape = match shape with Some s -> s | None -> p.shape in
+    let nx, ny, nz = shape in
+    if nx * ny * nz <> sx * sy * sz then Error "reshape changes node count"
+    else if not (within_cap t shape) then Error "blocked by shape cap"
+    else begin
+      match Partition.allocate ?base t.partition ~shape with
+      | Error e -> Error e
+      | Ok alloc -> Ok (p, alloc)
+    end
+
+let start_job t ?base ?shape jid =
+  match reserve t ?base ?shape jid with
+  | Error e -> Error e
+  | Ok (p, alloc) ->
+    ignore (Jobq.remove t.queue jid);
+    start t p alloc;
+    Ok ()
+
+(* All-or-none co-scheduling for gangs: every member's allocation must
+   succeed before any member launches; one failure rolls all of them
+   back and the queue is untouched. *)
+let start_jobs t specs =
+  let rec reserve_all acc = function
+    | [] -> Ok (List.rev acc)
+    | (jid, base, shape) :: rest -> (
+      match reserve t ?base ?shape jid with
+      | Ok r -> reserve_all (r :: acc) rest
+      | Error e ->
+        List.iter
+          (fun (_, alloc) -> Partition.release t.partition alloc.Partition.id)
+          acc;
+        Error (Printf.sprintf "job %d: %s" jid e))
+  in
+  match reserve_all [] specs with
+  | Error e -> Error e
+  | Ok reserved ->
+    List.iter
+      (fun ((p : pending), alloc) ->
+        ignore (Jobq.remove t.queue p.jid);
+        start t p alloc)
+      reserved;
+    Ok ()
 
 let mark_down t ~rank =
   if not (Partition.is_down t.partition ~rank) then begin
@@ -300,7 +517,7 @@ let mark_down t ~rank =
 let kill_spanning t ~rank =
   let victim =
     Hashtbl.fold
-      (fun _ (pending, alloc) acc ->
+      (fun _ (pending, alloc, _, _) acc ->
         if List.mem rank alloc.Partition.ranks then Some (pending, alloc) else acc)
       t.running None
   in
@@ -356,15 +573,23 @@ let job_crashed t ~rank = kill_spanning t ~rank
    declared Failed without ever running — so a sick machine spends its
    remaining capacity on the batch jobs users are waiting on. *)
 let shed_backfill t =
-  let shed, keep = List.partition (fun p -> p.cls = Backfill_class) t.queue in
-  t.queue <- keep;
+  let shed =
+    Jobq.fold t.queue ~init:[] ~f:(fun acc _ p ->
+        if p.cls = Backfill_class then p :: acc else acc)
+    |> List.rev
+  in
   List.iter
     (fun p ->
+      ignore (Jobq.remove t.queue p.jid);
       Hashtbl.replace t.states p.jid (Failed (now t));
       t.done_order <- p.jid :: t.done_order;
       t.outstanding <- t.outstanding - 1;
       Obs.incr (obs t) ~subsystem:"scheduler" ~name:"jobs_shed" ();
-      causal_mark t ~jid:p.jid "shed")
+      (match p.tenant with
+      | Some tid -> Obs.incr (obs t) ~rank:tid ~subsystem:"sched" ~name:"jobs_shed" ()
+      | None -> ());
+      causal_mark t ~jid:p.jid "shed";
+      List.iter (fun f -> f p.jid (Failed (now t))) t.on_done)
     shed;
   List.map (fun p -> p.jid) shed
 
@@ -383,6 +608,8 @@ let drain t =
              t.outstanding)
   in
   pump ()
+
+let outstanding t = t.outstanding
 
 let state t jid =
   match Hashtbl.find_opt t.states jid with
@@ -409,14 +636,14 @@ let capture t b =
     w_i cx;
     w_i cy;
     w_i cz);
-  w_i (List.length t.queue);
-  List.iter
-    (fun p ->
+  w_i (Jobq.length t.queue);
+  Jobq.iter t.queue (fun _ p ->
       w_i p.jid;
       w_i p.restarts;
       w_i p.submitted;
-      Buffer.add_uint8 b (match p.cls with Batch -> 0 | Backfill_class -> 1))
-    t.queue;
+      Buffer.add_uint8 b (match p.cls with Batch -> 0 | Backfill_class -> 1);
+      w_i (match p.tenant with Some tid -> tid | None -> -1);
+      w_i (match p.gang with Some g -> g | None -> -1));
   let states =
     Hashtbl.fold (fun jid s acc -> (jid, s) :: acc) t.states []
     |> List.sort (fun (i, _) (j, _) -> compare i j)
@@ -439,7 +666,7 @@ let capture t b =
         w_i c)
     states;
   let running =
-    Hashtbl.fold (fun jid (_, a) acc -> (jid, a.Partition.id) :: acc) t.running []
+    Hashtbl.fold (fun jid (_, a, _, _) acc -> (jid, a.Partition.id) :: acc) t.running []
     |> List.sort compare
   in
   w_i (List.length running);

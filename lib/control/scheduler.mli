@@ -7,6 +7,16 @@
     reports completion. Because everything runs in one deterministic
     simulation, schedules are reproducible.
 
+    The pending queue is an indexed structure ({!Jobq}): submits, restart
+    requeues and backfill removals are O(1), so the offer/kick paths stay
+    linear even with thousands of queued jobs.
+
+    The pick logic is pluggable: {!set_dispatch} replaces the built-in
+    FIFO/backfill scan with an external strategy (see the [Bg_sched]
+    library for FCFS, EASY backfill, gang and fair-share strategies over
+    torus-aware placement), which drives {!start_job}/{!start_jobs}
+    directly.
+
     The resilience path (paper §V.B): {!node_failed} marks a node down in
     the allocator and kills the running job that spans it; a job submitted
     with a restart budget is then requeued at the head of the line and
@@ -30,6 +40,25 @@ type job_class =
       (** opportunistic filler — first to be shed when the machine
           degrades (see {!shed_backfill}) *)
 
+(** Read-only view of a queued job, for pluggable strategies. *)
+type job_info = {
+  info_jid : job_id;
+  info_shape : int * int * int;
+  info_cls : job_class;
+  info_tenant : int option;
+  info_gang : int option;
+  info_est : int option;  (** runtime estimate (cycles), if supplied *)
+  info_walltime : int option;
+  info_submitted : Bg_engine.Cycles.t;  (** current incarnation's submit cycle *)
+  info_restarts : int;
+}
+
+type running_info = {
+  run_info : job_info;
+  run_ranks : int list;
+  run_started : Bg_engine.Cycles.t;
+}
+
 type t
 
 val create : ?backfill:bool -> Cnk.Cluster.t -> t
@@ -48,6 +77,9 @@ val submit_factory :
   ?walltime_cycles:int ->
   ?restart_limit:int ->
   ?cls:job_class ->
+  ?tenant:int ->
+  ?gang:int ->
+  ?est_cycles:int ->
   shape:int * int * int ->
   (ranks:int list -> Job.t) ->
   job_id
@@ -56,19 +88,27 @@ val submit_factory :
     replacement partition has different members. [restart_limit] (default
     0) bounds how many times a failed incarnation (nonzero exit on any
     member node) is requeued before the job is declared [Failed].
-    [cls] (default [Batch]) marks shed priority under degradation. *)
+    [cls] (default [Batch]) marks shed priority under degradation.
+    [tenant] scopes the per-tenant [sched.*] SLO series (queue wait,
+    turnaround, bounded slowdown, completion counters) to that id.
+    [gang] tags a co-scheduling group for gang strategies. [est_cycles]
+    is the user's runtime estimate, for reservation-based backfill. *)
 
 val offer_factory :
   t ->
   ?walltime_cycles:int ->
   ?restart_limit:int ->
   ?cls:job_class ->
+  ?tenant:int ->
+  ?gang:int ->
+  ?est_cycles:int ->
   shape:int * int * int ->
   (ranks:int list -> Job.t) ->
   (job_id, [ `Admission_closed ]) result
 (** The admission-controlled front door: like {!submit_factory} while
     admission is open, [Error `Admission_closed] (counted in
-    [scheduler.jobs_rejected]) once a recovery policy has closed it. *)
+    [scheduler.jobs_rejected], and per tenant in [sched.jobs_rejected])
+    once a recovery policy has closed it. *)
 
 val set_admission : t -> bool -> unit
 (** Degradation tier 3: close (or reopen) the front door for new
@@ -103,6 +143,66 @@ val drain : t -> unit
     partitions free up, until every submitted job completes. Raises
     [Failure] if a job can never fit the machine (including when down
     nodes leave no partition of the requested shape). *)
+
+val outstanding : t -> int
+(** Jobs submitted but not yet in a terminal state. *)
+
+(** {1 Pluggable strategies}
+
+    A strategy replaces the built-in pick logic: on every {!kick} (and
+    after every completion) the dispatch callback runs instead of the
+    FIFO/backfill scan, inspects {!pending_info}/{!running_info}, and
+    starts specific jobs with {!start_job}/{!start_jobs}. Re-entrant
+    kicks from inside dispatch are suppressed. *)
+
+val set_dispatch : t -> (unit -> unit) option -> unit
+val pending_info : t -> job_info list
+(** Queued jobs, head of the line first. *)
+
+val pending_count : t -> int
+val running_info : t -> running_info list
+(** Currently running jobs, ascending job id. *)
+
+val start_job :
+  t -> ?base:int * int * int -> ?shape:int * int * int -> job_id -> (unit, string) result
+(** Start one specific queued job now. [base] pins the partition to that
+    box (torus-aware placement); [shape] reshapes the request to a
+    different box of the {e same volume} (a placer trading dimensions for
+    compactness). Fails — leaving the queue untouched — when the job is
+    not queued, the shape cap blocks it, or allocation fails. *)
+
+val start_jobs :
+  t ->
+  (job_id * (int * int * int) option * (int * int * int) option) list ->
+  (unit, string) result
+(** All-or-none co-scheduling: [(jid, base, shape)] triples are allocated
+    first (rolling every allocation back on the first failure, leaving the
+    queue untouched) and only then all launched — the gang-scheduling
+    primitive. *)
+
+val on_job_start : t -> (job_id -> ranks:int list -> unit) -> unit
+(** Subscribe to job launches (fires after every member node launched). *)
+
+val on_job_done : t -> (job_id -> job_state -> unit) -> unit
+(** Subscribe to terminal dispositions ([Completed]/[Failed], including
+    shed backfill jobs); restarts do not fire this. *)
+
+val member_completed : t -> job_id -> rank:int -> unit
+(** The per-member completion event — the entry point node completion
+    callbacks drive. Idempotent against control-network replay: a
+    duplicated event for a (job, rank) that already reported, or for a
+    job no longer running, is dropped and counted in
+    [scheduler.duplicate_completions]. *)
+
+val duplicate_completions : t -> int
+val tenant_usage : t -> int -> int
+(** Cumulative busy node-cycles charged to a tenant by completed (or
+    restarted) incarnations — the fair-share strategy's usage input. *)
+
+val scan_visits : t -> int
+(** Queue nodes examined by the built-in start scans so far — the
+    micro-bench guard that submits and kicks stay out of the quadratic
+    regime. *)
 
 val node_failed : t -> rank:int -> unit
 (** RAS recovery entry point: mark [rank] down for future allocations and

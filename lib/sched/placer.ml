@@ -1,0 +1,78 @@
+module Partition = Bg_control.Partition
+module Torus = Bg_hw.Torus
+
+let surface (a, b, c) = 2 * ((a * b) + (b * c) + (a * c))
+
+let shapes_for ~dims ~nodes =
+  let dx, dy, dz = dims in
+  let shapes = ref [] in
+  for a = 1 to min nodes dx do
+    if nodes mod a = 0 then begin
+      let rest = nodes / a in
+      for b = 1 to min rest dy do
+        if rest mod b = 0 then begin
+          let c = rest / b in
+          if c <= dz then shapes := (a, b, c) :: !shapes
+        end
+      done
+    end
+  done;
+  List.sort
+    (fun s1 s2 -> compare (surface s1, s1) (surface s2, s2))
+    !shapes
+
+let canonical_shape ~dims ~nodes =
+  match shapes_for ~dims ~nodes with [] -> None | s :: _ -> Some s
+
+let in_flight_penalty = 10_000
+
+let congestion_score torus partition ~base ~shape =
+  let ranks = Partition.ranks_of_box partition ~base ~shape in
+  List.fold_left
+    (fun acc rank ->
+      let per_rank = ref 0 in
+      for dir = 0 to 5 do
+        per_rank :=
+          !per_rank
+          + Torus.link_busy_cycles torus ~rank ~dir
+          + (in_flight_penalty * Torus.link_in_flight torus ~rank ~dir)
+      done;
+      acc + !per_rank)
+    0 ranks
+
+type placement = { shape : int * int * int; base : (int * int * int) option }
+
+let place torus partition ~nodes ~comm =
+  let dims = Torus.dims torus in
+  let shapes = shapes_for ~dims ~nodes in
+  if not comm then
+    (* compute-only: cheapest path — most compact shape that fits now,
+       allocator's own first-fit base *)
+    List.find_map
+      (fun shape ->
+        match Partition.free_bases partition ~shape with
+        | [] -> None
+        | _ -> Some { shape; base = None })
+      shapes
+  else
+    (* communication-heavy: most compact shape with a free box, scored
+       base. free_bases is rank-ordered, so min-score ties resolve to
+       the lowest base deterministically. *)
+    List.find_map
+      (fun shape ->
+        match Partition.free_bases partition ~shape with
+        | [] -> None
+        | bases ->
+          let best =
+            List.fold_left
+              (fun acc base ->
+                let score = congestion_score torus partition ~base ~shape in
+                match acc with
+                | Some (_, best_score) when best_score <= score -> acc
+                | _ -> Some (base, score))
+              None bases
+          in
+          (match best with
+          | Some (base, _) -> Some { shape; base = Some base }
+          | None -> None))
+      shapes

@@ -1,0 +1,173 @@
+module Obs = Bg_obs.Obs
+module Fnv = Bg_engine.Fnv
+module Histogram = Bg_engine.Stats.Histogram
+
+type row = {
+  tenant : int;
+  name : string;
+  weight : int;
+  completed : int;
+  failed : int;
+  rejected : int;
+  shed : int;
+  wait_p50 : float;
+  wait_p99 : float;
+  wait_p999 : float;
+  turn_p50 : float;
+  turn_p99 : float;
+  turn_p999 : float;
+  slowdown_p99 : float;
+  busy_node_cycles : int;
+}
+
+type report = {
+  policy : string;
+  seed : int;
+  rows : row list;
+  total_nodes : int;
+  makespan : Bg_engine.Cycles.t;
+  utilization_milli : int;
+  completed_total : int;
+  failed_total : int;
+  rejected_total : int;
+  shed_total : int;
+  backfilled : int;
+  gangs_started : int;
+}
+
+let pctl o ~rank ~name p =
+  match Obs.timer_histogram o ~rank ~subsystem:"sched" ~name () with
+  | None -> 0.
+  | Some h -> Histogram.percentile h p
+
+let collect o ~tenants ~policy ~seed ~total_nodes ~makespan ?(backfilled = 0)
+    ?(gangs_started = 0) () =
+  let counter rank name = Obs.counter_value o ~rank ~subsystem:"sched" ~name () in
+  let rows =
+    tenants
+    |> List.map (fun (tenant, name, weight) ->
+           {
+             tenant;
+             name;
+             weight;
+             completed = counter tenant "jobs_completed";
+             failed = counter tenant "jobs_failed";
+             rejected = counter tenant "jobs_rejected";
+             shed = counter tenant "jobs_shed";
+             wait_p50 = pctl o ~rank:tenant ~name:"queue_wait_cycles" 0.50;
+             wait_p99 = pctl o ~rank:tenant ~name:"queue_wait_cycles" 0.99;
+             wait_p999 = pctl o ~rank:tenant ~name:"queue_wait_cycles" 0.999;
+             turn_p50 = pctl o ~rank:tenant ~name:"turnaround_cycles" 0.50;
+             turn_p99 = pctl o ~rank:tenant ~name:"turnaround_cycles" 0.99;
+             turn_p999 = pctl o ~rank:tenant ~name:"turnaround_cycles" 0.999;
+             slowdown_p99 = pctl o ~rank:tenant ~name:"bounded_slowdown_milli" 0.99;
+             busy_node_cycles = counter tenant "busy_node_cycles";
+           })
+    |> List.sort (fun a b -> compare a.tenant b.tenant)
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let busy_total =
+    Obs.counter_value o ~subsystem:"sched" ~name:"busy_node_cycles" ()
+  in
+  let capacity = total_nodes * max makespan 1 in
+  {
+    policy;
+    seed;
+    rows;
+    total_nodes;
+    makespan;
+    utilization_milli = busy_total * 1000 / capacity;
+    completed_total = sum (fun r -> r.completed);
+    failed_total = sum (fun r -> r.failed);
+    rejected_total = sum (fun r -> r.rejected);
+    shed_total = sum (fun r -> r.shed);
+    backfilled;
+    gangs_started;
+  }
+
+let utilization_pct r = float_of_int r.utilization_milli /. 10.
+
+let served r = List.filter (fun row -> row.completed > 0) r.rows
+
+let max_wait_p99 r =
+  List.fold_left (fun acc row -> max acc row.wait_p99) 0. (served r)
+
+let max_slowdown_p99 r =
+  List.fold_left (fun acc row -> max acc row.slowdown_p99) 0. (served r)
+
+let wait_p99_spread r =
+  match served r with
+  | [] -> 1.
+  | rows ->
+    let lo = List.fold_left (fun acc row -> min acc row.wait_p99) infinity rows in
+    let hi = List.fold_left (fun acc row -> max acc row.wait_p99) 0. rows in
+    if lo <= 0. then infinity else hi /. lo
+
+let pp_table fmt r =
+  Format.fprintf fmt
+    "policy=%s seed=%d nodes=%d makespan=%d util=%.1f%% backfilled=%d gangs=%d@."
+    r.policy r.seed r.total_nodes r.makespan (utilization_pct r) r.backfilled
+    r.gangs_started;
+  Format.fprintf fmt
+    "%-6s %-6s %3s %5s %4s %4s %4s %12s %12s %12s %9s@." "tenant" "name" "w"
+    "done" "fail" "rej" "shed" "wait_p50" "wait_p99" "turn_p99" "slow_p99";
+  List.iter
+    (fun row ->
+      Format.fprintf fmt
+        "%-6d %-6s %3d %5d %4d %4d %4d %12.0f %12.0f %12.0f %9.0f@." row.tenant
+        row.name row.weight row.completed row.failed row.rejected row.shed
+        row.wait_p50 row.wait_p99 row.turn_p99 row.slowdown_p99)
+    r.rows;
+  Format.fprintf fmt
+    "totals: completed=%d failed=%d rejected=%d shed=%d max_wait_p99=%.0f@."
+    r.completed_total r.failed_total r.rejected_total r.shed_total
+    (max_wait_p99 r)
+
+(* Percentiles come out of fixed-bin histograms: exact bin boundaries,
+   so rounding to int loses nothing reproducibility needs. *)
+let add_f d v = Fnv.add_int d (int_of_float v)
+
+let digest r =
+  let d =
+    Fnv.empty |> fun d ->
+    Fnv.add_string d r.policy |> fun d ->
+    Fnv.add_int d r.seed |> fun d ->
+    Fnv.add_int d r.total_nodes |> fun d ->
+    Fnv.add_int d r.makespan |> fun d ->
+    Fnv.add_int d r.utilization_milli |> fun d ->
+    Fnv.add_int d r.completed_total |> fun d ->
+    Fnv.add_int d r.failed_total |> fun d ->
+    Fnv.add_int d r.rejected_total |> fun d ->
+    Fnv.add_int d r.shed_total |> fun d ->
+    Fnv.add_int d r.backfilled |> fun d -> Fnv.add_int d r.gangs_started
+  in
+  List.fold_left
+    (fun d row ->
+      Fnv.add_int d row.tenant |> fun d ->
+      Fnv.add_string d row.name |> fun d ->
+      Fnv.add_int d row.weight |> fun d ->
+      Fnv.add_int d row.completed |> fun d ->
+      Fnv.add_int d row.failed |> fun d ->
+      Fnv.add_int d row.rejected |> fun d ->
+      Fnv.add_int d row.shed |> fun d ->
+      add_f d row.wait_p50 |> fun d ->
+      add_f d row.wait_p99 |> fun d ->
+      add_f d row.wait_p999 |> fun d ->
+      add_f d row.turn_p50 |> fun d ->
+      add_f d row.turn_p99 |> fun d ->
+      add_f d row.turn_p999 |> fun d ->
+      add_f d row.slowdown_p99 |> fun d -> Fnv.add_int d row.busy_node_cycles)
+    d r.rows
+
+let csv_header =
+  "policy,seed,tenant,name,weight,completed,failed,rejected,shed,wait_p50,wait_p99,wait_p999,turn_p50,turn_p99,turn_p999,slowdown_p99_milli,busy_node_cycles,utilization_milli"
+
+let csv_rows r =
+  List.map
+    (fun row ->
+      Printf.sprintf "%s,%d,%d,%s,%d,%d,%d,%d,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%d,%d"
+        r.policy r.seed row.tenant row.name row.weight row.completed row.failed
+        row.rejected row.shed row.wait_p50 row.wait_p99 row.wait_p999
+        row.turn_p50 row.turn_p99 row.turn_p999 row.slowdown_p99
+        row.busy_node_cycles r.utilization_milli)
+    r.rows

@@ -1,0 +1,81 @@
+(** Per-tenant SLO accounting, read back from the obs registry.
+
+    The scheduler feeds every start/finish into [sched.*] series scoped
+    by tenant id (the metric [rank]): queue-wait and turnaround timers,
+    bounded-slowdown, and completed/failed/rejected/shed counters. This
+    module folds those series into a per-tenant report — the control
+    system's multi-tenant bill — plus whole-machine utilization, and
+    renders it as a text table, CSV rows, and an FNV digest for
+    same-seed reproducibility checks. Everything here is a pure reader:
+    collecting a report never perturbs the simulation. *)
+
+type row = {
+  tenant : int;
+  name : string;
+  weight : int;
+  completed : int;
+  failed : int;
+  rejected : int;
+  shed : int;
+  wait_p50 : float;  (** queue-wait percentiles, cycles *)
+  wait_p99 : float;
+  wait_p999 : float;
+  turn_p50 : float;  (** turnaround percentiles, cycles *)
+  turn_p99 : float;
+  turn_p999 : float;
+  slowdown_p99 : float;  (** bounded slowdown p99, milli-units (1000 = 1.0) *)
+  busy_node_cycles : int;
+}
+
+type report = {
+  policy : string;
+  seed : int;
+  rows : row list;  (** ascending tenant id *)
+  total_nodes : int;
+  makespan : Bg_engine.Cycles.t;
+  utilization_milli : int;
+      (** busy node-cycles over [total_nodes * makespan], in milli-units *)
+  completed_total : int;
+  failed_total : int;
+  rejected_total : int;
+  shed_total : int;
+  backfilled : int;
+  gangs_started : int;
+}
+
+val collect :
+  Bg_obs.Obs.t ->
+  tenants:(int * string * int) list ->
+  policy:string ->
+  seed:int ->
+  total_nodes:int ->
+  makespan:Bg_engine.Cycles.t ->
+  ?backfilled:int ->
+  ?gangs_started:int ->
+  unit ->
+  report
+(** Read the [sched.*] series for each [(id, name, weight)] tenant. *)
+
+val utilization_pct : report -> float
+val max_wait_p99 : report -> float
+(** Worst per-tenant queue-wait p99 across tenants with completions. *)
+
+val max_slowdown_p99 : report -> float
+(** Worst per-tenant bounded-slowdown p99 (milli-units) across tenants
+    with completions — the "no tenant suffers disproportionately"
+    number weighted fair-share exists to bound. *)
+
+val wait_p99_spread : report -> float
+(** max/min per-tenant queue-wait p99 over tenants with completions —
+    the fair-share bound the tests pin (1.0 = perfectly even). *)
+
+val pp_table : Format.formatter -> report -> unit
+(** Whole-report text table: one row per tenant plus a totals line. *)
+
+val digest : report -> Bg_engine.Fnv.t
+(** FNV over every field of every row plus the totals — byte-stable
+    across same-seed runs. *)
+
+val csv_header : string
+val csv_rows : report -> string list
+(** One [sched_slo.csv] line per tenant, matching {!csv_header}. *)

@@ -1,0 +1,62 @@
+(** Pluggable scheduling strategies over the control-system scheduler.
+
+    Each strategy installs itself as the scheduler's dispatch hook
+    ({!Bg_control.Scheduler.set_dispatch}) and decides, on every kick,
+    which queued jobs to start — all of them placed through the
+    torus-aware {!Placer} (communication-heavy jobs get compact,
+    congestion-scored boxes).
+
+    - {b FCFS}: strict arrival order; a blocked head blocks the line.
+    - {b EASY backfill}: the head job gets a reservation (the {e shadow
+      time}, computed from running jobs' walltime bounds in the
+      node-count model); later jobs may start out of order only if they
+      cannot delay it — they finish before the shadow time, or fit in
+      the nodes the reservation leaves spare. The invariant the tests
+      pin: the head starts no later than the shadow time recorded when
+      it first blocked.
+    - {b Gang}: EASY, with gang-tagged bursts (interactive tenants)
+      treated as one unit — every member allocated before any launches,
+      or none at all.
+    - {b Weighted fair-share}: queue ordered by tenant
+      usage-per-weight (busy node-cycles, including running jobs'
+      progress), then greedy work-conserving placement — light and
+      high-weight tenants jump the line until their share catches up.
+
+    Strategies never draw randomness and sort every pick
+    deterministically, so same-seed sweeps replay bit-identically. *)
+
+type kind = Fcfs | Easy | Gang | Fair
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+val all_kinds : kind list
+
+type config = {
+  comm_of : Bg_control.Scheduler.job_id -> bool;
+      (** is this job communication-heavy? drives scored placement *)
+  weight_of : int -> int;  (** tenant fair-share weight (>= 1) *)
+}
+
+val default_config : config
+(** Nothing is communication-heavy; every tenant weighs 1. *)
+
+type t
+
+val install : ?config:config -> kind -> Bg_control.Scheduler.t -> t
+(** Replace the scheduler's built-in pick logic with this strategy.
+    Installing a second strategy on the same scheduler replaces the
+    first. *)
+
+val uninstall : t -> unit
+(** Restore the scheduler's built-in FIFO/backfill logic. *)
+
+val kind_of : t -> kind
+val backfilled : t -> int
+(** Jobs started ahead of a blocked head so far. *)
+
+val gangs_started : t -> int
+(** Gang units co-scheduled so far (Gang strategy only). *)
+
+val reservation : t -> Bg_control.Scheduler.job_id -> int option
+(** The shadow time recorded the first time this job blocked at the head
+    of the line (Easy/Gang) — the bound its actual start must respect. *)

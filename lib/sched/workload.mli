@@ -1,0 +1,65 @@
+(** Seeded open-arrival job-stream generator.
+
+    Turns a population of simulated tenants into one merged, reproducible
+    arrival sequence: each tenant describes its own traffic (arrival
+    rate, job-size and runtime distributions, communication intensity,
+    batch vs interactive class) and draws every random quantity from its
+    {e own} split RNG substream ({!Bg_engine.Rng.split} keyed by the
+    tenant name). Substreams are derived from the root seed and the
+    tenant name alone, so adding or removing one tenant never perturbs
+    any other tenant's sequence — the property the regression tests pin.
+
+    Interactive tenants submit bursts: [gang_size] jobs arriving in the
+    same cycle and tagged with one gang id, for strategies that
+    co-schedule all members or none (pyscript-style sessions, where a
+    user's interpreter fan-out is useless unless every member runs). *)
+
+type cls =
+  | Batch_cls  (** throughput traffic; users wait on completion *)
+  | Interactive_cls  (** latency-sensitive bursts, gang-scheduled *)
+  | Filler_cls
+      (** opportunistic, submitted as [Backfill_class] — first shed when
+          the machine degrades *)
+
+type tenant = {
+  name : string;  (** unique; keys the RNG substream *)
+  weight : int;  (** fair-share weight, >= 1 *)
+  jobs : int;  (** how many jobs this tenant submits *)
+  mean_interarrival : float;  (** mean cycles between (bursts of) arrivals *)
+  nodes_lo : int;
+  nodes_hi : int;  (** job size drawn uniformly from [lo, hi] *)
+  runtime_lo : int;
+  runtime_hi : int;  (** per-rank compute cycles, uniform in [lo, hi] *)
+  comm_fraction : float;  (** probability a job is communication-heavy *)
+  runaway_fraction : float;
+      (** probability a job overruns its walltime (and gets killed) *)
+  cls : cls;
+  gang_size : int;  (** jobs per burst; > 1 only for interactive tenants *)
+}
+
+type spec = {
+  tenant : int;  (** index into the tenant list passed to {!generate} *)
+  tenant_name : string;
+  weight : int;
+  seq : int;  (** per-tenant submission index *)
+  arrival : int;  (** absolute cycle *)
+  nodes : int;
+  runtime : int;  (** per-rank compute cycles *)
+  walltime : int;  (** kill limit; below [runtime] for runaway jobs *)
+  comm : bool;  (** communication-heavy: wants a compact, quiet box *)
+  cls : cls;
+  gang : int option;  (** burst co-scheduling group, unique across tenants *)
+}
+
+val generate : seed:int64 -> tenant list -> spec list
+(** The merged stream, sorted by (arrival, tenant index, seq) — a total
+    deterministic order. Raises [Invalid_argument] on nonsense tenants
+    (no jobs, empty name, inverted ranges, duplicate names). *)
+
+val mixed_tenants : tenants:int -> jobs_per_tenant:int -> tenant list
+(** A deterministic synthetic population for tools and tests: round-robin
+    over batch / interactive / filler profiles with varying weights,
+    sizes and rates; tenant [i] is named ["t%02d"]. *)
+
+val total_jobs : tenant list -> int
+val pp_spec : Format.formatter -> spec -> unit

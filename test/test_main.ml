@@ -21,5 +21,6 @@ let () =
       ("causal", Test_causal.suite);
       ("resilience", Test_resilience.suite);
       ("heal", Test_heal.suite);
+      ("sched", Test_sched.suite);
       ("snap", Test_snap.suite);
     ]
